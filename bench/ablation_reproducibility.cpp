@@ -1,0 +1,88 @@
+// Ablation: reproducible global sums under domain decomposition — the
+// paper's §III.C, run live. A distributed dam break evolves identically
+// on every rank count (bitwise), but its global mass *diagnostic* is only
+// as reproducible as the reduction algorithm: naive and Kahan sums change
+// with the decomposition; the K-fold reproducible and exact-expansion
+// sums do not. This is the enabling result ("from about 7 digits of
+// precision to 15 ... within a few bits of perfect reproducibility",
+// citing Robey, Demmel & Nguyen) that lets the rest of the calculation
+// drop to lower precision.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "par/dist_shallow.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace tp;
+
+int main() {
+    std::printf(
+        "# Scale note: distributed dam break, 96x96 uniform grid, 60 "
+        "steps,\n# simulated ranks (BSP halo exchange); paper context: "
+        "Sec. III.C.\n\n");
+
+    const std::vector<int> rank_counts{1, 2, 3, 4, 6, 8, 12};
+    const std::vector<par::ReduceAlgorithm> algos{
+        par::ReduceAlgorithm::Naive, par::ReduceAlgorithm::Kahan,
+        par::ReduceAlgorithm::Reproducible, par::ReduceAlgorithm::Exact};
+
+    // One solver run per rank count; all reductions evaluated on each.
+    std::map<int, std::map<par::ReduceAlgorithm, double>> mass;
+    std::vector<double> state_ref;
+    bool state_invariant = true;
+    for (const int ranks : rank_counts) {
+        par::DistConfig cfg;
+        cfg.nx = cfg.ny = 96;
+        cfg.ranks = ranks;
+        par::DistFullSolver s(cfg);
+        s.initialize_dam_break();
+        s.run(60);
+        for (const auto a : algos) mass[ranks][a] = s.total_mass(a);
+        const auto h = s.gather_height();
+        if (state_ref.empty())
+            state_ref = h;
+        else if (h != state_ref)
+            state_invariant = false;
+    }
+
+    util::TextTable t(
+        "Global mass after 60 steps, by reduction algorithm and rank "
+        "count (all 17 digits)");
+    std::vector<std::string> header{"ranks"};
+    for (const auto a : algos) header.emplace_back(par::to_string(a));
+    t.set_header(header);
+    for (const int ranks : rank_counts) {
+        std::vector<std::string> row{std::to_string(ranks)};
+        for (const auto a : algos)
+            row.push_back(util::scientific(mass[ranks][a], 16));
+        t.add_row(row);
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    util::TextTable v("Verdict per algorithm");
+    v.set_header({"algorithm", "distinct values across rank counts",
+                  "bitwise reproducible"});
+    for (const auto a : algos) {
+        std::set<double> distinct;
+        for (const int ranks : rank_counts) distinct.insert(mass[ranks][a]);
+        v.add_row({std::string(par::to_string(a)),
+                   std::to_string(distinct.size()),
+                   distinct.size() == 1 ? "yes" : "NO"});
+    }
+    std::printf("%s\n", v.str().c_str());
+
+    std::printf(
+        "Solver state bitwise invariant across rank counts: %s\n"
+        "Paper shape check (Sec. III.C): naive parallel sums drift with\n"
+        "the decomposition; reproducible/exact reductions return the same\n"
+        "bits on every rank count, removing the last obstacle to running\n"
+        "the bulk of the calculation at reduced precision.\n",
+        state_invariant ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: the performance / power / precision / resolution trade space
+// (the paper's abstract deliverable), evaluated on the dam-break workload.
+//
+// Prints every (precision, resolution) candidate with its accuracy,
+// projected runtime and energy on the target architecture, then the
+// configurations the tuner selects under three representative constraint
+// sets.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "tuner/tradespace.hpp"
+
+using namespace tp;
+
+namespace {
+
+std::string describe(const tuner::Candidate& c) {
+    return std::string(fp::to_string(c.mode)) + " @ " +
+           std::to_string(c.coarse_cells) + "^2/" +
+           std::to_string(c.max_level) + "lvl";
+}
+
+}  // namespace
+
+int main() {
+    bench::print_scale_note(
+        "trade-space sweep: 3 precision modes x {32,64,96}^2 coarse grids, "
+        "2 AMR levels, 120 steps, projected on Haswell");
+
+    tuner::SweepConfig sweep;
+    const auto cands = tuner::explore(sweep);
+
+    util::TextTable t("Candidates (digits measured against the "
+                      "same-resolution full-precision run)");
+    t.set_header({"configuration", "cells", "finest dx", "digits",
+                  "proj. s", "energy J", "checkpoint"});
+    for (const auto& c : cands)
+        t.add_row({describe(c), std::to_string(c.cells),
+                   util::fixed(c.finest_dx, 3),
+                   c.digits >= 17.0 ? "ref" : util::fixed(c.digits, 1),
+                   util::fixed(c.projected_seconds, 4),
+                   util::fixed(c.energy_joules, 2),
+                   util::human_bytes(c.checkpoint_bytes)});
+    std::printf("%s\n", t.str().c_str());
+
+    struct Scenario {
+        const char* label;
+        tuner::Constraints c;
+    };
+    Scenario scenarios[3];
+    scenarios[0].label = "accuracy-first (>= 6 digits)";
+    scenarios[0].c.min_digits = 6.0;
+    scenarios[1].label = "budget-bound (cheap + >= 4 digits)";
+    scenarios[1].c.min_digits = 4.0;
+    scenarios[1].c.max_seconds = 0.5 * cands.back().projected_seconds;
+    scenarios[2].label = "energy-capped";
+    scenarios[2].c.min_digits = 4.0;
+    scenarios[2].c.max_energy_joules = 0.5 * cands.back().energy_joules;
+
+    util::TextTable pick("Tuner selections under constraints");
+    pick.set_header({"constraint set", "selected configuration",
+                     "digits", "proj. s", "energy J"});
+    for (const auto& s : scenarios) {
+        const auto best = tuner::select(cands, s.c);
+        if (best.has_value()) {
+            pick.add_row({s.label, describe(*best),
+                          best->digits >= 17.0 ? "ref"
+                                               : util::fixed(best->digits, 1),
+                          util::fixed(best->projected_seconds, 4),
+                          util::fixed(best->energy_joules, 2)});
+        } else {
+            pick.add_row({s.label, "infeasible", "-", "-", "-"});
+        }
+    }
+    std::printf("%s\n", pick.str().c_str());
+    std::printf(
+        "Reading: with precision on the table, the optimizer spends the\n"
+        "saved time/energy on resolution — reduced-precision high-\n"
+        "resolution candidates dominate (the paper's Figure 3 logic, made\n"
+        "automatic).\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+#pragma once
+// Shared machinery for the per-table / per-figure bench harnesses.
+//
+// Every harness prints (a) the scale it ran at — laptop-sized, not the
+// paper's testbed sizes — and (b) rows in the same layout as the paper's
+// table or figure so shapes can be compared side by side. EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "fp/precision.hpp"
+#include "hw/archspec.hpp"
+#include "hw/roofline.hpp"
+#include "perf/counters.hpp"
+#include "sem/dgsem.hpp"
+#include "shallow/solver.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace tp::bench {
+
+/// Everything the table harnesses need from one solver run.
+struct RunArtifacts {
+    perf::WorkLedger ledger;
+    std::uint64_t state_bytes = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    double host_seconds = 0.0;
+    double finite_diff_seconds = 0.0;
+};
+
+/// Dam-break runs at all three precision modes (vectorized by default).
+inline std::map<std::string, RunArtifacts> run_clamr_suite(
+    int coarse_cells, int max_level, int steps, bool vectorized = true) {
+    std::map<std::string, RunArtifacts> out;
+    fp::for_each_precision([&]<typename P>() {
+        shallow::Config cfg;
+        cfg.geom = {0.0, 0.0, 100.0, 100.0, coarse_cells, coarse_cells,
+                    max_level};
+        cfg.vectorized = vectorized;
+        shallow::ShallowWaterSolver<P> s(cfg);
+        s.initialize_dam_break({});
+        util::WallTimer t;
+        s.run(steps);
+        RunArtifacts r;
+        r.host_seconds = t.elapsed_seconds();
+        r.ledger = s.ledger();
+        r.state_bytes = s.state_bytes();
+        r.checkpoint_bytes = s.checkpoint_bytes();
+        r.finite_diff_seconds = s.timers().total("finite_diff");
+        out.emplace(std::string(P::name), std::move(r));
+    });
+    return out;
+}
+
+/// Thermal-bubble runs at single and double precision.
+inline std::map<std::string, RunArtifacts> run_self_suite(int elems,
+                                                          int order,
+                                                          int steps) {
+    std::map<std::string, RunArtifacts> out;
+    auto one = [&]<typename P>() {
+        sem::SemConfig cfg;
+        cfg.nx = cfg.ny = cfg.nz = elems;
+        cfg.order = order;
+        sem::SpectralEulerSolver<P> s(cfg);
+        s.initialize_thermal_bubble({});
+        util::WallTimer t;
+        s.run(steps);
+        RunArtifacts r;
+        r.host_seconds = t.elapsed_seconds();
+        r.ledger = s.ledger();
+        r.state_bytes = s.state_bytes();
+        r.checkpoint_bytes = s.snapshot_bytes();
+        out.emplace(std::string(P::name), std::move(r));
+    };
+    one.template operator()<fp::MinimumPrecision>();
+    one.template operator()<fp::FullPrecision>();
+    return out;
+}
+
+/// Projection options for the table harnesses: the asymptotic large-grid
+/// regime (the paper's production sizes), where per-step dispatch overhead
+/// is negligible.
+inline hw::ProjectionOptions table_options() {
+    hw::ProjectionOptions opt;
+    opt.include_launch_overhead = false;
+    return opt;
+}
+
+/// Projected whole-app seconds on an architecture (large-grid regime).
+inline double projected_seconds(const hw::ArchSpec& arch,
+                                const perf::WorkLedger& ledger) {
+    return hw::PerfProjector(arch, table_options())
+        .project_app_seconds(ledger);
+}
+
+inline std::string gb(double bytes) {
+    return util::fixed(bytes / 1e9, 2);
+}
+
+inline void print_scale_note(const std::string& what) {
+    std::printf(
+        "# Scale note: %s\n"
+        "# Absolute numbers are laptop/projected values, not the paper's\n"
+        "# 2017 testbed; compare shapes (ordering, ratios, crossovers).\n\n",
+        what.c_str());
+}
+
+}  // namespace tp::bench

@@ -1,0 +1,76 @@
+// Figure 2 — "Height asymmetry for the CLAMR simulations": the difference
+// between mirrored halves of the (ideally symmetric) line-cut, per
+// precision level. The paper's observation: reduced precision amplifies
+// the asymmetry, but even minimum precision stays >= 1e6x below the
+// solution magnitude.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/linecut.hpp"
+#include "bench_common.hpp"
+#include "util/plot.hpp"
+
+using namespace tp;
+
+int main() {
+    const int n = 64, levels = 2, steps = 1000;
+    bench::print_scale_note(
+        "CLAMR dam break, 64x64 coarse grid, 2 AMR levels, 1000 iterations "
+        "(the paper's Figure 2 configuration)");
+
+    const int fine = n << levels;
+    const auto ys = analysis::face_free_positions(0.0, 100.0, fine);
+    const double x0 = ys[ys.size() / 2];
+
+    std::vector<analysis::LineCut> asyms;
+    double solution_scale = 0.0;
+    fp::for_each_precision([&]<typename P>() {
+        shallow::Config cfg;
+        cfg.geom = {0.0, 0.0, 100.0, 100.0, n, n, levels};
+        shallow::ShallowWaterSolver<P> s(cfg);
+        s.initialize_dam_break({});
+        s.run(steps);
+        analysis::LineCut cut;
+        cut.label = std::string(P::name);
+        cut.position = ys;
+        for (const double y : ys) {
+            cut.value.push_back(s.height_at(x0, y));
+            solution_scale = std::max(solution_scale, cut.value.back());
+        }
+        asyms.push_back(analysis::mirror_asymmetry(cut));
+    });
+    analysis::write_csv("fig2_clamr_asymmetry.csv", asyms);
+
+    {
+        std::vector<util::PlotSeries> ps;
+        const char marks[3] = {'.', '+', 'o'};
+        for (std::size_t k = 0; k < asyms.size(); ++k)
+            ps.push_back({asyms[k].label, asyms[k].value, marks[k]});
+        util::PlotOptions popt;
+        popt.title = "Figure 2: mirrored-half height difference";
+        popt.x_label = "y (first half)";
+        std::printf("%s\n",
+                    util::ascii_plot(asyms[0].position, ps, popt).c_str());
+    }
+    util::TextTable t("FIGURE 2: height asymmetry by precision");
+    t.set_header({"precision", "max |asymmetry|", "factor below solution"});
+    std::vector<double> maxima;
+    for (const auto& a : asyms) {
+        double m = 0.0;
+        for (const double v : a.value) m = std::max(m, std::fabs(v));
+        maxima.push_back(m);
+        t.add_row({a.label, util::scientific(m, 2),
+                   util::scientific(solution_scale / std::max(m, 1e-300),
+                                    1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "Wrote fig2_clamr_asymmetry.csv.\n"
+        "Paper shape check: asymmetry grows as precision drops "
+        "(min %.1e >= mixed %.1e >= full %.1e)\nand even minimum precision "
+        "stays far below the solution scale (%.1f).\n",
+        maxima[0], maxima[1], maxima[2], solution_scale);
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 4 — SELF density-anomaly slice for single and double precision
+// plus their difference, on a horizontal line-out through the domain
+// center. Paper: differences ~O(1e-5), two orders of magnitude below the
+// anomaly itself.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/linecut.hpp"
+#include "bench_common.hpp"
+#include "util/plot.hpp"
+
+using namespace tp;
+
+int main() {
+    const int elems = 6, order = 7, steps = 25;
+    bench::print_scale_note(
+        "SELF thermal bubble, " + std::to_string(elems) + "^3 elements, "
+        "order " + std::to_string(order) + ", " + std::to_string(steps) +
+        " RK3 steps (paper: 20^3 elements, order 7, 100 steps)");
+
+    const int nsamples = 257;
+    std::vector<analysis::LineCut> cuts;
+    auto one = [&]<typename P>(const char* label) {
+        sem::SemConfig cfg;
+        cfg.nx = cfg.ny = cfg.nz = elems;
+        cfg.order = order;
+        sem::SpectralEulerSolver<P> s(cfg);
+        s.initialize_thermal_bubble({});
+        s.run(steps);
+        analysis::LineCut cut;
+        cut.label = label;
+        cut.position = s.sample_positions_x(nsamples);
+        cut.value = s.sample_density_anomaly_x(0.5 * cfg.ly, 350.0,
+                                               nsamples);
+        cuts.push_back(std::move(cut));
+    };
+    one.template operator()<fp::MinimumPrecision>("single");
+    one.template operator()<fp::FullPrecision>("double");
+
+    analysis::write_csv("fig4_self_slices.csv", cuts);
+    const auto diff = analysis::difference(cuts[1], cuts[0]);
+    const std::vector<analysis::LineCut> diffs{diff};
+    analysis::write_csv("fig4_self_diff.csv", diffs);
+
+    double maxd = 0.0, maxa = 0.0;
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+        maxd = std::max(maxd, std::fabs(diff.value[i]));
+        maxa = std::max(maxa, std::fabs(cuts[1].value[i]));
+    }
+    {
+        std::vector<util::PlotSeries> ss{
+            {"single", cuts[0].value, '.'},
+            {"double", cuts[1].value, 'o'}};
+        util::PlotOptions popt;
+        popt.title = "Figure 4 (top): density anomaly along the x line-out";
+        popt.x_label = "x";
+        std::printf("%s\n",
+                    util::ascii_plot(cuts[0].position, ss, popt).c_str());
+        std::vector<util::PlotSeries> ds{{"double - single", diff.value, '*'}};
+        popt.title = "Figure 4 (bottom): difference";
+        std::printf("%s\n",
+                    util::ascii_plot(diff.position, ds, popt).c_str());
+    }
+    util::TextTable t("FIGURE 4: SELF density anomaly, single vs double");
+    t.set_header({"quantity", "value"});
+    t.add_row({"max |rho'| (double)", util::scientific(maxa, 3)});
+    t.add_row({"max |double - single|", util::scientific(maxd, 3)});
+    t.add_row({"orders below solution",
+               util::fixed(std::log10(maxa / std::max(maxd, 1e-300)), 1)});
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "Wrote fig4_self_slices.csv / fig4_self_diff.csv.\n"
+        "Paper shape check: slices visually identical; the difference sits\n"
+        "~2+ orders of magnitude below the anomaly.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Table IV — "Nonvectorized SELF consumes less runtime for double
+// precision than for single precision with GNU compiler": the paper's
+// anomaly, reproduced with two code-generation models for the
+// single-precision kernels (DESIGN.md section 2):
+//   * "GNU model"  : every single-precision operation round-trips through
+//                    double (fp::PromotedFloat) — the code shape GNU
+//                    Fortran 4.9 emitted;
+//   * "Intel model": native single-precision arithmetic.
+// Times are measured on this host around the RK3 loop, exactly where the
+// paper put its CPU_TIME calls.
+
+#include "bench_common.hpp"
+
+using namespace tp;
+
+namespace {
+
+double run_seconds(bool promote, bool single, int elems, int order,
+                   int steps) {
+    sem::SemConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = elems;
+    cfg.order = order;
+    cfg.promote_each_op = promote;
+    util::WallTimer t;
+    if (single) {
+        sem::SingleSemSolver s(cfg);
+        s.initialize_thermal_bubble({});
+        t.restart();
+        s.run(steps);
+    } else {
+        sem::DoubleSemSolver s(cfg);
+        s.initialize_thermal_bubble({});
+        t.restart();
+        s.run(steps);
+    }
+    return t.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+    const int elems = 5, order = 7, steps = 12;
+    bench::print_scale_note(
+        "SELF thermal bubble, " + std::to_string(elems) + "^3 elements, "
+        "order " + std::to_string(order) + ", " + std::to_string(steps) +
+        " RK3 steps, measured on this host (paper: 20^3 elements, 100 "
+        "steps, GNU 4.9.3 vs Intel 17.0)");
+
+    const double gnu_single = run_seconds(true, true, elems, order, steps);
+    const double gnu_double = run_seconds(false, false, elems, order, steps);
+    const double intel_single = run_seconds(false, true, elems, order, steps);
+    const double intel_double = gnu_double;  // same native double kernels
+
+    util::TextTable t(
+        "TABLE IV: non-vectorized SELF runtime by compiler model (s)");
+    t.set_header({"", "Single Precision", "Double Precision"});
+    t.add_row({"GNU model (per-op promotion)", util::fixed(gnu_single, 3),
+               util::fixed(gnu_double, 3)});
+    t.add_row({"Intel model (native SP)", util::fixed(intel_single, 3),
+               util::fixed(intel_double, 3)});
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf(
+        "Paper shape check: GNU-model single (%.3f) SLOWER than double "
+        "(%.3f): %s\n"
+        "                   Intel-model single (%.3f) faster than double "
+        "(%.3f): %s\n",
+        gnu_single, gnu_double, gnu_single > gnu_double ? "yes" : "NO",
+        intel_single, intel_double,
+        intel_single < intel_double ? "yes" : "NO");
+    return 0;
+}

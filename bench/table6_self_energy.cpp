@@ -1,0 +1,34 @@
+// Table VI — "SELF on different architectures" (energy): nominal TDP x
+// projected runtime for single vs double precision.
+
+#include "bench_common.hpp"
+
+using namespace tp;
+
+int main() {
+    const int elems = 6, order = 7, steps = 10;
+    bench::print_scale_note(
+        "SELF thermal bubble, " + std::to_string(elems) + "^3 elements, "
+        "order " + std::to_string(order) + ", " + std::to_string(steps) +
+        " RK3 steps; energy = TDP x projected runtime");
+
+    const auto runs = bench::run_self_suite(elems, order, steps);
+
+    util::TextTable t("TABLE VI: estimated SELF energy use (Joules)");
+    t.set_header(
+        {"Architecture", "Single Precision", "Double Precision", "SP/DP"});
+    for (const auto& arch : hw::paper_architectures()) {
+        hw::PerfProjector proj(arch, bench::table_options());
+        const double e_sp = hw::energy_joules(
+            arch, proj.project_app_seconds(runs.at("minimum").ledger));
+        const double e_dp = hw::energy_joules(
+            arch, proj.project_app_seconds(runs.at("full").ledger));
+        t.add_row({arch.name, util::fixed(e_sp, 2), util::fixed(e_dp, 2),
+                   util::fixed(e_sp / e_dp, 2)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "Paper shape check: single precision saves energy on every part;\n"
+        "the TITAN X shows the largest ratio (paper: 4025 vs 12425 J).\n");
+    return 0;
+}

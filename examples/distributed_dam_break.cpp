@@ -1,0 +1,58 @@
+// distributed_dam_break: the dam break over simulated MPI-style ranks,
+// demonstrating the paper's Sec. III.C result live: the solver state is
+// bitwise identical on every decomposition, while the global mass
+// diagnostic is only as reproducible as its reduction algorithm.
+//
+//   $ ./distributed_dam_break --grid 96 --steps 60 --ranks 1,2,4,8
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "par/dist_shallow.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace tp;
+
+int main(int argc, char** argv) {
+    util::ArgParser args("distributed_dam_break",
+                         "dam break across simulated ranks with "
+                         "selectable global-sum algorithms");
+    args.add_option("grid", "global cells per side", "96");
+    args.add_option("steps", "time steps", "60");
+    args.add_option("ranks", "comma-separated rank counts", "1,2,4,8");
+    if (!args.parse(argc, argv)) return 1;
+
+    std::vector<int> rank_counts;
+    std::stringstream ss(args.get_string("ranks"));
+    for (std::string tok; std::getline(ss, tok, ',');)
+        rank_counts.push_back(std::stoi(tok));
+
+    util::TextTable t("Global mass by reduction algorithm (17 digits)");
+    t.set_header({"ranks", "naive", "exact", "state == 1-rank run"});
+    std::vector<double> ref_state;
+    for (const int ranks : rank_counts) {
+        par::DistConfig cfg;
+        cfg.nx = cfg.ny = args.get_int("grid");
+        cfg.ranks = ranks;
+        par::DistFullSolver s(cfg);
+        s.initialize_dam_break();
+        s.run(args.get_int("steps"));
+        const auto h = s.gather_height();
+        if (ref_state.empty()) ref_state = h;
+        t.add_row({std::to_string(ranks),
+                   util::scientific(
+                       s.total_mass(par::ReduceAlgorithm::Naive), 16),
+                   util::scientific(
+                       s.total_mass(par::ReduceAlgorithm::Exact), 16),
+                   h == ref_state ? "bitwise" : "DIFFERS"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "The exact column repeats to the last bit on every rank count;\n"
+        "the naive column drifts in its trailing digits — Sec. III.C.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+// precision_audit: the paper's Section III.C story, runnable.
+//
+// Global sums over the computational domain are the most precision-
+// sensitive part of mesh codes. This example builds a mesh-like workload
+// (millions of per-cell contributions spanning magnitudes), sums it with
+// the whole ladder of algorithms, and shows (a) how many digits each one
+// gets right and (b) which ones survive a reordering — the property that
+// lets the rest of the calculation drop to lower precision.
+//
+//   $ ./precision_audit --cells 1000000 --spread 12
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "sum/basic.hpp"
+#include "sum/expansion.hpp"
+#include "sum/reproducible.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace tp;
+
+int main(int argc, char** argv) {
+    util::ArgParser args("precision_audit",
+                         "global-sum accuracy and reproducibility ladder");
+    args.add_option("cells", "number of per-cell contributions", "1000000");
+    args.add_option("spread", "orders of magnitude spanned", "24");
+    args.add_option("seed", "workload seed", "2017");
+    if (!args.parse(argc, argv)) return 1;
+
+    const auto n = static_cast<std::size_t>(args.get_int("cells"));
+    const double spread = args.get_double("spread");
+    util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+
+    // Mesh-like contributions: mostly O(1) cell masses plus rare large
+    // outliers (refined-region hotspots) and partial cancellations.
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double mag =
+            std::pow(10.0, rng.uniform(0.0, spread) - spread / 2);
+        xs.push_back(rng.uniform(-1.0, 1.0) * mag);
+    }
+
+    // Ground truth: the exact expansion sum.
+    const double exact = sum::sum_exact(xs);
+
+    // A hostile reordering (ascending magnitude), standing in for the
+    // nondeterministic reduction orders of a parallel machine.
+    std::vector<double> reordered = xs;
+    std::sort(reordered.begin(), reordered.end(),
+              [](double a, double b) { return std::fabs(a) < std::fabs(b); });
+
+    auto digits = [&](double v) {
+        const double rel = std::fabs(v - exact) /
+                           std::max(std::fabs(exact), 1e-300);
+        return rel == 0.0 ? 17.0 : std::min(17.0, -std::log10(rel));
+    };
+
+    struct Algo {
+        const char* name;
+        double (*run)(std::span<const double>);
+    };
+    const Algo algos[] = {
+        {"naive", [](std::span<const double> v) {
+             return sum::sum_naive(v);
+         }},
+        {"pairwise", [](std::span<const double> v) {
+             return sum::sum_pairwise(v);
+         }},
+        {"kahan", [](std::span<const double> v) {
+             return sum::sum_kahan(v);
+         }},
+        {"neumaier", [](std::span<const double> v) {
+             return sum::sum_neumaier(v);
+         }},
+        {"reproducible (3-fold)", [](std::span<const double> v) {
+             return sum::sum_reproducible<double>(v).value;
+         }},
+        {"exact (expansion)", [](std::span<const double> v) {
+             return sum::sum_exact(v);
+         }},
+    };
+
+    util::TextTable t("Global sum of " + std::to_string(n) +
+                      " contributions spanning ~" +
+                      std::to_string(static_cast<int>(spread)) +
+                      " orders of magnitude");
+    t.set_header({"algorithm", "digits correct", "reorder-stable",
+                  "|difference under reorder|"});
+    for (const Algo& a : algos) {
+        const double v1 = a.run(xs);
+        const double v2 = a.run(reordered);
+        t.add_row({a.name, util::fixed(digits(v1), 1),
+                   v1 == v2 ? "yes (bitwise)" : "NO",
+                   util::scientific(std::fabs(v1 - v2), 2)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "The paper's point (Sec. III.C): once the global sums are made\n"
+        "accurate and order-independent (bottom rows), the bulk of the\n"
+        "calculation can safely run at reduced precision.\n");
+    return 0;
+}

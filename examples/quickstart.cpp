@@ -1,0 +1,95 @@
+// Quickstart: the 60-second tour of the library.
+//
+// Runs the cylindrical dam break at all three of the paper's precision
+// modes, then answers the paper's two headline questions for this
+// workload: how much cheaper is reduced precision, and how close does the
+// answer stay?
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/linecut.hpp"
+#include "fp/metrics.hpp"
+#include "fp/precision.hpp"
+#include "hw/archspec.hpp"
+#include "hw/roofline.hpp"
+#include "shallow/solver.hpp"
+#include "util/timing.hpp"
+
+using namespace tp;
+
+namespace {
+
+struct Result {
+    std::string name;
+    double host_seconds = 0.0;
+    double projected_titan_seconds = 0.0;
+    double mass_drift = 0.0;
+    std::size_t cells = 0;
+    std::vector<double> cut;
+};
+
+}  // namespace
+
+int main() {
+    std::printf("Thoughtful Precision quickstart: dam break at three "
+                "precisions\n\n");
+
+    // One line-cut through the domain center, sampled at finest-grid cell
+    // centers so all runs are compared at identical points.
+    const int n = 64, levels = 2, steps = 200;
+    const auto ys = analysis::face_free_positions(0.0, 100.0, n << levels);
+    const double x0 = ys[ys.size() / 2];
+    const auto titan = *hw::find_architecture("GTX TITAN X");
+    hw::ProjectionOptions opt;
+    opt.include_launch_overhead = false;
+
+    std::vector<Result> results;
+    fp::for_each_precision([&]<typename P>() {
+        shallow::Config cfg;
+        cfg.geom = {0.0, 0.0, 100.0, 100.0, n, n, levels};
+        shallow::ShallowWaterSolver<P> solver(cfg);
+        solver.initialize_dam_break({});
+
+        Result r;
+        r.name = std::string(P::name);
+        const double mass0 = solver.total_mass();
+        util::WallTimer timer;
+        solver.run(steps);
+        r.host_seconds = timer.elapsed_seconds();
+        r.mass_drift = (solver.total_mass() - mass0) / mass0;
+        r.cells = solver.mesh().num_cells();
+        for (const double y : ys) r.cut.push_back(solver.height_at(x0, y));
+        r.projected_titan_seconds =
+            hw::PerfProjector(titan, opt)
+                .project_app_seconds(solver.ledger());
+        results.push_back(std::move(r));
+    });
+
+    const Result& full = results.back();  // for_each runs min, mixed, full
+    for (const Result& r : results) {
+        std::printf("%-8s  %5.2fs host  %zu cells  mass drift %+.1e",
+                    r.name.c_str(), r.host_seconds, r.cells, r.mass_drift);
+        if (&r == &full) {
+            std::printf("  (reference)\n");
+        } else {
+            const auto m = fp::compare(full.cut, r.cut);
+            std::printf("  agrees with full to %.1f digits\n",
+                        m.digits_of_agreement());
+        }
+        std::printf("          projected on %s: %.4f s\n",
+                    titan.name.c_str(), r.projected_titan_seconds);
+    }
+
+    std::printf(
+        "\nTakeaway (the paper's): minimum precision runs fastest — %.1fx\n"
+        "faster than full on a gaming GPU's projection — while the solution\n"
+        "stays within a few parts in 1e4. 'Thoughtful' precision choices\n"
+        "buy performance nearly for free.\n",
+        full.projected_titan_seconds /
+            results.front().projected_titan_seconds);
+    return 0;
+}

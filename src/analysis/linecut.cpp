@@ -1,0 +1,70 @@
+#include "analysis/linecut.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace tp::analysis {
+
+std::vector<double> face_free_positions(double lo, double extent,
+                                        int finest_cells) {
+    if (finest_cells <= 0)
+        throw std::invalid_argument("face_free_positions: bad cell count");
+    std::vector<double> xs(static_cast<std::size_t>(finest_cells));
+    for (int k = 0; k < finest_cells; ++k)
+        xs[static_cast<std::size_t>(k)] =
+            lo + (k + 0.5) * extent / finest_cells;
+    return xs;
+}
+
+LineCut difference(const LineCut& a, const LineCut& b) {
+    if (a.size() != b.size())
+        throw std::invalid_argument("difference: cut size mismatch");
+    LineCut d;
+    d.label = a.label + " - " + b.label;
+    d.position = a.position;
+    d.value.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d.value[i] = a.value[i] - b.value[i];
+    return d;
+}
+
+LineCut mirror_asymmetry(const LineCut& cut) {
+    LineCut out;
+    out.label = cut.label + " asymmetry";
+    const std::size_t half = cut.size() / 2;
+    out.position.assign(cut.position.begin(),
+                        cut.position.begin() + static_cast<std::ptrdiff_t>(half));
+    out.value.resize(half);
+    for (std::size_t i = 0; i < half; ++i)
+        out.value[i] = cut.value[i] - cut.value[cut.size() - 1 - i];
+    return out;
+}
+
+fp::ErrorMetrics compare(const LineCut& reference, const LineCut& test) {
+    return fp::compare(reference.value, test.value);
+}
+
+std::string write_csv(const std::string& path,
+                      std::span<const LineCut> cuts) {
+    if (cuts.empty()) throw std::invalid_argument("write_csv: no cuts");
+    std::vector<std::string> cols{"position"};
+    for (const LineCut& c : cuts) {
+        if (c.size() != cuts.front().size())
+            throw std::invalid_argument("write_csv: cut size mismatch");
+        // Commas would corrupt the header row; swap them out.
+        std::string label = c.label.empty() ? "value" : c.label;
+        for (char& ch : label)
+            if (ch == ',') ch = ';';
+        cols.push_back(label);
+    }
+    util::CsvWriter w(path, cols);
+    for (std::size_t i = 0; i < cuts.front().size(); ++i) {
+        std::vector<double> row{cuts.front().position[i]};
+        for (const LineCut& c : cuts) row.push_back(c.value[i]);
+        w.write_row(row);
+    }
+    return path;
+}
+
+}  // namespace tp::analysis

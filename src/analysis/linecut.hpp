@@ -1,0 +1,49 @@
+#pragma once
+// Line-cut extraction and comparison — the measurement apparatus behind the
+// paper's Figures 1-5: overlay solution slices from runs at different
+// precisions, difference them pairwise, and quantify the mirror asymmetry
+// of ideally-symmetric solutions.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fp/metrics.hpp"
+
+namespace tp::analysis {
+
+/// A sampled 1-D slice of a field: positions (ascending) and values.
+struct LineCut {
+    std::string label;
+    std::vector<double> position;
+    std::vector<double> value;
+
+    [[nodiscard]] std::size_t size() const { return value.size(); }
+};
+
+/// Sample positions for an AMR mesh slice that are guaranteed to fall at
+/// finest-grid cell centers, never on cell faces. Sampling on faces makes
+/// mirrored points resolve to non-mirrored cells and fakes O(1) asymmetry;
+/// centers of the finest grid are both face-free and exactly mirror-mapped
+/// onto each other.
+[[nodiscard]] std::vector<double> face_free_positions(double lo, double extent,
+                                                      int finest_cells);
+
+/// Pairwise difference of two cuts sampled at identical positions
+/// (Figure 1 bottom / Figure 4 bottom). The result's label is "a - b".
+[[nodiscard]] LineCut difference(const LineCut& a, const LineCut& b);
+
+/// Mirror asymmetry (Figures 2 and 5): for a cut sampled symmetrically
+/// about its center, value(i) - value(n-1-i) over the first half.
+[[nodiscard]] LineCut mirror_asymmetry(const LineCut& cut);
+
+/// Error metrics of cut `test` against cut `reference`.
+[[nodiscard]] fp::ErrorMetrics compare(const LineCut& reference,
+                                       const LineCut& test);
+
+/// Write one or more cuts sharing a position axis as CSV columns
+/// (position, <label0>, <label1>, ...). Returns the path written.
+std::string write_csv(const std::string& path,
+                      std::span<const LineCut> cuts);
+
+}  // namespace tp::analysis

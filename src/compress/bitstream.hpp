@@ -1,0 +1,79 @@
+#pragma once
+// Bit-granular I/O over a byte buffer — the packing layer underneath the
+// fixed-rate compressor. LSB-first within each byte.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tp::compress {
+
+/// Appends fields of 1..64 bits to a byte vector.
+class BitWriter {
+public:
+    explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+    void write(std::uint64_t value, int bits) {
+        if (bits < 1 || bits > 64)
+            throw std::invalid_argument("BitWriter: bits out of range");
+        if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+        while (bits > 0) {
+            if (fill_ == 0) {
+                out_.push_back(0);
+                fill_ = 8;
+            }
+            const int take = bits < fill_ ? bits : fill_;
+            out_.back() |= static_cast<std::uint8_t>(
+                (value & ((std::uint64_t{1} << take) - 1)) << (8 - fill_));
+            value >>= take;
+            bits -= take;
+            fill_ -= take;
+        }
+    }
+
+    /// Total bits written so far.
+    [[nodiscard]] std::size_t bit_count() const {
+        return out_.size() * 8 - static_cast<std::size_t>(fill_);
+    }
+
+private:
+    std::vector<std::uint8_t>& out_;
+    int fill_ = 0;  // unused bits remaining in the last byte
+};
+
+/// Reads fields of 1..64 bits from a byte buffer.
+class BitReader {
+public:
+    explicit BitReader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+    [[nodiscard]] std::uint64_t read(int bits) {
+        if (bits < 1 || bits > 64)
+            throw std::invalid_argument("BitReader: bits out of range");
+        std::uint64_t value = 0;
+        int got = 0;
+        while (got < bits) {
+            if (byte_ >= in_.size())
+                throw std::out_of_range("BitReader: past end of stream");
+            const int avail = 8 - bit_;
+            const int take = (bits - got) < avail ? (bits - got) : avail;
+            const std::uint64_t chunk =
+                (static_cast<std::uint64_t>(in_[byte_]) >> bit_) &
+                ((std::uint64_t{1} << take) - 1);
+            value |= chunk << got;
+            got += take;
+            bit_ += take;
+            if (bit_ == 8) {
+                bit_ = 0;
+                ++byte_;
+            }
+        }
+        return value;
+    }
+
+private:
+    const std::vector<std::uint8_t>& in_;
+    std::size_t byte_ = 0;
+    int bit_ = 0;
+};
+
+}  // namespace tp::compress

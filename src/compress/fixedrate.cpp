@@ -1,0 +1,84 @@
+#include "compress/fixedrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+
+namespace tp::compress {
+
+namespace {
+
+constexpr int kExpBits = 11;
+constexpr int kExpBias = 1023;  // stored exponent = e + bias, like binary64
+
+}  // namespace
+
+double error_bound(double peak, int bits) {
+    if (peak == 0.0) return 0.0;
+    int e = 0;
+    (void)std::frexp(peak, &e);  // peak = m * 2^e, m in [0.5, 1)
+    return std::ldexp(1.0, e - bits + 1);
+}
+
+CompressedArray compress_fixed_rate(std::span<const double> xs, int bits) {
+    if (bits < 2 || bits > 32)
+        throw std::invalid_argument("compress_fixed_rate: bits in [2,32]");
+    CompressedArray out;
+    out.bits = bits;
+    out.count = xs.size();
+    out.data.reserve((xs.size() * static_cast<std::size_t>(bits)) / 8 + 64);
+    BitWriter w(out.data);
+
+    const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+    for (std::size_t start = 0; start < xs.size(); start += kBlockSize) {
+        const std::size_t n = std::min(kBlockSize, xs.size() - start);
+        double peak = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double v = xs[start + i];
+            if (!std::isfinite(v))
+                throw std::invalid_argument(
+                    "compress_fixed_rate: non-finite value");
+            peak = std::max(peak, std::fabs(v));
+        }
+        int e = 0;
+        if (peak > 0.0) (void)std::frexp(peak, &e);
+        // All-zero blocks store the minimum exponent and all-zero payload.
+        const int stored_e = peak > 0.0 ? e + kExpBias : 0;
+        w.write(static_cast<std::uint64_t>(stored_e), kExpBits);
+        const double scale =
+            peak > 0.0 ? std::ldexp(1.0, bits - 1 - e) : 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::int64_t q = static_cast<std::int64_t>(
+                std::llround(xs[start + i] * scale));
+            q = std::clamp(q, -qmax, qmax);
+            w.write(static_cast<std::uint64_t>(q), bits);
+        }
+    }
+    return out;
+}
+
+std::vector<double> decompress(const CompressedArray& c) {
+    std::vector<double> out(c.count);
+    BitReader r(c.data);
+    const int bits = c.bits;
+    for (std::size_t start = 0; start < c.count; start += kBlockSize) {
+        const std::size_t n = std::min(kBlockSize, c.count - start);
+        const auto stored_e = static_cast<int>(r.read(kExpBits));
+        const double inv_scale =
+            stored_e == 0
+                ? 0.0
+                : std::ldexp(1.0, (stored_e - kExpBias) - (bits - 1));
+        for (std::size_t i = 0; i < n; ++i) {
+            auto raw = static_cast<std::int64_t>(r.read(bits));
+            // Sign-extend the bits-wide two's-complement field.
+            const std::int64_t sign_bit = std::int64_t{1} << (bits - 1);
+            if (raw & sign_bit) raw -= (std::int64_t{1} << bits);
+            out[start + i] = static_cast<double>(raw) * inv_scale;
+        }
+    }
+    return out;
+}
+
+}  // namespace tp::compress

@@ -1,0 +1,47 @@
+#pragma once
+// Fixed-rate lossy compression of floating-point arrays, in the spirit of
+// Lindstrom's fixed-rate compressed arrays (the paper's reference [34],
+// which its cost model names as a further storage lever but leaves
+// unexplored — bench/ablation_compression explores it here).
+//
+// Scheme: values are processed in blocks of 64. Each block stores the
+// binade of its largest magnitude (11 bits) plus one `bits`-wide signed
+// fixed-point value per element, quantized against that common exponent.
+// The pointwise error is bounded by 2^(e_block - bits + 1), i.e. the
+// *relative-to-block-peak* error halves with every extra bit of rate.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tp::compress {
+
+inline constexpr std::size_t kBlockSize = 64;
+
+/// A compressed array: `bits` per value plus 11 bits per 64-value block.
+struct CompressedArray {
+    int bits = 0;
+    std::uint64_t count = 0;
+    std::vector<std::uint8_t> data;
+
+    [[nodiscard]] std::size_t byte_size() const { return data.size() + 16; }
+};
+
+/// Compress at `bits` per value (2..32). Values must be finite.
+[[nodiscard]] CompressedArray compress_fixed_rate(std::span<const double> xs,
+                                                  int bits);
+
+/// Reconstruct the (lossy) array.
+[[nodiscard]] std::vector<double> decompress(const CompressedArray& c);
+
+/// Worst-case absolute error for a block whose peak magnitude is `peak`.
+[[nodiscard]] double error_bound(double peak, int bits);
+
+/// Achieved ratio versus uncompressed doubles.
+[[nodiscard]] inline double compression_ratio(const CompressedArray& c) {
+    return c.count == 0 ? 1.0
+                        : static_cast<double>(c.count * sizeof(double)) /
+                              static_cast<double>(c.byte_size());
+}
+
+}  // namespace tp::compress

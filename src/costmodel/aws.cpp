@@ -1,0 +1,58 @@
+#include "costmodel/aws.hpp"
+
+#include <stdexcept>
+
+namespace tp::costmodel {
+
+CostBreakdown estimate_monthly_cost(const AwsRates& rates,
+                                    const CostInputs& in) {
+    if (in.runtime_seconds < 0.0 || in.snapshot_gigabytes < 0.0 ||
+        in.checkpoint_period_s <= 0.0 || in.storage_reduction <= 0.0)
+        throw std::invalid_argument("estimate_monthly_cost: bad inputs");
+
+    // Seconds of measured runtime -> hours/week of utilization -> hours/mo.
+    const double hours_per_month = in.runtime_seconds * in.compute_scale *
+                                   rates.weeks_per_month *
+                                   in.calculator_uplift;
+
+    CostBreakdown out;
+    out.compute_dollars = hours_per_month * rates.ec2_per_hour;
+
+    // Storage volume scales with the compute factor (same rule as the
+    // paper), one snapshot per checkpoint period, reduced by the stated
+    // application factor.
+    const double snapshots = hours_per_month * 3600.0 /
+                             in.checkpoint_period_s / in.storage_reduction;
+    out.storage_dollars =
+        snapshots * in.snapshot_gigabytes * rates.s3_standard_gb_month;
+    return out;
+}
+
+CostInputs clamr_scenario(double runtime_seconds,
+                          double checkpoint_gigabytes) {
+    CostInputs in;
+    in.runtime_seconds = runtime_seconds;
+    in.snapshot_gigabytes = checkpoint_gigabytes;
+    in.compute_scale = 1.0;
+    in.checkpoint_period_s = 2.0;
+    in.storage_reduction = 5.0;
+    return in;
+}
+
+CostInputs self_scenario(double runtime_seconds, double snapshot_gigabytes) {
+    CostInputs in;
+    in.runtime_seconds = runtime_seconds;
+    in.snapshot_gigabytes = snapshot_gigabytes;
+    in.compute_scale = 0.5;       // paper: "scaled the compute time down by 50%"
+    in.checkpoint_period_s = 8.0;
+    in.storage_reduction = 10.0;  // paper: "reducing the storage amount by 10x"
+    return in;
+}
+
+double savings_fraction(const CostBreakdown& baseline,
+                        const CostBreakdown& cheaper) {
+    const double b = baseline.total();
+    return b > 0.0 ? (b - cheaper.total()) / b : 0.0;
+}
+
+}  // namespace tp::costmodel

@@ -1,0 +1,137 @@
+#pragma once
+// Shadow-value precision analysis — a working miniature of the tool family
+// the paper's §III.B surveys (CRAFT, Precimonious, Blame Analysis, ...)
+// and credits for CLAMR's mixed-precision configuration ("produced by the
+// precision analysis of Lam and Hollingsworth").
+//
+// A Tracked value carries the computation twice: a double-precision
+// reference and a single-precision shadow that sees exactly the same
+// sequence of operations. Wherever the two diverge, single precision is
+// losing information *in that part of the algorithm*. Logging divergences
+// against named sites and thresholding the result reproduces the kind of
+// recommendation CRAFT emitted: "state arrays can be float; this
+// accumulation must stay double."
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tp::craft {
+
+/// A number computed simultaneously in double (reference) and float
+/// (shadow). Arithmetic applies to both sides independently, so the
+/// shadow behaves exactly like a single-precision port of the code.
+class Tracked {
+public:
+    constexpr Tracked() = default;
+    constexpr explicit Tracked(double x)
+        : ref_(x), shadow_(static_cast<float>(x)) {}
+    constexpr Tracked(double ref, float shadow)
+        : ref_(ref), shadow_(shadow) {}
+
+    [[nodiscard]] double ref() const { return ref_; }
+    [[nodiscard]] float shadow() const { return shadow_; }
+
+    /// Relative divergence of the shadow from the reference.
+    [[nodiscard]] double divergence() const {
+        const double scale = std::fabs(ref_);
+        if (scale == 0.0) return shadow_ == 0.0f ? 0.0 : 1.0;
+        return std::fabs(ref_ - static_cast<double>(shadow_)) / scale;
+    }
+
+    friend Tracked operator+(Tracked a, Tracked b) {
+        return {a.ref_ + b.ref_, a.shadow_ + b.shadow_};
+    }
+    friend Tracked operator-(Tracked a, Tracked b) {
+        return {a.ref_ - b.ref_, a.shadow_ - b.shadow_};
+    }
+    friend Tracked operator*(Tracked a, Tracked b) {
+        return {a.ref_ * b.ref_, a.shadow_ * b.shadow_};
+    }
+    friend Tracked operator/(Tracked a, Tracked b) {
+        return {a.ref_ / b.ref_, a.shadow_ / b.shadow_};
+    }
+    friend Tracked operator-(Tracked a) { return {-a.ref_, -a.shadow_}; }
+    Tracked& operator+=(Tracked o) { return *this = *this + o; }
+    Tracked& operator-=(Tracked o) { return *this = *this - o; }
+    Tracked& operator*=(Tracked o) { return *this = *this * o; }
+
+    friend Tracked sqrt(Tracked a) {
+        return {std::sqrt(a.ref_), std::sqrt(a.shadow_)};
+    }
+    friend Tracked fabs(Tracked a) {
+        return {std::fabs(a.ref_), std::fabs(a.shadow_)};
+    }
+    friend Tracked max(Tracked a, Tracked b) {
+        // Branch on the reference so both sides follow the same path (the
+        // convention dynamic analyses use to avoid control divergence).
+        return a.ref_ >= b.ref_ ? a : b;
+    }
+
+private:
+    double ref_ = 0.0;
+    float shadow_ = 0.0f;
+};
+
+/// Accumulated divergence statistics for one named program site.
+struct SiteStats {
+    std::uint64_t samples = 0;
+    double max_rel = 0.0;
+    double sum_rel = 0.0;
+    double max_abs_ref = 0.0;
+
+    [[nodiscard]] double mean_rel() const {
+        return samples == 0 ? 0.0 : sum_rel / static_cast<double>(samples);
+    }
+    /// Matching decimal digits at the worst observation.
+    [[nodiscard]] double worst_digits() const {
+        if (max_rel <= 0.0) return 17.0;
+        return std::min(17.0, -std::log10(max_rel));
+    }
+};
+
+/// A per-site precision recommendation.
+struct Recommendation {
+    std::string site;
+    SiteStats stats;
+    bool float_safe = false;  ///< single precision meets the threshold here
+};
+
+/// Collects observations from a shadow run and turns them into
+/// recommendations.
+class ShadowLog {
+public:
+    /// Record the divergence of `value` at `site`.
+    void observe(const std::string& site, const Tracked& value) {
+        auto& s = sites_[site];
+        ++s.samples;
+        const double rel = value.divergence();
+        s.max_rel = std::max(s.max_rel, rel);
+        s.sum_rel += rel;
+        s.max_abs_ref = std::max(s.max_abs_ref, std::fabs(value.ref()));
+    }
+
+    [[nodiscard]] const std::map<std::string, SiteStats>& sites() const {
+        return sites_;
+    }
+
+    /// Sites whose worst relative divergence stays below `max_rel` can run
+    /// in single precision; the rest must stay double — the CRAFT-style
+    /// verdict.
+    [[nodiscard]] std::vector<Recommendation> recommend(
+        double max_rel = 1e-5) const {
+        std::vector<Recommendation> out;
+        for (const auto& [site, stats] : sites_)
+            out.push_back({site, stats, stats.max_rel <= max_rel});
+        return out;
+    }
+
+    void clear() { sites_.clear(); }
+
+private:
+    std::map<std::string, SiteStats> sites_;
+};
+
+}  // namespace tp::craft

@@ -1,0 +1,88 @@
+#include "fp/half.hpp"
+
+namespace tp::fp {
+
+namespace {
+
+std::uint32_t float_bits(float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof u);
+    return u;
+}
+
+float bits_float(std::uint32_t u) {
+    float f;
+    std::memcpy(&f, &u, sizeof f);
+    return f;
+}
+
+}  // namespace
+
+std::uint16_t Half::encode(float f) {
+    const std::uint32_t u = float_bits(f);
+    const std::uint32_t sign = (u >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((u >> 23) & 0xFFu) - 127;
+    std::uint32_t mantissa = u & 0x007FFFFFu;
+
+    if (exponent == 128) {  // inf or NaN
+        if (mantissa != 0) {
+            // Preserve NaN-ness; keep top mantissa bits, force quiet bit.
+            return static_cast<std::uint16_t>(sign | 0x7C00u | 0x0200u |
+                                              (mantissa >> 13));
+        }
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+
+    // Half exponent range: normals need -14 <= e <= 15.
+    if (exponent > 15) return static_cast<std::uint16_t>(sign | 0x7C00u);
+
+    if (exponent >= -14) {
+        // Normal result: round mantissa from 23 to 10 bits, nearest-even.
+        const std::uint32_t half_exp =
+            static_cast<std::uint32_t>(exponent + 15) << 10;
+        std::uint32_t half_man = mantissa >> 13;
+        const std::uint32_t rest = mantissa & 0x1FFFu;
+        if (rest > 0x1000u || (rest == 0x1000u && (half_man & 1u))) ++half_man;
+        // Mantissa overflow rolls into the exponent, handling e.g. 2047.5
+        // rounding up to the next binade — the bit pattern carries cleanly.
+        return static_cast<std::uint16_t>(sign + half_exp + half_man);
+    }
+
+    // Subnormal or zero result.
+    if (exponent < -25) return static_cast<std::uint16_t>(sign);  // -> ±0
+    mantissa |= 0x00800000u;  // restore implicit bit
+    const int shift = -exponent - 14 + 13;  // 14..24
+    std::uint32_t half_man = mantissa >> shift;
+    const std::uint32_t rest = mantissa & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (half_man & 1u))) ++half_man;
+    return static_cast<std::uint16_t>(sign + half_man);
+}
+
+float Half::decode(std::uint16_t h) {
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    const std::uint32_t exponent = (h >> 10) & 0x1Fu;
+    std::uint32_t mantissa = h & 0x03FFu;
+
+    if (exponent == 0x1Fu) {  // inf / NaN
+        return bits_float(sign | 0x7F800000u | (mantissa << 13));
+    }
+    if (exponent == 0) {
+        if (mantissa == 0) return bits_float(sign);  // ±0
+        // Subnormal: normalize into float's exponent range. A mantissa with
+        // the implicit bit restored at position 10 represents 1.f * 2^-14.
+        int e = -14;
+        while ((mantissa & 0x0400u) == 0) {
+            mantissa <<= 1;
+            --e;
+        }
+        mantissa &= 0x03FFu;
+        const std::uint32_t fexp = static_cast<std::uint32_t>(e + 127) << 23;
+        return bits_float(sign | fexp | (mantissa << 13));
+    }
+    const std::uint32_t fexp = (exponent + (127 - 15)) << 23;
+    return bits_float(sign | fexp | (mantissa << 13));
+}
+
+}  // namespace tp::fp

@@ -1,0 +1,77 @@
+#pragma once
+// Software IEEE 754-2008 binary16 ("half precision").
+//
+// The paper's methodology section lists the 16-bit basic format alongside
+// 32- and 64-bit ones; COTS CPUs of the paper's era had no native FP16
+// arithmetic, so we provide a correctly-rounded storage format with
+// arithmetic carried out in float, exactly the semantics of hardware
+// "storage-only" FP16 (e.g. F16C).
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace tp::fp {
+
+/// IEEE 754 binary16 value. Conversions round to nearest-even; arithmetic
+/// promotes to float and rounds back on assignment.
+class Half {
+public:
+    constexpr Half() = default;
+
+    /// Round a float to the nearest representable binary16.
+    explicit Half(float f) : bits_(encode(f)) {}
+    explicit Half(double d) : Half(static_cast<float>(d)) {}
+    explicit Half(int v) : Half(static_cast<float>(v)) {}
+
+    [[nodiscard]] explicit operator float() const { return decode(bits_); }
+    [[nodiscard]] explicit operator double() const {
+        return static_cast<double>(decode(bits_));
+    }
+
+    [[nodiscard]] std::uint16_t bits() const { return bits_; }
+    static constexpr Half from_bits(std::uint16_t b) {
+        Half h;
+        h.bits_ = b;
+        return h;
+    }
+
+    [[nodiscard]] bool is_nan() const {
+        return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+    }
+    [[nodiscard]] bool is_inf() const { return (bits_ & 0x7FFFu) == 0x7C00u; }
+
+    friend Half operator+(Half a, Half b) {
+        return Half(static_cast<float>(a) + static_cast<float>(b));
+    }
+    friend Half operator-(Half a, Half b) {
+        return Half(static_cast<float>(a) - static_cast<float>(b));
+    }
+    friend Half operator*(Half a, Half b) {
+        return Half(static_cast<float>(a) * static_cast<float>(b));
+    }
+    friend Half operator/(Half a, Half b) {
+        return Half(static_cast<float>(a) / static_cast<float>(b));
+    }
+    friend Half operator-(Half a) { return from_bits(a.bits_ ^ 0x8000u); }
+
+    friend bool operator==(Half a, Half b) {
+        if (a.is_nan() || b.is_nan()) return false;
+        // +0 == -0
+        if (((a.bits_ | b.bits_) & 0x7FFFu) == 0) return true;
+        return a.bits_ == b.bits_;
+    }
+    friend bool operator<(Half a, Half b) {
+        return static_cast<float>(a) < static_cast<float>(b);
+    }
+
+    static constexpr int mantissa_digits = 11;  // implicit bit + 10 stored
+
+private:
+    static std::uint16_t encode(float f);
+    static float decode(std::uint16_t h);
+
+    std::uint16_t bits_ = 0;
+};
+
+}  // namespace tp::fp

@@ -1,0 +1,24 @@
+#pragma once
+// Half-precision storage policy — the 16-bit basic format the paper's
+// methodology section names as the next step down the IEEE 754 ladder
+// ("16 bits (half precision), 32 bits, 64 bits, and more"), exercised as
+// this repository's extension experiment (bench/ablation_storage_width).
+//
+// Storage-only halves match what COTS hardware of the paper's era offered
+// (F16C conversions); all arithmetic promotes to float.
+
+#include "fp/half.hpp"
+#include "fp/precision.hpp"
+
+namespace tp::fp {
+
+struct HalfStoragePrecision {
+    using storage_t = Half;
+    using compute_t = float;
+    static constexpr PrecisionMode mode = PrecisionMode::Half;
+    static constexpr std::string_view name = "half";
+};
+
+static_assert(PrecisionPolicy<HalfStoragePrecision>);
+
+}  // namespace tp::fp

@@ -1,0 +1,45 @@
+#include "fp/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tp::fp {
+
+double ErrorMetrics::digits_of_agreement() const {
+    if (rel_linf <= 0.0) return 17.0;  // beyond double precision
+    return std::min(17.0, -std::log10(rel_linf));
+}
+
+std::string ErrorMetrics::summary() const {
+    std::ostringstream os;
+    os << "L1=" << l1 << " L2=" << l2 << " Linf=" << linf
+       << " rel_Linf=" << rel_linf << " (" << digits_of_agreement()
+       << " digits)";
+    return os.str();
+}
+
+ErrorMetrics compare(std::span<const double> reference,
+                     std::span<const double> test) {
+    if (reference.size() != test.size() || reference.empty())
+        throw std::invalid_argument("compare: size mismatch or empty input");
+
+    ErrorMetrics m;
+    double sum_abs = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double d = std::fabs(reference[i] - test[i]);
+        sum_abs += d;
+        sum_sq += d * d;
+        m.linf = std::max(m.linf, d);
+        m.ref_linf = std::max(m.ref_linf, std::fabs(reference[i]));
+    }
+    const auto n = static_cast<double>(reference.size());
+    m.l1 = sum_abs / n;
+    m.l2 = std::sqrt(sum_sq / n);
+    m.rel_linf = m.ref_linf > 0.0 ? m.linf / m.ref_linf : 0.0;
+    return m;
+}
+
+}  // namespace tp::fp

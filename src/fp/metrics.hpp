@@ -1,0 +1,36 @@
+#pragma once
+// Error metrics between two sampled solutions — the quantitative backbone of
+// the paper's correctness analysis ("differences are typically five to six
+// orders of magnitude less than the magnitude of the height").
+
+#include <span>
+#include <string>
+
+namespace tp::fp {
+
+/// Norms of the pointwise difference between two equal-length samples, plus
+/// the scale of the reference field needed to express them relatively.
+struct ErrorMetrics {
+    double l1 = 0.0;          ///< mean absolute difference
+    double l2 = 0.0;          ///< root-mean-square difference
+    double linf = 0.0;        ///< maximum absolute difference
+    double ref_linf = 0.0;    ///< max |reference| (solution magnitude)
+    double rel_linf = 0.0;    ///< linf / ref_linf (0 when ref is all zero)
+
+    /// Matching decimal digits: -log10(rel_linf); large values mean the two
+    /// solutions agree to many digits. Returns 17 when identical.
+    [[nodiscard]] double digits_of_agreement() const;
+
+    /// "five to six orders of magnitude below the solution" ->
+    /// orders_below() in [5, 6].
+    [[nodiscard]] double orders_below() const { return digits_of_agreement(); }
+
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Compute metrics of `test` against `reference`. Spans must be equal length
+/// and non-empty.
+[[nodiscard]] ErrorMetrics compare(std::span<const double> reference,
+                                   std::span<const double> test);
+
+}  // namespace tp::fp

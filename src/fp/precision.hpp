@@ -1,0 +1,91 @@
+#pragma once
+// Precision policies — the heart of the reproduction.
+//
+// The paper's CLAMR experiments use three compile-time precision modes,
+// produced originally by the CRAFT analysis of Lam & Hollingsworth:
+//
+//   minimum : single precision everywhere
+//   mixed   : large physical state arrays in single precision, all local
+//             calculation promoted to double ("save storage, keep math")
+//   full    : double precision everywhere
+//
+// We express each mode as a policy type with two member aliases:
+//
+//   storage_t : the element type of the big persistent state arrays,
+//               which dominates the memory footprint, the bandwidth
+//               demand, and the checkpoint file size;
+//   compute_t : the type every kernel-local temporary and arithmetic
+//               operation is carried out in.
+//
+// Every solver in this repository is a template over one of these policies,
+// mirroring CLAMR's `-DMINIMUM_PRECISION` / `-DMIXED_PRECISION` /
+// `-DFULL_PRECISION` compile options.
+
+#include <cstddef>
+#include <string_view>
+
+namespace tp::fp {
+
+/// Runtime tag for the three paper precision modes (plus Half for the
+/// 16-bit format the paper's methodology section names as a future target).
+enum class PrecisionMode { Minimum, Mixed, Full, Half };
+
+[[nodiscard]] constexpr std::string_view to_string(PrecisionMode m) {
+    switch (m) {
+        case PrecisionMode::Minimum: return "minimum";
+        case PrecisionMode::Mixed: return "mixed";
+        case PrecisionMode::Full: return "full";
+        case PrecisionMode::Half: return "half";
+    }
+    return "unknown";
+}
+
+/// Minimum precision: single precision throughout the code.
+struct MinimumPrecision {
+    using storage_t = float;
+    using compute_t = float;
+    static constexpr PrecisionMode mode = PrecisionMode::Minimum;
+    static constexpr std::string_view name = "minimum";
+};
+
+/// Mixed precision: state arrays in single precision, local calculation
+/// promoted to double.
+struct MixedPrecision {
+    using storage_t = float;
+    using compute_t = double;
+    static constexpr PrecisionMode mode = PrecisionMode::Mixed;
+    static constexpr std::string_view name = "mixed";
+};
+
+/// Full precision: double precision in all numerical calculations.
+struct FullPrecision {
+    using storage_t = double;
+    using compute_t = double;
+    static constexpr PrecisionMode mode = PrecisionMode::Full;
+    static constexpr std::string_view name = "full";
+};
+
+/// Concept for the policy shape every solver template requires.
+template <typename P>
+concept PrecisionPolicy = requires {
+    typename P::storage_t;
+    typename P::compute_t;
+    { P::mode } -> std::convertible_to<PrecisionMode>;
+    { P::name } -> std::convertible_to<std::string_view>;
+};
+
+/// Bytes per state-array element — drives memory footprint and checkpoint
+/// size accounting.
+template <PrecisionPolicy P>
+constexpr std::size_t storage_bytes = sizeof(typename P::storage_t);
+
+/// Invoke `fn.template operator()<Policy>()` for each of the three paper
+/// precision modes. Bench harnesses use this to sweep rows.
+template <typename Fn>
+void for_each_precision(Fn&& fn) {
+    fn.template operator()<MinimumPrecision>();
+    fn.template operator()<MixedPrecision>();
+    fn.template operator()<FullPrecision>();
+}
+
+}  // namespace tp::fp

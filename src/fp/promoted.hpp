@@ -1,0 +1,93 @@
+#pragma once
+// PromotedFloat: a float whose every arithmetic operation round-trips
+// through double.
+//
+// Why this exists: the paper's Table IV found that the *non-vectorized*
+// single-precision SELF was SLOWER than double precision when compiled
+// with GNU Fortran 4.9, while the Intel compiler showed the expected
+// ordering. The root cause class is code generation that promotes
+// single-precision subexpressions to double and converts back around every
+// operation — each cvtss2sd/cvtsd2ss pair is real work. PromotedFloat
+// reproduces that code shape deliberately, so the "GNU-modelled" kernel is
+// genuinely slower than the native double kernel while computing (almost)
+// the same single-precision values.
+
+#include <cmath>
+
+namespace tp::fp {
+
+namespace detail {
+/// Defeats the compiler's (legal!) excess-precision fold: float ops are
+/// correctly rounded when computed via double, so without a barrier GCC
+/// deletes the conversions and the "GNU model" costs nothing. Forcing the
+/// intermediate through a register materializes the cvtss2sd/cvtsd2ss
+/// pair the real GNU 4.9 binaries executed.
+inline double opaque(double x) {
+#if defined(__GNUC__) && defined(__x86_64__)
+    asm volatile("" : "+x"(x));
+#else
+    volatile double v = x;
+    x = v;
+#endif
+    return x;
+}
+}  // namespace detail
+
+struct PromotedFloat {
+    float v = 0.0f;
+
+    constexpr PromotedFloat() = default;
+    constexpr explicit PromotedFloat(float x) : v(x) {}
+    constexpr explicit PromotedFloat(double x)
+        : v(static_cast<float>(x)) {}
+
+    [[nodiscard]] constexpr explicit operator float() const { return v; }
+    [[nodiscard]] constexpr explicit operator double() const {
+        return static_cast<double>(v);
+    }
+
+    friend PromotedFloat operator+(PromotedFloat a, PromotedFloat b) {
+        return PromotedFloat(detail::opaque(static_cast<double>(a.v) +
+                                            static_cast<double>(b.v)));
+    }
+    friend PromotedFloat operator-(PromotedFloat a, PromotedFloat b) {
+        return PromotedFloat(detail::opaque(static_cast<double>(a.v) -
+                                            static_cast<double>(b.v)));
+    }
+    friend PromotedFloat operator*(PromotedFloat a, PromotedFloat b) {
+        return PromotedFloat(detail::opaque(static_cast<double>(a.v) *
+                                            static_cast<double>(b.v)));
+    }
+    friend PromotedFloat operator/(PromotedFloat a, PromotedFloat b) {
+        return PromotedFloat(detail::opaque(static_cast<double>(a.v) /
+                                            static_cast<double>(b.v)));
+    }
+    friend PromotedFloat operator-(PromotedFloat a) {
+        return PromotedFloat(-a.v);
+    }
+    PromotedFloat& operator+=(PromotedFloat o) { return *this = *this + o; }
+    PromotedFloat& operator-=(PromotedFloat o) { return *this = *this - o; }
+    PromotedFloat& operator*=(PromotedFloat o) { return *this = *this * o; }
+
+    friend bool operator<(PromotedFloat a, PromotedFloat b) {
+        return a.v < b.v;
+    }
+    friend bool operator>(PromotedFloat a, PromotedFloat b) {
+        return a.v > b.v;
+    }
+    friend bool operator==(PromotedFloat a, PromotedFloat b) {
+        return a.v == b.v;
+    }
+};
+
+inline PromotedFloat sqrt(PromotedFloat a) {
+    return PromotedFloat(std::sqrt(static_cast<double>(a.v)));
+}
+inline PromotedFloat fabs(PromotedFloat a) {
+    return PromotedFloat(std::fabs(a.v));
+}
+inline PromotedFloat max(PromotedFloat a, PromotedFloat b) {
+    return a.v > b.v ? a : b;
+}
+
+}  // namespace tp::fp

@@ -1,0 +1,57 @@
+#pragma once
+// ULP (unit-in-the-last-place) distance utilities, used by the tests to make
+// "bitwise-close" assertions and by the analysis module to report how many
+// representable values separate two solutions.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace tp::fp {
+
+namespace detail {
+
+/// Map a float's bit pattern onto a monotonically ordered signed integer
+/// line, so that ulp distance is plain integer subtraction.
+inline std::int64_t ordered_bits(float f) {
+    const auto u = std::bit_cast<std::int32_t>(f);
+    return u >= 0 ? u : std::int64_t{std::numeric_limits<std::int32_t>::min()} - u;
+}
+
+inline std::int64_t ordered_bits(double d) {
+    const auto u = std::bit_cast<std::int64_t>(d);
+    // For negative values, reflect: min() - u keeps ordering monotone and
+    // cannot overflow because |u| <= 2^63 - 1 for non-NaN patterns.
+    return u >= 0 ? u : std::numeric_limits<std::int64_t>::min() - u;
+}
+
+}  // namespace detail
+
+/// Number of representable values strictly between a and b (0 when equal).
+/// NaNs yield the maximum distance. Works for float and double.
+template <typename T>
+[[nodiscard]] std::uint64_t ulp_distance(T a, T b) {
+    static_assert(std::is_floating_point_v<T>);
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<std::uint64_t>::max();
+    const std::int64_t ia = detail::ordered_bits(a);
+    const std::int64_t ib = detail::ordered_bits(b);
+    return ia >= ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                    : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+/// True when a and b are within `max_ulps` representable values.
+template <typename T>
+[[nodiscard]] bool almost_equal_ulps(T a, T b, std::uint64_t max_ulps) {
+    return ulp_distance(a, b) <= max_ulps;
+}
+
+/// The size of one ulp at the magnitude of x.
+template <typename T>
+[[nodiscard]] T ulp_at(T x) {
+    const T next = std::nextafter(std::fabs(x), std::numeric_limits<T>::infinity());
+    return next - std::fabs(x);
+}
+
+}  // namespace tp::fp

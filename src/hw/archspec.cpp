@@ -1,0 +1,41 @@
+#include "hw/archspec.hpp"
+
+#include <array>
+
+namespace tp::hw {
+
+namespace {
+
+// Nominal 2017 published specifications.
+//  - Haswell E5-2660 v3: 10 cores x 2.6 GHz x 16 DP flop/cyc (2xFMA AVX2)
+//  - Broadwell E5-2695 v4: 18 cores x 2.1 GHz x 16 DP flop/cyc
+//  - Tesla K40m (GK110B), Quadro K6000 (GK110), Tesla P100 SXM2 (GP100),
+//    GTX TITAN X (GM200, 32:1 SP:DP — the paper calls this ratio out).
+const std::array<ArchSpec, 6> kArchs = {{
+    {"Haswell E5-2660 v3", "cpu", 832.0, 416.0, 68.0, 105.0, 4, 0.0},
+    {"Broadwell E5-2695 v4", "cpu", 1209.6, 604.8, 76.8, 120.0, 4, 0.0},
+    {"Tesla K40m", "gpu", 4290.0, 1430.0, 288.0, 235.0, 1, 8.0},
+    {"Quadro K6000", "gpu", 5196.0, 1732.0, 288.0, 225.0, 1, 8.0},
+    {"Tesla P100 SXM2", "gpu", 10600.0, 5300.0, 732.0, 300.0, 1, 6.0},
+    {"GTX TITAN X", "gpu", 6605.0, 206.4, 336.6, 250.0, 1, 8.0},
+}};
+
+}  // namespace
+
+std::span<const ArchSpec> paper_architectures() { return kArchs; }
+
+std::vector<ArchSpec> clamr_architectures() {
+    // Table I/II rows: Haswell, Broadwell, K40m, K6000, TITAN X (no P100).
+    std::vector<ArchSpec> v;
+    for (const auto& a : kArchs)
+        if (a.name != "Tesla P100 SXM2") v.push_back(a);
+    return v;
+}
+
+std::optional<ArchSpec> find_architecture(std::string_view name) {
+    for (const auto& a : kArchs)
+        if (a.name == name) return a;
+    return std::nullopt;
+}
+
+}  // namespace tp::hw

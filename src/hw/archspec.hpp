@@ -1,0 +1,48 @@
+#pragma once
+// Architecture specification database.
+//
+// The paper evaluates on two Xeon generations and four Nvidia GPUs. We
+// cannot run on that hardware, so each part is described by its *nominal
+// published specifications* — exactly the inputs the paper itself uses for
+// its energy estimates ("CLAMR energy use was estimated by multiplying
+// nominal power specifications by runtimes"). The roofline projector turns
+// these specs plus measured kernel work into projected runtimes.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp::hw {
+
+/// Nominal specification of one compute device.
+struct ArchSpec {
+    std::string name;        ///< e.g. "Tesla K40m"
+    std::string kind;        ///< "cpu" or "gpu"
+    double sp_gflops;        ///< peak single-precision GFLOP/s
+    double dp_gflops;        ///< peak double-precision GFLOP/s
+    double mem_bw_gbs;       ///< peak memory bandwidth, GB/s
+    double tdp_watts;        ///< nominal board/package power
+    int simd_lanes_dp;       ///< CPU vector lanes per double op (1 on GPU)
+    double launch_overhead_us;  ///< per-kernel dispatch overhead
+
+    [[nodiscard]] bool is_gpu() const { return kind == "gpu"; }
+
+    /// Ratio of single- to double-precision throughput — the lever behind
+    /// the paper's TITAN X results (32:1 there vs ~2:1 on compute parts).
+    [[nodiscard]] double sp_dp_ratio() const {
+        return dp_gflops > 0.0 ? sp_gflops / dp_gflops : 0.0;
+    }
+};
+
+/// The six devices of the paper's Tables I/II/V/VI, with 2017 nominal specs.
+[[nodiscard]] std::span<const ArchSpec> paper_architectures();
+
+/// The five devices used in the CLAMR Table I/II rows (no P100 there).
+[[nodiscard]] std::vector<ArchSpec> clamr_architectures();
+
+/// Lookup by exact name; nullopt when unknown.
+[[nodiscard]] std::optional<ArchSpec> find_architecture(std::string_view name);
+
+}  // namespace tp::hw

@@ -1,0 +1,92 @@
+#pragma once
+// Roofline performance projector and nominal energy model.
+//
+// Substitution for the paper's physical testbed (see DESIGN.md §2): given
+// the precision-tagged FLOP and byte counts a solver's WorkLedger recorded
+// on the host, project the runtime the same work would take on any
+// ArchSpec as max(compute time, memory time) per kernel — the classic
+// roofline. The paper's cross-architecture deltas (e.g. TITAN X's 453%
+// single-precision speedup) are first-order functions of exactly the
+// quantities this model keeps: SP:DP throughput ratio and bandwidth.
+
+#include "hw/archspec.hpp"
+#include "perf/counters.hpp"
+
+namespace tp::hw {
+
+/// Tunable de-rating factors applied to nominal peaks. Real codes achieve a
+/// fraction of spec-sheet numbers; the defaults are conventional sustained
+/// fractions for stencil/spectral kernels.
+struct ProjectionOptions {
+    bool vectorized = true;  ///< CPU kernels compiled with SIMD enabled?
+    double cpu_compute_efficiency = 0.80;
+    double cpu_memory_efficiency = 0.70;
+    /// Kepler/Maxwell-class sustained fraction for irregular stencil
+    /// kernels (occupancy + instruction-mix limited); deliberately lower
+    /// than the CPU fraction.
+    double gpu_compute_efficiency = 0.35;
+    double gpu_memory_efficiency = 0.70;
+    /// Fraction of compute-precision temporary traffic (KernelWork::
+    /// bytes_compute) that reaches DRAM. Large CPU caches absorb most of
+    /// it; GPU memory systems stream it.
+    double cpu_compute_traffic_fraction = 0.25;
+    double gpu_compute_traffic_fraction = 1.0;
+    /// Per-invocation dispatch overhead. Include for finite workloads;
+    /// disable to study the asymptotic large-grid regime (the paper's
+    /// production sizes make launch overhead negligible).
+    bool include_launch_overhead = true;
+};
+
+/// Breakdown of one projected kernel.
+struct ProjectedTime {
+    double compute_seconds = 0.0;
+    double memory_seconds = 0.0;
+    double overhead_seconds = 0.0;
+
+    [[nodiscard]] double total() const {
+        return (compute_seconds > memory_seconds ? compute_seconds
+                                                 : memory_seconds) +
+               overhead_seconds;
+    }
+
+    [[nodiscard]] bool memory_bound() const {
+        return memory_seconds >= compute_seconds;
+    }
+};
+
+/// Projects recorded kernel work onto an architecture.
+class PerfProjector {
+public:
+    explicit PerfProjector(ArchSpec arch, ProjectionOptions opt = {})
+        : arch_(std::move(arch)), opt_(opt) {}
+
+    /// Roofline time for one kernel's accumulated work.
+    [[nodiscard]] ProjectedTime project(const perf::KernelWork& work) const;
+
+    /// Whole-application time: sum of per-kernel projections.
+    [[nodiscard]] double project_app_seconds(
+        const perf::WorkLedger& ledger) const;
+
+    /// Resident memory projection: solver state + device/process overhead.
+    /// CPU processes carry OS/allocator/runtime overhead; GPU figures count
+    /// device memory (CUDA context + buffers), matching how the paper's
+    /// Table I reports much smaller GPU footprints.
+    [[nodiscard]] std::uint64_t project_memory_bytes(
+        std::uint64_t solver_bytes) const;
+
+    [[nodiscard]] const ArchSpec& arch() const { return arch_; }
+    [[nodiscard]] const ProjectionOptions& options() const { return opt_; }
+
+private:
+    ArchSpec arch_;
+    ProjectionOptions opt_;
+};
+
+/// Nominal-spec energy model, exactly the paper's methodology:
+/// E = TDP x runtime.
+[[nodiscard]] inline double energy_joules(const ArchSpec& arch,
+                                          double seconds) {
+    return arch.tdp_watts * seconds;
+}
+
+}  // namespace tp::hw

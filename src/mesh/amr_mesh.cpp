@@ -1,0 +1,439 @@
+#include "mesh/amr_mesh.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace tp::mesh {
+
+namespace {
+
+/// Children of (level, i, j) in Morton order.
+struct ChildBox {
+    std::int32_t i0, j0;
+};
+
+constexpr std::array<std::pair<int, int>, 4> kChildOffsets = {
+    {{0, 0}, {1, 0}, {0, 1}, {1, 1}}};
+
+}  // namespace
+
+AmrMesh::AmrMesh(const MeshGeometry& geom) : geom_(geom) {
+    if (geom_.coarse_nx <= 0 || geom_.coarse_ny <= 0 || geom_.max_level < 0 ||
+        geom_.max_level > 15 || geom_.width <= 0.0 || geom_.height <= 0.0)
+        throw std::invalid_argument("AmrMesh: invalid geometry");
+    dx0_ = geom_.width / geom_.coarse_nx;
+    dy0_ = geom_.height / geom_.coarse_ny;
+
+    cells_.reserve(static_cast<std::size_t>(geom_.coarse_nx) * geom_.coarse_ny);
+    for (std::int32_t j = 0; j < geom_.coarse_ny; ++j)
+        for (std::int32_t i = 0; i < geom_.coarse_nx; ++i)
+            cells_.push_back(Cell{0, i, j});
+    sort_cells();
+    rebuild_index();
+    build_faces();
+}
+
+void AmrMesh::sort_cells() {
+    std::sort(cells_.begin(), cells_.end(), [this](const Cell& a, const Cell& b) {
+        return morton_anchor(a, geom_.max_level) <
+               morton_anchor(b, geom_.max_level);
+    });
+}
+
+void AmrMesh::rebuild_index() {
+    index_.clear();
+    index_.reserve(cells_.size() * 2);
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx)
+        index_.emplace(cell_key(cells_[idx]), static_cast<std::int32_t>(idx));
+}
+
+double AmrMesh::finest_dx() const {
+    std::int32_t finest = 0;
+    for (const Cell& c : cells_) finest = std::max(finest, c.level);
+    return std::min(cell_dx(finest), cell_dy(finest));
+}
+
+std::int32_t AmrMesh::find_cell(double x, double y) const {
+    const double fx = (x - geom_.xmin) / dx0_;
+    const double fy = (y - geom_.ymin) / dy0_;
+    if (fx < 0.0 || fy < 0.0 || fx >= geom_.coarse_nx || fy >= geom_.coarse_ny)
+        return -1;
+    for (std::int32_t l = 0; l <= geom_.max_level; ++l) {
+        const double scale = static_cast<double>(1u << l);
+        const auto i = static_cast<std::int32_t>(fx * scale);
+        const auto j = static_cast<std::int32_t>(fy * scale);
+        if (const auto it = index_.find(cell_key(l, i, j)); it != index_.end())
+            return it->second;
+    }
+    return -1;
+}
+
+bool AmrMesh::has_finer_cover(std::int32_t level, std::int32_t i,
+                              std::int32_t j) const {
+    // Inside the domain, a quadrant is either covered by a leaf at the same
+    // or a coarser level, or it is subdivided into finer leaves (exact
+    // tiling invariant).
+    for (std::int32_t l = level; l >= 0; --l) {
+        if (is_leaf(l, i >> (level - l), j >> (level - l))) return false;
+    }
+    return true;
+}
+
+std::vector<RemapEntry> AmrMesh::adapt(std::span<const std::int8_t> flags) {
+    if (flags.size() != cells_.size())
+        throw std::invalid_argument("adapt: flag count != cell count");
+
+    const std::int32_t max_level = geom_.max_level;
+
+    // --- Pass 1: approve coarsen groups --------------------------------
+    // A sibling group (four leaves sharing a parent) coarsens only when all
+    // four are flagged kCoarsenFlag and no adjacent leaf is finer than the
+    // siblings (the parent would then break 2:1 balance), and no same-level
+    // neighbor is about to refine.
+    std::vector<std::uint8_t> coarsen_ok(cells_.size(), 0);
+    std::unordered_map<std::uint64_t, std::array<std::int32_t, 4>> groups;
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+        const Cell& c = cells_[idx];
+        if (flags[idx] != kCoarsenFlag || c.level == 0) continue;
+        const std::uint64_t pk = cell_key(c.level - 1, c.i >> 1, c.j >> 1);
+        auto [it, inserted] = groups.try_emplace(
+            pk, std::array<std::int32_t, 4>{-1, -1, -1, -1});
+        const int child_slot = (c.i & 1) + 2 * (c.j & 1);
+        it->second[child_slot] = static_cast<std::int32_t>(idx);
+    }
+    const std::int32_t nx0 = geom_.coarse_nx;
+    const std::int32_t ny0 = geom_.coarse_ny;
+    auto inside = [&](std::int32_t l, std::int32_t i, std::int32_t j) {
+        return i >= 0 && j >= 0 && i < (nx0 << l) && j < (ny0 << l);
+    };
+    auto neighbor_blocks_coarsen = [&](std::int32_t l, std::int32_t i,
+                                       std::int32_t j) {
+        if (!inside(l, i, j)) return false;
+        if (has_finer_cover(l, i, j)) return true;
+        if (const auto it = index_.find(cell_key(l, i, j)); it != index_.end())
+            if (flags[static_cast<std::size_t>(it->second)] == kRefineFlag)
+                return true;
+        return false;
+    };
+    for (const auto& [pk, members] : groups) {
+        if (std::any_of(members.begin(), members.end(),
+                        [](std::int32_t m) { return m < 0; }))
+            continue;
+        bool ok = true;
+        for (const std::int32_t m : members) {
+            const Cell& c = cells_[static_cast<std::size_t>(m)];
+            if (neighbor_blocks_coarsen(c.level, c.i - 1, c.j) ||
+                neighbor_blocks_coarsen(c.level, c.i + 1, c.j) ||
+                neighbor_blocks_coarsen(c.level, c.i, c.j - 1) ||
+                neighbor_blocks_coarsen(c.level, c.i, c.j + 1)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            for (const std::int32_t m : members)
+                coarsen_ok[static_cast<std::size_t>(m)] = 1;
+    }
+
+    // --- Pass 2: emit the new cell list ---------------------------------
+    // Processing in Morton order keeps the output Morton-ordered: the four
+    // siblings of a coarsen group are contiguous, and refine children are
+    // emitted in Morton child order inside their parent's span.
+    std::vector<Cell> next;
+    std::vector<RemapEntry> remap;
+    next.reserve(cells_.size());
+    remap.reserve(cells_.size());
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+        const Cell& c = cells_[idx];
+        if (coarsen_ok[idx]) {
+            // Only the first sibling in Morton order (child slot 0 of the
+            // group: even i and j) emits the parent.
+            if ((c.i & 1) == 0 && (c.j & 1) == 0) {
+                const std::uint64_t pk =
+                    cell_key(c.level - 1, c.i >> 1, c.j >> 1);
+                const auto& members = groups.at(pk);
+                next.push_back(Cell{c.level - 1, c.i >> 1, c.j >> 1});
+                RemapEntry e{RemapKind::Coarsen, {}};
+                for (int s = 0; s < 4; ++s) e.src[s] = members[s];
+                remap.push_back(e);
+            }
+            continue;
+        }
+        if (flags[idx] == kRefineFlag && c.level < max_level) {
+            for (const auto& [di, dj] : kChildOffsets) {
+                next.push_back(Cell{c.level + 1, 2 * c.i + di, 2 * c.j + dj});
+                remap.push_back(RemapEntry{
+                    RemapKind::Refine,
+                    {static_cast<std::int32_t>(idx), -1, -1, -1}});
+            }
+            continue;
+        }
+        next.push_back(c);
+        remap.push_back(RemapEntry{
+            RemapKind::Copy, {static_cast<std::int32_t>(idx), -1, -1, -1}});
+    }
+
+    cells_ = std::move(next);
+    rebuild_index();
+    enforce_balance(remap);
+    build_faces();
+    return remap;
+}
+
+void AmrMesh::enforce_balance(std::vector<RemapEntry>& remap) {
+    const std::int32_t nx0 = geom_.coarse_nx;
+    const std::int32_t ny0 = geom_.coarse_ny;
+    auto inside = [&](std::int32_t l, std::int32_t i, std::int32_t j) {
+        return i >= 0 && j >= 0 && i < (nx0 << l) && j < (ny0 << l);
+    };
+    // True when the neighbor quadrant adjacent to a level-l cell contains
+    // leaves at level >= l+2, which breaks 2:1 balance. (pa, pb) are the
+    // two level-(l+1) positions touching the shared edge.
+    auto too_fine = [&](std::int32_t l, std::int32_t ni, std::int32_t nj,
+                        std::int32_t pa_i, std::int32_t pa_j,
+                        std::int32_t pb_i, std::int32_t pb_j) {
+        if (!inside(l, ni, nj)) return false;
+        if (!has_finer_cover(l, ni, nj)) return false;  // same/coarser leaf
+        return has_finer_cover(l + 1, pa_i, pa_j) ||
+               has_finer_cover(l + 1, pb_i, pb_j);
+    };
+
+    for (int pass = 0; pass <= geom_.max_level + 1; ++pass) {
+        std::vector<std::size_t> to_refine;
+        for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+            const Cell& c = cells_[idx];
+            const std::int32_t l = c.level;
+            const bool violated =
+                too_fine(l, c.i - 1, c.j, 2 * c.i - 1, 2 * c.j, 2 * c.i - 1,
+                         2 * c.j + 1) ||
+                too_fine(l, c.i + 1, c.j, 2 * c.i + 2, 2 * c.j, 2 * c.i + 2,
+                         2 * c.j + 1) ||
+                too_fine(l, c.i, c.j - 1, 2 * c.i, 2 * c.j - 1, 2 * c.i + 1,
+                         2 * c.j - 1) ||
+                too_fine(l, c.i, c.j + 1, 2 * c.i, 2 * c.j + 2, 2 * c.i + 1,
+                         2 * c.j + 2);
+            if (violated) to_refine.push_back(idx);
+        }
+        if (to_refine.empty()) return;
+
+        std::vector<Cell> next;
+        std::vector<RemapEntry> next_remap;
+        next.reserve(cells_.size() + 3 * to_refine.size());
+        next_remap.reserve(next.capacity());
+        std::size_t r = 0;
+        for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+            if (r < to_refine.size() && to_refine[r] == idx) {
+                ++r;
+                const Cell& c = cells_[idx];
+                for (const auto& [di, dj] : kChildOffsets) {
+                    next.push_back(
+                        Cell{c.level + 1, 2 * c.i + di, 2 * c.j + dj});
+                    // Compose with the entry the parent already carries: a
+                    // Copy source becomes a Refine source; Refine stays
+                    // (piecewise-constant prolongation); Coarsen stays (the
+                    // children inherit the group average).
+                    RemapEntry e = remap[idx];
+                    if (e.kind == RemapKind::Copy) e.kind = RemapKind::Refine;
+                    next_remap.push_back(e);
+                }
+            } else {
+                next.push_back(cells_[idx]);
+                next_remap.push_back(remap[idx]);
+            }
+        }
+        cells_ = std::move(next);
+        remap = std::move(next_remap);
+        rebuild_index();
+    }
+    throw std::logic_error("enforce_balance: failed to reach a fixed point");
+}
+
+void AmrMesh::build_faces() {
+    xfaces_.clear();
+    yfaces_.clear();
+    bfaces_.clear();
+    const std::int32_t nx0 = geom_.coarse_nx;
+    const std::int32_t ny0 = geom_.coarse_ny;
+
+    auto leaf_at = [&](std::int32_t l, std::int32_t i,
+                       std::int32_t j) -> std::int32_t {
+        const auto it = index_.find(cell_key(l, i, j));
+        return it == index_.end() ? -1 : it->second;
+    };
+
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+        const Cell& c = cells_[idx];
+        const auto self = static_cast<std::int32_t>(idx);
+        const std::int32_t l = c.level;
+        const double dy = cell_dy(l);
+        const double dx = cell_dx(l);
+
+        // +x side: owner of same-level faces; fine side of fine-coarse.
+        if (c.i + 1 >= (nx0 << l)) {
+            bfaces_.push_back({self, 1, dy});
+        } else if (const std::int32_t n = leaf_at(l, c.i + 1, c.j); n >= 0) {
+            xfaces_.push_back({self, n, dy});
+        } else if (l > 0) {
+            if (const std::int32_t nc =
+                    leaf_at(l - 1, (c.i + 1) >> 1, c.j >> 1);
+                nc >= 0)
+                xfaces_.push_back({self, nc, dy});
+            // else: finer neighbors own the face
+        }
+        // -x side: only the fine side of a fine-coarse interface adds here.
+        if (c.i == 0) {
+            bfaces_.push_back({self, 0, dy});
+        } else if (leaf_at(l, c.i - 1, c.j) < 0 && l > 0) {
+            if (const std::int32_t nc =
+                    leaf_at(l - 1, (c.i - 1) >> 1, c.j >> 1);
+                nc >= 0)
+                xfaces_.push_back({nc, self, dy});
+        }
+
+        // +y side.
+        if (c.j + 1 >= (ny0 << l)) {
+            bfaces_.push_back({self, 3, dx});
+        } else if (const std::int32_t n = leaf_at(l, c.i, c.j + 1); n >= 0) {
+            yfaces_.push_back({self, n, dx});
+        } else if (l > 0) {
+            if (const std::int32_t nc =
+                    leaf_at(l - 1, c.i >> 1, (c.j + 1) >> 1);
+                nc >= 0)
+                yfaces_.push_back({self, nc, dx});
+        }
+        // -y side.
+        if (c.j == 0) {
+            bfaces_.push_back({self, 2, dx});
+        } else if (leaf_at(l, c.i, c.j - 1) < 0 && l > 0) {
+            if (const std::int32_t nc =
+                    leaf_at(l - 1, c.i >> 1, (c.j - 1) >> 1);
+                nc >= 0)
+                yfaces_.push_back({nc, self, dx});
+        }
+    }
+}
+
+std::uint64_t AmrMesh::resident_bytes() const {
+    return cells_.size() * sizeof(Cell) +
+           (xfaces_.size() + yfaces_.size()) * sizeof(Face) +
+           bfaces_.size() * sizeof(BoundaryFace) +
+           index_.size() * (sizeof(std::uint64_t) + sizeof(std::int32_t) +
+                            sizeof(void*));
+}
+
+bool AmrMesh::check_invariants(std::string* why) const {
+    auto fail = [&](const std::string& msg) {
+        if (why != nullptr) *why = msg;
+        return false;
+    };
+
+    // Exact tiling: each leaf covers 4^(max_level - level) finest units.
+    const std::int32_t max_level = geom_.max_level;
+    std::uint64_t covered = 0;
+    for (const Cell& c : cells_) {
+        if (c.level < 0 || c.level > max_level) return fail("bad level");
+        if (c.i < 0 || c.j < 0 || c.i >= (geom_.coarse_nx << c.level) ||
+            c.j >= (geom_.coarse_ny << c.level))
+            return fail("cell outside domain");
+        covered += std::uint64_t{1}
+                   << (2 * static_cast<unsigned>(max_level - c.level));
+    }
+    const std::uint64_t want =
+        static_cast<std::uint64_t>(geom_.coarse_nx) * geom_.coarse_ny *
+        (std::uint64_t{1} << (2 * static_cast<unsigned>(max_level)));
+    if (covered != want) return fail("leaves do not tile the domain");
+
+    // Index consistency and key uniqueness.
+    if (index_.size() != cells_.size()) return fail("duplicate cell keys");
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+        const auto it = index_.find(cell_key(cells_[idx]));
+        if (it == index_.end() ||
+            it->second != static_cast<std::int32_t>(idx))
+            return fail("index out of sync");
+    }
+
+    // Morton ordering.
+    for (std::size_t idx = 1; idx < cells_.size(); ++idx)
+        if (morton_anchor(cells_[idx - 1], max_level) >=
+            morton_anchor(cells_[idx], max_level))
+            return fail("cells not in Morton order");
+
+    // 2:1 balance across every face: levels of face-adjacent leaves differ
+    // by at most one. (Face lists only produce diff<=1 pairs, so check
+    // balance directly from geometry instead.)
+    const std::int32_t nx0 = geom_.coarse_nx;
+    const std::int32_t ny0 = geom_.coarse_ny;
+    auto inside = [&](std::int32_t l, std::int32_t i, std::int32_t j) {
+        return i >= 0 && j >= 0 && i < (nx0 << l) && j < (ny0 << l);
+    };
+    auto too_fine = [&](std::int32_t l, std::int32_t ni, std::int32_t nj,
+                        std::int32_t pa_i, std::int32_t pa_j,
+                        std::int32_t pb_i, std::int32_t pb_j) {
+        if (!inside(l, ni, nj)) return false;
+        if (!has_finer_cover(l, ni, nj)) return false;
+        return has_finer_cover(l + 1, pa_i, pa_j) ||
+               has_finer_cover(l + 1, pb_i, pb_j);
+    };
+    for (const Cell& c : cells_) {
+        const std::int32_t l = c.level;
+        if (too_fine(l, c.i - 1, c.j, 2 * c.i - 1, 2 * c.j, 2 * c.i - 1,
+                     2 * c.j + 1) ||
+            too_fine(l, c.i + 1, c.j, 2 * c.i + 2, 2 * c.j, 2 * c.i + 2,
+                     2 * c.j + 1) ||
+            too_fine(l, c.i, c.j - 1, 2 * c.i, 2 * c.j - 1, 2 * c.i + 1,
+                     2 * c.j - 1) ||
+            too_fine(l, c.i, c.j + 1, 2 * c.i, 2 * c.j + 2, 2 * c.i + 1,
+                     2 * c.j + 2))
+            return fail("2:1 balance violated");
+    }
+
+    // Face completeness: accumulated face area on every cell side must
+    // equal the side length (or be claimed by a boundary face).
+    const double tol = 1e-12 * std::max(geom_.width, geom_.height);
+    std::vector<std::array<double, 4>> side(cells_.size(),
+                                            {0.0, 0.0, 0.0, 0.0});
+    for (const Face& f : xfaces_) {
+        if (f.lo < 0 || f.hi < 0 ||
+            f.lo >= static_cast<std::int32_t>(cells_.size()) ||
+            f.hi >= static_cast<std::int32_t>(cells_.size()))
+            return fail("x-face index out of range");
+        side[static_cast<std::size_t>(f.lo)][1] += f.area;  // +x of lo
+        side[static_cast<std::size_t>(f.hi)][0] += f.area;  // -x of hi
+    }
+    for (const Face& f : yfaces_) {
+        if (f.lo < 0 || f.hi < 0 ||
+            f.lo >= static_cast<std::int32_t>(cells_.size()) ||
+            f.hi >= static_cast<std::int32_t>(cells_.size()))
+            return fail("y-face index out of range");
+        side[static_cast<std::size_t>(f.lo)][3] += f.area;  // +y of lo
+        side[static_cast<std::size_t>(f.hi)][2] += f.area;  // -y of hi
+    }
+    for (const BoundaryFace& b : bfaces_) {
+        if (b.cell < 0 || b.cell >= static_cast<std::int32_t>(cells_.size()) ||
+            b.side < 0 || b.side > 3)
+            return fail("boundary face out of range");
+        side[static_cast<std::size_t>(b.cell)]
+            [static_cast<std::size_t>(b.side)] += b.area;
+    }
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+        const Cell& c = cells_[idx];
+        const double sx = cell_dy(c.level);  // x-normal side length
+        const double sy = cell_dx(c.level);
+        if (std::fabs(side[idx][0] - sx) > tol ||
+            std::fabs(side[idx][1] - sx) > tol ||
+            std::fabs(side[idx][2] - sy) > tol ||
+            std::fabs(side[idx][3] - sy) > tol) {
+            std::ostringstream os;
+            os << "face areas do not close around cell " << idx << " (level "
+               << c.level << ", i " << c.i << ", j " << c.j << ")";
+            return fail(os.str());
+        }
+    }
+    return true;
+}
+
+}  // namespace tp::mesh

@@ -1,0 +1,156 @@
+#pragma once
+// Cell-based adaptive mesh refinement on a 2-D box — the mesh substrate
+// underneath the CLAMR-analogue shallow-water solver.
+//
+// Responsibilities:
+//   * hold the leaf-cell list in Morton (Z-) order;
+//   * adapt topology from per-cell flags (refine / keep / coarsen) while
+//     enforcing the 2:1 level balance CLAMR relies on;
+//   * hand the solver a RemapPlan describing how to carry state across an
+//     adapt step;
+//   * build interior face lists (x- and y-directed) and boundary face
+//     lists for finite-volume flux sweeps;
+//   * answer point-location queries for line-cut sampling.
+//
+// The mesh is geometry + topology only: it knows nothing about physical
+// state, so any cell-centered solver can sit on top of it.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/cell.hpp"
+
+namespace tp::mesh {
+
+/// Static description of the mesh domain and resolution limits.
+struct MeshGeometry {
+    double xmin = 0.0;
+    double ymin = 0.0;
+    double width = 1.0;   ///< domain extent in x
+    double height = 1.0;  ///< domain extent in y
+    std::int32_t coarse_nx = 16;  ///< level-0 cells across
+    std::int32_t coarse_ny = 16;
+    std::int32_t max_level = 2;   ///< maximum refinement depth
+};
+
+/// An interior face between two leaf cells. `lo` is the left (x-faces) or
+/// bottom (y-faces) cell; `area` is the extent of the shared segment, which
+/// equals the finer side's cell width at fine-coarse interfaces.
+struct Face {
+    std::int32_t lo;
+    std::int32_t hi;
+    double area;
+};
+
+/// A face on the domain boundary, owned by `cell`. `side` is the outward
+/// direction: 0 = -x, 1 = +x, 2 = -y, 3 = +y.
+struct BoundaryFace {
+    std::int32_t cell;
+    std::int32_t side;
+    double area;
+};
+
+/// How one post-adapt cell obtains its state from pre-adapt cells.
+enum class RemapKind : std::uint8_t {
+    Copy,     ///< same cell survived; src[0] is its old index
+    Refine,   ///< child of a refined cell; src[0] is the old parent
+    Coarsen,  ///< parent of 4 coarsened cells; src[0..3] are the children
+};
+
+struct RemapEntry {
+    RemapKind kind;
+    std::int32_t src[4];
+};
+
+/// Flag values accepted by adapt().
+inline constexpr std::int8_t kCoarsenFlag = -1;
+inline constexpr std::int8_t kKeepFlag = 0;
+inline constexpr std::int8_t kRefineFlag = 1;
+
+class AmrMesh {
+public:
+    explicit AmrMesh(const MeshGeometry& geom);
+
+    // --- Geometry queries -------------------------------------------------
+    [[nodiscard]] const MeshGeometry& geometry() const { return geom_; }
+    [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+    [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+
+    [[nodiscard]] double cell_dx(std::int32_t level) const {
+        return dx0_ / static_cast<double>(1u << level);
+    }
+    [[nodiscard]] double cell_dy(std::int32_t level) const {
+        return dy0_ / static_cast<double>(1u << level);
+    }
+    [[nodiscard]] double cell_center_x(const Cell& c) const {
+        return geom_.xmin + (c.i + 0.5) * cell_dx(c.level);
+    }
+    [[nodiscard]] double cell_center_y(const Cell& c) const {
+        return geom_.ymin + (c.j + 0.5) * cell_dy(c.level);
+    }
+    [[nodiscard]] double cell_area(const Cell& c) const {
+        return cell_dx(c.level) * cell_dy(c.level);
+    }
+    /// Smallest cell spacing currently present (for CFL limits).
+    [[nodiscard]] double finest_dx() const;
+
+    /// Index of the leaf containing (x, y); -1 outside the domain.
+    [[nodiscard]] std::int32_t find_cell(double x, double y) const;
+
+    // --- Topology ---------------------------------------------------------
+    /// Apply per-cell adaptation flags. Coarsening happens only when all
+    /// four siblings are flagged and no neighbor would violate 2:1 balance;
+    /// refinement beyond max_level is ignored; extra cells are refined as
+    /// needed to restore 2:1 balance. Returns the state-remap plan, one
+    /// entry per *new* cell (same order as the new cell list).
+    std::vector<RemapEntry> adapt(std::span<const std::int8_t> flags);
+
+    [[nodiscard]] const std::vector<Face>& x_faces() const { return xfaces_; }
+    [[nodiscard]] const std::vector<Face>& y_faces() const { return yfaces_; }
+    [[nodiscard]] const std::vector<BoundaryFace>& boundary_faces() const {
+        return bfaces_;
+    }
+
+    /// Bytes of per-cell metadata a checkpoint must carry (level, i, j as
+    /// 32-bit integers — 12 bytes/cell, matching CLAMR's file layout).
+    [[nodiscard]] std::uint64_t metadata_bytes() const {
+        return static_cast<std::uint64_t>(cells_.size()) * 12u;
+    }
+
+    /// Resident bytes of the mesh structure itself (cells + faces + index).
+    [[nodiscard]] std::uint64_t resident_bytes() const;
+
+    /// Verify structural invariants (exact tiling of the domain, 2:1
+    /// balance, index consistency, Morton ordering, face completeness).
+    /// Returns true when all hold; otherwise fills `why` if non-null.
+    [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
+
+private:
+    void rebuild_index();
+    void sort_cells();
+    /// Refine cells (in Morton order) until 2:1 balance holds, composing
+    /// remap entries for the newly created children.
+    void enforce_balance(std::vector<RemapEntry>& remap);
+    void build_faces();
+    [[nodiscard]] bool is_leaf(std::int32_t level, std::int32_t i,
+                               std::int32_t j) const {
+        return index_.contains(cell_key(level, i, j));
+    }
+    /// True when the quadrant of (level,i,j) is covered by finer leaves.
+    [[nodiscard]] bool has_finer_cover(std::int32_t level, std::int32_t i,
+                                       std::int32_t j) const;
+
+    MeshGeometry geom_;
+    double dx0_;
+    double dy0_;
+    std::vector<Cell> cells_;
+    std::unordered_map<std::uint64_t, std::int32_t> index_;
+    std::vector<Face> xfaces_;
+    std::vector<Face> yfaces_;
+    std::vector<BoundaryFace> bfaces_;
+};
+
+}  // namespace tp::mesh

@@ -1,0 +1,66 @@
+#pragma once
+// Cell identity and spatial keys for the cell-based AMR mesh.
+//
+// Following CLAMR's design, a mesh is a flat list of *leaf* cells, each
+// identified by (level, i, j): logical integer coordinates on the regular
+// grid that refinement level l induces. There is no explicit tree; parent/
+// child/neighbor relationships are integer arithmetic plus a hash lookup.
+
+#include <cstdint>
+
+namespace tp::mesh {
+
+/// One leaf cell of the AMR quadtree forest.
+struct Cell {
+    std::int32_t level;  ///< 0 = coarse grid; each level halves the spacing
+    std::int32_t i;      ///< column index on level's grid (x direction)
+    std::int32_t j;      ///< row index on level's grid (y direction)
+
+    friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// Packed 64-bit hash key for (level, i, j). Supports level <= 15 and
+/// coordinates below 2^28 — far beyond any in-memory mesh.
+[[nodiscard]] constexpr std::uint64_t cell_key(std::int32_t level,
+                                               std::int32_t i,
+                                               std::int32_t j) {
+    return (static_cast<std::uint64_t>(level) << 56) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 28) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(j));
+}
+
+[[nodiscard]] constexpr std::uint64_t cell_key(const Cell& c) {
+    return cell_key(c.level, c.i, c.j);
+}
+
+namespace detail {
+/// Spread the low 32 bits of x so one zero bit separates consecutive bits.
+[[nodiscard]] constexpr std::uint64_t spread_bits(std::uint32_t x) {
+    std::uint64_t v = x;
+    v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+    v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+    v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+}
+}  // namespace detail
+
+/// Morton (Z-order) interleave of two 32-bit coordinates. CLAMR keeps its
+/// cell list in this order for locality; we do the same, ordering leaves by
+/// the Morton code of their lower-left corner at the finest level.
+[[nodiscard]] constexpr std::uint64_t morton2d(std::uint32_t x,
+                                               std::uint32_t y) {
+    return detail::spread_bits(x) | (detail::spread_bits(y) << 1);
+}
+
+/// Morton code of a cell's finest-level anchor (lower-left corner). Leaves
+/// never overlap, so anchors — and therefore codes — are unique per mesh.
+[[nodiscard]] constexpr std::uint64_t morton_anchor(const Cell& c,
+                                                    std::int32_t max_level) {
+    const auto shift = static_cast<std::uint32_t>(max_level - c.level);
+    return morton2d(static_cast<std::uint32_t>(c.i) << shift,
+                    static_cast<std::uint32_t>(c.j) << shift);
+}
+
+}  // namespace tp::mesh

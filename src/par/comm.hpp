@@ -1,0 +1,87 @@
+#pragma once
+// Simulated message passing for distributed-memory experiments.
+//
+// CLAMR is an MPI mini-app, and the paper's §III.C is about what parallel
+// decomposition does to global sums. This host has one core, so we
+// simulate ranks: a VirtualComm owns R mailboxes and the drivers run the
+// ranks' compute phases sequentially in BSP (bulk-synchronous) style —
+// all sends of a phase complete before any receive of the next. That is
+// exactly the communication structure of a halo-exchange stencil code,
+// and it makes every experiment deterministic and single-threaded while
+// still exercising real decomposition, ghost exchange, and reduction-
+// order effects.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace tp::par {
+
+/// A tagged point-to-point message of doubles (sufficient for halos and
+/// reductions; fixed-width payloads keep the simulation honest).
+struct Message {
+    int source = 0;
+    int tag = 0;
+    std::vector<double> payload;
+};
+
+/// Mailbox-based communicator for R virtual ranks.
+class VirtualComm {
+public:
+    explicit VirtualComm(int size) : size_(size), boxes_(static_cast<std::size_t>(size)) {
+        if (size < 1) throw std::invalid_argument("VirtualComm: size < 1");
+    }
+
+    [[nodiscard]] int size() const { return size_; }
+
+    /// Enqueue a message for `dest` (delivered at the next phase).
+    void send(int source, int dest, int tag, std::vector<double> payload) {
+        check_rank(source);
+        check_rank(dest);
+        pending_.push_back(
+            {dest, Message{source, tag, std::move(payload)}});
+    }
+
+    /// Deliver all pending sends — the BSP phase boundary.
+    void exchange() {
+        for (auto& [dest, msg] : pending_)
+            boxes_[static_cast<std::size_t>(dest)].push_back(
+                std::move(msg));
+        pending_.clear();
+    }
+
+    /// Retrieve (and remove) the message from `source` with `tag`;
+    /// throws if absent — a deadlock in the simulated schedule.
+    [[nodiscard]] Message recv(int rank, int source, int tag) {
+        check_rank(rank);
+        auto& box = boxes_[static_cast<std::size_t>(rank)];
+        for (std::size_t i = 0; i < box.size(); ++i) {
+            if (box[i].source == source && box[i].tag == tag) {
+                Message m = std::move(box[i]);
+                box.erase(box.begin() + static_cast<std::ptrdiff_t>(i));
+                return m;
+            }
+        }
+        throw std::runtime_error("VirtualComm::recv: no matching message");
+    }
+
+    /// True when every mailbox is empty (no unconsumed traffic).
+    [[nodiscard]] bool drained() const {
+        for (const auto& box : boxes_)
+            if (!box.empty()) return false;
+        return pending_.empty();
+    }
+
+private:
+    void check_rank(int r) const {
+        if (r < 0 || r >= size_)
+            throw std::out_of_range("VirtualComm: bad rank");
+    }
+
+    int size_;
+    std::vector<std::vector<Message>> boxes_;
+    std::vector<std::pair<int, Message>> pending_;
+};
+
+}  // namespace tp::par

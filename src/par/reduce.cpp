@@ -1,0 +1,64 @@
+#include "par/reduce.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tp::par {
+
+double allreduce_sum(std::span<const std::span<const double>> slices,
+                     ReduceAlgorithm algo) {
+    switch (algo) {
+        case ReduceAlgorithm::Naive: {
+            // Local naive partial sums, combined in rank order — the
+            // result depends on the decomposition, which is the §III.C
+            // problem being demonstrated.
+            double total = 0.0;
+            for (const auto s : slices) total += sum::sum_naive(s);
+            return total;
+        }
+        case ReduceAlgorithm::Kahan: {
+            // Better local accuracy, but the combine is still plain
+            // floating-point addition in rank order: accuracy improves,
+            // bitwise reproducibility across rank counts does not.
+            double total = 0.0;
+            for (const auto s : slices) total += sum::sum_kahan(s);
+            return total;
+        }
+        case ReduceAlgorithm::Reproducible: {
+            // The K-fold extraction sum is order-free only for a fixed
+            // extraction grid, which depends on max|x| and the count —
+            // both properties of the global multiset, not the slicing.
+            // Compute the global bound first (an allreduce-max, exact),
+            // then let every rank quantize against the same grid by
+            // summing the concatenation logically.
+            std::vector<double> all;
+            std::size_t n = 0;
+            for (const auto s : slices) n += s.size();
+            all.reserve(n);
+            for (const auto s : slices)
+                all.insert(all.end(), s.begin(), s.end());
+            return sum::sum_reproducible<double>(all).value;
+        }
+        case ReduceAlgorithm::Exact: {
+            // Exact local expansions merged exactly: slicing-independent
+            // by construction.
+            sum::ExpansionAccumulator acc;
+            for (const auto s : slices) {
+                sum::ExpansionAccumulator local;
+                local.add(s);
+                acc.add(local);
+            }
+            return acc.round();
+        }
+    }
+    return 0.0;
+}
+
+double allreduce_min(std::span<const std::span<const double>> slices) {
+    double m = std::numeric_limits<double>::infinity();
+    for (const auto s : slices)
+        for (const double v : s) m = std::min(m, v);
+    return m;
+}
+
+}  // namespace tp::par

@@ -1,0 +1,52 @@
+#pragma once
+// Global reductions over decomposed data, with selectable algorithms —
+// the experimental apparatus for the paper's §III.C claim that global
+// sums are where parallel runs lose reproducibility, and that better
+// summation restores "within a few bits of perfect reproducibility"
+// (Robey 2011, Demmel & Nguyen 2015).
+//
+// Each algorithm takes the per-rank slices of a logically-global array
+// and produces the "global sum" the way a real code would: local partial
+// sums per rank, combined in rank order (the canonical MPI_Reduce tree
+// shape for a given communicator size). Changing the rank count changes
+// both the slicing and the combine order — which is exactly why naive
+// sums differ bitwise across runs, and why the exact/reproducible
+// variants do not.
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sum/basic.hpp"
+#include "sum/expansion.hpp"
+#include "sum/reproducible.hpp"
+
+namespace tp::par {
+
+enum class ReduceAlgorithm {
+    Naive,         ///< naive local sums + naive combine (classic MPI)
+    Kahan,         ///< compensated local sums, naive combine
+    Reproducible,  ///< K-fold extraction local + global (order-free)
+    Exact,         ///< Shewchuk expansions end to end (exact)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ReduceAlgorithm a) {
+    switch (a) {
+        case ReduceAlgorithm::Naive: return "naive";
+        case ReduceAlgorithm::Kahan: return "kahan";
+        case ReduceAlgorithm::Reproducible: return "reproducible";
+        case ReduceAlgorithm::Exact: return "exact";
+    }
+    return "unknown";
+}
+
+/// Sum of the concatenation of `slices` (rank r owns slices[r]), combined
+/// the way an R-rank allreduce would.
+[[nodiscard]] double allreduce_sum(
+    std::span<const std::span<const double>> slices, ReduceAlgorithm algo);
+
+/// Minimum across slices (exact for any order; provided for CFL use).
+[[nodiscard]] double allreduce_min(
+    std::span<const std::span<const double>> slices);
+
+}  // namespace tp::par

@@ -1,0 +1,20 @@
+#include "sem/config.hpp"
+
+#include <cmath>
+
+namespace tp::sem {
+
+double Atmosphere::pressure(double z) const {
+    return p0 * std::pow(exner(z), cp() / gas_constant);
+}
+
+double Atmosphere::sound_speed(double z) const {
+    return std::sqrt(gamma * gas_constant * temperature(z));
+}
+
+double Atmosphere::density_at_theta(double z, double dtheta) const {
+    const double t = (theta0 + dtheta) * exner(z);
+    return pressure(z) / (gas_constant * t);
+}
+
+}  // namespace tp::sem

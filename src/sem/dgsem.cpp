@@ -1,0 +1,1208 @@
+#include "sem/dgsem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+#include "fp/promoted.hpp"
+#include "sum/expansion.hpp"
+
+namespace tp::sem {
+
+namespace {
+
+// Williamson low-storage RK3 coefficients (SELF's integrator).
+constexpr double kRkA[3] = {0.0, -5.0 / 9.0, -153.0 / 128.0};
+constexpr double kRkB[3] = {1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0};
+
+// Analytic per-unit operation counts for the roofline ledger; derived from
+// the kernel bodies below (div/sqrt counted as one op).
+constexpr std::uint64_t kEosFlopsPerNode = 60;
+constexpr std::uint64_t kSurfaceFlopsPerFaceNode = 130;
+constexpr std::uint64_t kRkFlopsPerNode = 4 * kVars;
+constexpr std::uint64_t kCflFlopsPerNode = 22;
+
+}  // namespace
+
+template <fp::PrecisionPolicy Policy>
+SpectralEulerSolver<Policy>::SpectralEulerSolver(const SemConfig& config)
+    : cfg_(config),
+      np_(config.order + 1),
+      npts_(static_cast<std::size_t>(np_) * np_ * np_),
+      nelem_(config.nx * config.ny * config.nz),
+      lgl_(gauss_lobatto(config.order)) {
+    if (cfg_.nx < 1 || cfg_.ny < 1 || cfg_.nz < 1 || cfg_.order < 1)
+        throw std::invalid_argument("SpectralEulerSolver: bad config");
+    dxe_ = cfg_.lx / cfg_.nx;
+    dye_ = cfg_.ly / cfg_.ny;
+    dze_ = cfg_.lz / cfg_.nz;
+
+    bary_ = barycentric_weights(lgl_.nodes);
+
+    const DenseMatrix D = derivative_matrix(lgl_.nodes);
+    d_.resize(static_cast<std::size_t>(np_) * np_);
+    for (int r = 0; r < np_; ++r)
+        for (int c = 0; c < np_; ++c)
+            d_[static_cast<std::size_t>(r) * np_ + c] =
+                static_cast<storage_t>(D.at(r, c));
+
+    const int cutoff =
+        std::clamp(cfg_.filter_cutoff, 0, std::max(0, cfg_.order - 1));
+    const DenseMatrix F = exponential_filter(lgl_, cutoff, cfg_.filter_alpha,
+                                             cfg_.filter_exponent);
+    filter_.resize(static_cast<std::size_t>(np_) * np_);
+    for (int r = 0; r < np_; ++r)
+        for (int c = 0; c < np_; ++c)
+            filter_[static_cast<std::size_t>(r) * np_ + c] =
+                static_cast<storage_t>(F.at(r, c));
+
+    w_.resize(static_cast<std::size_t>(np_));
+    for (int k = 0; k < np_; ++k)
+        w_[static_cast<std::size_t>(k)] =
+            static_cast<compute_t>(lgl_.weights[static_cast<std::size_t>(k)]);
+    lift_w_ = static_cast<compute_t>(1.0 / lgl_.weights.front());
+
+    const std::size_t total = num_nodes();
+    for (int v = 0; v < kVars; ++v) {
+        q_[v].assign(total, storage_t(0));
+        r_[v].assign(total, compute_t(0));
+        g_[v].assign(total, compute_t(0));
+    }
+    rho_bar_.assign(total, storage_t(0));
+    e_bar_.assign(total, storage_t(0));
+    p_bar_.assign(total, storage_t(0));
+    if (cfg_.viscosity > 0.0)
+        for (auto& per_var : grad_)
+            for (auto& per_dir : per_var) per_dir.assign(total, compute_t(0));
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::initialize_thermal_bubble(
+    const ThermalBubble& bubble) {
+    const double cx = 0.5 * cfg_.lx;
+    const double cy = 0.5 * cfg_.ly;
+    const double cz = bubble.center_z;
+    const auto& atm = cfg_.atm;
+
+    for (int ez = 0; ez < cfg_.nz; ++ez)
+        for (int ey = 0; ey < cfg_.ny; ++ey)
+            for (int ex = 0; ex < cfg_.nx; ++ex) {
+                const std::size_t e = elem_index(ex, ey, ez);
+                for (int k = 0; k < np_; ++k)
+                    for (int j = 0; j < np_; ++j)
+                        for (int i = 0; i < np_; ++i) {
+                            const std::size_t n = node_index(e, i, j, k);
+                            const double x =
+                                (ex + 0.5 * (lgl_.nodes[static_cast<std::size_t>(i)] + 1.0)) * dxe_;
+                            const double y =
+                                (ey + 0.5 * (lgl_.nodes[static_cast<std::size_t>(j)] + 1.0)) * dye_;
+                            const double z =
+                                (ez + 0.5 * (lgl_.nodes[static_cast<std::size_t>(k)] + 1.0)) * dze_;
+                            rho_bar_[n] =
+                                static_cast<storage_t>(atm.density(z));
+                            e_bar_[n] =
+                                static_cast<storage_t>(atm.energy(z));
+                            p_bar_[n] =
+                                static_cast<storage_t>(atm.pressure(z));
+
+                            const double r = std::sqrt(
+                                (x - cx) * (x - cx) + (y - cy) * (y - cy) +
+                                (z - cz) * (z - cz));
+                            double rho_pert = 0.0;
+                            if (r < bubble.radius) {
+                                const double c = std::cos(
+                                    0.5 * std::numbers::pi * r /
+                                    bubble.radius);
+                                const double dtheta =
+                                    bubble.dtheta * c * c;
+                                rho_pert = atm.density_at_theta(z, dtheta) -
+                                           atm.density(z);
+                            }
+                            q_[RHO][n] = static_cast<storage_t>(rho_pert);
+                            q_[MX][n] = storage_t(0);
+                            q_[MY][n] = storage_t(0);
+                            q_[MZ][n] = storage_t(0);
+                            q_[EN][n] = storage_t(0);  // pressure unchanged
+                        }
+            }
+    for (int v = 0; v < kVars; ++v) {
+        std::fill(r_[v].begin(), r_[v].end(), compute_t(0));
+        std::fill(g_[v].begin(), g_[v].end(), compute_t(0));
+    }
+    time_ = 0.0;
+    step_count_ = 0;
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::initialize_custom(
+    const std::function<void(double, double, double, double*)>& fn) {
+    const auto& atm = cfg_.atm;
+    for (int ez = 0; ez < cfg_.nz; ++ez)
+        for (int ey = 0; ey < cfg_.ny; ++ey)
+            for (int ex = 0; ex < cfg_.nx; ++ex) {
+                const std::size_t e = elem_index(ex, ey, ez);
+                for (int k = 0; k < np_; ++k)
+                    for (int j = 0; j < np_; ++j)
+                        for (int i = 0; i < np_; ++i) {
+                            const std::size_t n = node_index(e, i, j, k);
+                            const double x =
+                                (ex + 0.5 * (lgl_.nodes[static_cast<std::size_t>(i)] + 1.0)) * dxe_;
+                            const double y =
+                                (ey + 0.5 * (lgl_.nodes[static_cast<std::size_t>(j)] + 1.0)) * dye_;
+                            const double z =
+                                (ez + 0.5 * (lgl_.nodes[static_cast<std::size_t>(k)] + 1.0)) * dze_;
+                            rho_bar_[n] =
+                                static_cast<storage_t>(atm.density(z));
+                            e_bar_[n] =
+                                static_cast<storage_t>(atm.energy(z));
+                            p_bar_[n] =
+                                static_cast<storage_t>(atm.pressure(z));
+                            double pert[kVars] = {0, 0, 0, 0, 0};
+                            fn(x, y, z, pert);
+                            for (int v = 0; v < kVars; ++v)
+                                q_[v][n] = static_cast<storage_t>(pert[v]);
+                        }
+            }
+    for (int v = 0; v < kVars; ++v) {
+        std::fill(r_[v].begin(), r_[v].end(), compute_t(0));
+        std::fill(g_[v].begin(), g_[v].end(), compute_t(0));
+    }
+    time_ = 0.0;
+    step_count_ = 0;
+}
+
+template <fp::PrecisionPolicy Policy>
+double SpectralEulerSolver<Policy>::kinetic_energy() const {
+    sum::ExpansionAccumulator acc;
+    const double jac = (dxe_ / 2.0) * (dye_ / 2.0) * (dze_ / 2.0);
+    for (int e = 0; e < nelem_; ++e)
+        for (int k = 0; k < np_; ++k)
+            for (int j = 0; j < np_; ++j)
+                for (int i = 0; i < np_; ++i) {
+                    const std::size_t n =
+                        node_index(static_cast<std::size_t>(e), i, j, k);
+                    const double w =
+                        lgl_.weights[static_cast<std::size_t>(i)] *
+                        lgl_.weights[static_cast<std::size_t>(j)] *
+                        lgl_.weights[static_cast<std::size_t>(k)];
+                    const double rho =
+                        static_cast<double>(rho_bar_[n]) +
+                        static_cast<double>(q_[RHO][n]);
+                    const double m2 =
+                        static_cast<double>(q_[MX][n]) * static_cast<double>(q_[MX][n]) +
+                        static_cast<double>(q_[MY][n]) * static_cast<double>(q_[MY][n]) +
+                        static_cast<double>(q_[MZ][n]) * static_cast<double>(q_[MZ][n]);
+                    acc.add(jac * w * 0.5 * m2 / rho);
+                }
+    return acc.round();
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::account(const std::string& kernel,
+                                          double seconds,
+                                          std::uint64_t flops,
+                                          std::uint64_t bytes,
+                                          std::uint64_t converts,
+                                          std::uint64_t bytes_compute) {
+    constexpr bool sp = std::is_same_v<compute_t, float>;
+    ledger_.record(kernel, seconds, sp ? flops : 0, sp ? 0 : flops, bytes,
+                   converts, bytes_compute);
+    timers_.add(kernel, seconds);
+}
+
+template <fp::PrecisionPolicy Policy>
+template <typename S>
+void SpectralEulerSolver<Policy>::volume_kernel() {
+    util::WallTimer timer;
+    using std::sqrt;
+    const int np = np_;
+    const std::size_t npts = npts_;
+    std::vector<S> fx(npts * kVars), fy(npts * kVars), fz(npts * kVars);
+    std::vector<S> acc(npts);
+    std::vector<S> dloc(static_cast<std::size_t>(np) * np);
+    std::vector<S> dtloc(static_cast<std::size_t>(np) * np);
+    for (int r = 0; r < np; ++r)
+        for (int col = 0; col < np; ++col) {
+            dloc[static_cast<std::size_t>(r) * np + col] = S(
+                static_cast<double>(d_[static_cast<std::size_t>(r) * np + col]));
+            dtloc[static_cast<std::size_t>(col) * np + r] =
+                dloc[static_cast<std::size_t>(r) * np + col];
+        }
+
+    const S grav = S(cfg_.atm.gravity);
+    const S gm1 = S(cfg_.atm.gamma - 1.0);
+    const S half = S(0.5);
+    // Fold the constant metric terms (2/dx per direction) into the fluxes
+    // at build time so the contraction is a pure accumulate.
+    const S jx = S(2.0 / dxe_);
+    const S jy = S(2.0 / dye_);
+    const S jz = S(2.0 / dze_);
+
+    for (int e = 0; e < nelem_; ++e) {
+        const std::size_t base = static_cast<std::size_t>(e) * npts;
+        // --- node fluxes + gravity source --------------------------------
+        for (std::size_t n = 0; n < npts; ++n) {
+            const std::size_t gn = base + n;
+            const S rho =
+                S(static_cast<double>(rho_bar_[gn])) +
+                S(static_cast<double>(q_[RHO][gn]));
+            const S m1 = S(static_cast<double>(q_[MX][gn]));
+            const S m2 = S(static_cast<double>(q_[MY][gn]));
+            const S m3 = S(static_cast<double>(q_[MZ][gn]));
+            const S ef = S(static_cast<double>(e_bar_[gn])) +
+                         S(static_cast<double>(q_[EN][gn]));
+            const S inv = S(1.0) / rho;
+            const S u = m1 * inv;
+            const S v = m2 * inv;
+            const S w = m3 * inv;
+            const S pf = gm1 * (ef - half * (m1 * u + m2 * v + m3 * w));
+            const S pp = pf - S(static_cast<double>(p_bar_[gn]));
+            const S hth = ef + pf;  // rho * total enthalpy
+            fx[0 * npts + n] = jx * m1;
+            fx[1 * npts + n] = jx * (m1 * u + pp);
+            fx[2 * npts + n] = jx * (m2 * u);
+            fx[3 * npts + n] = jx * (m3 * u);
+            fx[4 * npts + n] = jx * (hth * u);
+            fy[0 * npts + n] = jy * m2;
+            fy[1 * npts + n] = jy * (m1 * v);
+            fy[2 * npts + n] = jy * (m2 * v + pp);
+            fy[3 * npts + n] = jy * (m3 * v);
+            fy[4 * npts + n] = jy * (hth * v);
+            fz[0 * npts + n] = jz * m3;
+            fz[1 * npts + n] = jz * (m1 * w);
+            fz[2 * npts + n] = jz * (m2 * w);
+            fz[3 * npts + n] = jz * (m3 * w + pp);
+            fz[4 * npts + n] = jz * (hth * w);
+            // Gravity source on the perturbation: -rho' g in z-momentum,
+            // -m_z g in energy (the base-state part cancels analytically).
+            r_[MZ][gn] -= static_cast<compute_t>(static_cast<double>(
+                grav * S(static_cast<double>(q_[RHO][gn]))));
+            r_[EN][gn] -= static_cast<compute_t>(
+                static_cast<double>(grav * m3));
+        }
+
+        // --- tensor-product strong-form divergence ------------------------
+        // Broadcast/outer-product form: every inner loop runs stride-1 so
+        // the compiler vectorizes it for float and double alike.
+        const auto snp = static_cast<std::size_t>(np);
+        for (int var = 0; var < kVars; ++var) {
+            const S* fxa = &fx[static_cast<std::size_t>(var) * npts];
+            const S* fya = &fy[static_cast<std::size_t>(var) * npts];
+            const S* fza = &fz[static_cast<std::size_t>(var) * npts];
+            for (std::size_t n = 0; n < npts; ++n) acc[n] = S(0.0);
+
+            // x: acc(k,j,i) += sum_m D[i][m] fx(k,j,m) via transposed D.
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j) {
+                    const std::size_t row = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp;
+                    for (int m = 0; m < np; ++m) {
+                        const S fv = fxa[row + static_cast<std::size_t>(m)];
+                        const S* dt = &dtloc[static_cast<std::size_t>(m) * snp];
+                        S* out = &acc[row];
+#pragma omp simd
+                        for (int i = 0; i < np; ++i)
+                            out[i] += dt[i] * fv;
+                    }
+                }
+            // y: acc(k,j,i) += sum_m D[j][m] fy(k,m,i); inner i stride-1.
+            for (int k = 0; k < np; ++k)
+                for (int m = 0; m < np; ++m) {
+                    const std::size_t src =
+                        (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)) * snp;
+                    for (int j = 0; j < np; ++j) {
+                        const S djm =
+                            dloc[static_cast<std::size_t>(j) * snp + static_cast<std::size_t>(m)];
+                        S* out = &acc[(static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp];
+                        const S* in = &fya[src];
+#pragma omp simd
+                        for (int i = 0; i < np; ++i)
+                            out[i] += djm * in[i];
+                    }
+                }
+            // z: acc(k,j,i) += sum_m D[k][m] fz(m,j,i); inner (j,i) plane.
+            for (int m = 0; m < np; ++m)
+                for (int k = 0; k < np; ++k) {
+                    const S dkm =
+                        dloc[static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)];
+                    S* out = &acc[static_cast<std::size_t>(k) * snp * snp];
+                    const S* in = &fza[static_cast<std::size_t>(m) * snp * snp];
+#pragma omp simd
+                    for (std::size_t t = 0; t < snp * snp; ++t)
+                        out[t] += dkm * in[t];
+                }
+
+            compute_t* res = &r_[var][base];
+#pragma omp simd
+            for (std::size_t n = 0; n < npts; ++n)
+                res[n] -= static_cast<compute_t>(
+                    static_cast<double>(acc[n]));
+        }
+    }
+
+    const std::uint64_t nodes = num_nodes();
+    const std::uint64_t flops =
+        nodes * (kEosFlopsPerNode +
+                 static_cast<std::uint64_t>(30 * np) + 4);
+    const std::uint64_t bytes = nodes * 8 * sizeof(storage_t);
+    const std::uint64_t converts =
+        (sizeof(storage_t) != sizeof(compute_t) &&
+         std::is_same_v<compute_t, double>)
+            ? nodes * 8
+            : 0;
+    account("volume", timer.elapsed_seconds(), flops, bytes, converts,
+            nodes * 10 * sizeof(compute_t));
+}
+
+template <fp::PrecisionPolicy Policy>
+template <typename S>
+void SpectralEulerSolver<Policy>::surface_kernel() {
+    util::WallTimer timer;
+    using std::sqrt;
+    using std::fabs;
+    const int np = np_;
+    const S gm1 = S(cfg_.atm.gamma - 1.0);
+    const S gam = S(cfg_.atm.gamma);
+    const S half = S(0.5);
+
+    // Normal flux + signal speed for one side of a face.
+    struct Side {
+        S q[kVars];
+        S fn[kVars];
+        S speed;
+    };
+    auto eval = [&](Side& s, int dir, const storage_t* rho_b,
+                    const storage_t* e_b, const storage_t* p_b,
+                    std::size_t gn) {
+        const S rho = S(static_cast<double>(rho_b[gn])) + s.q[RHO];
+        const S inv = S(1.0) / rho;
+        const S mn = s.q[MX + dir];
+        const S un = mn * inv;
+        const S ef = S(static_cast<double>(e_b[gn])) + s.q[EN];
+        const S ke = half * (s.q[MX] * s.q[MX] + s.q[MY] * s.q[MY] +
+                             s.q[MZ] * s.q[MZ]) *
+                     inv;
+        const S pf = gm1 * (ef - ke);
+        const S pp = pf - S(static_cast<double>(p_b[gn]));
+        s.fn[RHO] = mn;
+        s.fn[MX] = s.q[MX] * un;
+        s.fn[MY] = s.q[MY] * un;
+        s.fn[MZ] = s.q[MZ] * un;
+        s.fn[MX + dir] += pp;
+        s.fn[EN] = (ef + pf) * un;
+        const S c = sqrt(gam * pf * inv);
+        const S aun = fabs(un);
+        s.speed = aun + c;
+    };
+
+    std::uint64_t face_nodes = 0;
+    // Sweep each direction; fidx runs over nx+1 face planes including the
+    // two wall boundaries, handled with mirrored ghost states.
+    for (int dir = 0; dir < 3; ++dir) {
+        const int nfaces = (dir == 0 ? cfg_.nx : dir == 1 ? cfg_.ny : cfg_.nz) + 1;
+        const int na = dir == 0 ? cfg_.ny : cfg_.nx;
+        const int nb = dir == 2 ? cfg_.ny : cfg_.nz;
+        const double de = dir == 0 ? dxe_ : dir == 1 ? dye_ : dze_;
+        const compute_t lift =
+            static_cast<compute_t>(2.0 / de) * lift_w_;
+
+        for (int b = 0; b < nb; ++b)
+            for (int a = 0; a < na; ++a)
+                for (int f = 0; f < nfaces; ++f) {
+                    // Element indices on each side of face plane f.
+                    int exl, eyl, ezl, exr, eyr, ezr;
+                    if (dir == 0) {
+                        exl = f - 1; exr = f; eyl = eyr = a; ezl = ezr = b;
+                    } else if (dir == 1) {
+                        eyl = f - 1; eyr = f; exl = exr = a; ezl = ezr = b;
+                    } else {
+                        ezl = f - 1; ezr = f; exl = exr = a; eyl = eyr = b;
+                    }
+                    const bool lo_wall = f == 0;
+                    const bool hi_wall = f == nfaces - 1;
+                    const std::size_t eL = lo_wall
+                        ? 0
+                        : elem_index(exl, eyl, ezl);
+                    const std::size_t eR = hi_wall
+                        ? 0
+                        : elem_index(exr, eyr, ezr);
+
+                    for (int t2 = 0; t2 < np; ++t2)
+                        for (int t1 = 0; t1 < np; ++t1) {
+                            // Face-node indices in each element: the last
+                            // slice of the left element, first of the right.
+                            std::size_t gnL = 0;
+                            std::size_t gnR = 0;
+                            if (dir == 0) {
+                                if (!lo_wall)
+                                    gnL = node_index(eL, np - 1, t1, t2);
+                                if (!hi_wall)
+                                    gnR = node_index(eR, 0, t1, t2);
+                            } else if (dir == 1) {
+                                if (!lo_wall)
+                                    gnL = node_index(eL, t1, np - 1, t2);
+                                if (!hi_wall)
+                                    gnR = node_index(eR, t1, 0, t2);
+                            } else {
+                                if (!lo_wall)
+                                    gnL = node_index(eL, t1, t2, np - 1);
+                                if (!hi_wall)
+                                    gnR = node_index(eR, t1, t2, 0);
+                            }
+
+                            Side L{}, R{};
+                            if (!lo_wall)
+                                for (int v = 0; v < kVars; ++v)
+                                    L.q[v] = S(static_cast<double>(
+                                        q_[v][gnL]));
+                            if (!hi_wall)
+                                for (int v = 0; v < kVars; ++v)
+                                    R.q[v] = S(static_cast<double>(
+                                        q_[v][gnR]));
+                            std::size_t gbL = gnL;
+                            std::size_t gbR = gnR;
+                            if (lo_wall) {
+                                // Mirror ghost of the right state.
+                                for (int v = 0; v < kVars; ++v)
+                                    L.q[v] = R.q[v];
+                                L.q[MX + dir] = -L.q[MX + dir];
+                                gbL = gnR;
+                            }
+                            if (hi_wall) {
+                                for (int v = 0; v < kVars; ++v)
+                                    R.q[v] = L.q[v];
+                                R.q[MX + dir] = -R.q[MX + dir];
+                                gbR = gnL;
+                            }
+                            eval(L, dir, rho_bar_.data(), e_bar_.data(),
+                                 p_bar_.data(), gbL);
+                            eval(R, dir, rho_bar_.data(), e_bar_.data(),
+                                 p_bar_.data(), gbR);
+                            const S lam =
+                                L.speed > R.speed ? L.speed : R.speed;
+
+                            for (int v = 0; v < kVars; ++v) {
+                                const S fstar =
+                                    half * (L.fn[v] + R.fn[v]) -
+                                    half * lam * (R.q[v] - L.q[v]);
+                                if (!lo_wall)
+                                    r_[v][gnL] -= lift *
+                                        static_cast<compute_t>(
+                                            static_cast<double>(
+                                                fstar - L.fn[v]));
+                                if (!hi_wall)
+                                    r_[v][gnR] += lift *
+                                        static_cast<compute_t>(
+                                            static_cast<double>(
+                                                fstar - R.fn[v]));
+                            }
+                            ++face_nodes;
+                        }
+                }
+    }
+
+    const std::uint64_t flops = face_nodes * kSurfaceFlopsPerFaceNode;
+    const std::uint64_t bytes = face_nodes * 16 * sizeof(storage_t);
+    const std::uint64_t converts =
+        (sizeof(storage_t) != sizeof(compute_t) &&
+         std::is_same_v<compute_t, double>)
+            ? face_nodes * 10
+            : 0;
+    account("surface", timer.elapsed_seconds(), flops, bytes, converts,
+            face_nodes * 10 * sizeof(compute_t));
+}
+
+// --- BR1 viscous terms ------------------------------------------------
+// Stage 1 (gradient_kernel): DG gradients of the primitive variables
+// (u, v, w, T) with central interface averages; stage 2 (viscous_kernel):
+// divergence of the Newtonian stress and Fourier heat flux built from
+// those gradients, again with central interface fluxes. Wall faces use the
+// free-slip adiabatic approximation (no viscous surface correction).
+
+template <fp::PrecisionPolicy Policy>
+template <typename S>
+void SpectralEulerSolver<Policy>::gradient_kernel() {
+    util::WallTimer timer;
+    const int np = np_;
+    const std::size_t npts = npts_;
+    const auto snp = static_cast<std::size_t>(np);
+    const S gm1 = S(cfg_.atm.gamma - 1.0);
+    const S rgas = S(cfg_.atm.gas_constant);
+    const S half = S(0.5);
+
+    // Primitive evaluation shared by volume and surface passes.
+    auto prim_at = [&](std::size_t gn, S out[4]) {
+        const S rho = S(static_cast<double>(rho_bar_[gn])) +
+                      S(static_cast<double>(q_[RHO][gn]));
+        const S inv = S(1.0) / rho;
+        const S m1 = S(static_cast<double>(q_[MX][gn]));
+        const S m2 = S(static_cast<double>(q_[MY][gn]));
+        const S m3 = S(static_cast<double>(q_[MZ][gn]));
+        const S ef = S(static_cast<double>(e_bar_[gn])) +
+                     S(static_cast<double>(q_[EN][gn]));
+        out[0] = m1 * inv;
+        out[1] = m2 * inv;
+        out[2] = m3 * inv;
+        const S pf = gm1 * (ef - half * (m1 * out[0] + m2 * out[1] +
+                                         m3 * out[2]));
+        out[3] = pf * inv / rgas;  // temperature
+    };
+
+    std::vector<S> prim(npts * 4);
+    std::vector<S> gx(npts), gy(npts), gz(npts);
+    std::vector<S> dloc(snp * snp), dtloc(snp * snp);
+    for (int r = 0; r < np; ++r)
+        for (int c = 0; c < np; ++c) {
+            dloc[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)] =
+                S(static_cast<double>(d_[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)]));
+            dtloc[static_cast<std::size_t>(c) * snp + static_cast<std::size_t>(r)] =
+                dloc[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)];
+        }
+    const S jx = S(2.0 / dxe_);
+    const S jy = S(2.0 / dye_);
+    const S jz = S(2.0 / dze_);
+
+    for (int e = 0; e < nelem_; ++e) {
+        const std::size_t base = static_cast<std::size_t>(e) * npts;
+        for (std::size_t n = 0; n < npts; ++n) {
+            S out[4];
+            prim_at(base + n, out);
+            for (int v = 0; v < 4; ++v) prim[static_cast<std::size_t>(v) * npts + n] = out[v];
+        }
+        for (int var = 0; var < 4; ++var) {
+            const S* f = &prim[static_cast<std::size_t>(var) * npts];
+            for (std::size_t n = 0; n < npts; ++n) {
+                gx[n] = S(0.0);
+                gy[n] = S(0.0);
+                gz[n] = S(0.0);
+            }
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j) {
+                    const std::size_t row = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp;
+                    for (int m = 0; m < np; ++m) {
+                        const S fv = f[row + static_cast<std::size_t>(m)] * jx;
+                        const S* dt = &dtloc[static_cast<std::size_t>(m) * snp];
+                        S* out = &gx[row];
+#pragma omp simd
+                        for (int i = 0; i < np; ++i) out[i] += dt[i] * fv;
+                    }
+                }
+            for (int k = 0; k < np; ++k)
+                for (int m = 0; m < np; ++m) {
+                    const std::size_t src = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)) * snp;
+                    for (int j = 0; j < np; ++j) {
+                        const S djm = dloc[static_cast<std::size_t>(j) * snp + static_cast<std::size_t>(m)] * jy;
+                        S* out = &gy[(static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp];
+                        const S* in = &f[src];
+#pragma omp simd
+                        for (int i = 0; i < np; ++i) out[i] += djm * in[i];
+                    }
+                }
+            for (int m = 0; m < np; ++m)
+                for (int k = 0; k < np; ++k) {
+                    const S dkm = dloc[static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)] * jz;
+                    S* out = &gz[static_cast<std::size_t>(k) * snp * snp];
+                    const S* in = &f[static_cast<std::size_t>(m) * snp * snp];
+#pragma omp simd
+                    for (std::size_t t = 0; t < snp * snp; ++t)
+                        out[t] += dkm * in[t];
+                }
+            for (std::size_t n = 0; n < npts; ++n) {
+                grad_[var][0][base + n] =
+                    static_cast<compute_t>(static_cast<double>(gx[n]));
+                grad_[var][1][base + n] =
+                    static_cast<compute_t>(static_cast<double>(gy[n]));
+                grad_[var][2][base + n] =
+                    static_cast<compute_t>(static_cast<double>(gz[n]));
+            }
+        }
+    }
+
+    // Surface corrections: both sides of an interior face receive
+    // lift * (p_central - p_side) * n = lift * (pR - pL)/2 in the face
+    // direction. Wall faces mirror the normal velocity (weakly enforcing
+    // u_n = 0) and copy T (adiabatic).
+    for (int dir = 0; dir < 3; ++dir) {
+        const int nfaces = (dir == 0 ? cfg_.nx : dir == 1 ? cfg_.ny : cfg_.nz) + 1;
+        const int na = dir == 0 ? cfg_.ny : cfg_.nx;
+        const int nb = dir == 2 ? cfg_.ny : cfg_.nz;
+        const double de = dir == 0 ? dxe_ : dir == 1 ? dye_ : dze_;
+        const compute_t lift = static_cast<compute_t>(2.0 / de) * lift_w_;
+
+        for (int b = 0; b < nb; ++b)
+            for (int a = 0; a < na; ++a)
+                for (int f = 0; f < nfaces; ++f) {
+                    const bool lo_wall = f == 0;
+                    const bool hi_wall = f == nfaces - 1;
+                    std::size_t eL = 0, eR = 0;
+                    if (dir == 0) {
+                        if (!lo_wall) eL = elem_index(f - 1, a, b);
+                        if (!hi_wall) eR = elem_index(f, a, b);
+                    } else if (dir == 1) {
+                        if (!lo_wall) eL = elem_index(a, f - 1, b);
+                        if (!hi_wall) eR = elem_index(a, f, b);
+                    } else {
+                        if (!lo_wall) eL = elem_index(a, b, f - 1);
+                        if (!hi_wall) eR = elem_index(a, b, f);
+                    }
+                    for (int t2 = 0; t2 < np; ++t2)
+                        for (int t1 = 0; t1 < np; ++t1) {
+                            std::size_t gnL = 0, gnR = 0;
+                            if (dir == 0) {
+                                if (!lo_wall) gnL = node_index(eL, np - 1, t1, t2);
+                                if (!hi_wall) gnR = node_index(eR, 0, t1, t2);
+                            } else if (dir == 1) {
+                                if (!lo_wall) gnL = node_index(eL, t1, np - 1, t2);
+                                if (!hi_wall) gnR = node_index(eR, t1, 0, t2);
+                            } else {
+                                if (!lo_wall) gnL = node_index(eL, t1, t2, np - 1);
+                                if (!hi_wall) gnR = node_index(eR, t1, t2, 0);
+                            }
+                            S pl[4] = {S(0.0), S(0.0), S(0.0), S(0.0)};
+                            S pr[4] = {S(0.0), S(0.0), S(0.0), S(0.0)};
+                            if (!lo_wall) prim_at(gnL, pl);
+                            if (!hi_wall) prim_at(gnR, pr);
+                            if (lo_wall) {
+                                for (int v = 0; v < 4; ++v) pl[v] = pr[v];
+                                pl[dir] = -pl[dir];
+                            }
+                            if (hi_wall) {
+                                for (int v = 0; v < 4; ++v) pr[v] = pl[v];
+                                pr[dir] = -pr[dir];
+                            }
+                            for (int v = 0; v < 4; ++v) {
+                                const compute_t corr =
+                                    lift * static_cast<compute_t>(
+                                               static_cast<double>(
+                                                   S(0.5) * (pr[v] - pl[v])));
+                                if (!lo_wall)
+                                    grad_[v][dir][gnL] += corr;
+                                if (!hi_wall)
+                                    grad_[v][dir][gnR] += corr;
+                            }
+                        }
+                }
+    }
+
+    const std::uint64_t nodes = num_nodes();
+    account("gradient", timer.elapsed_seconds(),
+            nodes * static_cast<std::uint64_t>(20 + 18 * np),
+            nodes * 8 * sizeof(storage_t), 0,
+            nodes * 12 * sizeof(compute_t));
+}
+
+template <fp::PrecisionPolicy Policy>
+template <typename S>
+void SpectralEulerSolver<Policy>::viscous_kernel() {
+    util::WallTimer timer;
+    const int np = np_;
+    const std::size_t npts = npts_;
+    const auto snp = static_cast<std::size_t>(np);
+    const S mu = S(cfg_.viscosity);
+    const S kappa = S(cfg_.viscosity * cfg_.atm.cp() / cfg_.prandtl);
+    const S gm1 = S(cfg_.atm.gamma - 1.0);
+    const S half = S(0.5);
+    const S two_thirds = S(2.0 / 3.0);
+
+    // Viscous normal-flux components (vars MX..EN) at one node for one
+    // direction, from the stored gradients. Used by volume and surface.
+    auto visc_flux = [&](std::size_t gn, int dir, S out[4]) {
+        const S ux = S(static_cast<double>(grad_[0][0][gn]));
+        const S uy = S(static_cast<double>(grad_[0][1][gn]));
+        const S uz = S(static_cast<double>(grad_[0][2][gn]));
+        const S vx = S(static_cast<double>(grad_[1][0][gn]));
+        const S vy = S(static_cast<double>(grad_[1][1][gn]));
+        const S vz = S(static_cast<double>(grad_[1][2][gn]));
+        const S wx = S(static_cast<double>(grad_[2][0][gn]));
+        const S wy = S(static_cast<double>(grad_[2][1][gn]));
+        const S wz = S(static_cast<double>(grad_[2][2][gn]));
+        const S div = ux + vy + wz;
+        const S rho = S(static_cast<double>(rho_bar_[gn])) +
+                      S(static_cast<double>(q_[RHO][gn]));
+        const S inv = S(1.0) / rho;
+        const S u = S(static_cast<double>(q_[MX][gn])) * inv;
+        const S v = S(static_cast<double>(q_[MY][gn])) * inv;
+        const S w = S(static_cast<double>(q_[MZ][gn])) * inv;
+        S t0, t1, t2;  // stress row for this direction
+        if (dir == 0) {
+            t0 = mu * (ux + ux - two_thirds * div);
+            t1 = mu * (uy + vx);
+            t2 = mu * (uz + wx);
+        } else if (dir == 1) {
+            t0 = mu * (uy + vx);
+            t1 = mu * (vy + vy - two_thirds * div);
+            t2 = mu * (vz + wy);
+        } else {
+            t0 = mu * (uz + wx);
+            t1 = mu * (vz + wy);
+            t2 = mu * (wz + wz - two_thirds * div);
+        }
+        const S tgrad = S(static_cast<double>(grad_[3][dir][gn]));
+        out[0] = t0;
+        out[1] = t1;
+        out[2] = t2;
+        out[3] = u * t0 + v * t1 + w * t2 + kappa * tgrad;
+        (void)gm1;
+        (void)half;
+    };
+
+    std::vector<S> fx(npts * 4), fy(npts * 4), fz(npts * 4);
+    std::vector<S> acc(npts);
+    std::vector<S> dloc(snp * snp), dtloc(snp * snp);
+    for (int r = 0; r < np; ++r)
+        for (int c = 0; c < np; ++c) {
+            dloc[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)] =
+                S(static_cast<double>(d_[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)]));
+            dtloc[static_cast<std::size_t>(c) * snp + static_cast<std::size_t>(r)] =
+                dloc[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)];
+        }
+    const S jx = S(2.0 / dxe_);
+    const S jy = S(2.0 / dye_);
+    const S jz = S(2.0 / dze_);
+
+    for (int e = 0; e < nelem_; ++e) {
+        const std::size_t base = static_cast<std::size_t>(e) * npts;
+        for (std::size_t n = 0; n < npts; ++n) {
+            S ox[4], oy[4], oz[4];
+            visc_flux(base + n, 0, ox);
+            visc_flux(base + n, 1, oy);
+            visc_flux(base + n, 2, oz);
+            for (int v = 0; v < 4; ++v) {
+                fx[static_cast<std::size_t>(v) * npts + n] = jx * ox[v];
+                fy[static_cast<std::size_t>(v) * npts + n] = jy * oy[v];
+                fz[static_cast<std::size_t>(v) * npts + n] = jz * oz[v];
+            }
+        }
+        // Divergence, added with a positive sign: dq/dt = -div F_inv +
+        // div F_visc.
+        for (int var = 0; var < 4; ++var) {
+            const S* fxa = &fx[static_cast<std::size_t>(var) * npts];
+            const S* fya = &fy[static_cast<std::size_t>(var) * npts];
+            const S* fza = &fz[static_cast<std::size_t>(var) * npts];
+            for (std::size_t n = 0; n < npts; ++n) acc[n] = S(0.0);
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j) {
+                    const std::size_t row = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp;
+                    for (int m = 0; m < np; ++m) {
+                        const S fv = fxa[row + static_cast<std::size_t>(m)];
+                        const S* dt = &dtloc[static_cast<std::size_t>(m) * snp];
+                        S* out = &acc[row];
+#pragma omp simd
+                        for (int i = 0; i < np; ++i) out[i] += dt[i] * fv;
+                    }
+                }
+            for (int k = 0; k < np; ++k)
+                for (int m = 0; m < np; ++m) {
+                    const std::size_t src = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)) * snp;
+                    for (int j = 0; j < np; ++j) {
+                        const S djm = dloc[static_cast<std::size_t>(j) * snp + static_cast<std::size_t>(m)];
+                        S* out = &acc[(static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp];
+                        const S* in = &fya[src];
+#pragma omp simd
+                        for (int i = 0; i < np; ++i) out[i] += djm * in[i];
+                    }
+                }
+            for (int m = 0; m < np; ++m)
+                for (int k = 0; k < np; ++k) {
+                    const S dkm = dloc[static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)];
+                    S* out = &acc[static_cast<std::size_t>(k) * snp * snp];
+                    const S* in = &fza[static_cast<std::size_t>(m) * snp * snp];
+#pragma omp simd
+                    for (std::size_t t = 0; t < snp * snp; ++t)
+                        out[t] += dkm * in[t];
+                }
+            compute_t* res = &r_[var + 1][base];
+#pragma omp simd
+            for (std::size_t n = 0; n < npts; ++n)
+                res[n] += static_cast<compute_t>(
+                    static_cast<double>(acc[n]));
+        }
+    }
+
+    // Interior surface terms: central viscous flux plus an interior-
+    // penalty jump term — plain central BR1 admits marginally unstable
+    // interface modes; the penalty (scale mu N^2 / h, the standard IP
+    // choice) damps them while remaining consistent (jumps vanish with
+    // resolution). Wall faces use the free-slip adiabatic approximation
+    // (no correction).
+    const S rgas = S(cfg_.atm.gas_constant);
+    auto prim_at = [&](std::size_t gn, S out[4]) {
+        const S rho = S(static_cast<double>(rho_bar_[gn])) +
+                      S(static_cast<double>(q_[RHO][gn]));
+        const S inv = S(1.0) / rho;
+        const S m1 = S(static_cast<double>(q_[MX][gn]));
+        const S m2 = S(static_cast<double>(q_[MY][gn]));
+        const S m3 = S(static_cast<double>(q_[MZ][gn]));
+        const S ef = S(static_cast<double>(e_bar_[gn])) +
+                     S(static_cast<double>(q_[EN][gn]));
+        out[0] = m1 * inv;
+        out[1] = m2 * inv;
+        out[2] = m3 * inv;
+        const S pf = gm1 * (ef - half * (m1 * out[0] + m2 * out[1] +
+                                         m3 * out[2]));
+        out[3] = pf * inv / rgas;
+    };
+    for (int dir = 0; dir < 3; ++dir) {
+        const int nfaces = (dir == 0 ? cfg_.nx : dir == 1 ? cfg_.ny : cfg_.nz) - 1;
+        const int na = dir == 0 ? cfg_.ny : cfg_.nx;
+        const int nb = dir == 2 ? cfg_.ny : cfg_.nz;
+        const double de = dir == 0 ? dxe_ : dir == 1 ? dye_ : dze_;
+        const compute_t lift = static_cast<compute_t>(2.0 / de) * lift_w_;
+        const S pen_u = S(static_cast<double>(np * np) / de) * mu;
+        const S pen_t = S(static_cast<double>(np * np) / de) * kappa;
+
+        for (int b = 0; b < nb; ++b)
+            for (int a = 0; a < na; ++a)
+                for (int f = 1; f <= nfaces; ++f) {
+                    std::size_t eL, eR;
+                    if (dir == 0) {
+                        eL = elem_index(f - 1, a, b);
+                        eR = elem_index(f, a, b);
+                    } else if (dir == 1) {
+                        eL = elem_index(a, f - 1, b);
+                        eR = elem_index(a, f, b);
+                    } else {
+                        eL = elem_index(a, b, f - 1);
+                        eR = elem_index(a, b, f);
+                    }
+                    for (int t2 = 0; t2 < np; ++t2)
+                        for (int t1 = 0; t1 < np; ++t1) {
+                            std::size_t gnL, gnR;
+                            if (dir == 0) {
+                                gnL = node_index(eL, np - 1, t1, t2);
+                                gnR = node_index(eR, 0, t1, t2);
+                            } else if (dir == 1) {
+                                gnL = node_index(eL, t1, np - 1, t2);
+                                gnR = node_index(eR, t1, 0, t2);
+                            } else {
+                                gnL = node_index(eL, t1, t2, np - 1);
+                                gnR = node_index(eR, t1, t2, 0);
+                            }
+                            S fl[4], fr[4];
+                            visc_flux(gnL, dir, fl);
+                            visc_flux(gnR, dir, fr);
+                            S pl[4], pr[4];
+                            prim_at(gnL, pl);
+                            prim_at(gnR, pr);
+                            for (int v = 0; v < 4; ++v) {
+                                const S pen = v < 3 ? pen_u : pen_t;
+                                const S fstar = half * (fl[v] + fr[v]) +
+                                                pen * (pr[v] - pl[v]);
+                                r_[v + 1][gnL] += lift *
+                                    static_cast<compute_t>(
+                                        static_cast<double>(fstar - fl[v]));
+                                r_[v + 1][gnR] -= lift *
+                                    static_cast<compute_t>(
+                                        static_cast<double>(fstar - fr[v]));
+                            }
+                        }
+                }
+    }
+
+    const std::uint64_t nodes = num_nodes();
+    account("viscous", timer.elapsed_seconds(),
+            nodes * static_cast<std::uint64_t>(60 + 24 * np),
+            nodes * 8 * sizeof(storage_t), 0,
+            nodes * 20 * sizeof(compute_t));
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::compute_rhs() {
+    const bool promote = cfg_.promote_each_op &&
+                         std::is_same_v<compute_t, float>;
+    if (promote) {
+        volume_kernel<fp::PromotedFloat>();
+        surface_kernel<fp::PromotedFloat>();
+        if (cfg_.viscosity > 0.0) {
+            gradient_kernel<fp::PromotedFloat>();
+            viscous_kernel<fp::PromotedFloat>();
+        }
+    } else {
+        volume_kernel<compute_t>();
+        surface_kernel<compute_t>();
+        if (cfg_.viscosity > 0.0) {
+            gradient_kernel<compute_t>();
+            viscous_kernel<compute_t>();
+        }
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::rk_stage(double a, double b, double dt) {
+    util::WallTimer timer;
+    const std::size_t n = num_nodes();
+    const compute_t ac = static_cast<compute_t>(a);
+    const compute_t bc = static_cast<compute_t>(b);
+    const compute_t dtc = static_cast<compute_t>(dt);
+    for (int v = 0; v < kVars; ++v) {
+        storage_t* q = q_[v].data();
+        compute_t* r = r_[v].data();
+        compute_t* g = g_[v].data();
+#pragma omp simd
+        for (std::size_t i = 0; i < n; ++i) {
+            g[i] = ac * g[i] + dtc * r[i];
+            q[i] = static_cast<storage_t>(
+                static_cast<compute_t>(q[i]) + bc * g[i]);
+            r[i] = compute_t(0);
+        }
+    }
+    account("rk_update", timer.elapsed_seconds(), n * kRkFlopsPerNode,
+            n * kVars * 2 * sizeof(storage_t),
+            (sizeof(storage_t) != sizeof(compute_t) &&
+             std::is_same_v<compute_t, double>)
+                ? n * 2 * kVars
+                : 0,
+            n * kVars * 4 * sizeof(compute_t));
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::apply_filter() {
+    util::WallTimer timer;
+    const int np = np_;
+    std::vector<compute_t> tmp(npts_), tmp2(npts_);
+    std::vector<compute_t> floc(static_cast<std::size_t>(np) * np);
+    for (std::size_t m = 0; m < floc.size(); ++m)
+        floc[m] = static_cast<compute_t>(static_cast<double>(filter_[m]));
+
+    for (int e = 0; e < nelem_; ++e) {
+        const std::size_t base = static_cast<std::size_t>(e) * npts_;
+        for (int var = 0; var < kVars; ++var) {
+            storage_t* q = &q_[var][base];
+            // x pass
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j) {
+                    const std::size_t row =
+                        (static_cast<std::size_t>(k) * np + j) *
+                        static_cast<std::size_t>(np);
+                    for (int i = 0; i < np; ++i) {
+                        compute_t acc = 0;
+                        const compute_t* frow =
+                            &floc[static_cast<std::size_t>(i) * np];
+                        for (int m = 0; m < np; ++m)
+                            acc += frow[m] *
+                                   static_cast<compute_t>(
+                                       q[row + static_cast<std::size_t>(m)]);
+                        tmp[row + static_cast<std::size_t>(i)] = acc;
+                    }
+                }
+            // y pass
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j)
+                    for (int i = 0; i < np; ++i) {
+                        compute_t acc = 0;
+                        const compute_t* frow =
+                            &floc[static_cast<std::size_t>(j) * np];
+                        for (int m = 0; m < np; ++m)
+                            acc += frow[m] *
+                                   tmp[(static_cast<std::size_t>(k) * np + m) *
+                                           static_cast<std::size_t>(np) +
+                                       i];
+                        tmp2[(static_cast<std::size_t>(k) * np + j) *
+                                 static_cast<std::size_t>(np) +
+                             i] = acc;
+                    }
+            // z pass, write back
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j)
+                    for (int i = 0; i < np; ++i) {
+                        compute_t acc = 0;
+                        const compute_t* frow =
+                            &floc[static_cast<std::size_t>(k) * np];
+                        for (int m = 0; m < np; ++m)
+                            acc += frow[m] *
+                                   tmp2[(static_cast<std::size_t>(m) * np + j) *
+                                            static_cast<std::size_t>(np) +
+                                        i];
+                        q[(static_cast<std::size_t>(k) * np + j) *
+                              static_cast<std::size_t>(np) +
+                          i] = static_cast<storage_t>(acc);
+                    }
+        }
+    }
+    const std::uint64_t nodes = num_nodes();
+    account("filter", timer.elapsed_seconds(),
+            nodes * static_cast<std::uint64_t>(30 * np),
+            nodes * kVars * 2 * sizeof(storage_t),
+            (sizeof(storage_t) != sizeof(compute_t) &&
+             std::is_same_v<compute_t, double>)
+                ? nodes * kVars * 2
+                : 0,
+            nodes * kVars * 2 * sizeof(compute_t));
+}
+
+template <fp::PrecisionPolicy Policy>
+double SpectralEulerSolver<Policy>::compute_dt() {
+    util::WallTimer timer;
+    const std::size_t n = num_nodes();
+    const double gm1 = cfg_.atm.gamma - 1.0;
+    // Smallest node spacing per direction; the 3-D DG spectral radius sums
+    // the per-direction rates (|u_d| + c) / gap_d — using only one
+    // direction's gap over-predicts the stable dt by ~3x on cubes.
+    const double node_gap = 0.5 * (lgl_.nodes[1] - lgl_.nodes[0]);
+    const double gx = node_gap * dxe_;
+    const double gy = node_gap * dye_;
+    const double gz = node_gap * dze_;
+    double rate_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double rho = static_cast<double>(rho_bar_[i]) +
+                           static_cast<double>(q_[RHO][i]);
+        const double inv = 1.0 / rho;
+        const double u = std::fabs(static_cast<double>(q_[MX][i])) * inv;
+        const double v = std::fabs(static_cast<double>(q_[MY][i])) * inv;
+        const double w = std::fabs(static_cast<double>(q_[MZ][i])) * inv;
+        const double ef = static_cast<double>(e_bar_[i]) +
+                          static_cast<double>(q_[EN][i]);
+        const double ke = 0.5 * rho * (u * u + v * v + w * w);
+        const double p = gm1 * (ef - ke);
+        const double c = std::sqrt(cfg_.atm.gamma * p * inv);
+        const double rate = (u + c) / gx + (v + c) / gy + (w + c) / gz;
+        rate_max = std::max(rate_max, rate);
+    }
+    account("cfl", timer.elapsed_seconds(), n * kCflFlopsPerNode,
+            n * 8 * sizeof(storage_t), 0);
+    double dt = cfg_.courant / rate_max;
+    if (cfg_.viscosity > 0.0) {
+        // Diffusive stability: dt <= C / (nu sum_d gap_d^-2) with the
+        // largest kinematic diffusivity (momentum or heat) in the column.
+        const double rho_min = cfg_.atm.density(cfg_.lz);
+        const double nu = cfg_.viscosity / rho_min *
+                          std::max(1.0, cfg_.atm.gamma / cfg_.prandtl);
+        const double diff_rate =
+            nu * (1.0 / (gx * gx) + 1.0 / (gy * gy) + 1.0 / (gz * gz));
+        dt = std::min(dt, 0.6 / diff_rate);
+    }
+    return dt;
+}
+
+template <fp::PrecisionPolicy Policy>
+double SpectralEulerSolver<Policy>::step() {
+    const double dt = compute_dt();
+    for (int s = 0; s < 3; ++s) {
+        compute_rhs();
+        rk_stage(kRkA[s], kRkB[s], dt);
+    }
+    if (cfg_.filter_interval > 0 &&
+        (step_count_ + 1) % cfg_.filter_interval == 0)
+        apply_filter();
+    time_ += dt;
+    ++step_count_;
+    return dt;
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::run(int nsteps) {
+    for (int s = 0; s < nsteps; ++s) step();
+}
+
+template <fp::PrecisionPolicy Policy>
+double SpectralEulerSolver<Policy>::interpolate(int var, double x, double y,
+                                                double z) const {
+    if (var < 0 || var >= kVars)
+        throw std::invalid_argument("interpolate: bad variable index");
+    auto locate = [](double pos, double de, int nelems) {
+        int e = static_cast<int>(pos / de);
+        e = std::clamp(e, 0, nelems - 1);
+        const double xi = 2.0 * (pos - e * de) / de - 1.0;
+        return std::pair<int, double>{e, std::clamp(xi, -1.0, 1.0)};
+    };
+    const auto [ex, xi] = locate(x, dxe_, cfg_.nx);
+    const auto [ey, eta] = locate(y, dye_, cfg_.ny);
+    const auto [ez, zeta] = locate(z, dze_, cfg_.nz);
+
+    auto cardinal = [&](double pt, std::vector<double>& out) {
+        out.assign(static_cast<std::size_t>(np_), 0.0);
+        for (int j = 0; j < np_; ++j)
+            if (pt == lgl_.nodes[static_cast<std::size_t>(j)]) {
+                out[static_cast<std::size_t>(j)] = 1.0;
+                return;
+            }
+        double den = 0.0;
+        for (int j = 0; j < np_; ++j) {
+            const double t = bary_[static_cast<std::size_t>(j)] /
+                             (pt - lgl_.nodes[static_cast<std::size_t>(j)]);
+            out[static_cast<std::size_t>(j)] = t;
+            den += t;
+        }
+        for (auto& v : out) v /= den;
+    };
+    std::vector<double> li, lj, lk;
+    cardinal(xi, li);
+    cardinal(eta, lj);
+    cardinal(zeta, lk);
+
+    const std::size_t e = elem_index(ex, ey, ez);
+    double acc = 0.0;
+    for (int k = 0; k < np_; ++k)
+        for (int j = 0; j < np_; ++j) {
+            const double ljk = lj[static_cast<std::size_t>(j)] *
+                               lk[static_cast<std::size_t>(k)];
+            for (int i = 0; i < np_; ++i)
+                acc += ljk * li[static_cast<std::size_t>(i)] *
+                       static_cast<double>(
+                           q_[var][node_index(e, i, j, k)]);
+        }
+    return acc;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<double> SpectralEulerSolver<Policy>::sample_positions_x(
+    int n) const {
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k)
+        xs[static_cast<std::size_t>(k)] = (k + 0.5) * cfg_.lx / n;
+    return xs;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<double> SpectralEulerSolver<Policy>::sample_density_anomaly_x(
+    double y, double z, int n) const {
+    std::vector<double> out(static_cast<std::size_t>(n));
+    const auto xs = sample_positions_x(n);
+    for (int k = 0; k < n; ++k)
+        out[static_cast<std::size_t>(k)] =
+            interpolate(RHO, xs[static_cast<std::size_t>(k)], y, z);
+    return out;
+}
+
+template <fp::PrecisionPolicy Policy>
+double SpectralEulerSolver<Policy>::total_mass_perturbation() const {
+    sum::ExpansionAccumulator acc;
+    const double jac = (dxe_ / 2.0) * (dye_ / 2.0) * (dze_ / 2.0);
+    for (int e = 0; e < nelem_; ++e)
+        for (int k = 0; k < np_; ++k)
+            for (int j = 0; j < np_; ++j)
+                for (int i = 0; i < np_; ++i) {
+                    const double w =
+                        lgl_.weights[static_cast<std::size_t>(i)] *
+                        lgl_.weights[static_cast<std::size_t>(j)] *
+                        lgl_.weights[static_cast<std::size_t>(k)];
+                    acc.add(jac * w *
+                            static_cast<double>(q_[RHO][node_index(
+                                static_cast<std::size_t>(e), i, j, k)]));
+                }
+    return acc.round();
+}
+
+template <fp::PrecisionPolicy Policy>
+double SpectralEulerSolver<Policy>::max_abs(int var) const {
+    double m = 0.0;
+    for (const storage_t v : q_[var])
+        m = std::max(m, std::fabs(static_cast<double>(v)));
+    return m;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::uint64_t SpectralEulerSolver<Policy>::state_bytes() const {
+    // 5 state fields in storage precision, RHS + RK registers in compute
+    // precision, 3 base-state fields in storage precision.
+    return num_nodes() *
+           (kVars * (sizeof(storage_t) + 2 * sizeof(compute_t)) +
+            3 * sizeof(storage_t));
+}
+
+template class SpectralEulerSolver<fp::MinimumPrecision>;
+template class SpectralEulerSolver<fp::MixedPrecision>;
+template class SpectralEulerSolver<fp::FullPrecision>;
+
+}  // namespace tp::sem

@@ -1,0 +1,168 @@
+#include "sem/operators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tp::sem {
+
+DenseMatrix matmul(const DenseMatrix& A, const DenseMatrix& B) {
+    if (A.n != B.n) throw std::invalid_argument("matmul: size mismatch");
+    DenseMatrix C(A.n);
+    for (int i = 0; i < A.n; ++i)
+        for (int k = 0; k < A.n; ++k) {
+            const double aik = A.at(i, k);
+            for (int j = 0; j < A.n; ++j) C.at(i, j) += aik * B.at(k, j);
+        }
+    return C;
+}
+
+DenseMatrix invert(const DenseMatrix& A) {
+    const int n = A.n;
+    DenseMatrix work = A;
+    DenseMatrix inv(n);
+    for (int i = 0; i < n; ++i) inv.at(i, i) = 1.0;
+
+    for (int col = 0; col < n; ++col) {
+        // Partial pivot.
+        int pivot = col;
+        for (int r = col + 1; r < n; ++r)
+            if (std::fabs(work.at(r, col)) > std::fabs(work.at(pivot, col)))
+                pivot = r;
+        if (std::fabs(work.at(pivot, col)) < 1e-14)
+            throw std::runtime_error("invert: singular matrix");
+        if (pivot != col)
+            for (int c = 0; c < n; ++c) {
+                std::swap(work.at(col, c), work.at(pivot, c));
+                std::swap(inv.at(col, c), inv.at(pivot, c));
+            }
+        const double d = 1.0 / work.at(col, col);
+        for (int c = 0; c < n; ++c) {
+            work.at(col, c) *= d;
+            inv.at(col, c) *= d;
+        }
+        for (int r = 0; r < n; ++r) {
+            if (r == col) continue;
+            const double f = work.at(r, col);
+            if (f == 0.0) continue;
+            for (int c = 0; c < n; ++c) {
+                work.at(r, c) -= f * work.at(col, c);
+                inv.at(r, c) -= f * inv.at(col, c);
+            }
+        }
+    }
+    return inv;
+}
+
+std::vector<double> barycentric_weights(const std::vector<double>& nodes) {
+    const std::size_t n = nodes.size();
+    std::vector<double> w(n, 1.0);
+    for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t k = 0; k < n; ++k)
+            if (k != j) w[j] *= nodes[j] - nodes[k];
+    for (auto& v : w) v = 1.0 / v;
+    return w;
+}
+
+double lagrange_interpolate(const std::vector<double>& nodes,
+                            const std::vector<double>& bary,
+                            const std::vector<double>& values, double x) {
+    // Barycentric formula of the second kind; exact hit returns the value.
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+        const double dx = x - nodes[j];
+        if (dx == 0.0) return values[j];
+        const double t = bary[j] / dx;
+        num += t * values[j];
+        den += t;
+    }
+    return num / den;
+}
+
+DenseMatrix interpolation_matrix(const std::vector<double>& from,
+                                 const std::vector<double>& to) {
+    if (from.size() != to.size())
+        throw std::invalid_argument(
+            "interpolation_matrix: square matrices only");
+    const auto bary = barycentric_weights(from);
+    const int n = static_cast<int>(from.size());
+    DenseMatrix M(n);
+    for (int i = 0; i < n; ++i) {
+        const double x = to[static_cast<std::size_t>(i)];
+        // Exact node hit -> unit row.
+        bool hit = false;
+        for (int j = 0; j < n; ++j)
+            if (x == from[static_cast<std::size_t>(j)]) {
+                M.at(i, j) = 1.0;
+                hit = true;
+                break;
+            }
+        if (hit) continue;
+        double den = 0.0;
+        for (int j = 0; j < n; ++j)
+            den += bary[static_cast<std::size_t>(j)] /
+                   (x - from[static_cast<std::size_t>(j)]);
+        for (int j = 0; j < n; ++j)
+            M.at(i, j) = (bary[static_cast<std::size_t>(j)] /
+                          (x - from[static_cast<std::size_t>(j)])) /
+                         den;
+    }
+    return M;
+}
+
+DenseMatrix derivative_matrix(const std::vector<double>& nodes) {
+    const auto bary = barycentric_weights(nodes);
+    const int n = static_cast<int>(nodes.size());
+    DenseMatrix D(n);
+    for (int i = 0; i < n; ++i) {
+        double diag = 0.0;
+        for (int j = 0; j < n; ++j) {
+            if (i == j) continue;
+            const double d = bary[static_cast<std::size_t>(j)] /
+                             bary[static_cast<std::size_t>(i)] /
+                             (nodes[static_cast<std::size_t>(i)] -
+                              nodes[static_cast<std::size_t>(j)]);
+            D.at(i, j) = d;
+            diag -= d;
+        }
+        // Negative-sum trick: rows kill constants to the last bit.
+        D.at(i, i) = diag;
+    }
+    return D;
+}
+
+DenseMatrix legendre_vandermonde(const QuadratureRule& lgl) {
+    const int n = static_cast<int>(lgl.size());
+    DenseMatrix V(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+            const double norm = std::sqrt((2.0 * j + 1.0) / 2.0);
+            V.at(i, j) =
+                norm * legendre(j, lgl.nodes[static_cast<std::size_t>(i)])
+                           .value;
+        }
+    return V;
+}
+
+DenseMatrix exponential_filter(const QuadratureRule& lgl, int cutoff,
+                               double alpha, int exponent) {
+    const int n = static_cast<int>(lgl.size());
+    const int order = n - 1;
+    if (cutoff < 0 || cutoff >= order)
+        throw std::invalid_argument("exponential_filter: bad cutoff");
+    const DenseMatrix V = legendre_vandermonde(lgl);
+    const DenseMatrix Vinv = invert(V);
+    DenseMatrix S(n);
+    for (int k = 0; k < n; ++k) {
+        double sigma = 1.0;
+        if (k > cutoff) {
+            const double eta = static_cast<double>(k - cutoff) /
+                               static_cast<double>(order - cutoff);
+            sigma = std::exp(-alpha * std::pow(eta, exponent));
+        }
+        S.at(k, k) = sigma;
+    }
+    return matmul(matmul(V, S), Vinv);
+}
+
+}  // namespace tp::sem

@@ -1,0 +1,69 @@
+#pragma once
+// Dense 1-D spectral operators on the Gauss-Lobatto nodes: barycentric
+// interpolation, the collocation derivative matrix, the Legendre
+// Vandermonde pair, and the exponential modal filter SELF's tool chest
+// provides for stabilizing marginally-resolved runs.
+//
+// Everything here is a small (order+1)^2 double-precision matrix built
+// once at solver construction.
+
+#include <vector>
+
+#include "sem/quadrature.hpp"
+
+namespace tp::sem {
+
+/// Row-major dense square matrix of doubles (tiny: order+1 <= ~16).
+struct DenseMatrix {
+    int n = 0;
+    std::vector<double> a;
+
+    DenseMatrix() = default;
+    explicit DenseMatrix(int size) : n(size), a(static_cast<std::size_t>(size) * size, 0.0) {}
+
+    [[nodiscard]] double& at(int r, int c) {
+        return a[static_cast<std::size_t>(r) * n + c];
+    }
+    [[nodiscard]] double at(int r, int c) const {
+        return a[static_cast<std::size_t>(r) * n + c];
+    }
+};
+
+/// C = A * B.
+[[nodiscard]] DenseMatrix matmul(const DenseMatrix& A, const DenseMatrix& B);
+
+/// Inverse via partial-pivot Gaussian elimination; throws on singularity.
+[[nodiscard]] DenseMatrix invert(const DenseMatrix& A);
+
+/// Barycentric weights for the node set (Berrut & Trefethen).
+[[nodiscard]] std::vector<double> barycentric_weights(
+    const std::vector<double>& nodes);
+
+/// Value of the Lagrange interpolant through (nodes, values) at x.
+[[nodiscard]] double lagrange_interpolate(const std::vector<double>& nodes,
+                                          const std::vector<double>& bary,
+                                          const std::vector<double>& values,
+                                          double x);
+
+/// Interpolation matrix from `from` nodes to `to` points:
+/// out[i][j] = l_j(to[i]).
+[[nodiscard]] DenseMatrix interpolation_matrix(
+    const std::vector<double>& from, const std::vector<double>& to);
+
+/// Collocation derivative matrix D[i][j] = l_j'(x_i) on the given nodes,
+/// with the negative-row-sum diagonal trick for exact constant-killing.
+[[nodiscard]] DenseMatrix derivative_matrix(const std::vector<double>& nodes);
+
+/// Legendre Vandermonde V[i][j] = \tilde{P}_j(x_i) (orthonormalized) on the
+/// LGL nodes of the given rule.
+[[nodiscard]] DenseMatrix legendre_vandermonde(const QuadratureRule& lgl);
+
+/// Exponential modal filter F = V diag(sigma) V^{-1} with
+/// sigma_k = exp(-alpha ((k - kc)/(N - kc))^s) for k > kc, 1 otherwise.
+/// Preserves all modes up to kc exactly; used by the bubble solver as the
+/// stabilization SELF's spectral filtering module provides.
+[[nodiscard]] DenseMatrix exponential_filter(const QuadratureRule& lgl,
+                                             int cutoff, double alpha,
+                                             int exponent);
+
+}  // namespace tp::sem

@@ -1,0 +1,100 @@
+#include "sem/quadrature.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tp::sem {
+
+LegendreEval legendre(int n, double x) {
+    if (n == 0) return {1.0, 0.0};
+    if (n == 1) return {x, 1.0};
+    double pm1 = 1.0;  // P_0
+    double p = x;      // P_1
+    for (int k = 2; k <= n; ++k) {
+        const double pk =
+            ((2.0 * k - 1.0) * x * p - (k - 1.0) * pm1) / k;
+        pm1 = p;
+        p = pk;
+    }
+    // P_n' from the stable identity (x^2 - 1) P_n' = n (x P_n - P_{n-1}).
+    double dp;
+    if (std::fabs(x) == 1.0) {
+        // Endpoint limit: P_n'(+-1) = (+-1)^{n-1} n(n+1)/2.
+        const double sign = (n % 2 == 0) ? x : 1.0;
+        dp = sign * 0.5 * n * (n + 1.0);
+    } else {
+        dp = n * (x * p - pm1) / (x * x - 1.0);
+    }
+    return {p, dp};
+}
+
+QuadratureRule gauss_legendre(int n) {
+    if (n < 1) throw std::invalid_argument("gauss_legendre: n < 1");
+    QuadratureRule rule;
+    rule.nodes.resize(static_cast<std::size_t>(n));
+    rule.weights.resize(static_cast<std::size_t>(n));
+    // Newton from the Chebyshev-like initial guess; exploit symmetry.
+    for (int k = 0; k < (n + 1) / 2; ++k) {
+        double x = -std::cos(std::numbers::pi * (k + 0.75) / (n + 0.5));
+        for (int it = 0; it < 100; ++it) {
+            const auto [p, dp] = legendre(n, x);
+            const double dx = p / dp;
+            x -= dx;
+            if (std::fabs(dx) < 1e-15) break;
+        }
+        const auto [p, dp] = legendre(n, x);
+        (void)p;
+        const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+        rule.nodes[static_cast<std::size_t>(k)] = x;
+        rule.weights[static_cast<std::size_t>(k)] = w;
+        rule.nodes[static_cast<std::size_t>(n - 1 - k)] = -x;
+        rule.weights[static_cast<std::size_t>(n - 1 - k)] = w;
+    }
+    if (n % 2 == 1) rule.nodes[static_cast<std::size_t>(n / 2)] = 0.0;
+    return rule;
+}
+
+QuadratureRule gauss_lobatto(int order) {
+    if (order < 1) throw std::invalid_argument("gauss_lobatto: order < 1");
+    const int np = order + 1;
+    QuadratureRule rule;
+    rule.nodes.resize(static_cast<std::size_t>(np));
+    rule.weights.resize(static_cast<std::size_t>(np));
+
+    rule.nodes.front() = -1.0;
+    rule.nodes.back() = 1.0;
+    // Interior nodes: roots of P_order'(x), found by Newton on
+    // q(x) = (1 - x^2) P'_order(x), with q'(x) = -order(order+1) P_order(x).
+    for (int k = 1; k < order; ++k) {
+        double x = -std::cos(std::numbers::pi * k / order);
+        for (int it = 0; it < 100; ++it) {
+            const auto [p, dp] = legendre(order, x);
+            const double q = (1.0 - x * x) * dp;
+            const double dq = -order * (order + 1.0) * p;
+            const double dx = q / dq;
+            x -= dx;
+            if (std::fabs(dx) < 1e-15) break;
+        }
+        rule.nodes[static_cast<std::size_t>(k)] = x;
+    }
+    // Enforce exact antisymmetry (kills rounding asymmetry in operators).
+    for (int k = 0; k < np / 2; ++k) {
+        const double x = 0.5 * (rule.nodes[static_cast<std::size_t>(k)] -
+                                rule.nodes[static_cast<std::size_t>(np - 1 - k)]);
+        rule.nodes[static_cast<std::size_t>(k)] = x;
+        rule.nodes[static_cast<std::size_t>(np - 1 - k)] = -x;
+    }
+    if (np % 2 == 1) rule.nodes[static_cast<std::size_t>(np / 2)] = 0.0;
+
+    for (int k = 0; k < np; ++k) {
+        const double x = rule.nodes[static_cast<std::size_t>(k)];
+        const auto [p, dp] = legendre(order, x);
+        (void)dp;
+        rule.weights[static_cast<std::size_t>(k)] =
+            2.0 / (order * (order + 1.0) * p * p);
+    }
+    return rule;
+}
+
+}  // namespace tp::sem

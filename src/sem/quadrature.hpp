@@ -1,0 +1,39 @@
+#pragma once
+// Legendre polynomials and Gauss-type quadrature rules on [-1, 1] — the
+// numerical foundation of the spectral element method (SELF analogue).
+//
+// All rule construction happens in double precision regardless of the
+// solver's precision policy; the solver casts the resulting operators to
+// its storage type, mirroring how SELF precomputes REAL-kind matrices.
+
+#include <cstddef>
+#include <vector>
+
+namespace tp::sem {
+
+/// Value and derivative of the Legendre polynomial P_n at x.
+struct LegendreEval {
+    double value;
+    double derivative;
+};
+
+/// Evaluate P_n(x) and P_n'(x) by the three-term recurrence.
+[[nodiscard]] LegendreEval legendre(int n, double x);
+
+/// A quadrature rule: nodes (ascending) and positive weights.
+struct QuadratureRule {
+    std::vector<double> nodes;
+    std::vector<double> weights;
+
+    [[nodiscard]] std::size_t size() const { return nodes.size(); }
+};
+
+/// Gauss-Legendre rule with n points (exact for degree 2n-1).
+[[nodiscard]] QuadratureRule gauss_legendre(int n);
+
+/// Gauss-Lobatto-Legendre rule with n+1 points for polynomial order n
+/// (exact for degree 2n-1, includes the endpoints — the collocation points
+/// of nodal DG spectral element methods).
+[[nodiscard]] QuadratureRule gauss_lobatto(int order);
+
+}  // namespace tp::sem

@@ -1,0 +1,636 @@
+#include "shallow/solver.hpp"
+
+#include "fp/half_policy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tp::shallow {
+
+namespace {
+
+// Analytic operation counts per unit of work, used for roofline projection.
+// Derived by reading the kernels below (divisions and sqrt counted as one
+// op each, matching how vendor peak numbers are quoted for simple pipes).
+constexpr std::uint64_t kSlotFlops = 46;        // Rusanov flux, one sub-face
+constexpr std::uint64_t kBoundaryFaceFlops = 20;
+constexpr std::uint64_t kCellUpdateFlops = 9;   // 3 x (mul + mul + add)
+constexpr std::uint64_t kCflFlopsPerCell = 12;
+// Mesh management cost proxy (hash rebuild + neighbor resolution): integer
+// work, precision independent; recorded as SP-class ops.
+constexpr std::uint64_t kRezoneOpsPerCell = 120;
+constexpr std::uint64_t kRezoneBytesPerCell = 96;
+
+}  // namespace
+
+template <fp::PrecisionPolicy Policy>
+ShallowWaterSolver<Policy>::ShallowWaterSolver(const Config& config)
+    : config_(config), mesh_(config.geom) {
+    const std::size_t n = mesh_.num_cells();
+    h_.assign(n, storage_t(0));
+    hu_.assign(n, storage_t(0));
+    hv_.assign(n, storage_t(0));
+    rebuild_topology_caches();
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::rebuild_topology_caches() {
+    const std::size_t n = mesh_.num_cells();
+    dh_.assign(n, compute_t(0));
+    dhu_.assign(n, compute_t(0));
+    dhv_.assign(n, compute_t(0));
+    cfl_buf_.assign(n, 0.0);
+    inv_area_.resize(n);
+    const auto& cells = mesh_.cells();
+    for (std::size_t c = 0; c < n; ++c)
+        inv_area_[c] =
+            static_cast<compute_t>(1.0 / mesh_.cell_area(cells[c]));
+
+    // Cell-centric neighbor slots from the mesh face lists. Slots:
+    // 0/1 = west sub-faces, 2/3 = east, 4/5 = south, 6/7 = north.
+    // Unused slots self-reference with zero area so the flux loop needs no
+    // branches; 2:1 balance guarantees at most two sub-faces per side.
+    nbr_idx_.assign(static_cast<std::size_t>(kSlots) * n, 0);
+    nbr_area_.assign(static_cast<std::size_t>(kSlots) * n, compute_t(0));
+    for (std::size_t c = 0; c < n; ++c)
+        for (int slot = 0; slot < kSlots; ++slot)
+            nbr_idx_[static_cast<std::size_t>(slot) * n + c] =
+                static_cast<std::int32_t>(c);
+    auto assign_slot = [&](std::int32_t cell, int base, std::int32_t nbr,
+                           double area) {
+        const auto c = static_cast<std::size_t>(cell);
+        const int slot =
+            nbr_area_[static_cast<std::size_t>(base) * n + c] == compute_t(0)
+                ? base
+                : base + 1;
+        nbr_idx_[static_cast<std::size_t>(slot) * n + c] = nbr;
+        nbr_area_[static_cast<std::size_t>(slot) * n + c] =
+            static_cast<compute_t>(area);
+    };
+    for (const mesh::Face& f : mesh_.x_faces()) {
+        assign_slot(f.lo, 2, f.hi, f.area);  // east side of lo
+        assign_slot(f.hi, 0, f.lo, f.area);  // west side of hi
+    }
+    for (const mesh::Face& f : mesh_.y_faces()) {
+        assign_slot(f.lo, 6, f.hi, f.area);  // north side of lo
+        assign_slot(f.hi, 4, f.lo, f.area);  // south side of hi
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::apply_ic(const DamBreak& ic) {
+    const auto& g = config_.geom;
+    const double cx = g.xmin + 0.5 * g.width;
+    const double cy = g.ymin + 0.5 * g.height;
+    const double r0 = ic.radius_fraction * std::min(g.width, g.height);
+    const auto& cells = mesh_.cells();
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const double x = mesh_.cell_center_x(cells[c]) - cx;
+        const double y = mesh_.cell_center_y(cells[c]) - cy;
+        const double r = std::sqrt(x * x + y * y);
+        h_[c] = static_cast<storage_t>(r < r0 ? ic.h_inside : ic.h_outside);
+        hu_[c] = storage_t(0);
+        hv_[c] = storage_t(0);
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::initialize_dam_break(const DamBreak& ic) {
+    apply_ic(ic);
+    // Pre-refine around the initial discontinuity: one pass per allowed
+    // level, re-evaluating the analytic state on the refined mesh so the
+    // initial column edge is resolved at the finest level (CLAMR's initial
+    // rezone does the same).
+    for (std::int32_t pass = 0; pass < config_.geom.max_level; ++pass) {
+        std::vector<std::int8_t> flags;
+        compute_refinement_flags(flags);
+        // Never coarsen during initialization.
+        for (auto& f : flags)
+            if (f == mesh::kCoarsenFlag) f = mesh::kKeepFlag;
+        mesh_.adapt(flags);
+        h_.assign(mesh_.num_cells(), storage_t(0));
+        hu_.assign(mesh_.num_cells(), storage_t(0));
+        hv_.assign(mesh_.num_cells(), storage_t(0));
+        apply_ic(ic);
+    }
+    rebuild_topology_caches();
+    time_ = 0.0;
+    step_count_ = 0;
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::compute_refinement_flags(
+    std::vector<std::int8_t>& flags) const {
+    const std::size_t n = mesh_.num_cells();
+    std::vector<double> jump(n, 0.0);
+    auto scan = [&](const std::vector<mesh::Face>& faces) {
+        for (const mesh::Face& f : faces) {
+            const double hl = static_cast<double>(h_[f.lo]);
+            const double hr = static_cast<double>(h_[f.hi]);
+            const double ref =
+                std::max({std::fabs(hl), std::fabs(hr), 1e-12});
+            const double rel = std::fabs(hl - hr) / ref;
+            jump[static_cast<std::size_t>(f.lo)] =
+                std::max(jump[static_cast<std::size_t>(f.lo)], rel);
+            jump[static_cast<std::size_t>(f.hi)] =
+                std::max(jump[static_cast<std::size_t>(f.hi)], rel);
+        }
+    };
+    scan(mesh_.x_faces());
+    scan(mesh_.y_faces());
+
+    flags.assign(n, mesh::kKeepFlag);
+    for (std::size_t c = 0; c < n; ++c) {
+        if (jump[c] > config_.refine_threshold)
+            flags[c] = mesh::kRefineFlag;
+        else if (jump[c] < config_.coarsen_threshold)
+            flags[c] = mesh::kCoarsenFlag;
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::remap_state(
+    const std::vector<mesh::RemapEntry>& plan) {
+    std::vector<storage_t> nh(plan.size()), nhu(plan.size()),
+        nhv(plan.size());
+    for (std::size_t c = 0; c < plan.size(); ++c) {
+        const mesh::RemapEntry& e = plan[c];
+        switch (e.kind) {
+            case mesh::RemapKind::Copy:
+            case mesh::RemapKind::Refine:
+                // Height and momenta are intensive (per-area) quantities, so
+                // piecewise-constant prolongation conserves mass exactly.
+                nh[c] = h_[e.src[0]];
+                nhu[c] = hu_[e.src[0]];
+                nhv[c] = hv_[e.src[0]];
+                break;
+            case mesh::RemapKind::Coarsen: {
+                compute_t ah = 0, au = 0, av = 0;
+                for (int s = 0; s < 4; ++s) {
+                    ah += static_cast<compute_t>(h_[e.src[s]]);
+                    au += static_cast<compute_t>(hu_[e.src[s]]);
+                    av += static_cast<compute_t>(hv_[e.src[s]]);
+                }
+                nh[c] = static_cast<storage_t>(compute_t(0.25) * ah);
+                nhu[c] = static_cast<storage_t>(compute_t(0.25) * au);
+                nhv[c] = static_cast<storage_t>(compute_t(0.25) * av);
+                break;
+            }
+        }
+    }
+    h_ = std::move(nh);
+    hu_ = std::move(nhu);
+    hv_ = std::move(nhv);
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::rezone() {
+    util::WallTimer t;
+    const std::uint64_t old_cells = mesh_.num_cells();
+    std::vector<std::int8_t> flags;
+    compute_refinement_flags(flags);
+    const auto plan = mesh_.adapt(flags);
+    remap_state(plan);
+    rebuild_topology_caches();
+    const std::uint64_t touched = old_cells + mesh_.num_cells();
+    ledger_.record("rezone", t.elapsed_seconds(),
+                   touched * kRezoneOpsPerCell, 0,
+                   touched * kRezoneBytesPerCell);
+    timers_.add("rezone", t.elapsed_seconds());
+}
+
+template <fp::PrecisionPolicy Policy>
+double ShallowWaterSolver<Policy>::compute_dt() {
+    util::WallTimer t;
+    const std::size_t n = mesh_.num_cells();
+    const auto& cells = mesh_.cells();
+    const compute_t g = static_cast<compute_t>(config_.gravity);
+    const compute_t hfloor = static_cast<compute_t>(1e-8);
+    // Per-level minimum spacing lookup (tiny, stays in L1).
+    std::array<double, 16> min_dx{};
+    for (std::int32_t l = 0; l <= config_.geom.max_level; ++l)
+        min_dx[static_cast<std::size_t>(l)] =
+            std::min(mesh_.cell_dx(l), mesh_.cell_dy(l));
+
+    for (std::size_t c = 0; c < n; ++c) {
+        const compute_t hh =
+            std::max(static_cast<compute_t>(h_[c]), hfloor);
+        const compute_t inv = compute_t(1) / hh;
+        const compute_t u = std::fabs(static_cast<compute_t>(hu_[c])) * inv;
+        const compute_t v = std::fabs(static_cast<compute_t>(hv_[c])) * inv;
+        const compute_t wave = std::max(u, v) + std::sqrt(g * hh);
+        cfl_buf_[c] =
+            min_dx[static_cast<std::size_t>(cells[c].level)] /
+            static_cast<double>(wave);
+    }
+    // Reproducible (fixed-shape) global minimum, per the paper's §III.C
+    // emphasis on order-independent global reductions.
+    const double dt_min = sum::global_min<double>(
+        cfl_buf_, std::numeric_limits<double>::infinity());
+
+    constexpr bool sp = std::is_same_v<compute_t, float>;
+    ledger_.record("cfl", t.elapsed_seconds(),
+                   sp ? n * kCflFlopsPerCell : 0,
+                   sp ? 0 : n * kCflFlopsPerCell,
+                   n * 3 * sizeof(storage_t),
+                   (sizeof(storage_t) != sizeof(compute_t) &&
+                    std::is_same_v<compute_t, double>)
+                       ? 3 * n
+                       : 0,
+                   n * sizeof(double));
+    timers_.add("cfl", t.elapsed_seconds());
+    return config_.courant * dt_min;
+}
+
+// The flux body is duplicated in a SIMD-annotated and a scalar variant;
+// keep them textually identical apart from the pragma/attribute so Table
+// III measures vectorization alone. The eight sub-face slots are unrolled
+// through a constexpr-indexed lambda so the loop body is straight-line
+// (no inner control flow), which is what lets the SIMD variant vectorize.
+#define TP_SHALLOW_FLUX_BODY                                                  \
+    const std::size_t n = mesh_.num_cells();                                  \
+    const storage_t* h = h_.data();                                           \
+    const storage_t* hu = hu_.data();                                         \
+    const storage_t* hv = hv_.data();                                         \
+    compute_t* dh = dh_.data();                                               \
+    compute_t* dhu = dhu_.data();                                             \
+    compute_t* dhv = dhv_.data();                                             \
+    const std::int32_t* nbr = nbr_idx_.data();                                \
+    const compute_t* areas = nbr_area_.data();                                \
+    const compute_t g = static_cast<compute_t>(config_.gravity);              \
+    const compute_t half = compute_t(0.5);                                    \
+    const compute_t half_g = half * g;                                        \
+    const compute_t hfloor = static_cast<compute_t>(1e-8);                    \
+    _Pragma_placeholder                                                       \
+    for (std::size_t c = 0; c < n; ++c) {                                     \
+        const compute_t hC =                                                  \
+            std::max(static_cast<compute_t>(h[c]), hfloor);                   \
+        const compute_t huC = static_cast<compute_t>(hu[c]);                  \
+        const compute_t hvC = static_cast<compute_t>(hv[c]);                  \
+        const compute_t invC = compute_t(1) / hC;                             \
+        compute_t ddh = compute_t(0);                                         \
+        compute_t ddhu = compute_t(0);                                        \
+        compute_t ddhv = compute_t(0);                                        \
+        const auto side = [&]<int SLOT>() {                                   \
+            constexpr bool xd = SLOT < 4;                                     \
+            constexpr bool pos = (SLOT & 2) != 0;                             \
+            const auto nb = static_cast<std::size_t>(                         \
+                nbr[static_cast<std::size_t>(SLOT) * n + c]);                 \
+            const compute_t a =                                               \
+                areas[static_cast<std::size_t>(SLOT) * n + c];                \
+            const compute_t hN =                                              \
+                std::max(static_cast<compute_t>(h[nb]), hfloor);              \
+            const compute_t huN = static_cast<compute_t>(hu[nb]);             \
+            const compute_t hvN = static_cast<compute_t>(hv[nb]);             \
+            const compute_t invN = compute_t(1) / hN;                         \
+            const compute_t qnC = xd ? huC : hvC;                             \
+            const compute_t qtC = xd ? hvC : huC;                             \
+            const compute_t qnN = xd ? huN : hvN;                             \
+            const compute_t qtN = xd ? hvN : huN;                             \
+            /* Orient along +x/+y: L is the lower-coordinate side, so both */ \
+            /* cells sharing the face evaluate the identical expression.   */ \
+            const compute_t hL = pos ? hC : hN;                               \
+            const compute_t hR = pos ? hN : hC;                               \
+            const compute_t qnL = pos ? qnC : qnN;                            \
+            const compute_t qnR = pos ? qnN : qnC;                            \
+            const compute_t qtL = pos ? qtC : qtN;                            \
+            const compute_t qtR = pos ? qtN : qtC;                            \
+            const compute_t invL = pos ? invC : invN;                         \
+            const compute_t invR = pos ? invN : invC;                         \
+            const compute_t unL = qnL * invL;                                 \
+            const compute_t unR = qnR * invR;                                 \
+            const compute_t utL = qtL * invL;                                 \
+            const compute_t utR = qtR * invR;                                 \
+            const compute_t cL = std::sqrt(g * hL);                           \
+            const compute_t cR = std::sqrt(g * hR);                           \
+            const compute_t smax =                                            \
+                std::max(std::fabs(unL) + cL, std::fabs(unR) + cR);           \
+            const compute_t f1 =                                              \
+                half * (qnL + qnR) - half * smax * (hR - hL);                 \
+            const compute_t f2 =                                              \
+                half * (qnL * unL + half_g * hL * hL + qnR * unR +            \
+                        half_g * hR * hR) -                                   \
+                half * smax * (qnR - qnL);                                    \
+            const compute_t f3 = half * (qnL * utL + qnR * utR) -             \
+                                 half * smax * (qtR - qtL);                   \
+            /* Outward flux leaves the cell on its positive sides. */         \
+            const compute_t sa = pos ? a : -a;                                \
+            ddh -= sa * f1;                                                   \
+            ddhu -= sa * (xd ? f2 : f3);                                      \
+            ddhv -= sa * (xd ? f3 : f2);                                      \
+        };                                                                    \
+        side.template operator()<0>();                                        \
+        side.template operator()<1>();                                        \
+        side.template operator()<2>();                                        \
+        side.template operator()<3>();                                        \
+        side.template operator()<4>();                                        \
+        side.template operator()<5>();                                        \
+        side.template operator()<6>();                                        \
+        side.template operator()<7>();                                        \
+        dh[c] = ddh;                                                          \
+        dhu[c] = ddhu;                                                        \
+        dhv[c] = ddhv;                                                        \
+    }
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_simd() {
+#define _Pragma_placeholder _Pragma("omp simd")
+    TP_SHALLOW_FLUX_BODY
+#undef _Pragma_placeholder
+}
+
+template <fp::PrecisionPolicy Policy>
+TP_NO_VECTORIZE void ShallowWaterSolver<Policy>::flux_sweep_scalar() {
+#define _Pragma_placeholder
+    TP_SHALLOW_FLUX_BODY
+#undef _Pragma_placeholder
+}
+
+#undef TP_SHALLOW_FLUX_BODY
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::boundary_fluxes() {
+    // Reflective walls via a mirrored ghost state fed through the same
+    // Rusanov flux. Mass flux through the wall is exactly zero, so total
+    // water volume is conserved to rounding.
+    const compute_t g = static_cast<compute_t>(config_.gravity);
+    const compute_t half = compute_t(0.5);
+    const compute_t half_g = half * g;
+    const compute_t hfloor = static_cast<compute_t>(1e-8);
+    for (const mesh::BoundaryFace& b : mesh_.boundary_faces()) {
+        const auto c = static_cast<std::size_t>(b.cell);
+        const bool x_dir = b.side == 0 || b.side == 1;
+        const bool outward_positive = b.side == 1 || b.side == 3;
+        const compute_t hh =
+            std::max(static_cast<compute_t>(h_[c]), hfloor);
+        const compute_t qnc =
+            static_cast<compute_t>(x_dir ? hu_[c] : hv_[c]);
+        const compute_t un = qnc / hh;
+        const compute_t smax = std::fabs(un) + std::sqrt(g * hh);
+        const compute_t a = static_cast<compute_t>(b.area);
+        compute_t* dqn = x_dir ? dhu_.data() : dhv_.data();
+        if (outward_positive) {
+            // Cell on lo side, ghost (h, -qn, qt) on hi side.
+            const compute_t f2 =
+                a * (qnc * un + half_g * hh * hh + smax * qnc);
+            dqn[c] -= f2;
+        } else {
+            // Ghost on lo side, cell on hi side.
+            const compute_t f2 =
+                a * (qnc * un + half_g * hh * hh - smax * qnc);
+            dqn[c] += f2;
+        }
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::apply_update(double dt) {
+    const std::size_t n = mesh_.num_cells();
+    storage_t* h = h_.data();
+    storage_t* hu = hu_.data();
+    storage_t* hv = hv_.data();
+    compute_t* dh = dh_.data();
+    compute_t* dhu = dhu_.data();
+    compute_t* dhv = dhv_.data();
+    const compute_t* inv_area = inv_area_.data();
+    const compute_t dtc = static_cast<compute_t>(dt);
+    const compute_t hfloor = static_cast<compute_t>(1e-8);
+
+#pragma omp simd
+    for (std::size_t c = 0; c < n; ++c) {
+        const compute_t s = dtc * inv_area[c];
+        h[c] = static_cast<storage_t>(
+            std::max(static_cast<compute_t>(h[c]) + s * dh[c], hfloor));
+        hu[c] = static_cast<storage_t>(static_cast<compute_t>(hu[c]) +
+                                       s * dhu[c]);
+        hv[c] = static_cast<storage_t>(static_cast<compute_t>(hv[c]) +
+                                       s * dhv[c]);
+        dh[c] = compute_t(0);
+        dhu[c] = compute_t(0);
+        dhv[c] = compute_t(0);
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::account_finite_diff(double seconds) {
+    const std::uint64_t bfaces = mesh_.boundary_faces().size();
+    const std::uint64_t cells = mesh_.num_cells();
+    constexpr std::uint64_t ss = sizeof(storage_t);
+    constexpr std::uint64_t sc = sizeof(compute_t);
+    // Cell-centric kernel: every cell evaluates up to kSlots sub-face
+    // fluxes (shared faces are computed on both sides — CLAMR's trade of
+    // redundant flops for a scatter-free, vectorizable loop).
+    const std::uint64_t flops = cells * kSlots * kSlotFlops +
+                                bfaces * kBoundaryFaceFlops +
+                                cells * kCellUpdateFlops;
+    // Storage traffic: compulsory read+write of the three state arrays
+    // plus gather spill on the neighbor loads (mostly cache-resident in
+    // Z-order). Compute-precision traffic: the increment buffers, streamed
+    // twice (flux write + update read).
+    const std::uint64_t bytes = cells * 6 * ss + cells * 4 * ss;
+    const std::uint64_t bytes_compute = cells * 6 * sc;
+    constexpr bool sp = std::is_same_v<compute_t, float>;
+    // Only float<->double staging rides the GPU DP pipe; half<->float
+    // conversions are cheap (F16C-class) and are not charged.
+    const std::uint64_t converts =
+        (ss != sc && std::is_same_v<compute_t, double>)
+            ? cells * (3 + kSlots * 3 + 6)
+            : 0;
+    ledger_.record("finite_diff", seconds, sp ? flops : 0, sp ? 0 : flops,
+                   bytes, converts, bytes_compute);
+    timers_.add("finite_diff", seconds);
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::finite_diff(double dt) {
+    util::WallTimer t;
+    if (config_.vectorized) {
+        flux_sweep_simd();
+    } else {
+        flux_sweep_scalar();
+    }
+    boundary_fluxes();
+    apply_update(dt);
+    account_finite_diff(t.elapsed_seconds());
+}
+
+template <fp::PrecisionPolicy Policy>
+double ShallowWaterSolver<Policy>::step() {
+    if (config_.rezone_interval > 0 &&
+        step_count_ % config_.rezone_interval == 0 && step_count_ > 0)
+        rezone();
+    const double dt = compute_dt();
+    finite_diff(dt);
+    time_ += dt;
+    ++step_count_;
+    return dt;
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::run(int n) {
+    for (int s = 0; s < n; ++s) step();
+}
+
+template <fp::PrecisionPolicy Policy>
+double ShallowWaterSolver<Policy>::height_at(double x, double y) const {
+    const std::int32_t c = mesh_.find_cell(x, y);
+    if (c < 0) throw std::out_of_range("height_at: point outside domain");
+    return static_cast<double>(h_[static_cast<std::size_t>(c)]);
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<double> ShallowWaterSolver<Policy>::sample_positions_vertical(
+    int n) const {
+    std::vector<double> ys(static_cast<std::size_t>(n));
+    const auto& g = config_.geom;
+    for (int k = 0; k < n; ++k)
+        ys[static_cast<std::size_t>(k)] =
+            g.ymin + (k + 0.5) * g.height / n;
+    return ys;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<double> ShallowWaterSolver<Policy>::sample_height_vertical(
+    double x0, int n) const {
+    std::vector<double> out(static_cast<std::size_t>(n));
+    const auto ys = sample_positions_vertical(n);
+    for (int k = 0; k < n; ++k)
+        out[static_cast<std::size_t>(k)] = height_at(x0, ys[k]);
+    return out;
+}
+
+template <fp::PrecisionPolicy Policy>
+double ShallowWaterSolver<Policy>::total_mass() const {
+    sum::ExpansionAccumulator acc;
+    const auto& cells = mesh_.cells();
+    for (std::size_t c = 0; c < cells.size(); ++c)
+        acc.add(static_cast<double>(h_[c]) * mesh_.cell_area(cells[c]));
+    return acc.round();
+}
+
+template <fp::PrecisionPolicy Policy>
+std::uint64_t ShallowWaterSolver<Policy>::state_bytes() const {
+    // Three state arrays plus the three increment buffers.
+    return mesh_.num_cells() *
+           (3 * sizeof(storage_t) + 3 * sizeof(compute_t));
+}
+
+template <fp::PrecisionPolicy Policy>
+std::uint64_t ShallowWaterSolver<Policy>::checkpoint_bytes() const {
+    // Header (84 bytes) + 12 bytes/cell mesh metadata + 3 state arrays in
+    // storage precision — CLAMR's layout, which is what makes min/mixed
+    // checkpoints 2/3 the size of full ones (86M vs 128M in Table III).
+    return 84 + mesh_.metadata_bytes() +
+           mesh_.num_cells() * 3 * sizeof(storage_t);
+}
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x54505357;  // "TPSW"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+template <typename T>
+T read_pod(std::istream& is) {
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!is) throw std::runtime_error("checkpoint: truncated stream");
+    return v;
+}
+}  // namespace
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::write_checkpoint(std::ostream& os) const {
+    write_pod(os, kCheckpointMagic);
+    write_pod(os, kCheckpointVersion);
+    write_pod(os, static_cast<std::uint32_t>(sizeof(storage_t)));
+    write_pod(os, static_cast<std::uint32_t>(0));  // pad
+    write_pod(os, static_cast<std::uint64_t>(mesh_.num_cells()));
+    write_pod(os, time_);
+    write_pod(os, step_count_);
+    write_pod(os, config_.geom.xmin);
+    write_pod(os, config_.geom.ymin);
+    write_pod(os, config_.geom.width);
+    write_pod(os, config_.geom.height);
+    write_pod(os, config_.geom.coarse_nx);
+    write_pod(os, config_.geom.coarse_ny);
+    write_pod(os, config_.geom.max_level);
+    for (const mesh::Cell& c : mesh_.cells()) {
+        write_pod(os, c.level);
+        write_pod(os, c.i);
+        write_pod(os, c.j);
+    }
+    auto write_array = [&](const std::vector<storage_t>& a) {
+        os.write(reinterpret_cast<const char*>(a.data()),
+                 static_cast<std::streamsize>(a.size() * sizeof(storage_t)));
+    };
+    write_array(h_);
+    write_array(hu_);
+    write_array(hv_);
+}
+
+template <fp::PrecisionPolicy Policy>
+CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
+    std::istream& is) {
+    if (read_pod<std::uint32_t>(is) != kCheckpointMagic)
+        throw std::runtime_error("checkpoint: bad magic");
+    if (read_pod<std::uint32_t>(is) != kCheckpointVersion)
+        throw std::runtime_error("checkpoint: bad version");
+    const auto elem = read_pod<std::uint32_t>(is);
+    if (elem != 2 && elem != 4 && elem != 8)
+        throw std::runtime_error("checkpoint: bad element size");
+    (void)read_pod<std::uint32_t>(is);
+    const auto n = read_pod<std::uint64_t>(is);
+
+    CheckpointData d;
+    d.time = read_pod<double>(is);
+    d.step = read_pod<std::int64_t>(is);
+    d.geom.xmin = read_pod<double>(is);
+    d.geom.ymin = read_pod<double>(is);
+    d.geom.width = read_pod<double>(is);
+    d.geom.height = read_pod<double>(is);
+    d.geom.coarse_nx = read_pod<std::int32_t>(is);
+    d.geom.coarse_ny = read_pod<std::int32_t>(is);
+    d.geom.max_level = read_pod<std::int32_t>(is);
+    d.cells.resize(n);
+    for (auto& c : d.cells) {
+        c.level = read_pod<std::int32_t>(is);
+        c.i = read_pod<std::int32_t>(is);
+        c.j = read_pod<std::int32_t>(is);
+    }
+    auto read_array = [&](std::vector<double>& out) {
+        out.resize(n);
+        if (elem == 2) {
+            std::vector<std::uint16_t> tmp(n);
+            is.read(reinterpret_cast<char*>(tmp.data()),
+                    static_cast<std::streamsize>(n * sizeof(std::uint16_t)));
+            for (std::size_t k = 0; k < n; ++k)
+                out[k] = static_cast<double>(fp::Half::from_bits(tmp[k]));
+        } else if (elem == 4) {
+            std::vector<float> tmp(n);
+            is.read(reinterpret_cast<char*>(tmp.data()),
+                    static_cast<std::streamsize>(n * sizeof(float)));
+            for (std::size_t k = 0; k < n; ++k)
+                out[k] = static_cast<double>(tmp[k]);
+        } else {
+            is.read(reinterpret_cast<char*>(out.data()),
+                    static_cast<std::streamsize>(n * sizeof(double)));
+        }
+        if (!is) throw std::runtime_error("checkpoint: truncated arrays");
+    };
+    read_array(d.h);
+    read_array(d.hu);
+    read_array(d.hv);
+    return d;
+}
+
+template class ShallowWaterSolver<fp::MinimumPrecision>;
+template class ShallowWaterSolver<fp::MixedPrecision>;
+template class ShallowWaterSolver<fp::FullPrecision>;
+template class ShallowWaterSolver<fp::HalfStoragePrecision>;
+
+}  // namespace tp::shallow

@@ -1,0 +1,158 @@
+#pragma once
+// Shallow-water finite-volume solver on the cell-based AMR mesh — the
+// CLAMR-analogue mini-app (DESIGN.md §2).
+//
+// The solver is a template over a fp::PrecisionPolicy:
+//   * the persistent state arrays (height h, momenta hu/hv) are stored in
+//     Policy::storage_t — this is what "minimum" vs "mixed" vs "full"
+//     changes about memory footprint and checkpoint size;
+//   * every kernel-local temporary, flux, and accumulator uses
+//     Policy::compute_t — "mixed" promotes these to double, exactly the
+//     CRAFT-derived CLAMR configuration the paper describes.
+//
+// The hot loop is `finite_diff` (named after CLAMR's kernel): a
+// cell-centric Rusanov flux computation — each cell gathers its (2:1
+// balanced) face neighbors, computes all face fluxes, and updates only
+// itself — followed by the conservative cell update. Both adjacent cells
+// evaluate the identical flux expression for a shared face, so the scheme
+// stays exactly conservative while the loop carries no scatter
+// dependencies. It exists in two code shapes — a SIMD-annotated loop and
+// a deliberately scalar loop — reproducing the paper's vectorization
+// study (Table III).
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fp/precision.hpp"
+#include "mesh/amr_mesh.hpp"
+#include "perf/counters.hpp"
+#include "shallow/config.hpp"
+#include "sum/expansion.hpp"
+#include "sum/reproducible.hpp"
+#include "util/timing.hpp"
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define TP_NO_VECTORIZE \
+    __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define TP_NO_VECTORIZE
+#endif
+
+namespace tp::shallow {
+
+/// Raw contents of a checkpoint file, for inspection and round-trip tests.
+struct CheckpointData {
+    mesh::MeshGeometry geom;
+    double time = 0.0;
+    std::int64_t step = 0;
+    std::vector<mesh::Cell> cells;
+    std::vector<double> h, hu, hv;  // widened to double on read
+};
+
+template <fp::PrecisionPolicy Policy>
+class ShallowWaterSolver {
+public:
+    using storage_t = typename Policy::storage_t;
+    using compute_t = typename Policy::compute_t;
+
+    explicit ShallowWaterSolver(const Config& config);
+
+    /// Set the cylindrical dam-break state and pre-refine the mesh around
+    /// the initial discontinuity (one adapt pass per allowed level, with
+    /// the analytic state re-evaluated on the refined mesh each pass).
+    void initialize_dam_break(const DamBreak& ic);
+
+    /// Advance one time step (CFL-limited). Returns the dt taken.
+    double step();
+
+    /// Advance `n` steps.
+    void run(int n);
+
+    // --- Observables -------------------------------------------------------
+    [[nodiscard]] double time() const { return time_; }
+    [[nodiscard]] std::int64_t step_count() const { return step_count_; }
+    [[nodiscard]] const mesh::AmrMesh& mesh() const { return mesh_; }
+    [[nodiscard]] const Config& config() const { return config_; }
+
+    /// Height at the cell containing (x, y); throws outside the domain.
+    [[nodiscard]] double height_at(double x, double y) const;
+
+    /// Sample height along the vertical line x = x0 at n equally spaced
+    /// points — the paper's Figure 1/2 line-cut.
+    [[nodiscard]] std::vector<double> sample_height_vertical(double x0,
+                                                             int n) const;
+    /// y coordinates matching sample_height_vertical.
+    [[nodiscard]] std::vector<double> sample_positions_vertical(int n) const;
+
+    /// Total water volume, via the exact (order-independent) expansion sum.
+    [[nodiscard]] double total_mass() const;
+
+    /// Resident bytes of the three state arrays (current + update buffers).
+    [[nodiscard]] std::uint64_t state_bytes() const;
+
+    /// Size in bytes a checkpoint of the current state occupies.
+    [[nodiscard]] std::uint64_t checkpoint_bytes() const;
+
+    /// Write/read a binary checkpoint (cells + state in storage precision).
+    void write_checkpoint(std::ostream& os) const;
+    static CheckpointData read_checkpoint(std::istream& is);
+
+    // --- Instrumentation ---------------------------------------------------
+    [[nodiscard]] const perf::WorkLedger& ledger() const { return ledger_; }
+    [[nodiscard]] const util::StopwatchRegistry& timers() const {
+        return timers_;
+    }
+
+private:
+    void apply_ic(const DamBreak& ic);
+    void compute_refinement_flags(std::vector<std::int8_t>& flags) const;
+    void rezone();
+    void remap_state(const std::vector<mesh::RemapEntry>& plan);
+    void rebuild_topology_caches();
+    [[nodiscard]] double compute_dt();
+    void finite_diff(double dt);
+    void flux_sweep_simd();
+    TP_NO_VECTORIZE void flux_sweep_scalar();
+    void boundary_fluxes();
+    void apply_update(double dt);
+    void account_finite_diff(double seconds) ;
+
+    Config config_;
+    mesh::AmrMesh mesh_;
+    std::vector<storage_t> h_, hu_, hv_;      // persistent state (storage_t)
+    std::vector<compute_t> dh_, dhu_, dhv_;   // per-step increments
+    std::vector<compute_t> inv_area_;         // 1/area per cell
+    // Cell-centric neighbor tables (CLAMR's finite_diff shape): for each
+    // cell, up to two sub-face neighbors per side in fixed slots
+    // (W0,W1,E0,E1,S0,S1,N0,N1), slot-major SoA. Empty slots point at the
+    // cell itself with zero area, keeping the SIMD loop branch-free. Each
+    // cell recomputes its face fluxes and writes only its own increments —
+    // redundant arithmetic that vectorizes cleanly, the same trade CLAMR
+    // makes.
+    static constexpr int kSlots = 8;
+    std::vector<std::int32_t> nbr_idx_;    // kSlots * ncells
+    std::vector<compute_t> nbr_area_;      // kSlots * ncells
+    std::vector<double> cfl_buf_;             // per-cell dt candidates
+    double time_ = 0.0;
+    std::int64_t step_count_ = 0;
+    perf::WorkLedger ledger_;
+    util::StopwatchRegistry timers_;
+};
+
+using MinimumShallowSolver = ShallowWaterSolver<fp::MinimumPrecision>;
+using MixedShallowSolver = ShallowWaterSolver<fp::MixedPrecision>;
+using FullShallowSolver = ShallowWaterSolver<fp::FullPrecision>;
+
+extern template class ShallowWaterSolver<fp::MinimumPrecision>;
+extern template class ShallowWaterSolver<fp::MixedPrecision>;
+extern template class ShallowWaterSolver<fp::FullPrecision>;
+// Extension: 16-bit storage (fp/half_policy.hpp), instantiated for the
+// storage-width ablation.
+
+}  // namespace tp::shallow

@@ -1,0 +1,85 @@
+#pragma once
+// Classic summation algorithms: naive left-to-right, Kahan, Neumaier, and
+// pairwise. The paper's §III.C observes that global sums are the most
+// precision-sensitive part of mesh codes; these are the standard ladder of
+// fixes, ordered by accuracy.
+
+#include <cstddef>
+#include <span>
+
+#include "sum/twosum.hpp"
+
+namespace tp::sum {
+
+/// Plain left-to-right recursive summation; error grows O(n·eps).
+template <std::floating_point T>
+[[nodiscard]] T sum_naive(std::span<const T> x) {
+    T s = T(0);
+    for (const T v : x) s += v;
+    return s;
+}
+
+/// Kahan compensated summation; error O(eps) independent of n, but the
+/// compensation can be lost when an addend exceeds the running sum.
+template <std::floating_point T>
+[[nodiscard]] T sum_kahan(std::span<const T> x) {
+    T s = T(0);
+    T c = T(0);
+    for (const T v : x) {
+        const T y = v - c;
+        const T t = s + y;
+        c = (t - s) - y;
+        s = t;
+    }
+    return s;
+}
+
+/// Neumaier's improved Kahan: also correct when |addend| > |sum|.
+template <std::floating_point T>
+[[nodiscard]] T sum_neumaier(std::span<const T> x) {
+    T s = T(0);
+    T c = T(0);
+    for (const T v : x) {
+        const T t = s + v;
+        if (std::fabs(s) >= std::fabs(v)) {
+            c += (s - t) + v;
+        } else {
+            c += (v - t) + s;
+        }
+        s = t;
+    }
+    return s + c;
+}
+
+/// Pairwise (cascade) summation with a fixed, size-derived tree shape;
+/// error O(eps·log n) and — because the tree shape depends only on n —
+/// bit-reproducible for a fixed input order across chunkings.
+template <std::floating_point T>
+[[nodiscard]] T sum_pairwise(std::span<const T> x) {
+    constexpr std::size_t base = 32;
+    if (x.size() <= base) {
+        T s = T(0);
+        for (const T v : x) s += v;
+        return s;
+    }
+    const std::size_t half = x.size() / 2;
+    return sum_pairwise(x.first(half)) + sum_pairwise(x.subspan(half));
+}
+
+/// Cascaded (compensated) dot product building block: sum of products with
+/// two_product + Neumaier accumulation of the error terms.
+template <std::floating_point T>
+[[nodiscard]] T dot_compensated(std::span<const T> a, std::span<const T> b) {
+    T s = T(0);
+    T c = T(0);
+    const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto [p, pe] = two_product(a[i], b[i]);
+        const auto [t, te] = two_sum(s, p);
+        s = t;
+        c += te + pe;
+    }
+    return s + c;
+}
+
+}  // namespace tp::sum

@@ -1,0 +1,94 @@
+#include "sum/expansion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sum/twosum.hpp"
+
+namespace tp::sum {
+
+void ExpansionAccumulator::add(double x) {
+    if (x == 0.0) return;
+    // Shewchuk GROW-EXPANSION with zero elimination: thread x through the
+    // existing components with two_sum; the carried value ends on top.
+    std::vector<double> grown;
+    grown.reserve(components_.size() + 1);
+    double carry = x;
+    for (const double e : components_) {
+        const auto [s, err] = two_sum(carry, e);
+        carry = s;
+        if (err != 0.0) grown.push_back(err);
+    }
+    if (carry != 0.0) grown.push_back(carry);
+    components_ = std::move(grown);
+
+    if (++adds_since_compress_ >= 64 || components_.size() > 24) compress();
+}
+
+void ExpansionAccumulator::add(const ExpansionAccumulator& other) {
+    for (const double c : other.components_) add(c);
+}
+
+void ExpansionAccumulator::compress() {
+    adds_since_compress_ = 0;
+    if (components_.size() < 2) return;
+
+    // Shewchuk COMPRESS: a downward sweep with fast_two_sum collecting
+    // significant components, then an upward sweep renormalizing. The
+    // result is a minimal-length, non-overlapping expansion whose largest
+    // component is within half an ulp of the exact value.
+    const std::size_t m = components_.size();
+    std::vector<double> g(m);
+    double q = components_[m - 1];
+    std::size_t bottom = m - 1;
+    for (std::size_t i = m - 1; i-- > 0;) {
+        const auto [s, small] = fast_two_sum(q, components_[i]);
+        if (small != 0.0) {
+            g[bottom--] = s;
+            q = small;
+        } else {
+            q = s;
+        }
+    }
+    g[bottom] = q;
+
+    std::vector<double> h;
+    h.reserve(m - bottom);
+    q = g[bottom];
+    for (std::size_t i = bottom + 1; i < m; ++i) {
+        const auto [s, small] = fast_two_sum(g[i], q);
+        q = s;
+        if (small != 0.0) h.push_back(small);
+    }
+    if (q != 0.0) h.push_back(q);
+    components_ = std::move(h);
+}
+
+double ExpansionAccumulator::round() const {
+    // Faithful rounding: sum components from smallest to largest. With a
+    // compressed (non-overlapping) expansion the result is within 1 ulp of
+    // the exact total.
+    ExpansionAccumulator tmp = *this;
+    tmp.compress();
+    double s = 0.0;
+    for (const double c : tmp.components_) s += c;
+    return s;
+}
+
+bool ExpansionAccumulator::exactly_equals(
+    const ExpansionAccumulator& o) const {
+    // Exact: the difference of two expansions is computed exactly; equality
+    // holds iff every component cancels.
+    ExpansionAccumulator diff = *this;
+    for (const double c : o.components_) diff.add(-c);
+    diff.compress();
+    return diff.components_.empty();
+}
+
+double sum_exact(std::span<const double> xs) {
+    ExpansionAccumulator acc;
+    acc.add(xs);
+    return acc.round();
+}
+
+}  // namespace tp::sum

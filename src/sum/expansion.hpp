@@ -1,0 +1,59 @@
+#pragma once
+// Exact summation via Shewchuk floating-point expansions.
+//
+// An expansion represents a real number exactly as a sum of non-overlapping
+// doubles. Adding a double with grow_expansion (a chain of two_sum) keeps
+// the representation exact, so the accumulated total is *exact* regardless
+// of input order — the strongest possible form of the reproducible global
+// sums the paper's §III.C calls for (cf. Robey 2011, Demmel & Nguyen 2015).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tp::sum {
+
+/// Exact accumulator for doubles. add() is O(k) in the current expansion
+/// length k; for well-scaled physical data k stays small (a handful of
+/// components), so accumulating n values costs O(n) in practice.
+class ExpansionAccumulator {
+public:
+    ExpansionAccumulator() = default;
+
+    /// Exactly add one value.
+    void add(double x);
+
+    /// Exactly add every element of a span.
+    void add(std::span<const double> xs) {
+        for (const double x : xs) add(x);
+    }
+
+    /// Exactly add another accumulator's content.
+    void add(const ExpansionAccumulator& other);
+
+    /// The correctly-rounded double nearest the exact accumulated total.
+    [[nodiscard]] double round() const;
+
+    /// The exact expansion, smallest component first, no zeros, pairwise
+    /// non-overlapping. Two accumulators holding the same real number have
+    /// identical expansions (canonical form).
+    [[nodiscard]] const std::vector<double>& components() const {
+        return components_;
+    }
+
+    /// Exact comparison with another accumulator.
+    [[nodiscard]] bool exactly_equals(const ExpansionAccumulator& o) const;
+
+    void clear() { components_.clear(); }
+
+private:
+    void compress();
+
+    std::vector<double> components_;  // increasing magnitude, non-overlapping
+    std::size_t adds_since_compress_ = 0;
+};
+
+/// Convenience: exact sum of a span, correctly rounded to double.
+[[nodiscard]] double sum_exact(std::span<const double> xs);
+
+}  // namespace tp::sum

@@ -1,0 +1,82 @@
+#include "sum/reproducible.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tp::sum {
+
+namespace {
+
+/// Smallest power of two >= v (v > 0, finite).
+template <std::floating_point T>
+T pow2_ceil(T v) {
+    int e = 0;
+    const T m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+    return m == T(0.5) ? v : std::ldexp(T(1), e);
+}
+
+}  // namespace
+
+template <std::floating_point T>
+ReproducibleResult<T> sum_reproducible(std::span<const T> x, int folds) {
+    ReproducibleResult<T> r;
+    r.folds_used = 0;
+    if (x.empty()) return r;
+
+    // Order-independent magnitude bound.
+    T maxabs = T(0);
+    for (const T v : x) maxabs = std::max(maxabs, std::fabs(v));
+    r.max_abs = maxabs;
+    if (maxabs == T(0)) return r;
+    if (!std::isfinite(maxabs)) {
+        // Fall back: non-finite data has no meaningful grid; naive sum
+        // propagates the inf/NaN deterministically for a fixed order.
+        T s = T(0);
+        for (const T v : x) s += v;
+        r.value = s;
+        return r;
+    }
+
+    // Extraction boundary: M = 2^ceil(lg(max|x|)) * 2^ceil(lg(n+1)) * 2.
+    // Quantized addends are multiples of ulp(M) and their running total is
+    // bounded by n*max|x| < M, so accumulation into a T is exact.
+    const T n_bound = pow2_ceil(static_cast<T>(x.size() + 1));
+    T boundary = pow2_ceil(maxabs) * n_bound * T(2);
+    if (!std::isfinite(boundary)) boundary = std::numeric_limits<T>::max() / 2;
+
+    std::vector<T> residual(x.begin(), x.end());
+    T total = T(0);
+    constexpr T eps = std::numeric_limits<T>::epsilon();
+
+    for (int k = 0; k < folds; ++k) {
+        volatile T m = boundary;  // defeat vectorizing reassociation
+        T fold_sum = T(0);
+        bool any_residual = false;
+        for (auto& v : residual) {
+            // q = fl((M + v) - M): v rounded to the grid ulp(M).
+            volatile T t = m + v;
+            const T q = t - m;
+            fold_sum += q;  // exact: q is a multiple of ulp(M), sum < M
+            v -= q;         // exact (Sterbenz-type cancellation)
+            any_residual |= (v != T(0));
+        }
+        total += fold_sum;
+        ++r.folds_used;
+        if (!any_residual) break;
+        // Residuals are below ulp(M)/2; set the next, finer grid.
+        boundary = std::max(boundary * eps * n_bound * T(4),
+                            std::numeric_limits<T>::min() / eps);
+        if (boundary == T(0)) break;
+    }
+
+    r.value = total;
+    return r;
+}
+
+template ReproducibleResult<float> sum_reproducible<float>(
+    std::span<const float>, int);
+template ReproducibleResult<double> sum_reproducible<double>(
+    std::span<const double>, int);
+
+}  // namespace tp::sum

@@ -1,0 +1,70 @@
+#pragma once
+// Reproducible K-fold extraction summation, after Demmel & Nguyen (2013/15)
+// and Rump's AccSum extraction idea — the "global sums accurate to 15
+// digits" technique the paper's §III.C highlights as the enabler for
+// lowering precision everywhere else.
+//
+// Each fold quantizes every addend to a common grid (via the (M + x) - M
+// trick) whose spacing is coarse enough that accumulating the quantized
+// parts is *exact*, hence independent of summation order. The residuals
+// feed the next, finer fold. The returned value depends only on the input
+// multiset — never on ordering, chunking, or thread count.
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tp::sum {
+
+/// Result of a reproducible sum: the reproducible value plus diagnostics.
+template <std::floating_point T>
+struct ReproducibleResult {
+    T value = T(0);       ///< order-independent sum
+    T max_abs = T(0);     ///< max |x_i| used to set the extraction grid
+    int folds_used = 0;   ///< number of extraction folds applied
+};
+
+/// Sum `x` reproducibly with `folds` extraction levels (default 3 gives
+/// roughly eps^3-level relative error w.r.t. max|x|·n — far beyond double
+/// rounding noise for physical data).
+template <std::floating_point T>
+[[nodiscard]] ReproducibleResult<T> sum_reproducible(std::span<const T> x,
+                                                     int folds = 3);
+
+/// Deterministic fixed-shape binary-tree reduction. The tree shape depends
+/// only on the element count, so results are identical across chunked or
+/// re-blocked traversals of the same data (the property lost by naive
+/// MPI_Reduce orderings that §III.C's cited work repairs).
+template <typename T, typename Op>
+[[nodiscard]] T tree_reduce(std::span<const T> x, T identity, Op op) {
+    if (x.empty()) return identity;
+    if (x.size() == 1) return x[0];
+    // Split at the largest power of two below size, giving a shape that is
+    // a function of size alone.
+    std::size_t half = 1;
+    while (half * 2 < x.size()) half *= 2;
+    return op(tree_reduce(x.first(half), identity, op),
+              tree_reduce(x.subspan(half), identity, op));
+}
+
+/// Reproducible global minimum (min is exact, so any deterministic shape
+/// works; the tree makes it chunk-invariant by construction).
+template <typename T>
+[[nodiscard]] T global_min(std::span<const T> x, T identity) {
+    return tree_reduce(x, identity,
+                       [](T a, T b) { return a < b ? a : b; });
+}
+
+template <typename T>
+[[nodiscard]] T global_max(std::span<const T> x, T identity) {
+    return tree_reduce(x, identity,
+                       [](T a, T b) { return a > b ? a : b; });
+}
+
+extern template ReproducibleResult<float> sum_reproducible<float>(
+    std::span<const float>, int);
+extern template ReproducibleResult<double> sum_reproducible<double>(
+    std::span<const double>, int);
+
+}  // namespace tp::sum

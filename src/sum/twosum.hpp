@@ -1,0 +1,52 @@
+#pragma once
+// Error-free transformations — the primitive operations underneath every
+// accurate/reproducible summation algorithm in this module.
+//
+// two_sum (Knuth) and fast_two_sum (Dekker) compute s = fl(a + b) together
+// with the exact rounding error e, so that a + b = s + e holds exactly in
+// real arithmetic.
+
+#include <cmath>
+#include <concepts>
+
+namespace tp::sum {
+
+template <std::floating_point T>
+struct SumAndError {
+    T sum;
+    T err;
+};
+
+/// Knuth's TwoSum: works for any ordering of |a|, |b| (6 flops).
+template <std::floating_point T>
+[[nodiscard]] inline SumAndError<T> two_sum(T a, T b) {
+    const T s = a + b;
+    const T bb = s - a;
+    const T err = (a - (s - bb)) + (b - bb);
+    return {s, err};
+}
+
+/// Dekker's FastTwoSum: requires |a| >= |b| (3 flops).
+template <std::floating_point T>
+[[nodiscard]] inline SumAndError<T> fast_two_sum(T a, T b) {
+    const T s = a + b;
+    const T err = b - (s - a);
+    return {s, err};
+}
+
+/// Veltkamp splitting constant for two_product on type T.
+template <std::floating_point T>
+inline constexpr T split_factor =
+    static_cast<T>((1ULL << ((std::numeric_limits<T>::digits + 1) / 2)) + 1);
+
+/// Dekker/Veltkamp TwoProduct: p = fl(a*b) and exact error e with
+/// a*b = p + e. (On FMA hardware `fma` is cheaper, but this stays portable
+/// and exercises the classic transform.)
+template <std::floating_point T>
+[[nodiscard]] inline SumAndError<T> two_product(T a, T b) {
+    const T p = a * b;
+    const T e = std::fma(a, b, -p);
+    return {p, e};
+}
+
+}  // namespace tp::sum

@@ -1,0 +1,98 @@
+#include "tuner/tradespace.hpp"
+
+#include <stdexcept>
+
+#include "analysis/linecut.hpp"
+#include "fp/metrics.hpp"
+#include "hw/archspec.hpp"
+#include "hw/roofline.hpp"
+#include "shallow/solver.hpp"
+
+namespace tp::tuner {
+
+namespace {
+
+struct RunResult {
+    std::vector<double> cut;
+    Candidate candidate;
+};
+
+template <typename Policy>
+RunResult run_one(int n, int max_level, int steps,
+                  const hw::ArchSpec& arch) {
+    shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, n, n, max_level};
+    shallow::ShallowWaterSolver<Policy> s(cfg);
+    s.initialize_dam_break({});
+    s.run(steps);
+
+    RunResult r;
+    const auto ys =
+        analysis::face_free_positions(0.0, 100.0, n << max_level);
+    const double x0 = ys[ys.size() / 2];
+    for (const double y : ys) r.cut.push_back(s.height_at(x0, y));
+
+    hw::ProjectionOptions opt;
+    opt.include_launch_overhead = false;
+    hw::PerfProjector proj(arch, opt);
+    r.candidate.mode = Policy::mode;
+    r.candidate.coarse_cells = n;
+    r.candidate.max_level = max_level;
+    r.candidate.cells = s.mesh().num_cells();
+    r.candidate.finest_dx = s.mesh().finest_dx();
+    r.candidate.projected_seconds = proj.project_app_seconds(s.ledger());
+    r.candidate.energy_joules =
+        hw::energy_joules(arch, r.candidate.projected_seconds);
+    r.candidate.checkpoint_bytes = s.checkpoint_bytes();
+    return r;
+}
+
+}  // namespace
+
+std::vector<Candidate> explore(const SweepConfig& sweep) {
+    const auto arch = hw::find_architecture(sweep.arch);
+    if (!arch.has_value())
+        throw std::invalid_argument("explore: unknown architecture " +
+                                    sweep.arch);
+
+    std::vector<Candidate> out;
+    for (const int n : sweep.resolutions) {
+        // Full precision is both a candidate and the per-resolution
+        // accuracy reference.
+        auto full = run_one<fp::FullPrecision>(n, sweep.max_level,
+                                               sweep.steps, *arch);
+        auto mixed = run_one<fp::MixedPrecision>(n, sweep.max_level,
+                                                 sweep.steps, *arch);
+        auto min = run_one<fp::MinimumPrecision>(n, sweep.max_level,
+                                                 sweep.steps, *arch);
+        full.candidate.digits = 17.0;
+        mixed.candidate.digits =
+            fp::compare(full.cut, mixed.cut).digits_of_agreement();
+        min.candidate.digits =
+            fp::compare(full.cut, min.cut).digits_of_agreement();
+        out.push_back(min.candidate);
+        out.push_back(mixed.candidate);
+        out.push_back(full.candidate);
+    }
+    return out;
+}
+
+std::optional<Candidate> select(std::span<const Candidate> candidates,
+                                const Constraints& constraints) {
+    std::optional<Candidate> best;
+    for (const Candidate& c : candidates) {
+        if (!c.feasible(constraints)) continue;
+        if (!best.has_value()) {
+            best = c;
+            continue;
+        }
+        // Prefer finer effective resolution; tie-break on projected cost.
+        if (c.finest_dx < best->finest_dx ||
+            (c.finest_dx == best->finest_dx &&
+             c.projected_seconds < best->projected_seconds))
+            best = c;
+    }
+    return best;
+}
+
+}  // namespace tp::tuner

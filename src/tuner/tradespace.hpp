@@ -1,0 +1,67 @@
+#pragma once
+// Trade-space exploration: performance x power x precision x resolution.
+//
+// The paper's abstract promises "the trade space between performance,
+// power, precision and resolution for these mini-apps, and optimized
+// solutions attained within given constraints". This module makes that
+// operational for the dam-break workload: it sweeps precision modes
+// across a ladder of resolutions, scores each candidate (accuracy against
+// the same-resolution full-precision run, projected runtime and energy on
+// a chosen architecture), and picks the best configuration under
+// user-supplied constraints — preferring the most resolved feasible run,
+// then the cheapest (Figure 3's "reinvest precision savings in
+// resolution" logic).
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fp/precision.hpp"
+
+namespace tp::tuner {
+
+/// What the user requires of an acceptable configuration.
+struct Constraints {
+    double min_digits = 4.0;       ///< agreement with full precision
+    double max_seconds = 1e300;    ///< projected runtime budget
+    double max_energy_joules = 1e300;
+    std::string target_arch = "Haswell E5-2660 v3";
+};
+
+/// One evaluated (precision, resolution) configuration.
+struct Candidate {
+    fp::PrecisionMode mode = fp::PrecisionMode::Full;
+    int coarse_cells = 0;      ///< coarse grid cells per side
+    int max_level = 0;
+    std::size_t cells = 0;     ///< leaf count at end of run
+    double finest_dx = 0.0;    ///< effective resolution
+    double digits = 0.0;       ///< agreement with same-resolution full run
+    double projected_seconds = 0.0;
+    double energy_joules = 0.0;
+    std::uint64_t checkpoint_bytes = 0;
+
+    [[nodiscard]] bool feasible(const Constraints& c) const {
+        return digits >= c.min_digits &&
+               projected_seconds <= c.max_seconds &&
+               energy_joules <= c.max_energy_joules;
+    }
+};
+
+/// Sweep settings.
+struct SweepConfig {
+    std::vector<int> resolutions{32, 64, 96};  ///< coarse cells per side
+    int max_level = 2;
+    int steps = 120;
+    std::string arch = "Haswell E5-2660 v3";
+};
+
+/// Run the sweep: 3 precision modes x |resolutions| solver runs.
+[[nodiscard]] std::vector<Candidate> explore(const SweepConfig& sweep);
+
+/// The preferred feasible candidate: finest resolution first, then lowest
+/// projected runtime. nullopt when nothing satisfies the constraints.
+[[nodiscard]] std::optional<Candidate> select(
+    std::span<const Candidate> candidates, const Constraints& constraints);
+
+}  // namespace tp::tuner

@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tp::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+    specs_.emplace_back(name, Spec{help, "false", true});
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+    specs_.emplace_back(name, Spec{help, default_value, false});
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+    for (const auto& [n, spec] : specs_)
+        if (n == name) return &spec;
+    return nullptr;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+    values_.clear();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << help();
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::cerr << program_ << ": unexpected argument '" << arg << "'\n"
+                      << help();
+            return false;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        const Spec* spec = find(name);
+        if (spec == nullptr) {
+            std::cerr << program_ << ": unknown option '--" << name << "'\n"
+                      << help();
+            return false;
+        }
+        if (spec->is_flag) {
+            values_[name] = has_value ? value : "true";
+        } else if (has_value) {
+            values_[name] = value;
+        } else if (i + 1 < argc) {
+            values_[name] = argv[++i];
+        } else {
+            std::cerr << program_ << ": option '--" << name
+                      << "' requires a value\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+    const std::string v = get_string(name);
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+    if (const auto it = values_.find(name); it != values_.end())
+        return it->second;
+    const Spec* spec = find(name);
+    if (spec == nullptr)
+        throw std::invalid_argument("unregistered option: " + name);
+    return spec->default_value;
+}
+
+int ArgParser::get_int(const std::string& name) const {
+    return std::stoi(get_string(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+    return std::stod(get_string(name));
+}
+
+std::string ArgParser::help() const {
+    std::ostringstream os;
+    os << program_ << " — " << description_ << "\n\nOptions:\n";
+    for (const auto& [name, spec] : specs_) {
+        os << "  --" << name;
+        if (!spec.is_flag) os << " <value>";
+        os << "\n      " << spec.help;
+        if (!spec.is_flag) os << " (default: " << spec.default_value << ")";
+        os << "\n";
+    }
+    os << "  --help\n      Show this message\n";
+    return os.str();
+}
+
+}  // namespace tp::util

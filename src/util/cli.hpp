@@ -1,0 +1,58 @@
+#pragma once
+// Minimal command-line option parser for the examples and bench harnesses.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` options,
+// with typed accessors and automatic `--help` text generation.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tp::util {
+
+/// Declarative CLI option parser.
+///
+///   ArgParser args("dam_break", "Run the CLAMR-like dam break problem");
+///   args.add_flag("verbose", "Print per-step diagnostics");
+///   args.add_option("grid", "Coarse grid cells per side", "64");
+///   if (!args.parse(argc, argv)) return 1;   // printed --help or an error
+///   int n = args.get_int("grid");
+class ArgParser {
+public:
+    ArgParser(std::string program, std::string description);
+
+    /// Register a boolean flag (default false).
+    void add_flag(const std::string& name, const std::string& help);
+
+    /// Register a valued option with a default.
+    void add_option(const std::string& name, const std::string& help,
+                    const std::string& default_value);
+
+    /// Parse argv. Returns false if --help was requested or an unknown or
+    /// malformed option was seen (an error message goes to stderr).
+    [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+    [[nodiscard]] bool get_flag(const std::string& name) const;
+    [[nodiscard]] std::string get_string(const std::string& name) const;
+    [[nodiscard]] int get_int(const std::string& name) const;
+    [[nodiscard]] double get_double(const std::string& name) const;
+
+    [[nodiscard]] std::string help() const;
+
+private:
+    struct Spec {
+        std::string help;
+        std::string default_value;
+        bool is_flag = false;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+    std::map<std::string, std::string> values_;
+
+    [[nodiscard]] const Spec* find(const std::string& name) const;
+};
+
+}  // namespace tp::util

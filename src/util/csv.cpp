@@ -1,0 +1,30 @@
+#include "util/csv.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace tp::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), out_(path), ncols_(columns.size()) {
+    out_.precision(std::numeric_limits<double>::max_digits10);
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << columns[i];
+    }
+    out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+    if (values.size() != ncols_)
+        throw std::invalid_argument("CsvWriter: row width mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+}
+
+}  // namespace tp::util

@@ -1,0 +1,35 @@
+#pragma once
+// CSV / gnuplot-friendly column data writer. The figure benches emit their
+// series through this so plots can be regenerated outside the binary.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tp::util {
+
+/// Writes rows of named columns to a CSV file. Values are written with full
+/// round-trip precision so downstream plotting reproduces the data exactly.
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header line.
+    CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+
+    /// Appends one row; `values.size()` must equal the column count.
+    void write_row(const std::vector<double>& values);
+
+    [[nodiscard]] bool ok() const { return out_.good(); }
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t ncols_;
+};
+
+}  // namespace tp::util

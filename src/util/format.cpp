@@ -1,0 +1,69 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace tp::util {
+
+std::string fixed(double value, int decimals) {
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+    return buf.data();
+}
+
+std::string scientific(double value, int decimals) {
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.*e", decimals, value);
+    return buf.data();
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+    static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    std::size_t u = 0;
+    while (v >= 1024.0 && u + 1 < units.size()) {
+        v /= 1024.0;
+        ++u;
+    }
+    std::array<char, 64> buf{};
+    if (u == 0) {
+        std::snprintf(buf.data(), buf.size(), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    } else {
+        std::snprintf(buf.data(), buf.size(), "%.2f %s", v, units[u]);
+    }
+    return buf.data();
+}
+
+std::string speedup_percent(double ratio) {
+    // The paper reports speedup as (t_full / t_min - 1) expressed in percent,
+    // e.g. 4.53x faster prints as "453%"... but also "19%" for 1.19x. Both
+    // follow percent = (ratio - 1) * 100 rounded to the nearest integer.
+    const double pct = (ratio - 1.0) * 100.0;
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.0f%%", pct);
+    return buf.data();
+}
+
+std::string money(double dollars) {
+    // Format with two decimals and thousands separators.
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.2f", std::fabs(dollars));
+    std::string digits = buf.data();
+    const auto dot = digits.find('.');
+    std::string intpart = digits.substr(0, dot);
+    const std::string frac = digits.substr(dot);
+    std::string grouped;
+    int count = 0;
+    for (auto it = intpart.rbegin(); it != intpart.rend(); ++it) {
+        if (count > 0 && count % 3 == 0) grouped += ',';
+        grouped += *it;
+        ++count;
+    }
+    std::string result(grouped.rbegin(), grouped.rend());
+    return std::string(dollars < 0 ? "-$" : "$") + result + frac;
+}
+
+}  // namespace tp::util

@@ -1,0 +1,25 @@
+#pragma once
+// Small number/size formatting helpers shared by tables, reports and logs.
+
+#include <cstdint>
+#include <string>
+
+namespace tp::util {
+
+/// Fixed-point decimal string, e.g. fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Scientific notation with the given significant decimals, e.g. "1.23e-06".
+[[nodiscard]] std::string scientific(double value, int decimals);
+
+/// Human-readable byte size with binary prefixes: "86.0 MiB", "1.59 GiB".
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+/// Percentage string from a ratio, e.g. percent(1.19) == "19%"
+/// (speedup convention used in the paper's Table I "Speedup" column).
+[[nodiscard]] std::string speedup_percent(double ratio);
+
+/// "$1,234.56"-style money formatting for the cost tables.
+[[nodiscard]] std::string money(double dollars);
+
+}  // namespace tp::util

@@ -1,0 +1,86 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace tp::util {
+
+std::string ascii_plot(std::span<const double> x,
+                       std::span<const PlotSeries> series,
+                       const PlotOptions& options) {
+    if (x.empty() || series.empty())
+        throw std::invalid_argument("ascii_plot: empty input");
+    for (const PlotSeries& s : series)
+        if (s.y.size() != x.size())
+            throw std::invalid_argument("ascii_plot: series length mismatch");
+    const int w = std::max(8, options.width);
+    const int h = std::max(4, options.height);
+
+    double ymin = series[0].y[0], ymax = ymin;
+    for (const PlotSeries& s : series)
+        for (const double v : s.y) {
+            ymin = std::min(ymin, v);
+            ymax = std::max(ymax, v);
+        }
+    if (ymin == ymax) {  // flat data: open a symmetric window around it
+        const double pad = ymin == 0.0 ? 1.0 : std::fabs(ymin) * 0.1;
+        ymin -= pad;
+        ymax += pad;
+    } else {
+        const double pad = 0.05 * (ymax - ymin);
+        ymin -= pad;
+        ymax += pad;
+    }
+    const double xmin = x.front();
+    const double xmax = x.back() == x.front() ? x.front() + 1.0 : x.back();
+
+    std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                    std::string(static_cast<std::size_t>(w), ' '));
+    auto place = [&](double px, double py, char mark) {
+        const int col = static_cast<int>(
+            std::lround((px - xmin) / (xmax - xmin) * (w - 1)));
+        const int row = static_cast<int>(
+            std::lround((ymax - py) / (ymax - ymin) * (h - 1)));
+        if (col < 0 || col >= w || row < 0 || row >= h) return;
+        char& cell = canvas[static_cast<std::size_t>(row)]
+                           [static_cast<std::size_t>(col)];
+        // Overlapping series render as '#' so collisions stay visible.
+        cell = (cell == ' ' || cell == mark) ? mark : '#';
+    };
+    for (const PlotSeries& s : series)
+        for (std::size_t k = 0; k < x.size(); ++k) place(x[k], s.y[k], s.mark);
+
+    std::ostringstream os;
+    if (!options.title.empty()) os << options.title << '\n';
+    const std::string top = scientific(ymax, 2);
+    const std::string bottom = scientific(ymin, 2);
+    const std::size_t margin = std::max(top.size(), bottom.size());
+    for (int r = 0; r < h; ++r) {
+        std::string label(margin, ' ');
+        if (r == 0) label = top;
+        if (r == h - 1) label = bottom;
+        label.resize(margin, ' ');
+        os << label << " |" << canvas[static_cast<std::size_t>(r)] << '\n';
+    }
+    os << std::string(margin + 1, ' ') << '+'
+       << std::string(static_cast<std::size_t>(w), '-') << '\n';
+    os << std::string(margin + 2, ' ') << fixed(xmin, 1);
+    const std::string xr = fixed(xmax, 1) +
+                           (options.x_label.empty() ? "" : "  [" + options.x_label + "]");
+    const int gap = w - static_cast<int>(fixed(xmin, 1).size()) -
+                    static_cast<int>(fixed(xmax, 1).size());
+    os << std::string(static_cast<std::size_t>(std::max(1, gap)), ' ') << xr
+       << '\n';
+    os << std::string(margin + 2, ' ');
+    for (const PlotSeries& s : series)
+        os << s.mark << " = " << (s.label.empty() ? "series" : s.label)
+           << "   ";
+    os << '\n';
+    return os.str();
+}
+
+}  // namespace tp::util

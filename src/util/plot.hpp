@@ -1,0 +1,35 @@
+#pragma once
+// Terminal line plots, so the figure benches can *show* their figures.
+//
+// Multi-series scatter/line rendering onto a character canvas with a
+// labeled y-range. Deliberately dependency-free; the same data is always
+// also written as CSV for real plotting.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tp::util {
+
+/// One plottable series: y-values over an implicit shared x axis.
+struct PlotSeries {
+    std::string label;
+    std::vector<double> y;
+    char mark = '*';
+};
+
+struct PlotOptions {
+    int width = 72;   ///< canvas columns
+    int height = 16;  ///< canvas rows
+    std::string title;
+    std::string x_label;
+};
+
+/// Render series (all sharing the x positions `x`) as an ASCII chart.
+/// Y-limits default to the data range (padded); a legend line maps marks
+/// to labels.
+[[nodiscard]] std::string ascii_plot(std::span<const double> x,
+                                     std::span<const PlotSeries> series,
+                                     const PlotOptions& options = {});
+
+}  // namespace tp::util

@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic, seedable random number generation for tests and workload
+// generators. A fixed algorithm (xoshiro256**) keeps every experiment
+// reproducible across platforms and standard-library versions, which
+// std::mt19937 distributions do not guarantee.
+
+#include <cstdint>
+
+namespace tp::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t z = seed;
+        for (auto& s : state_) {
+            z += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+            s = x ^ (x >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return lo + (hi - lo) * next_double();
+    }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace tp::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace tp::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+    // Determine column widths across header and all rows.
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto line = [&](char fill) {
+        std::string s = "+";
+        for (std::size_t c = 0; c < ncols; ++c) {
+            s.append(width[c] + 2, fill);
+            s += '+';
+        }
+        s += '\n';
+        return s;
+    };
+    auto render_row = [&](const std::vector<std::string>& r) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string cell = c < r.size() ? r[c] : "";
+            s += ' ';
+            s += cell;
+            s.append(width[c] - cell.size() + 1, ' ');
+            s += '|';
+        }
+        s += '\n';
+        return s;
+    };
+
+    std::ostringstream os;
+    if (!title_.empty()) os << title_ << '\n';
+    os << line('-');
+    if (!header_.empty()) {
+        os << render_row(header_);
+        os << line('=');
+    }
+    for (const auto& r : rows_) os << render_row(r);
+    os << line('-');
+    return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+}  // namespace tp::util

@@ -1,0 +1,34 @@
+#pragma once
+// Column-aligned ASCII table formatter used by the bench harnesses to print
+// rows in the same layout as the paper's tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tp::util {
+
+/// Builds a fixed-width text table: a title, a header row, and data rows.
+/// Columns are sized to the widest cell; numeric formatting is the caller's
+/// responsibility (use `fixed()` / `human_bytes()` from format.hpp).
+class TextTable {
+public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    void set_header(std::vector<std::string> header);
+    void add_row(std::vector<std::string> row);
+
+    /// Render the table. Every row is padded to the widest column count.
+    [[nodiscard]] std::string str() const;
+
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tp::util

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/linecut.hpp"
+
+namespace ta = tp::analysis;
+
+namespace {
+
+ta::LineCut make_cut(const std::string& label, int n,
+                     double (*fn)(double)) {
+    ta::LineCut c;
+    c.label = label;
+    for (int k = 0; k < n; ++k) {
+        const double x = (k + 0.5) / n;
+        c.position.push_back(x);
+        c.value.push_back(fn(x));
+    }
+    return c;
+}
+
+}  // namespace
+
+TEST(LineCut, FaceFreePositionsAvoidBoundaries) {
+    const int fine = 128;
+    const auto xs = ta::face_free_positions(0.0, 100.0, fine);
+    ASSERT_EQ(xs.size(), 128u);
+    const double dx = 100.0 / fine;
+    for (const double x : xs) {
+        // Distance to the nearest face is half a cell.
+        const double r = std::fmod(x, dx);
+        EXPECT_NEAR(r, dx / 2.0, 1e-9);
+    }
+    // Mirror-consistency: 100 - x_k is (close to) x_{n-1-k}.
+    for (std::size_t k = 0; k < xs.size(); ++k)
+        EXPECT_NEAR(100.0 - xs[k], xs[xs.size() - 1 - k], 1e-9);
+}
+
+TEST(LineCut, FaceFreeRejectsBadCount) {
+    EXPECT_THROW((void)ta::face_free_positions(0.0, 1.0, 0),
+                 std::invalid_argument);
+}
+
+TEST(LineCut, DifferenceIsPointwise) {
+    const auto a = make_cut("a", 16, +[](double x) { return x * x; });
+    const auto b = make_cut("b", 16, +[](double x) { return x; });
+    const auto d = ta::difference(a, b);
+    EXPECT_EQ(d.label, "a - b");
+    for (std::size_t k = 0; k < d.size(); ++k)
+        EXPECT_DOUBLE_EQ(d.value[k],
+                         a.value[k] - b.value[k]);
+}
+
+TEST(LineCut, DifferenceSizeMismatchThrows) {
+    const auto a = make_cut("a", 16, +[](double x) { return x; });
+    const auto b = make_cut("b", 8, +[](double x) { return x; });
+    EXPECT_THROW((void)ta::difference(a, b), std::invalid_argument);
+}
+
+TEST(LineCut, MirrorAsymmetryOfSymmetricIsZero) {
+    // f(x) = (x - 1/2)^2 is symmetric about the center of [0, 1].
+    const auto c =
+        make_cut("sym", 64, +[](double x) { return (x - 0.5) * (x - 0.5); });
+    const auto asym = ta::mirror_asymmetry(c);
+    ASSERT_EQ(asym.size(), 32u);
+    for (const double v : asym.value) EXPECT_NEAR(v, 0.0, 1e-15);
+}
+
+TEST(LineCut, MirrorAsymmetryDetectsSkew) {
+    const auto c = make_cut("skew", 64, +[](double x) { return x; });
+    const auto asym = ta::mirror_asymmetry(c);
+    // value(i) - value(n-1-i) = x_i - (1 - x_i) < 0 on the first half.
+    for (const double v : asym.value) EXPECT_LT(v, 0.0);
+}
+
+TEST(LineCut, CompareMetrics) {
+    const auto a = make_cut("a", 32, +[](double) { return 10.0; });
+    auto b = a;
+    b.value[5] += 1e-5;
+    const auto m = ta::compare(a, b);
+    EXPECT_NEAR(m.linf, 1e-5, 1e-12);
+    EXPECT_NEAR(m.rel_linf, 1e-6, 1e-12);
+}
+
+TEST(LineCut, WriteCsvEmitsAllColumns) {
+    const auto a = make_cut("full", 4, +[](double x) { return x; });
+    const auto b = make_cut("min", 4, +[](double x) { return 2 * x; });
+    const std::string path = "/tmp/tp_test_linecut.csv";
+    const std::vector<ta::LineCut> cuts{a, b};
+    ta::write_csv(path, cuts);
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "position,full,min");
+    int rows = 0;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty()) ++rows;
+    EXPECT_EQ(rows, 4);
+    std::filesystem::remove(path);
+}
+
+TEST(LineCut, WriteCsvValidatesInput) {
+    const std::vector<ta::LineCut> none;
+    EXPECT_THROW((void)ta::write_csv("/tmp/x.csv", none),
+                 std::invalid_argument);
+    const auto a = make_cut("a", 4, +[](double x) { return x; });
+    const auto b = make_cut("b", 5, +[](double x) { return x; });
+    const std::vector<ta::LineCut> ragged{a, b};
+    EXPECT_THROW((void)ta::write_csv("/tmp/x.csv", ragged),
+                 std::invalid_argument);
+}
+
+TEST(LineCut, WriteCsvSanitizesCommaLabels) {
+    auto a = make_cut("full, 64^2", 3, +[](double x) { return x; });
+    const std::string path = "/tmp/tp_test_linecut3.csv";
+    const std::vector<ta::LineCut> cuts{a};
+    ta::write_csv(path, cuts);
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "position,full; 64^2");
+    std::filesystem::remove(path);
+}

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+#include "compress/fixedrate.hpp"
+#include "util/rng.hpp"
+
+namespace tc = tp::compress;
+
+// --------------------------------------------------------------- bitstream
+TEST(BitStream, RoundTripsMixedWidths) {
+    std::vector<std::uint8_t> buf;
+    tc::BitWriter w(buf);
+    w.write(0b101, 3);
+    w.write(0xDEADBEEFull, 32);
+    w.write(1, 1);
+    w.write(0x123456789ABCDEFull, 57);
+    tc::BitReader r(buf);
+    EXPECT_EQ(r.read(3), 0b101u);
+    EXPECT_EQ(r.read(32), 0xDEADBEEFull);
+    EXPECT_EQ(r.read(1), 1u);
+    EXPECT_EQ(r.read(57), 0x123456789ABCDEFull);
+}
+
+TEST(BitStream, MasksHighBits) {
+    std::vector<std::uint8_t> buf;
+    tc::BitWriter w(buf);
+    w.write(0xFFFF, 4);  // only low 4 bits stored
+    w.write(0, 4);
+    tc::BitReader r(buf);
+    EXPECT_EQ(r.read(4), 0xFu);
+    EXPECT_EQ(r.read(4), 0u);
+}
+
+TEST(BitStream, ReaderThrowsPastEnd) {
+    std::vector<std::uint8_t> buf{0xAB};
+    tc::BitReader r(buf);
+    (void)r.read(8);
+    EXPECT_THROW((void)r.read(1), std::out_of_range);
+}
+
+TEST(BitStream, RejectsBadWidths) {
+    std::vector<std::uint8_t> buf;
+    tc::BitWriter w(buf);
+    EXPECT_THROW(w.write(0, 0), std::invalid_argument);
+    EXPECT_THROW(w.write(0, 65), std::invalid_argument);
+    tc::BitReader r(buf);
+    EXPECT_THROW((void)r.read(0), std::invalid_argument);
+}
+
+TEST(BitStream, RandomRoundTrip) {
+    tp::util::Rng rng(9);
+    std::vector<std::uint8_t> buf;
+    tc::BitWriter w(buf);
+    std::vector<std::pair<std::uint64_t, int>> fields;
+    for (int i = 0; i < 2000; ++i) {
+        const int bits = 1 + static_cast<int>(rng.next_below(64));
+        std::uint64_t v = rng.next_u64();
+        if (bits < 64) v &= (std::uint64_t{1} << bits) - 1;
+        fields.emplace_back(v, bits);
+        w.write(v, bits);
+    }
+    tc::BitReader r(buf);
+    for (const auto& [v, bits] : fields) EXPECT_EQ(r.read(bits), v);
+}
+
+// --------------------------------------------------------------- fixedrate
+namespace {
+std::vector<double> field_like_data(std::size_t n, std::uint64_t seed) {
+    tp::util::Rng rng(seed);
+    std::vector<double> xs(n);
+    // Smooth-ish field with block-to-block dynamic range.
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = 10.0 + 70.0 * std::sin(0.01 * static_cast<double>(i)) +
+                rng.uniform(-0.5, 0.5);
+    return xs;
+}
+}  // namespace
+
+class FixedRate : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedRate, ErrorWithinAnalyticBound) {
+    const int bits = GetParam();
+    const auto xs = field_like_data(1000, 3);
+    const auto c = tc::compress_fixed_rate(xs, bits);
+    const auto back = tc::decompress(c);
+    ASSERT_EQ(back.size(), xs.size());
+    for (std::size_t start = 0; start < xs.size();
+         start += tc::kBlockSize) {
+        const std::size_t n =
+            std::min(tc::kBlockSize, xs.size() - start);
+        double peak = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            peak = std::max(peak, std::fabs(xs[start + i]));
+        const double bound = tc::error_bound(peak, bits);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_LE(std::fabs(back[start + i] - xs[start + i]),
+                      bound * 1.0000001)
+                << "bits=" << bits << " i=" << start + i;
+    }
+}
+
+TEST_P(FixedRate, RatioMatchesRate) {
+    const int bits = GetParam();
+    const auto xs = field_like_data(64 * 100, 5);
+    const auto c = tc::compress_fixed_rate(xs, bits);
+    // 64 bits/value raw vs (bits + 11/64) compressed.
+    const double expected = 64.0 / (bits + 11.0 / 64.0);
+    EXPECT_NEAR(tc::compression_ratio(c), expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FixedRate,
+                         ::testing::Values(4, 8, 12, 16, 24, 32));
+
+TEST(FixedRateEdge, AllZerosCompressToZeros) {
+    const std::vector<double> xs(200, 0.0);
+    const auto back = tc::decompress(tc::compress_fixed_rate(xs, 8));
+    for (const double v : back) EXPECT_EQ(v, 0.0);
+}
+
+TEST(FixedRateEdge, EmptyInput) {
+    const std::vector<double> xs;
+    const auto c = tc::compress_fixed_rate(xs, 8);
+    EXPECT_EQ(c.count, 0u);
+    EXPECT_TRUE(tc::decompress(c).empty());
+}
+
+TEST(FixedRateEdge, PartialFinalBlock) {
+    auto xs = field_like_data(70, 7);  // 64 + 6
+    const auto back = tc::decompress(tc::compress_fixed_rate(xs, 16));
+    ASSERT_EQ(back.size(), 70u);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(back[i], xs[i], 0.01);
+}
+
+TEST(FixedRateEdge, RejectsNonFinite) {
+    std::vector<double> xs{1.0, std::numeric_limits<double>::infinity()};
+    EXPECT_THROW((void)tc::compress_fixed_rate(xs, 8),
+                 std::invalid_argument);
+    xs[1] = std::nan("");
+    EXPECT_THROW((void)tc::compress_fixed_rate(xs, 8),
+                 std::invalid_argument);
+}
+
+TEST(FixedRateEdge, RejectsBadRates) {
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW((void)tc::compress_fixed_rate(xs, 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)tc::compress_fixed_rate(xs, 33),
+                 std::invalid_argument);
+}
+
+TEST(FixedRateEdge, NegativeValuesRoundTrip) {
+    std::vector<double> xs;
+    for (int i = 0; i < 128; ++i) xs.push_back(i % 2 == 0 ? -5.25 : 5.25);
+    const auto back = tc::decompress(tc::compress_fixed_rate(xs, 16));
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(back[i], xs[i], 1e-3);
+}
+
+TEST(FixedRateEdge, HigherRateNeverWorse) {
+    const auto xs = field_like_data(640, 11);
+    double prev = 1e300;
+    for (const int bits : {4, 8, 16, 24}) {
+        const auto back = tc::decompress(tc::compress_fixed_rate(xs, bits));
+        double linf = 0.0;
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            linf = std::max(linf, std::fabs(back[i] - xs[i]));
+        EXPECT_LE(linf, prev);
+        prev = linf;
+    }
+    EXPECT_LT(prev, 1e-4);  // 24-bit rate is tight for this field
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "craft/shadow.hpp"
+#include "util/rng.hpp"
+
+namespace tcr = tp::craft;
+
+TEST(Tracked, ArithmeticMatchesBothPrecisions) {
+    const tcr::Tracked a(1.0 / 3.0), b(0.1);
+    const auto c = a * b + a / b - b;
+    const double ref = (1.0 / 3.0) * 0.1 + (1.0 / 3.0) / 0.1 - 0.1;
+    const float sh = float(1.0 / 3.0) * 0.1f + float(1.0 / 3.0) / 0.1f - 0.1f;
+    EXPECT_DOUBLE_EQ(c.ref(), ref);
+    EXPECT_EQ(c.shadow(), sh);
+}
+
+TEST(Tracked, MathFunctions) {
+    const tcr::Tracked x(2.0);
+    EXPECT_DOUBLE_EQ(sqrt(x).ref(), std::sqrt(2.0));
+    EXPECT_EQ(sqrt(x).shadow(), std::sqrt(2.0f));
+    EXPECT_DOUBLE_EQ(fabs(tcr::Tracked(-3.0)).ref(), 3.0);
+    EXPECT_DOUBLE_EQ(max(tcr::Tracked(1.0), tcr::Tracked(2.0)).ref(), 2.0);
+}
+
+TEST(Tracked, DivergenceSmallForBenignOps) {
+    tp::util::Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        const tcr::Tracked a(rng.uniform(0.5, 2.0));
+        const tcr::Tracked b(rng.uniform(0.5, 2.0));
+        const auto c = a * b + a;
+        EXPECT_LT(c.divergence(), 1e-6) << i;
+    }
+}
+
+TEST(Tracked, CancellationBlowsUpShadow) {
+    // (1 + eps) - 1 with eps below float resolution: the double reference
+    // keeps eps, the float shadow returns 0 — 100% divergence, which is
+    // exactly what a precision analysis must flag.
+    const tcr::Tracked one(1.0), eps(1e-9);
+    const auto r = (one + eps) - one;
+    EXPECT_GT(r.divergence(), 0.99);
+}
+
+TEST(Tracked, LongAccumulationDiverges) {
+    tcr::Tracked acc(0.0);
+    for (int i = 0; i < 2000000; ++i) acc += tcr::Tracked(0.1);
+    // Float accumulator loses several digits over 2e6 adds; double holds.
+    EXPECT_GT(acc.divergence(), 1e-5);
+    EXPECT_NEAR(acc.ref(), 200000.0, 1e-3);
+}
+
+TEST(ShadowLog, StatsAccumulate) {
+    tcr::ShadowLog log;
+    log.observe("a", tcr::Tracked(1.0, 1.0f));          // zero divergence
+    log.observe("a", tcr::Tracked(1.0, 1.0f + 1e-3f));  // ~1e-3
+    const auto& s = log.sites().at("a");
+    EXPECT_EQ(s.samples, 2u);
+    EXPECT_NEAR(s.max_rel, 1e-3, 1e-6);
+    EXPECT_NEAR(s.mean_rel(), 5e-4, 1e-6);
+    EXPECT_NEAR(s.worst_digits(), 3.0, 0.01);
+}
+
+TEST(ShadowLog, RecommendSeparatesSites) {
+    tcr::ShadowLog log;
+    log.observe("flux", tcr::Tracked(1.0, 1.0f + 1e-7f));
+    log.observe("global_sum", tcr::Tracked(1.0, 1.1f));
+    const auto recs = log.recommend(1e-5);
+    ASSERT_EQ(recs.size(), 2u);
+    for (const auto& r : recs) {
+        if (r.site == "flux") {
+            EXPECT_TRUE(r.float_safe);
+        }
+        if (r.site == "global_sum") {
+            EXPECT_FALSE(r.float_safe);
+        }
+    }
+}
+
+TEST(ShadowLog, ReproducesClamrStyleVerdict) {
+    // Miniature of the CRAFT result: per-cell flux arithmetic is
+    // float-safe; the long mass accumulation is not.
+    tp::util::Rng rng(11);
+    tcr::ShadowLog log;
+    tcr::Tracked mass(0.0);
+    const tcr::Tracked g(9.80665), half(0.5);
+    for (int i = 0; i < 1000000; ++i) {
+        const tcr::Tracked h(rng.uniform(10.0, 80.0));
+        const tcr::Tracked hu(rng.uniform(-50.0, 50.0));
+        const auto u = hu / h;
+        const auto flux = hu * u + half * g * h * h;
+        log.observe("finite_diff:flux", flux);
+        mass += h;
+        log.observe("diagnostics:mass_sum", mass);
+    }
+    const auto recs = log.recommend(1e-6);
+    bool flux_safe = false, sum_safe = true;
+    for (const auto& r : recs) {
+        if (r.site == "finite_diff:flux") flux_safe = r.float_safe;
+        if (r.site == "diagnostics:mass_sum") sum_safe = r.float_safe;
+    }
+    EXPECT_TRUE(flux_safe);
+    EXPECT_FALSE(sum_safe);
+}
+
+TEST(ShadowLog, ZeroReference) {
+    tcr::ShadowLog log;
+    log.observe("z", tcr::Tracked(0.0, 0.0f));
+    EXPECT_EQ(log.sites().at("z").max_rel, 0.0);
+    log.observe("z", tcr::Tracked(0.0, 1.0f));
+    EXPECT_EQ(log.sites().at("z").max_rel, 1.0);
+}

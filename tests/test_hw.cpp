@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/aws.hpp"
+#include "hw/archspec.hpp"
+#include "hw/roofline.hpp"
+#include "perf/counters.hpp"
+
+namespace th = tp::hw;
+namespace tc = tp::costmodel;
+
+// ---------------------------------------------------------------- archspec
+TEST(ArchSpec, PaperArchitecturesPresent) {
+    const auto archs = th::paper_architectures();
+    ASSERT_EQ(archs.size(), 6u);
+    EXPECT_TRUE(th::find_architecture("Haswell E5-2660 v3").has_value());
+    EXPECT_TRUE(th::find_architecture("GTX TITAN X").has_value());
+    EXPECT_FALSE(th::find_architecture("nonexistent").has_value());
+}
+
+TEST(ArchSpec, TitanXHas32To1Ratio) {
+    // The paper calls out the TITAN X's 32:1 SP:DP ratio vs <= 3:1 for the
+    // compute parts; that ratio is the lever behind its 453% speedup.
+    const auto titan = th::find_architecture("GTX TITAN X");
+    ASSERT_TRUE(titan.has_value());
+    EXPECT_NEAR(titan->sp_dp_ratio(), 32.0, 0.5);
+    for (const auto& a : th::paper_architectures()) {
+        if (a.name != "GTX TITAN X") {
+            EXPECT_LE(a.sp_dp_ratio(), 3.01) << a.name;
+        }
+    }
+}
+
+TEST(ArchSpec, ClamrSubsetOmitsP100) {
+    const auto v = th::clamr_architectures();
+    EXPECT_EQ(v.size(), 5u);
+    for (const auto& a : v) EXPECT_NE(a.name, "Tesla P100 SXM2");
+}
+
+TEST(ArchSpec, CpusAndGpusClassified) {
+    int cpus = 0, gpus = 0;
+    for (const auto& a : th::paper_architectures())
+        (a.is_gpu() ? gpus : cpus)++;
+    EXPECT_EQ(cpus, 2);
+    EXPECT_EQ(gpus, 4);
+}
+
+// ---------------------------------------------------------------- roofline
+namespace {
+tp::perf::KernelWork sp_work(std::uint64_t flops, std::uint64_t bytes) {
+    tp::perf::KernelWork w;
+    w.flops_sp = flops;
+    w.bytes = bytes;
+    w.invocations = 1;
+    return w;
+}
+tp::perf::KernelWork dp_work(std::uint64_t flops, std::uint64_t bytes) {
+    tp::perf::KernelWork w;
+    w.flops_dp = flops;
+    w.bytes = bytes;
+    w.invocations = 1;
+    return w;
+}
+}  // namespace
+
+TEST(Roofline, ComputeBoundVsMemoryBound) {
+    const auto k40 = *th::find_architecture("Tesla K40m");
+    th::PerfProjector proj(k40);
+    // Huge flops, no bytes: compute bound.
+    const auto tc1 = proj.project(dp_work(1'000'000'000'000ull, 8));
+    EXPECT_FALSE(tc1.memory_bound());
+    // Huge bytes, few flops: memory bound.
+    const auto tm = proj.project(dp_work(8, 1'000'000'000'000ull));
+    EXPECT_TRUE(tm.memory_bound());
+}
+
+TEST(Roofline, SpFasterThanDpWhenComputeBound) {
+    const auto titan = *th::find_architecture("GTX TITAN X");
+    th::PerfProjector proj(titan);
+    const std::uint64_t f = 1'000'000'000'000ull;
+    const double t_sp = proj.project(sp_work(f, 8)).total();
+    const double t_dp = proj.project(dp_work(f, 8)).total();
+    EXPECT_NEAR(t_dp / t_sp, titan.sp_dp_ratio(), 1.0);
+}
+
+TEST(Roofline, MemoryTimeScalesWithBytes) {
+    const auto hw = *th::find_architecture("Haswell E5-2660 v3");
+    th::PerfProjector proj(hw);
+    const double t1 = proj.project(sp_work(0, 1'000'000'000)).total();
+    const double t2 = proj.project(sp_work(0, 2'000'000'000)).total();
+    EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(Roofline, UnvectorizedCollapsesSpDpGap) {
+    // The paper's Table III: unvectorized kernels gain little from single
+    // precision because scalar issue retires SP and DP at the same rate.
+    const auto hw = *th::find_architecture("Haswell E5-2660 v3");
+    th::ProjectionOptions scalar;
+    scalar.vectorized = false;
+    th::PerfProjector proj(hw, scalar);
+    const std::uint64_t f = 1'000'000'000'000ull;
+    const double t_sp = proj.project(sp_work(f, 8)).total();
+    const double t_dp = proj.project(dp_work(f, 8)).total();
+    EXPECT_NEAR(t_dp / t_sp, 1.0, 1e-9);
+}
+
+TEST(Roofline, ConversionsCostDpPipeOnGpu) {
+    const auto k40 = *th::find_architecture("Tesla K40m");
+    th::PerfProjector proj(k40);
+    auto w = dp_work(1'000'000'000ull, 8);
+    const double base = proj.project(w).total();
+    w.convert_ops = 1'000'000'000ull;
+    const double with_conv = proj.project(w).total();
+    EXPECT_NEAR(with_conv / base, 2.0, 0.02);  // launch overhead skews a bit
+}
+
+TEST(Roofline, LaunchOverheadAdds) {
+    const auto k40 = *th::find_architecture("Tesla K40m");
+    th::PerfProjector proj(k40);
+    tp::perf::KernelWork w;
+    w.invocations = 1000;
+    const auto t = proj.project(w);
+    EXPECT_NEAR(t.overhead_seconds, 1000 * 8e-6, 1e-9);
+}
+
+TEST(Roofline, AppSecondsSumsKernels) {
+    const auto hw = *th::find_architecture("Haswell E5-2660 v3");
+    th::PerfProjector proj(hw);
+    tp::perf::WorkLedger ledger;
+    ledger.record("a", 0.0, 0, 1'000'000'000ull, 0);
+    ledger.record("b", 0.0, 0, 2'000'000'000ull, 0);
+    const double t = proj.project_app_seconds(ledger);
+    const double ta = proj.project(*ledger.find("a")).total();
+    const double tb = proj.project(*ledger.find("b")).total();
+    EXPECT_DOUBLE_EQ(t, ta + tb);
+}
+
+TEST(Roofline, MemoryProjectionAddsOverheads) {
+    const auto cpu = *th::find_architecture("Haswell E5-2660 v3");
+    const auto gpu = *th::find_architecture("Tesla K40m");
+    const std::uint64_t state = 100'000'000ull;
+    EXPECT_GT(th::PerfProjector(cpu).project_memory_bytes(state),
+              th::PerfProjector(gpu).project_memory_bytes(state));
+    EXPECT_GT(th::PerfProjector(gpu).project_memory_bytes(state), state);
+}
+
+TEST(Energy, TdpTimesRuntime) {
+    const auto hw = *th::find_architecture("Haswell E5-2660 v3");
+    EXPECT_DOUBLE_EQ(th::energy_joules(hw, 10.0), 1050.0);
+}
+
+// --------------------------------------------------------------- cost model
+TEST(CostModel, ComputeCostProportionalToRuntime) {
+    const tc::AwsRates rates;
+    const auto full =
+        tc::estimate_monthly_cost(rates, tc::clamr_scenario(31.3, 0.128));
+    const auto min =
+        tc::estimate_monthly_cost(rates, tc::clamr_scenario(26.3, 0.086));
+    EXPECT_NEAR(min.compute_dollars / full.compute_dollars, 26.3 / 31.3,
+                1e-9);
+}
+
+TEST(CostModel, StorageCostTracksFileSize) {
+    const tc::AwsRates rates;
+    const auto full =
+        tc::estimate_monthly_cost(rates, tc::clamr_scenario(31.3, 0.128));
+    const auto min =
+        tc::estimate_monthly_cost(rates, tc::clamr_scenario(31.3, 0.086));
+    EXPECT_NEAR(min.storage_dollars / full.storage_dollars, 0.086 / 0.128,
+                1e-9);
+}
+
+TEST(CostModel, ClamrSavingsMatchPaperShape) {
+    // Paper Table VII: ~23% total savings minimum vs full, ~15% mixed.
+    const tc::AwsRates rates;
+    const auto full =
+        tc::estimate_monthly_cost(rates, tc::clamr_scenario(31.3, 0.128));
+    const auto mixed =
+        tc::estimate_monthly_cost(rates, tc::clamr_scenario(29.9, 0.086));
+    const auto min =
+        tc::estimate_monthly_cost(rates, tc::clamr_scenario(26.3, 0.086));
+    const double s_min = tc::savings_fraction(full, min);
+    const double s_mixed = tc::savings_fraction(full, mixed);
+    EXPECT_GT(s_min, s_mixed);
+    EXPECT_NEAR(s_min, 0.23, 0.08);
+    EXPECT_NEAR(s_mixed, 0.15, 0.08);
+}
+
+TEST(CostModel, SelfComputeHalved) {
+    const tc::AwsRates rates;
+    const auto a =
+        tc::estimate_monthly_cost(rates, tc::self_scenario(100.0, 1.0));
+    auto in = tc::self_scenario(100.0, 1.0);
+    in.compute_scale = 1.0;
+    const auto b = tc::estimate_monthly_cost(rates, in);
+    EXPECT_NEAR(a.compute_dollars / b.compute_dollars, 0.5, 1e-9);
+}
+
+TEST(CostModel, RejectsBadInputs) {
+    const tc::AwsRates rates;
+    auto in = tc::clamr_scenario(10.0, 0.1);
+    in.runtime_seconds = -1.0;
+    EXPECT_THROW((void)tc::estimate_monthly_cost(rates, in),
+                 std::invalid_argument);
+    in = tc::clamr_scenario(10.0, 0.1);
+    in.storage_reduction = 0.0;
+    EXPECT_THROW((void)tc::estimate_monthly_cost(rates, in),
+                 std::invalid_argument);
+}
+
+TEST(CostModel, SavingsFractionEdgeCases) {
+    tc::CostBreakdown zero{};
+    tc::CostBreakdown some{10.0, 5.0};
+    EXPECT_EQ(tc::savings_fraction(zero, some), 0.0);
+    EXPECT_DOUBLE_EQ(tc::savings_fraction(some, zero), 1.0);
+    EXPECT_DOUBLE_EQ(some.total(), 15.0);
+}
+
+// ------------------------------------------------------------------ ledger
+TEST(WorkLedger, AccumulatesAndTotals) {
+    tp::perf::WorkLedger ledger;
+    ledger.record("k", 1.0, 100, 200, 4096, 8);
+    ledger.record("k", 0.5, 100, 0, 1024, 0);
+    ledger.record("j", 0.25, 0, 50, 512, 0);
+    const auto* k = ledger.find("k");
+    ASSERT_NE(k, nullptr);
+    EXPECT_DOUBLE_EQ(k->seconds, 1.5);
+    EXPECT_EQ(k->flops_sp, 200u);
+    EXPECT_EQ(k->flops_dp, 200u);
+    EXPECT_EQ(k->convert_ops, 8u);
+    EXPECT_EQ(k->invocations, 2u);
+    const auto total = ledger.total();
+    EXPECT_EQ(total.flops(), 450u);
+    EXPECT_EQ(total.bytes, 5632u);
+    EXPECT_EQ(ledger.find("missing"), nullptr);
+}
+
+TEST(WorkLedger, ArithmeticIntensity) {
+    tp::perf::KernelWork w;
+    w.flops_sp = 100;
+    w.bytes = 50;
+    EXPECT_DOUBLE_EQ(w.arithmetic_intensity(), 2.0);
+    tp::perf::KernelWork none;
+    EXPECT_EQ(none.arithmetic_intensity(), 0.0);
+}
+
+// ----------------------------------------------- cross-architecture sweeps
+class ArchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchSweep, ProjectionBasicProperties) {
+    const auto& arch =
+        th::paper_architectures()[static_cast<std::size_t>(GetParam())];
+    th::PerfProjector proj(arch);
+    // Work with both compute and memory components.
+    tp::perf::KernelWork w;
+    w.flops_sp = 1'000'000'000ull;
+    w.flops_dp = 1'000'000'000ull;
+    w.bytes = 1'000'000'000ull;
+    w.bytes_compute = 500'000'000ull;
+    w.invocations = 10;
+    const auto t = proj.project(w);
+    EXPECT_GT(t.compute_seconds, 0.0);
+    EXPECT_GT(t.memory_seconds, 0.0);
+    EXPECT_GE(t.total(), std::max(t.compute_seconds, t.memory_seconds));
+    // Energy is TDP-scaled and positive.
+    EXPECT_GT(th::energy_joules(arch, t.total()), 0.0);
+    // Doubling all work at least doubles neither-component-shrinks.
+    tp::perf::KernelWork w2 = w;
+    w2 += w;
+    const auto t2 = proj.project(w2);
+    EXPECT_NEAR(t2.total(), 2.0 * t.total(), 0.05 * t.total());
+}
+
+TEST_P(ArchSweep, UnvectorizedNeverFasterOnCpu) {
+    const auto& arch =
+        th::paper_architectures()[static_cast<std::size_t>(GetParam())];
+    th::ProjectionOptions vec, scal;
+    scal.vectorized = false;
+    tp::perf::KernelWork w;
+    w.flops_dp = 10'000'000'000ull;
+    w.bytes = 1'000'000ull;
+    const double tv = th::PerfProjector(arch, vec).project(w).total();
+    const double ts = th::PerfProjector(arch, scal).project(w).total();
+    if (arch.is_gpu())
+        EXPECT_DOUBLE_EQ(tv, ts);  // flag only models CPU SIMD
+    else
+        EXPECT_GT(ts, tv);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, ArchSweep, ::testing::Range(0, 6));
+
+TEST(Roofline, ComputeTrafficFractionDiffersByPlatform) {
+    tp::perf::KernelWork w;
+    w.bytes_compute = 1'000'000'000ull;
+    const auto cpu = *th::find_architecture("Haswell E5-2660 v3");
+    const auto gpu = *th::find_architecture("Tesla K40m");
+    th::ProjectionOptions opt;
+    opt.include_launch_overhead = false;
+    const double t_cpu =
+        th::PerfProjector(cpu, opt).project(w).memory_seconds *
+        cpu.mem_bw_gbs;
+    const double t_gpu =
+        th::PerfProjector(gpu, opt).project(w).memory_seconds *
+        gpu.mem_bw_gbs;
+    // Same bandwidth-normalized traffic: the GPU streams 4x more of the
+    // compute-precision temporaries than the cache-rich CPU absorbs.
+    EXPECT_NEAR(t_gpu / t_cpu, 4.0, 0.3);
+}

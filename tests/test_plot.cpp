@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/plot.hpp"
+
+namespace tu = tp::util;
+
+namespace {
+std::vector<double> linspace(double a, double b, int n) {
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        v[static_cast<std::size_t>(i)] = a + (b - a) * i / (n - 1);
+    return v;
+}
+}  // namespace
+
+TEST(AsciiPlot, RendersExpectedDimensions) {
+    const auto x = linspace(0.0, 1.0, 50);
+    tu::PlotSeries s{"sin", {}, '*'};
+    for (const double v : x) s.y.push_back(std::sin(6.28 * v));
+    tu::PlotOptions opt;
+    opt.width = 40;
+    opt.height = 10;
+    opt.title = "wave";
+    const std::vector<tu::PlotSeries> series{s};
+    const std::string out = tu::ascii_plot(x, series, opt);
+    EXPECT_NE(out.find("wave"), std::string::npos);
+    EXPECT_NE(out.find("* = sin"), std::string::npos);
+    // Title + height rows + axis + x labels + legend.
+    int lines = 0;
+    std::istringstream is(out);
+    for (std::string l; std::getline(is, l);) ++lines;
+    EXPECT_EQ(lines, 1 + 10 + 1 + 1 + 1);
+}
+
+TEST(AsciiPlot, MarksExtremesOnCorrectRows) {
+    // A ramp: the max lands on the top row, the min on the bottom row.
+    const auto x = linspace(0.0, 1.0, 30);
+    tu::PlotSeries s{"ramp", {}, '*'};
+    for (const double v : x) s.y.push_back(v);
+    tu::PlotOptions opt;
+    opt.width = 30;
+    opt.height = 8;
+    const std::vector<tu::PlotSeries> series{s};
+    std::istringstream is(tu::ascii_plot(x, series, opt));
+    std::vector<std::string> rows;
+    for (std::string l; std::getline(is, l);) rows.push_back(l);
+    // First canvas row contains a mark near the right edge, last near left.
+    const std::string& top = rows[0];
+    const std::string& bottom = rows[7];
+    EXPECT_GT(top.rfind('*'), top.size() / 2);
+    EXPECT_LT(bottom.find('*'), bottom.size() / 2 + 4);
+}
+
+TEST(AsciiPlot, CollisionsRenderAsHash) {
+    const auto x = linspace(0.0, 1.0, 20);
+    tu::PlotSeries a{"a", std::vector<double>(20, 0.5), '.'};
+    tu::PlotSeries b{"b", std::vector<double>(20, 0.5), 'o'};
+    const std::vector<tu::PlotSeries> series{a, b};
+    const std::string out = tu::ascii_plot(x, series);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, FlatSeriesGetsWindow) {
+    const auto x = linspace(0.0, 1.0, 5);
+    const std::vector<tu::PlotSeries> series{
+        {"flat", std::vector<double>(5, 2.0), '*'}};
+    EXPECT_NO_THROW({
+        const auto out = tu::ascii_plot(x, series);
+        EXPECT_NE(out.find('*'), std::string::npos);
+    });
+    const std::vector<tu::PlotSeries> zero{
+        {"zero", std::vector<double>(5, 0.0), '*'}};
+    EXPECT_NO_THROW((void)tu::ascii_plot(x, zero));
+}
+
+TEST(AsciiPlot, ValidatesInput) {
+    const auto x = linspace(0.0, 1.0, 5);
+    const std::vector<tu::PlotSeries> none;
+    EXPECT_THROW((void)tu::ascii_plot(x, none), std::invalid_argument);
+    const std::vector<tu::PlotSeries> ragged{
+        {"bad", std::vector<double>(3, 1.0), '*'}};
+    EXPECT_THROW((void)tu::ascii_plot(x, ragged), std::invalid_argument);
+    const std::vector<double> empty;
+    EXPECT_THROW((void)tu::ascii_plot(empty, ragged), std::invalid_argument);
+}

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sem/operators.hpp"
+#include "sem/quadrature.hpp"
+
+namespace tse = tp::sem;
+
+// ---------------------------------------------------------------- legendre
+TEST(Legendre, KnownValues) {
+    EXPECT_DOUBLE_EQ(tse::legendre(0, 0.3).value, 1.0);
+    EXPECT_DOUBLE_EQ(tse::legendre(1, 0.3).value, 0.3);
+    // P2(x) = (3x^2 - 1)/2.
+    EXPECT_NEAR(tse::legendre(2, 0.3).value, (3 * 0.09 - 1) / 2, 1e-15);
+    // P3(x) = (5x^3 - 3x)/2.
+    EXPECT_NEAR(tse::legendre(3, 0.5).value, (5 * 0.125 - 1.5) / 2, 1e-15);
+    EXPECT_DOUBLE_EQ(tse::legendre(7, 1.0).value, 1.0);
+    EXPECT_DOUBLE_EQ(tse::legendre(7, -1.0).value, -1.0);
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+    for (int n = 1; n <= 9; ++n) {
+        const double x = 0.37;
+        const double h = 1e-6;
+        const double fd = (tse::legendre(n, x + h).value -
+                           tse::legendre(n, x - h).value) /
+                          (2 * h);
+        EXPECT_NEAR(tse::legendre(n, x).derivative, fd, 1e-7) << "n=" << n;
+    }
+}
+
+TEST(Legendre, EndpointDerivative) {
+    // P_n'(1) = n(n+1)/2.
+    for (int n = 1; n <= 8; ++n)
+        EXPECT_NEAR(tse::legendre(n, 1.0).derivative, n * (n + 1) / 2.0,
+                    1e-12);
+}
+
+// -------------------------------------------------------------- quadrature
+TEST(GaussLobatto, KnownSmallRules) {
+    const auto r2 = tse::gauss_lobatto(2);
+    ASSERT_EQ(r2.size(), 3u);
+    EXPECT_DOUBLE_EQ(r2.nodes[0], -1.0);
+    EXPECT_DOUBLE_EQ(r2.nodes[1], 0.0);
+    EXPECT_DOUBLE_EQ(r2.nodes[2], 1.0);
+    EXPECT_NEAR(r2.weights[0], 1.0 / 3.0, 1e-15);
+    EXPECT_NEAR(r2.weights[1], 4.0 / 3.0, 1e-15);
+
+    const auto r3 = tse::gauss_lobatto(3);
+    ASSERT_EQ(r3.size(), 4u);
+    EXPECT_NEAR(r3.nodes[1], -1.0 / std::sqrt(5.0), 1e-14);
+    EXPECT_NEAR(r3.weights[1], 5.0 / 6.0, 1e-14);
+    EXPECT_NEAR(r3.weights[0], 1.0 / 6.0, 1e-14);
+}
+
+class QuadratureExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureExactness, LobattoExactToDegree2Nminus1) {
+    const int order = GetParam();
+    const auto rule = tse::gauss_lobatto(order);
+    // Integrate x^p over [-1,1] for p = 0 .. 2*order-1.
+    for (int p = 0; p <= 2 * order - 1; ++p) {
+        double got = 0.0;
+        for (std::size_t k = 0; k < rule.size(); ++k)
+            got += rule.weights[k] * std::pow(rule.nodes[k], p);
+        const double want = (p % 2 == 1) ? 0.0 : 2.0 / (p + 1);
+        EXPECT_NEAR(got, want, 1e-12) << "order=" << order << " p=" << p;
+    }
+}
+
+TEST_P(QuadratureExactness, GaussExactToDegree2Nminus1) {
+    const int n = GetParam();
+    const auto rule = tse::gauss_legendre(n);
+    for (int p = 0; p <= 2 * n - 1; ++p) {
+        double got = 0.0;
+        for (std::size_t k = 0; k < rule.size(); ++k)
+            got += rule.weights[k] * std::pow(rule.nodes[k], p);
+        const double want = (p % 2 == 1) ? 0.0 : 2.0 / (p + 1);
+        EXPECT_NEAR(got, want, 1e-12) << "n=" << n << " p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QuadratureExactness,
+                         ::testing::Range(1, 13));
+
+TEST(GaussLobatto, NodesSymmetricAndSorted) {
+    for (int order = 2; order <= 12; ++order) {
+        const auto r = tse::gauss_lobatto(order);
+        for (std::size_t k = 0; k + 1 < r.size(); ++k)
+            EXPECT_LT(r.nodes[k], r.nodes[k + 1]);
+        for (std::size_t k = 0; k < r.size(); ++k) {
+            EXPECT_EQ(r.nodes[k], -r.nodes[r.size() - 1 - k]);
+            EXPECT_DOUBLE_EQ(r.weights[k], r.weights[r.size() - 1 - k]);
+        }
+    }
+}
+
+TEST(GaussLobatto, WeightsSumToTwo) {
+    for (int order = 1; order <= 12; ++order) {
+        const auto r = tse::gauss_lobatto(order);
+        double s = 0.0;
+        for (const double w : r.weights) s += w;
+        EXPECT_NEAR(s, 2.0, 1e-13);
+    }
+}
+
+TEST(Quadrature, RejectsBadOrders) {
+    EXPECT_THROW((void)tse::gauss_lobatto(0), std::invalid_argument);
+    EXPECT_THROW((void)tse::gauss_legendre(0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- operators
+TEST(Operators, DerivativeExactForPolynomials) {
+    for (int order = 2; order <= 10; ++order) {
+        const auto rule = tse::gauss_lobatto(order);
+        const auto D = tse::derivative_matrix(rule.nodes);
+        // d/dx of x^p is exact for p <= order.
+        for (int p = 0; p <= order; ++p) {
+            for (int i = 0; i <= order; ++i) {
+                double got = 0.0;
+                for (int j = 0; j <= order; ++j)
+                    got += D.at(i, j) *
+                           std::pow(rule.nodes[static_cast<std::size_t>(j)],
+                                    p);
+                const double x = rule.nodes[static_cast<std::size_t>(i)];
+                const double want = p == 0 ? 0.0 : p * std::pow(x, p - 1);
+                EXPECT_NEAR(got, want, 1e-10)
+                    << "order=" << order << " p=" << p << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(Operators, DerivativeRowsKillConstantsExactly) {
+    const auto rule = tse::gauss_lobatto(8);
+    const auto D = tse::derivative_matrix(rule.nodes);
+    for (int i = 0; i < D.n; ++i) {
+        double s = 0.0;
+        for (int j = 0; j < D.n; ++j) s += D.at(i, j);
+        // The diagonal is the negated off-diagonal sum; re-summing in a
+        // different order leaves only rounding noise.
+        EXPECT_NEAR(s, 0.0, 1e-13);
+    }
+}
+
+TEST(Operators, InterpolationReproducesPolynomials) {
+    const auto from = tse::gauss_lobatto(6).nodes;
+    const auto to = tse::gauss_legendre(7).nodes;
+    const auto M = tse::interpolation_matrix(from, to);
+    for (int p = 0; p <= 6; ++p)
+        for (int i = 0; i < M.n; ++i) {
+            double got = 0.0;
+            for (int j = 0; j < M.n; ++j)
+                got += M.at(i, j) *
+                       std::pow(from[static_cast<std::size_t>(j)], p);
+            EXPECT_NEAR(got,
+                        std::pow(to[static_cast<std::size_t>(i)], p), 1e-12);
+        }
+}
+
+TEST(Operators, BarycentricInterpolationHitsNodes) {
+    const auto nodes = tse::gauss_lobatto(5).nodes;
+    const auto bary = tse::barycentric_weights(nodes);
+    std::vector<double> vals(nodes.size());
+    for (std::size_t k = 0; k < nodes.size(); ++k)
+        vals[k] = std::sin(nodes[k]);
+    for (std::size_t k = 0; k < nodes.size(); ++k)
+        EXPECT_EQ(tse::lagrange_interpolate(nodes, bary, vals, nodes[k]),
+                  vals[k]);
+    // Off-node: close to sin for a smooth function.
+    EXPECT_NEAR(tse::lagrange_interpolate(nodes, bary, vals, 0.123),
+                std::sin(0.123), 1e-5);
+}
+
+TEST(Operators, InvertRoundTrips) {
+    const auto V = tse::legendre_vandermonde(tse::gauss_lobatto(7));
+    const auto Vi = tse::invert(V);
+    const auto I = tse::matmul(V, Vi);
+    for (int r = 0; r < I.n; ++r)
+        for (int c = 0; c < I.n; ++c)
+            EXPECT_NEAR(I.at(r, c), r == c ? 1.0 : 0.0, 1e-11);
+}
+
+TEST(Operators, InvertRejectsSingular) {
+    tse::DenseMatrix s(3);  // all zeros
+    EXPECT_THROW((void)tse::invert(s), std::runtime_error);
+}
+
+TEST(Operators, FilterPreservesLowModesDampsHigh) {
+    const auto rule = tse::gauss_lobatto(8);
+    const int cutoff = 3;
+    const auto F = tse::exponential_filter(rule, cutoff, 36.0, 16);
+    // Apply to a pure Legendre mode: modes <= cutoff unchanged, the top
+    // mode strongly damped.
+    auto apply_to_mode = [&](int mode) {
+        double max_out = 0.0, max_in = 0.0;
+        std::vector<double> in(rule.size());
+        for (std::size_t k = 0; k < rule.size(); ++k) {
+            in[k] = tse::legendre(mode, rule.nodes[k]).value;
+            max_in = std::max(max_in, std::fabs(in[k]));
+        }
+        for (int i = 0; i < F.n; ++i) {
+            double v = 0.0;
+            for (int j = 0; j < F.n; ++j)
+                v += F.at(i, j) * in[static_cast<std::size_t>(j)];
+            max_out = std::max(max_out,
+                               std::fabs(v - in[static_cast<std::size_t>(i)]));
+        }
+        return max_out / max_in;
+    };
+    for (int mode = 0; mode <= cutoff; ++mode)
+        EXPECT_LT(apply_to_mode(mode), 1e-10) << "mode " << mode;
+    EXPECT_GT(apply_to_mode(8), 0.9);  // top mode nearly removed
+}
+
+TEST(Operators, FilterRejectsBadCutoff) {
+    const auto rule = tse::gauss_lobatto(4);
+    EXPECT_THROW((void)tse::exponential_filter(rule, -1, 36.0, 16),
+                 std::invalid_argument);
+    EXPECT_THROW((void)tse::exponential_filter(rule, 4, 36.0, 16),
+                 std::invalid_argument);
+}
+
+TEST(Operators, MatmulMismatchThrows) {
+    tse::DenseMatrix a(2), b(3);
+    EXPECT_THROW((void)tse::matmul(a, b), std::invalid_argument);
+}

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "tuner/tradespace.hpp"
+
+namespace tt = tp::tuner;
+
+namespace {
+
+tt::SweepConfig tiny_sweep() {
+    tt::SweepConfig s;
+    s.resolutions = {16, 32};
+    s.max_level = 1;
+    s.steps = 40;
+    return s;
+}
+
+tt::Candidate make(tp::fp::PrecisionMode mode, double dx, double digits,
+                   double seconds) {
+    tt::Candidate c;
+    c.mode = mode;
+    c.finest_dx = dx;
+    c.digits = digits;
+    c.projected_seconds = seconds;
+    c.energy_joules = seconds * 100.0;
+    return c;
+}
+
+}  // namespace
+
+TEST(TradeSpace, ExploreCoversGrid) {
+    const auto cands = tt::explore(tiny_sweep());
+    ASSERT_EQ(cands.size(), 6u);  // 3 precisions x 2 resolutions
+    // Full-precision rows carry reference-level digits.
+    int fulls = 0;
+    for (const auto& c : cands)
+        if (c.mode == tp::fp::PrecisionMode::Full) {
+            EXPECT_EQ(c.digits, 17.0);
+            ++fulls;
+        } else {
+            EXPECT_GT(c.digits, 2.0);
+            EXPECT_LT(c.digits, 17.0);
+        }
+    EXPECT_EQ(fulls, 2);
+    for (const auto& c : cands) {
+        EXPECT_GT(c.projected_seconds, 0.0);
+        EXPECT_GT(c.energy_joules, c.projected_seconds);  // TDP > 1 W
+        EXPECT_GT(c.cells, 0u);
+    }
+}
+
+TEST(TradeSpace, ReducedPrecisionProjectsFasterAtSameResolution) {
+    const auto cands = tt::explore(tiny_sweep());
+    for (std::size_t base = 0; base < cands.size(); base += 3) {
+        const auto& min = cands[base];
+        const auto& full = cands[base + 2];
+        ASSERT_EQ(min.mode, tp::fp::PrecisionMode::Minimum);
+        ASSERT_EQ(full.mode, tp::fp::PrecisionMode::Full);
+        EXPECT_LT(min.projected_seconds, full.projected_seconds);
+        EXPECT_LT(min.checkpoint_bytes, full.checkpoint_bytes);
+    }
+}
+
+TEST(TradeSpace, SelectPrefersFinestFeasible) {
+    const std::vector<tt::Candidate> cands{
+        make(tp::fp::PrecisionMode::Full, 1.0, 17.0, 10.0),
+        make(tp::fp::PrecisionMode::Minimum, 0.5, 6.0, 8.0),
+        make(tp::fp::PrecisionMode::Minimum, 0.25, 6.0, 30.0),
+    };
+    tt::Constraints c;
+    c.min_digits = 5.0;
+    const auto best = tt::select(cands, c);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->finest_dx, 0.25);  // finest wins when unconstrained
+
+    c.max_seconds = 20.0;  // now the 0.25 run is too expensive
+    const auto budgeted = tt::select(cands, c);
+    ASSERT_TRUE(budgeted.has_value());
+    EXPECT_EQ(budgeted->finest_dx, 0.5);
+}
+
+TEST(TradeSpace, SelectTieBreaksOnCost) {
+    const std::vector<tt::Candidate> cands{
+        make(tp::fp::PrecisionMode::Full, 0.5, 17.0, 10.0),
+        make(tp::fp::PrecisionMode::Minimum, 0.5, 6.0, 4.0),
+    };
+    tt::Constraints c;
+    c.min_digits = 5.0;
+    const auto best = tt::select(cands, c);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->mode, tp::fp::PrecisionMode::Minimum);
+}
+
+TEST(TradeSpace, SelectReturnsNulloptWhenInfeasible) {
+    const std::vector<tt::Candidate> cands{
+        make(tp::fp::PrecisionMode::Minimum, 0.5, 6.0, 4.0),
+    };
+    tt::Constraints c;
+    c.min_digits = 10.0;
+    EXPECT_FALSE(tt::select(cands, c).has_value());
+}
+
+TEST(TradeSpace, ExploreRejectsUnknownArch) {
+    auto sweep = tiny_sweep();
+    sweep.arch = "not-a-machine";
+    EXPECT_THROW((void)tt::explore(sweep), std::invalid_argument);
+}
+
+TEST(TradeSpace, ConstraintAccessors) {
+    tt::Constraints c;
+    tt::Candidate ok = make(tp::fp::PrecisionMode::Full, 1.0, 17.0, 1.0);
+    EXPECT_TRUE(ok.feasible(c));
+    ok.digits = 1.0;
+    EXPECT_FALSE(ok.feasible(c));
+}
+
+TEST(TradeSpace, SelectEmptyCandidateList) {
+    const std::vector<tt::Candidate> none;
+    tt::Constraints c;
+    EXPECT_FALSE(tt::select(none, c).has_value());
+}
+
+TEST(TradeSpace, EnergyConstraintFilters) {
+    const std::vector<tt::Candidate> cands{
+        make(tp::fp::PrecisionMode::Minimum, 0.5, 6.0, 4.0),  // 400 J
+        make(tp::fp::PrecisionMode::Minimum, 0.25, 6.0, 9.0), // 900 J
+    };
+    tt::Constraints c;
+    c.min_digits = 5.0;
+    c.max_energy_joules = 500.0;
+    const auto best = tt::select(cands, c);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->finest_dx, 0.5);  // the finer one is over the cap
+}
