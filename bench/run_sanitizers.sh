@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build with AddressSanitizer + UndefinedBehaviorSanitizer and run the test
+# suite — the configuration that catches the class of latent bugs fixed in
+# the threading PR (OOB level lookup in compute_dt, unvalidated checkpoint
+# headers). Run from anywhere; builds into <repo>/build-asan.
+#
+#   $ bench/run_sanitizers.sh             # full suite
+#   $ bench/run_sanitizers.sh Checkpoint  # only tests matching a regex
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-asan"
+filter="${1:-}"
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTP_SANITIZE=ON
+cmake --build "$build" -j "$(nproc)"
+
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=0"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+if [[ -n "$filter" ]]; then
+  ctest --test-dir "$build" --output-on-failure -R "$filter"
+else
+  ctest --test-dir "$build" --output-on-failure
+fi
+echo "sanitizer run clean"

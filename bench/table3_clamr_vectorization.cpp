@@ -54,6 +54,10 @@ int main() {
     row("Checkpoint file size", vec, [](const bench::RunArtifacts& r) {
         return util::human_bytes(r.checkpoint_bytes);
     });
+    row("finite_diff threads", vec, [](const bench::RunArtifacts& r) {
+        const perf::KernelWork* w = r.ledger.find("finite_diff");
+        return std::to_string(w != nullptr ? w->threads : 1);
+    });
     std::printf("%s\n", t.str().c_str());
 
     const double unvec_gain = unvec.at("full").finite_diff_seconds /

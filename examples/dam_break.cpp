@@ -14,6 +14,7 @@
 #include "shallow/solver.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/threads.hpp"
 #include "util/timing.hpp"
 
 using namespace tp;
@@ -32,11 +33,16 @@ int run(const util::ArgParser& args) {
     ic.h_inside = args.get_double("h-inside");
     ic.h_outside = args.get_double("h-outside");
 
+    const int nthreads = util::apply_threads_option(args);
+
     shallow::ShallowWaterSolver<Policy> solver(cfg);
     solver.initialize_dam_break(ic);
     const double mass0 = solver.total_mass();
-    std::printf("initialized: %zu cells (%d levels), initial mass %.6e\n",
-                solver.mesh().num_cells(), cfg.geom.max_level + 1, mass0);
+    std::printf(
+        "initialized: %zu cells (%d levels), initial mass %.6e, "
+        "%d thread%s (OpenMP %s)\n",
+        solver.mesh().num_cells(), cfg.geom.max_level + 1, mass0, nthreads,
+        nthreads == 1 ? "" : "s", util::openmp_enabled() ? "on" : "off");
 
     const int steps = args.get_int("steps");
     util::WallTimer timer;
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
                     "");
     args.add_flag("no-simd", "use the scalar finite_diff kernel");
     args.add_flag("verbose", "print periodic step diagnostics");
+    util::add_threads_option(args);
     if (!args.parse(argc, argv)) return 1;
 
     const std::string p = args.get_string("precision");

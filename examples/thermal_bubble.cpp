@@ -12,6 +12,7 @@
 #include "sem/dgsem.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/threads.hpp"
 #include "util/timing.hpp"
 
 using namespace tp;
@@ -30,13 +31,17 @@ int run(const util::ArgParser& args) {
     bubble.dtheta = args.get_double("dtheta");
     bubble.radius = args.get_double("radius");
 
+    const int nthreads = util::apply_threads_option(args);
+
     sem::SpectralEulerSolver<Policy> solver(cfg);
     solver.initialize_thermal_bubble(bubble);
     const double mass0 = solver.total_mass_perturbation();
     std::printf(
-        "initialized: %d^3 elements, order %d, %zu nodes (%zu DOF)\n",
+        "initialized: %d^3 elements, order %d, %zu nodes (%zu DOF), "
+        "%d thread%s\n",
         cfg.nx, cfg.order, solver.num_nodes(),
-        solver.degrees_of_freedom());
+        solver.degrees_of_freedom(), nthreads,
+        nthreads == 1 ? "" : "s");
     std::printf("bubble: dtheta=%.2f K, radius=%.0f m; initial integral "
                 "rho' = %.6e\n",
                 bubble.dtheta, bubble.radius, mass0);
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
                   "promote every single-precision op through double "
                   "(Table IV GNU-compiler model)");
     args.add_flag("verbose", "print periodic step diagnostics");
+    util::add_threads_option(args);
     if (!args.parse(argc, argv)) return 1;
 
     const std::string p = args.get_string("precision");

@@ -11,19 +11,24 @@
 // still exercising real decomposition, ghost exchange, and reduction-
 // order effects.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace tp::par {
 
-/// A tagged point-to-point message of doubles (sufficient for halos and
-/// reductions; fixed-width payloads keep the simulation honest).
+/// A tagged point-to-point message. Reduction-style traffic uses the
+/// double `payload`; halo exchange uses the raw `bytes` payload so the
+/// wire carries storage-precision values (a float-storage policy moves
+/// half the bytes of a double one, as a real MPI datatype would).
 struct Message {
     int source = 0;
     int tag = 0;
     std::vector<double> payload;
+    std::vector<std::byte> bytes;
 };
 
 /// Mailbox-based communicator for R virtual ranks.
@@ -39,9 +44,41 @@ public:
     void send(int source, int dest, int tag, std::vector<double> payload) {
         check_rank(source);
         check_rank(dest);
+        bytes_sent_ += payload.size() * sizeof(double);
         pending_.push_back(
-            {dest, Message{source, tag, std::move(payload)}});
+            {dest, Message{source, tag, std::move(payload), {}}});
     }
+
+    /// Enqueue a raw-byte message (typed halo traffic). Pair with
+    /// acquire()/release() to recycle buffers instead of allocating one
+    /// per send.
+    void send_bytes(int source, int dest, int tag,
+                    std::vector<std::byte> payload) {
+        check_rank(source);
+        check_rank(dest);
+        bytes_sent_ += payload.size();
+        pending_.push_back(
+            {dest, Message{source, tag, {}, std::move(payload)}});
+    }
+
+    /// A buffer of `n` bytes, reusing a previously release()d one when
+    /// available — the steady state of a halo-exchange loop allocates
+    /// nothing.
+    [[nodiscard]] std::vector<std::byte> acquire(std::size_t n) {
+        if (pool_.empty()) return std::vector<std::byte>(n);
+        std::vector<std::byte> buf = std::move(pool_.back());
+        pool_.pop_back();
+        buf.resize(n);
+        return buf;
+    }
+
+    /// Return a drained payload buffer to the pool.
+    void release(std::vector<std::byte> buf) {
+        pool_.push_back(std::move(buf));
+    }
+
+    /// Total payload bytes pushed through send()/send_bytes().
+    [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
     /// Deliver all pending sends — the BSP phase boundary.
     void exchange() {
@@ -82,6 +119,8 @@ private:
     int size_;
     std::vector<std::vector<Message>> boxes_;
     std::vector<std::pair<int, Message>> pending_;
+    std::vector<std::vector<std::byte>> pool_;
+    std::uint64_t bytes_sent_ = 0;
 };
 
 }  // namespace tp::par

@@ -53,6 +53,13 @@ public:
     [[nodiscard]] std::int64_t step_count() const { return step_count_; }
     [[nodiscard]] int ranks() const { return cfg_.ranks; }
 
+    /// Total halo payload bytes shipped so far. Scales with
+    /// sizeof(storage_t): a float-storage policy moves half the halo
+    /// traffic of a double one.
+    [[nodiscard]] std::uint64_t halo_bytes_sent() const {
+        return comm_.bytes_sent();
+    }
+
     /// Global mass via the configured reduction algorithm — this is the
     /// quantity whose bitwise value depends on the decomposition unless
     /// the algorithm is order-free.

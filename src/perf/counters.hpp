@@ -32,6 +32,11 @@ struct KernelWork {
                                       ///< stream it — the projector weighs
                                       ///< it per architecture.
     std::uint64_t invocations = 0;
+    std::uint32_t threads = 1;     ///< largest thread-team size the kernel
+                                   ///< ran with (1 = serial). Wall time is
+                                   ///< measured once per kernel on the
+                                   ///< calling thread, so `seconds` is
+                                   ///< elapsed time, not CPU time.
 
     [[nodiscard]] std::uint64_t flops() const { return flops_sp + flops_dp; }
 
@@ -58,6 +63,7 @@ struct KernelWork {
         bytes += o.bytes;
         bytes_compute += o.bytes_compute;
         invocations += o.invocations;
+        threads = threads > o.threads ? threads : o.threads;
         return *this;
     }
 };
@@ -65,12 +71,20 @@ struct KernelWork {
 /// Registry of kernels for one solver run. Owned per solver instance;
 /// intentionally not a global singleton so concurrent runs can't interleave
 /// their accounting.
+///
+/// Threading contract: every parallel kernel times its whole fork-join
+/// region once (wall clock, on the calling thread) and issues a single
+/// record() after the join, passing the team size it ran with. Worker
+/// threads never call record() directly; code that does accumulate on
+/// worker threads should keep a per-thread WorkLedger and fold it in with
+/// merge(), which combines entries in kernel-name order.
 class WorkLedger {
 public:
     void record(const std::string& kernel, double seconds,
                 std::uint64_t flops_sp, std::uint64_t flops_dp,
                 std::uint64_t bytes, std::uint64_t convert_ops = 0,
-                std::uint64_t bytes_compute = 0) {
+                std::uint64_t bytes_compute = 0,
+                std::uint32_t threads = 1) {
         auto& w = kernels_[kernel];
         w.seconds += seconds;
         w.flops_sp += flops_sp;
@@ -79,6 +93,14 @@ public:
         w.bytes += bytes;
         w.bytes_compute += bytes_compute;
         ++w.invocations;
+        w.threads = w.threads > threads ? w.threads : threads;
+    }
+
+    /// Fold another ledger (e.g. a per-thread one) into this one. The map
+    /// iterates in kernel-name order, so the combination is deterministic.
+    void merge(const WorkLedger& other) {
+        for (const auto& [name, work] : other.kernels_)
+            kernels_[name] += work;
     }
 
     [[nodiscard]] const KernelWork* find(const std::string& kernel) const {

@@ -8,6 +8,8 @@
 
 #include "fp/promoted.hpp"
 #include "sum/expansion.hpp"
+#include "sum/parallel.hpp"
+#include "util/threads.hpp"
 
 namespace tp::sem {
 
@@ -207,8 +209,11 @@ void SpectralEulerSolver<Policy>::account(const std::string& kernel,
                                           std::uint64_t converts,
                                           std::uint64_t bytes_compute) {
     constexpr bool sp = std::is_same_v<compute_t, float>;
+    // Every SEM kernel forks one team over its element/face loop, so the
+    // current global team size is the right value to record.
     ledger_.record(kernel, seconds, sp ? flops : 0, sp ? 0 : flops, bytes,
-                   converts, bytes_compute);
+                   converts, bytes_compute,
+                   static_cast<std::uint32_t>(util::max_threads()));
     timers_.add(kernel, seconds);
 }
 
@@ -219,8 +224,6 @@ void SpectralEulerSolver<Policy>::volume_kernel() {
     using std::sqrt;
     const int np = np_;
     const std::size_t npts = npts_;
-    std::vector<S> fx(npts * kVars), fy(npts * kVars), fz(npts * kVars);
-    std::vector<S> acc(npts);
     std::vector<S> dloc(static_cast<std::size_t>(np) * np);
     std::vector<S> dtloc(static_cast<std::size_t>(np) * np);
     for (int r = 0; r < np; ++r)
@@ -240,6 +243,13 @@ void SpectralEulerSolver<Policy>::volume_kernel() {
     const S jy = S(2.0 / dye_);
     const S jz = S(2.0 / dze_);
 
+    // Each element writes only its own npts-slice of r_, so the element
+    // loop threads cleanly; the flux scratch must be per-thread.
+#pragma omp parallel
+    {
+    std::vector<S> fx(npts * kVars), fy(npts * kVars), fz(npts * kVars);
+    std::vector<S> acc(npts);
+#pragma omp for schedule(static)
     for (int e = 0; e < nelem_; ++e) {
         const std::size_t base = static_cast<std::size_t>(e) * npts;
         // --- node fluxes + gravity source --------------------------------
@@ -340,6 +350,7 @@ void SpectralEulerSolver<Policy>::volume_kernel() {
                     static_cast<double>(acc[n]));
         }
     }
+    }  // omp parallel
 
     const std::uint64_t nodes = num_nodes();
     const std::uint64_t flops =
@@ -406,7 +417,12 @@ void SpectralEulerSolver<Policy>::surface_kernel() {
         const double de = dir == 0 ? dxe_ : dir == 1 ? dye_ : dze_;
         const compute_t lift =
             static_cast<compute_t>(2.0 / de) * lift_w_;
+        face_nodes += static_cast<std::uint64_t>(nfaces) * na * nb * np * np;
 
+        // Distinct (b, a) columns touch disjoint element rows, so they
+        // thread safely; the f march along the pencil stays serial because
+        // consecutive faces share an element.
+#pragma omp parallel for collapse(2) schedule(static)
         for (int b = 0; b < nb; ++b)
             for (int a = 0; a < na; ++a)
                 for (int f = 0; f < nfaces; ++f) {
@@ -497,7 +513,6 @@ void SpectralEulerSolver<Policy>::surface_kernel() {
                                             static_cast<double>(
                                                 fstar - R.fn[v]));
                             }
-                            ++face_nodes;
                         }
                 }
     }
@@ -549,8 +564,6 @@ void SpectralEulerSolver<Policy>::gradient_kernel() {
         out[3] = pf * inv / rgas;  // temperature
     };
 
-    std::vector<S> prim(npts * 4);
-    std::vector<S> gx(npts), gy(npts), gz(npts);
     std::vector<S> dloc(snp * snp), dtloc(snp * snp);
     for (int r = 0; r < np; ++r)
         for (int c = 0; c < np; ++c) {
@@ -563,6 +576,11 @@ void SpectralEulerSolver<Policy>::gradient_kernel() {
     const S jy = S(2.0 / dye_);
     const S jz = S(2.0 / dze_);
 
+#pragma omp parallel
+    {
+    std::vector<S> prim(npts * 4);
+    std::vector<S> gx(npts), gy(npts), gz(npts);
+#pragma omp for schedule(static)
     for (int e = 0; e < nelem_; ++e) {
         const std::size_t base = static_cast<std::size_t>(e) * npts;
         for (std::size_t n = 0; n < npts; ++n) {
@@ -618,6 +636,7 @@ void SpectralEulerSolver<Policy>::gradient_kernel() {
             }
         }
     }
+    }  // omp parallel
 
     // Surface corrections: both sides of an interior face receive
     // lift * (p_central - p_side) * n = lift * (pR - pL)/2 in the face
@@ -630,6 +649,9 @@ void SpectralEulerSolver<Policy>::gradient_kernel() {
         const double de = dir == 0 ? dxe_ : dir == 1 ? dye_ : dze_;
         const compute_t lift = static_cast<compute_t>(2.0 / de) * lift_w_;
 
+        // Same decomposition as surface_kernel: (b, a) columns are
+        // independent, the f march within one is not.
+#pragma omp parallel for collapse(2) schedule(static)
         for (int b = 0; b < nb; ++b)
             for (int a = 0; a < na; ++a)
                 for (int f = 0; f < nfaces; ++f) {
@@ -747,8 +769,6 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
         (void)half;
     };
 
-    std::vector<S> fx(npts * 4), fy(npts * 4), fz(npts * 4);
-    std::vector<S> acc(npts);
     std::vector<S> dloc(snp * snp), dtloc(snp * snp);
     for (int r = 0; r < np; ++r)
         for (int c = 0; c < np; ++c) {
@@ -761,6 +781,11 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
     const S jy = S(2.0 / dye_);
     const S jz = S(2.0 / dze_);
 
+#pragma omp parallel
+    {
+    std::vector<S> fx(npts * 4), fy(npts * 4), fz(npts * 4);
+    std::vector<S> acc(npts);
+#pragma omp for schedule(static)
     for (int e = 0; e < nelem_; ++e) {
         const std::size_t base = static_cast<std::size_t>(e) * npts;
         for (std::size_t n = 0; n < npts; ++n) {
@@ -819,6 +844,7 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
                     static_cast<double>(acc[n]));
         }
     }
+    }  // omp parallel
 
     // Interior surface terms: central viscous flux plus an interior-
     // penalty jump term — plain central BR1 admits marginally unstable
@@ -852,6 +878,7 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
         const S pen_u = S(static_cast<double>(np * np) / de) * mu;
         const S pen_t = S(static_cast<double>(np * np) / de) * kappa;
 
+#pragma omp parallel for collapse(2) schedule(static)
         for (int b = 0; b < nb; ++b)
             for (int a = 0; a < na; ++a)
                 for (int f = 1; f <= nfaces; ++f) {
@@ -939,7 +966,7 @@ void SpectralEulerSolver<Policy>::rk_stage(double a, double b, double dt) {
         storage_t* q = q_[v].data();
         compute_t* r = r_[v].data();
         compute_t* g = g_[v].data();
-#pragma omp simd
+#pragma omp parallel for simd schedule(static)
         for (std::size_t i = 0; i < n; ++i) {
             g[i] = ac * g[i] + dtc * r[i];
             q[i] = static_cast<storage_t>(
@@ -960,11 +987,14 @@ template <fp::PrecisionPolicy Policy>
 void SpectralEulerSolver<Policy>::apply_filter() {
     util::WallTimer timer;
     const int np = np_;
-    std::vector<compute_t> tmp(npts_), tmp2(npts_);
     std::vector<compute_t> floc(static_cast<std::size_t>(np) * np);
     for (std::size_t m = 0; m < floc.size(); ++m)
         floc[m] = static_cast<compute_t>(static_cast<double>(filter_[m]));
 
+#pragma omp parallel
+    {
+    std::vector<compute_t> tmp(npts_), tmp2(npts_);
+#pragma omp for schedule(static)
     for (int e = 0; e < nelem_; ++e) {
         const std::size_t base = static_cast<std::size_t>(e) * npts_;
         for (int var = 0; var < kVars; ++var) {
@@ -1020,6 +1050,7 @@ void SpectralEulerSolver<Policy>::apply_filter() {
                     }
         }
     }
+    }  // omp parallel
     const std::uint64_t nodes = num_nodes();
     account("filter", timer.elapsed_seconds(),
             nodes * static_cast<std::uint64_t>(30 * np),
@@ -1043,7 +1074,10 @@ double SpectralEulerSolver<Policy>::compute_dt() {
     const double gx = node_gap * dxe_;
     const double gy = node_gap * dye_;
     const double gz = node_gap * dze_;
-    double rate_max = 0.0;
+    cfl_scratch_.resize(n);
+    double* rates = cfl_scratch_.data();
+    const double gamma = cfg_.atm.gamma;
+#pragma omp parallel for schedule(static)
     for (std::size_t i = 0; i < n; ++i) {
         const double rho = static_cast<double>(rho_bar_[i]) +
                            static_cast<double>(q_[RHO][i]);
@@ -1055,10 +1089,12 @@ double SpectralEulerSolver<Policy>::compute_dt() {
                           static_cast<double>(q_[EN][i]);
         const double ke = 0.5 * rho * (u * u + v * v + w * w);
         const double p = gm1 * (ef - ke);
-        const double c = std::sqrt(cfg_.atm.gamma * p * inv);
-        const double rate = (u + c) / gx + (v + c) / gy + (w + c) / gz;
-        rate_max = std::max(rate_max, rate);
+        const double c = std::sqrt(gamma * p * inv);
+        rates[i] = (u + c) / gx + (v + c) / gy + (w + c) / gz;
     }
+    // Fixed-shape reduction: the stable dt is bit-identical at any thread
+    // count (max is exact, the blocked shape depends only on n).
+    const double rate_max = sum::parallel_max(cfl_scratch_, 0.0);
     account("cfl", timer.elapsed_seconds(), n * kCflFlopsPerNode,
             n * 8 * sizeof(storage_t), 0);
     double dt = cfg_.courant / rate_max;

@@ -159,6 +159,7 @@ private:
     // BR1 gradients of the primitive variables (u, v, w, T), one array per
     // (variable, direction); allocated only when viscosity > 0.
     std::vector<compute_t> grad_[4][3];
+    std::vector<double> cfl_scratch_;    // per-node CFL rates (compute_dt)
 
     double time_ = 0.0;
     std::int64_t step_count_ = 0;

@@ -8,6 +8,11 @@ namespace tp::sem {
 DenseMatrix matmul(const DenseMatrix& A, const DenseMatrix& B) {
     if (A.n != B.n) throw std::invalid_argument("matmul: size mismatch");
     DenseMatrix C(A.n);
+    // Row-parallel: each i writes its own row, and the per-row dot
+    // products are order-preserving, so results don't depend on the team
+    // size. The if clause keeps the tiny operator-setup matrices (np is
+    // usually < 20) from paying the fork-join cost.
+#pragma omp parallel for schedule(static) if (A.n >= 48)
     for (int i = 0; i < A.n; ++i)
         for (int k = 0; k < A.n; ++k) {
             const double aik = A.at(i, k);

@@ -1,11 +1,14 @@
 #include "shallow/solver.hpp"
 
 #include "fp/half_policy.hpp"
+#include "sum/parallel.hpp"
+#include "util/threads.hpp"
 
 #include <algorithm>
 #include <array>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 namespace tp::shallow {
@@ -29,6 +32,18 @@ constexpr std::uint64_t kRezoneBytesPerCell = 96;
 template <fp::PrecisionPolicy Policy>
 ShallowWaterSolver<Policy>::ShallowWaterSolver(const Config& config)
     : config_(config), mesh_(config.geom) {
+    // Validate the geometry up front: compute_dt's per-level spacing
+    // lookup is sized kMaxSupportedLevel + 1, so an out-of-range
+    // max_level would read (and a refined mesh would write) past it.
+    if (config.geom.coarse_nx < 1 || config.geom.coarse_ny < 1)
+        throw std::invalid_argument(
+            "ShallowWaterSolver: coarse grid must be at least 1x1");
+    if (config.geom.max_level < 0 ||
+        config.geom.max_level > kMaxSupportedLevel)
+        throw std::invalid_argument(
+            "ShallowWaterSolver: max_level must be in [0, " +
+            std::to_string(kMaxSupportedLevel) + "], got " +
+            std::to_string(config.geom.max_level));
     const std::size_t n = mesh_.num_cells();
     h_.assign(n, storage_t(0));
     hu_.assign(n, storage_t(0));
@@ -156,7 +171,11 @@ void ShallowWaterSolver<Policy>::remap_state(
     const std::vector<mesh::RemapEntry>& plan) {
     std::vector<storage_t> nh(plan.size()), nhu(plan.size()),
         nhv(plan.size());
-    for (std::size_t c = 0; c < plan.size(); ++c) {
+    // Each destination cell reads only its own source entries, so the
+    // remap parallelizes with no write conflicts.
+    const std::size_t nplan = plan.size();
+#pragma omp parallel for schedule(static)
+    for (std::size_t c = 0; c < nplan; ++c) {
         const mesh::RemapEntry& e = plan[c];
         switch (e.kind) {
             case mesh::RemapKind::Copy:
@@ -198,7 +217,8 @@ void ShallowWaterSolver<Policy>::rezone() {
     const std::uint64_t touched = old_cells + mesh_.num_cells();
     ledger_.record("rezone", t.elapsed_seconds(),
                    touched * kRezoneOpsPerCell, 0,
-                   touched * kRezoneBytesPerCell);
+                   touched * kRezoneBytesPerCell, 0, 0,
+                   static_cast<std::uint32_t>(util::max_threads()));
     timers_.add("rezone", t.elapsed_seconds());
 }
 
@@ -209,26 +229,34 @@ double ShallowWaterSolver<Policy>::compute_dt() {
     const auto& cells = mesh_.cells();
     const compute_t g = static_cast<compute_t>(config_.gravity);
     const compute_t hfloor = static_cast<compute_t>(1e-8);
-    // Per-level minimum spacing lookup (tiny, stays in L1).
-    std::array<double, 16> min_dx{};
+    // Per-level minimum spacing lookup (tiny, stays in L1). The
+    // constructor guarantees max_level <= kMaxSupportedLevel, so the
+    // cell-level index below can never leave the array.
+    std::array<double, kMaxSupportedLevel + 1> min_dx{};
     for (std::int32_t l = 0; l <= config_.geom.max_level; ++l)
         min_dx[static_cast<std::size_t>(l)] =
             std::min(mesh_.cell_dx(l), mesh_.cell_dy(l));
 
+    const mesh::Cell* cell = cells.data();
+    const storage_t* h = h_.data();
+    const storage_t* hu = hu_.data();
+    const storage_t* hv = hv_.data();
+    double* cfl = cfl_buf_.data();
+#pragma omp parallel for simd schedule(static)
     for (std::size_t c = 0; c < n; ++c) {
         const compute_t hh =
-            std::max(static_cast<compute_t>(h_[c]), hfloor);
+            std::max(static_cast<compute_t>(h[c]), hfloor);
         const compute_t inv = compute_t(1) / hh;
-        const compute_t u = std::fabs(static_cast<compute_t>(hu_[c])) * inv;
-        const compute_t v = std::fabs(static_cast<compute_t>(hv_[c])) * inv;
+        const compute_t u = std::fabs(static_cast<compute_t>(hu[c])) * inv;
+        const compute_t v = std::fabs(static_cast<compute_t>(hv[c])) * inv;
         const compute_t wave = std::max(u, v) + std::sqrt(g * hh);
-        cfl_buf_[c] =
-            min_dx[static_cast<std::size_t>(cells[c].level)] /
-            static_cast<double>(wave);
+        cfl[c] = min_dx[static_cast<std::size_t>(cell[c].level)] /
+                 static_cast<double>(wave);
     }
-    // Reproducible (fixed-shape) global minimum, per the paper's §III.C
-    // emphasis on order-independent global reductions.
-    const double dt_min = sum::global_min<double>(
+    // Reproducible global minimum: the blocked parallel reduction has a
+    // fixed shape that depends only on n, so the result is bit-identical
+    // at any thread count (paper §III.C, order-independent reductions).
+    const double dt_min = sum::parallel_min(
         cfl_buf_, std::numeric_limits<double>::infinity());
 
     constexpr bool sp = std::is_same_v<compute_t, float>;
@@ -240,7 +268,8 @@ double ShallowWaterSolver<Policy>::compute_dt() {
                     std::is_same_v<compute_t, double>)
                        ? 3 * n
                        : 0,
-                   n * sizeof(double));
+                   n * sizeof(double),
+                   static_cast<std::uint32_t>(util::max_threads()));
     timers_.add("cfl", t.elapsed_seconds());
     return config_.courant * dt_min;
 }
@@ -335,16 +364,21 @@ double ShallowWaterSolver<Policy>::compute_dt() {
         dhv[c] = ddhv;                                                        \
     }
 
+// Each cell writes only its own increments, so the sweep threads with no
+// synchronization; schedule(static) keeps the iteration->thread map fixed
+// and the per-cell arithmetic is identical at any team size. Under the
+// serial -fopenmp-simd fallback only the simd part of the combined
+// construct applies, preserving the vectorized-vs-scalar contrast.
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::flux_sweep_simd() {
-#define _Pragma_placeholder _Pragma("omp simd")
+#define _Pragma_placeholder _Pragma("omp parallel for simd schedule(static)")
     TP_SHALLOW_FLUX_BODY
 #undef _Pragma_placeholder
 }
 
 template <fp::PrecisionPolicy Policy>
 TP_NO_VECTORIZE void ShallowWaterSolver<Policy>::flux_sweep_scalar() {
-#define _Pragma_placeholder
+#define _Pragma_placeholder _Pragma("omp parallel for schedule(static)")
     TP_SHALLOW_FLUX_BODY
 #undef _Pragma_placeholder
 }
@@ -398,7 +432,7 @@ void ShallowWaterSolver<Policy>::apply_update(double dt) {
     const compute_t dtc = static_cast<compute_t>(dt);
     const compute_t hfloor = static_cast<compute_t>(1e-8);
 
-#pragma omp simd
+#pragma omp parallel for simd schedule(static)
     for (std::size_t c = 0; c < n; ++c) {
         const compute_t s = dtc * inv_area[c];
         h[c] = static_cast<storage_t>(
@@ -439,7 +473,8 @@ void ShallowWaterSolver<Policy>::account_finite_diff(double seconds) {
             ? cells * (3 + kSlots * 3 + 6)
             : 0;
     ledger_.record("finite_diff", seconds, sp ? flops : 0, sp ? 0 : flops,
-                   bytes, converts, bytes_compute);
+                   bytes, converts, bytes_compute,
+                   static_cast<std::uint32_t>(util::max_threads()));
     timers_.add("finite_diff", seconds);
 }
 
@@ -503,11 +538,19 @@ std::vector<double> ShallowWaterSolver<Policy>::sample_height_vertical(
 
 template <fp::PrecisionPolicy Policy>
 double ShallowWaterSolver<Policy>::total_mass() const {
-    sum::ExpansionAccumulator acc;
+    // Per-cell contributions are computed in parallel; the sum itself is
+    // exact (expansion arithmetic), so chunking across threads cannot
+    // change the rounded result.
     const auto& cells = mesh_.cells();
-    for (std::size_t c = 0; c < cells.size(); ++c)
-        acc.add(static_cast<double>(h_[c]) * mesh_.cell_area(cells[c]));
-    return acc.round();
+    const std::size_t n = cells.size();
+    std::vector<double> contrib(n);
+    const mesh::Cell* cell = cells.data();
+    const storage_t* h = h_.data();
+    double* out = contrib.data();
+#pragma omp parallel for schedule(static)
+    for (std::size_t c = 0; c < n; ++c)
+        out[c] = static_cast<double>(h[c]) * mesh_.cell_area(cell[c]);
+    return sum::parallel_sum_exact(contrib);
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -596,6 +639,51 @@ CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
     d.geom.coarse_nx = read_pod<std::int32_t>(is);
     d.geom.coarse_ny = read_pod<std::int32_t>(is);
     d.geom.max_level = read_pod<std::int32_t>(is);
+
+    // Validate the header before trusting `n` for allocation: a corrupt
+    // or hostile cell count would otherwise drive resize() into a
+    // multi-gigabyte allocation (or bad_alloc) before the truncated-read
+    // check ever fires.
+    if (d.step < 0)
+        throw std::runtime_error("checkpoint: negative step count");
+    if (d.geom.coarse_nx < 1 || d.geom.coarse_ny < 1)
+        throw std::runtime_error("checkpoint: bad coarse grid");
+    if (d.geom.max_level < 0 ||
+        d.geom.max_level > ShallowWaterSolver::kMaxSupportedLevel)
+        throw std::runtime_error("checkpoint: bad max_level");
+    // A fully refined mesh has coarse_nx*coarse_ny*4^max_level cells —
+    // no valid checkpoint can exceed that (saturating multiply).
+    std::uint64_t max_cells =
+        static_cast<std::uint64_t>(d.geom.coarse_nx) *
+        static_cast<std::uint64_t>(d.geom.coarse_ny);
+    const int shift = 2 * d.geom.max_level;
+    if (max_cells > (std::numeric_limits<std::uint64_t>::max() >> shift))
+        max_cells = std::numeric_limits<std::uint64_t>::max();
+    else
+        max_cells <<= shift;
+    if (n == 0 || n > max_cells)
+        throw std::runtime_error(
+            "checkpoint: cell count " + std::to_string(n) +
+            " impossible for the stored geometry (max " +
+            std::to_string(max_cells) + ")");
+    // When the stream is seekable, also require that the payload the
+    // header promises actually fits in the remaining bytes.
+    if (const auto here = is.tellg(); here != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const auto end = is.tellg();
+        is.seekg(here);
+        if (end != std::istream::pos_type(-1)) {
+            const auto remaining =
+                static_cast<std::uint64_t>(end - here);
+            const std::uint64_t per_cell = 12 + 3 * elem;
+            if (n > remaining / per_cell)  // division: no overflow
+                throw std::runtime_error(
+                    "checkpoint: header promises " +
+                    std::to_string(n) + " cells (" +
+                    std::to_string(per_cell) + " bytes each) but only " +
+                    std::to_string(remaining) + " bytes remain");
+        }
+    }
     d.cells.resize(n);
     for (auto& c : d.cells) {
         c.level = read_pod<std::int32_t>(is);

@@ -61,6 +61,14 @@ public:
     using storage_t = typename Policy::storage_t;
     using compute_t = typename Policy::compute_t;
 
+    /// Deepest AMR level the solver supports. compute_dt keeps a
+    /// per-level spacing lookup of this size in L1, so the limit is
+    /// enforced against the configured geometry at construction time.
+    static constexpr std::int32_t kMaxSupportedLevel = 15;
+
+    /// Throws std::invalid_argument when the geometry is unusable
+    /// (non-positive coarse grid or max_level outside
+    /// [0, kMaxSupportedLevel]).
     explicit ShallowWaterSolver(const Config& config);
 
     /// Set the cylindrical dam-break state and pre-refine the mesh around

@@ -1,0 +1,75 @@
+#include "sum/parallel.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+#include "sum/expansion.hpp"
+#include "sum/reproducible.hpp"
+
+namespace tp::sum {
+
+namespace {
+
+template <typename Op>
+double blocked_reduce(std::span<const double> x, double identity, Op op) {
+    const std::size_t n = x.size();
+    if (n == 0) return identity;
+    const std::size_t nblocks = (n + kReduceBlock - 1) / kReduceBlock;
+    std::vector<double> partial(nblocks);
+    // Each block partial is a serial in-order reduction of a fixed index
+    // range, so its value is independent of which thread evaluates it.
+    const auto nb = static_cast<std::int64_t>(nblocks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nb; ++b) {
+        const std::size_t lo = static_cast<std::size_t>(b) * kReduceBlock;
+        const std::size_t hi = lo + kReduceBlock < n ? lo + kReduceBlock : n;
+        double acc = x[lo];
+        for (std::size_t i = lo + 1; i < hi; ++i) acc = op(acc, x[i]);
+        partial[static_cast<std::size_t>(b)] = acc;
+    }
+    // Fixed-shape combine: depends only on the block count.
+    return tree_reduce<double>(partial, identity, op);
+}
+
+}  // namespace
+
+double parallel_min(std::span<const double> x, double identity) {
+    return blocked_reduce(x, identity,
+                          [](double a, double b) { return a < b ? a : b; });
+}
+
+double parallel_max(std::span<const double> x, double identity) {
+    return blocked_reduce(x, identity,
+                          [](double a, double b) { return a > b ? a : b; });
+}
+
+double parallel_sum_exact(std::span<const double> x) {
+    const std::size_t n = x.size();
+    if (n == 0) return 0.0;
+#if defined(_OPENMP)
+    const int nteam = omp_get_max_threads();
+#else
+    const int nteam = 1;
+#endif
+    const auto t = static_cast<std::size_t>(nteam > 0 ? nteam : 1);
+    std::vector<ExpansionAccumulator> partial(t);
+    const auto ti = static_cast<std::int64_t>(t);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t k = 0; k < ti; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        const std::size_t lo = n * kk / t;
+        const std::size_t hi = n * (kk + 1) / t;
+        partial[kk].add(x.subspan(lo, hi - lo));
+    }
+    // Combine in thread-index order. Each partial is exact, so the combined
+    // value is the exact multiset sum whatever the chunking was.
+    ExpansionAccumulator total;
+    for (const auto& p : partial) total.add(p);
+    return total.round();
+}
+
+}  // namespace tp::sum

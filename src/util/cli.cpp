@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/threads.hpp"
+
 namespace tp::util {
 
 ArgParser::ArgParser(std::string program, std::string description)
@@ -82,11 +84,29 @@ std::string ArgParser::get_string(const std::string& name) const {
 }
 
 int ArgParser::get_int(const std::string& name) const {
-    return std::stoi(get_string(name));
+    const std::string v = get_string(name);
+    try {
+        std::size_t used = 0;
+        const int n = std::stoi(v, &used);
+        if (used != v.size()) throw std::invalid_argument(v);
+        return n;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + name +
+                                    ": expected an integer, got '" + v + "'");
+    }
 }
 
 double ArgParser::get_double(const std::string& name) const {
-    return std::stod(get_string(name));
+    const std::string v = get_string(name);
+    try {
+        std::size_t used = 0;
+        const double x = std::stod(v, &used);
+        if (used != v.size()) throw std::invalid_argument(v);
+        return x;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + name +
+                                    ": expected a number, got '" + v + "'");
+    }
 }
 
 std::string ArgParser::help() const {
@@ -101,6 +121,20 @@ std::string ArgParser::help() const {
     }
     os << "  --help\n      Show this message\n";
     return os.str();
+}
+
+void add_threads_option(ArgParser& args) {
+    args.add_option("threads",
+                    "OpenMP threads for the solver hot paths "
+                    "(0 = runtime default; results are identical at any "
+                    "count)",
+                    "0");
+}
+
+int apply_threads_option(const ArgParser& args) {
+    const int n = args.get_int("threads");
+    if (n > 0) set_threads(n);
+    return max_threads();
 }
 
 }  // namespace tp::util

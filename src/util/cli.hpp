@@ -55,4 +55,13 @@ private:
     [[nodiscard]] const Spec* find(const std::string& name) const;
 };
 
+/// Register the standard `--threads` option (0 = keep the runtime default,
+/// i.e. all hardware threads when OpenMP is enabled).
+void add_threads_option(ArgParser& args);
+
+/// Apply a parsed `--threads` value to the global thread team and return
+/// the count now in effect. Safe to call when the option value is 0 (the
+/// current setting is left untouched) or in serial builds (always 1).
+int apply_threads_option(const ArgParser& args);
+
 }  // namespace tp::util

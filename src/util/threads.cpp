@@ -1,0 +1,39 @@
+#include "util/threads.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace tp::util {
+
+#if defined(_OPENMP)
+
+namespace {
+// Captured before any set_threads() call so "reset to default" works even
+// after the team size has been overridden.
+const int kDefaultThreads = omp_get_max_threads();
+}  // namespace
+
+bool openmp_enabled() { return true; }
+
+int max_threads() { return omp_get_max_threads(); }
+
+int hardware_threads() { return omp_get_num_procs(); }
+
+void set_threads(int n) {
+    omp_set_num_threads(n >= 1 ? n : kDefaultThreads);
+}
+
+#else
+
+bool openmp_enabled() { return false; }
+
+int max_threads() { return 1; }
+
+int hardware_threads() { return 1; }
+
+void set_threads(int) {}
+
+#endif
+
+}  // namespace tp::util

@@ -1,0 +1,27 @@
+#pragma once
+// Thread-team control for the OpenMP-parallel solver hot paths.
+//
+// All parallelism in this repository is fork-join OpenMP inside kernels;
+// this header is the one place that talks to the OpenMP runtime, so every
+// other translation unit can stay `#ifdef`-free. When the build has no
+// OpenMP (TP_ENABLE_OPENMP=OFF or no compiler support) these degrade to a
+// fixed single thread and every kernel runs serially with identical
+// arithmetic — the reductions in sum/parallel.hpp are bit-stable across
+// thread counts, so results never depend on which variant was built.
+
+namespace tp::util {
+
+/// True when the binary was compiled against the OpenMP runtime.
+[[nodiscard]] bool openmp_enabled();
+
+/// Team size parallel regions will use next (1 in serial builds).
+[[nodiscard]] int max_threads();
+
+/// Hardware concurrency as the runtime sees it (1 in serial builds).
+[[nodiscard]] int hardware_threads();
+
+/// Set the global team size. Values < 1 reset to the hardware default.
+/// A no-op (always 1 thread) in serial builds.
+void set_threads(int n);
+
+}  // namespace tp::util

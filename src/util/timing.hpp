@@ -38,7 +38,10 @@ struct StopwatchEntry {
 
 /// Registry of named accumulating stopwatches. Not thread-safe by design:
 /// each solver instance owns its own registry (Core Guidelines CP.2 — avoid
-/// shared mutable state between threads).
+/// shared mutable state between threads). Parallel kernels time their whole
+/// fork-join region once from the calling thread and add() after the join;
+/// worker threads that must time sub-regions keep their own registry and
+/// fold it in with merge(), which combines entries in name order.
 class StopwatchRegistry {
 public:
     /// Add `seconds` to the named region.
@@ -46,6 +49,15 @@ public:
         auto& e = entries_[name];
         e.total_seconds += seconds;
         ++e.calls;
+    }
+
+    /// Fold another registry (e.g. a per-thread one) into this one.
+    void merge(const StopwatchRegistry& other) {
+        for (const auto& [name, e] : other.entries_) {
+            auto& mine = entries_[name];
+            mine.total_seconds += e.total_seconds;
+            mine.calls += e.calls;
+        }
     }
 
     [[nodiscard]] double total(const std::string& name) const {

@@ -208,6 +208,39 @@ TEST(DistShallow, SymmetryPreserved) {
     EXPECT_LT(asym, 1e-10);
 }
 
+TEST(VirtualComm, ByteMessagesAndPooledBuffers) {
+    tpar::VirtualComm comm(2);
+    auto buf = comm.acquire(3);
+    ASSERT_EQ(buf.size(), 3u);
+    buf[0] = std::byte{0xAB};
+    comm.send_bytes(0, 1, 4, std::move(buf));
+    comm.exchange();
+    auto m = comm.recv(1, 0, 4);
+    ASSERT_EQ(m.bytes.size(), 3u);
+    EXPECT_EQ(m.bytes[0], std::byte{0xAB});
+    EXPECT_EQ(comm.bytes_sent(), 3u);
+    // Returning the buffer lets the next acquire reuse it: steady-state
+    // halo exchange allocates nothing.
+    comm.release(std::move(m.bytes));
+    EXPECT_EQ(comm.acquire(2).size(), 2u);
+}
+
+TEST(DistShallow, HaloTrafficScalesWithStorageWidth) {
+    // The halo fix packs ghost rows in storage precision: a float solver
+    // moves exactly half the bytes of a double solver on the same mesh
+    // and step count. (Before the fix both shipped doubles, silently
+    // promoting the minimum-precision halos.)
+    const auto cfg = dist_cfg(4);
+    tpar::DistMinimumSolver smin(cfg);
+    tpar::DistFullSolver sful(cfg);
+    smin.initialize_dam_break();
+    sful.initialize_dam_break();
+    smin.run(10);
+    sful.run(10);
+    EXPECT_GT(smin.halo_bytes_sent(), 0u);
+    EXPECT_EQ(smin.halo_bytes_sent() * 2, sful.halo_bytes_sent());
+}
+
 TEST(DistShallow, RejectsBadConfig) {
     auto c = dist_cfg(8, 4);  // more ranks than rows
     EXPECT_THROW(tpar::DistFullSolver{c}, std::invalid_argument);

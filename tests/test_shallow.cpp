@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
+#include <string>
 #include <tuple>
 
 #include "analysis/linecut.hpp"
+#include "fp/half_policy.hpp"
 #include "shallow/solver.hpp"
 
 namespace tsh = tp::shallow;
@@ -207,6 +211,129 @@ TEST(Shallow, CheckpointRejectsGarbage) {
     buf << "not a checkpoint at all";
     EXPECT_THROW((void)tsh::FullShallowSolver::read_checkpoint(buf),
                  std::runtime_error);
+}
+
+// Round-trip through every storage width, including 2-byte half storage:
+// every stored element widens losslessly to double, so the reader must
+// reproduce height_at() bit-for-bit at each cell center.
+template <typename Policy>
+class CheckpointPolicyTest : public ::testing::Test {};
+
+using CheckpointPolicies =
+    ::testing::Types<tf::MinimumPrecision, tf::MixedPrecision,
+                     tf::FullPrecision, tf::HalfStoragePrecision>;
+TYPED_TEST_SUITE(CheckpointPolicyTest, CheckpointPolicies);
+
+TYPED_TEST(CheckpointPolicyTest, RoundTripIsLossless) {
+    auto s = make_run<tsh::ShallowWaterSolver<TypeParam>>(
+        small_config(16, 1), 6);
+    std::stringstream buf;
+    s.write_checkpoint(buf);
+    EXPECT_EQ(static_cast<std::uint64_t>(buf.str().size()),
+              s.checkpoint_bytes());
+
+    const auto d = tsh::FullShallowSolver::read_checkpoint(buf);
+    ASSERT_EQ(d.cells.size(), s.mesh().num_cells());
+    EXPECT_DOUBLE_EQ(d.time, s.time());
+    EXPECT_EQ(d.step, s.step_count());
+    EXPECT_EQ(d.geom.max_level, s.config().geom.max_level);
+    for (std::size_t c = 0; c < d.cells.size(); ++c) {
+        const auto& cell = d.cells[c];
+        EXPECT_EQ(d.h[c], s.height_at(s.mesh().cell_center_x(cell),
+                                      s.mesh().cell_center_y(cell)))
+            << "cell " << c;
+    }
+}
+
+namespace {
+
+/// A well-formed checkpoint to corrupt, as raw bytes.
+std::string valid_checkpoint() {
+    auto s = make_run<tsh::FullShallowSolver>(small_config(16, 1), 3);
+    std::stringstream buf;
+    s.write_checkpoint(buf);
+    return buf.str();
+}
+
+void expect_rejected(std::string bytes) {
+    std::stringstream buf(std::move(bytes));
+    EXPECT_THROW((void)tsh::FullShallowSolver::read_checkpoint(buf),
+                 std::runtime_error);
+}
+
+/// Overwrite sizeof(T) bytes at `offset` in the serialized header.
+template <typename T>
+std::string patched(std::string bytes, std::size_t offset, T value) {
+    std::memcpy(bytes.data() + offset, &value, sizeof value);
+    return bytes;
+}
+
+// Header layout offsets (see write_checkpoint).
+constexpr std::size_t kOffElemSize = 8;
+constexpr std::size_t kOffCellCount = 16;
+constexpr std::size_t kOffStep = 32;
+constexpr std::size_t kOffMaxLevel = 80;
+
+}  // namespace
+
+TEST(Shallow, CheckpointRejectsTruncatedHeader) {
+    const std::string good = valid_checkpoint();
+    expect_rejected(good.substr(0, 20));  // cut inside the header
+    expect_rejected(good.substr(0, 83));  // one byte short of a header
+}
+
+TEST(Shallow, CheckpointRejectsTruncatedPayload) {
+    const std::string good = valid_checkpoint();
+    // Header intact, arrays cut short: the seekable-stream size check
+    // fires before any allocation happens.
+    expect_rejected(good.substr(0, good.size() - 64));
+    expect_rejected(good.substr(0, 84));  // header only, no cells at all
+}
+
+TEST(Shallow, CheckpointRejectsAbsurdCellCount) {
+    const std::string good = valid_checkpoint();
+    // A hostile header promising ~1e18 cells must be rejected from the
+    // header fields alone, not by attempting an exabyte resize().
+    expect_rejected(
+        patched<std::uint64_t>(good, kOffCellCount, std::uint64_t{1} << 60));
+    // Plausibly small but still more than the stream holds.
+    expect_rejected(patched<std::uint64_t>(
+        good, kOffCellCount,
+        static_cast<std::uint64_t>(16 * 16 * 4) /* full refinement */));
+    expect_rejected(patched<std::uint64_t>(good, kOffCellCount, 0));
+}
+
+TEST(Shallow, CheckpointRejectsBadHeaderFields) {
+    const std::string good = valid_checkpoint();
+    expect_rejected(patched<std::uint32_t>(good, kOffElemSize, 3));
+    expect_rejected(patched<std::int64_t>(good, kOffStep, -1));
+    expect_rejected(patched<std::int32_t>(
+        good, kOffMaxLevel,
+        tsh::FullShallowSolver::kMaxSupportedLevel + 1));
+    expect_rejected(patched<std::int32_t>(good, kOffMaxLevel, -1));
+}
+
+// ------------------------------------------------------ config validation
+TEST(Shallow, RejectsOutOfRangeConfig) {
+    // Regression for the latent OOB in compute_dt: a solver constructed
+    // with max_level > kMaxSupportedLevel used to index past the fixed
+    // per-level spacing table on its first step.
+    auto cfg = small_config(8, 0);
+    cfg.geom.max_level = tsh::FullShallowSolver::kMaxSupportedLevel + 1;
+    EXPECT_THROW((tsh::FullShallowSolver{cfg}), std::invalid_argument);
+    cfg.geom.max_level = -1;
+    EXPECT_THROW((tsh::FullShallowSolver{cfg}), std::invalid_argument);
+    cfg = small_config(8, 0);
+    cfg.geom.coarse_nx = 0;
+    EXPECT_THROW((tsh::FullShallowSolver{cfg}), std::invalid_argument);
+}
+
+TEST(Shallow, AcceptsMaxSupportedLevel) {
+    auto cfg = small_config(2, 0);
+    cfg.geom.max_level = tsh::FullShallowSolver::kMaxSupportedLevel;
+    tsh::FullShallowSolver s(cfg);
+    s.initialize_dam_break({});
+    EXPECT_GT(s.step(), 0.0);  // compute_dt's level table covers 0..15
 }
 
 // ----------------------------------------------------------- memory/ledger

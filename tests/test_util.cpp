@@ -142,6 +142,24 @@ TEST(Cli, MissingValueFails) {
     EXPECT_FALSE(p.parse(2, argv));
 }
 
+TEST(Cli, NonNumericValueNamesTheOption) {
+    tu::ArgParser p("prog", "test");
+    p.add_option("n", "count", "7");
+    p.add_option("x", "value", "1.5");
+    const char* argv[] = {"prog", "--n", "abc", "--x", "1.5zzz"};
+    ASSERT_TRUE(p.parse(5, argv));
+    // A raw std::stoi would terminate with an opaque what() of "stoi";
+    // the parser wraps it into a message naming the flag and the value.
+    try {
+        (void)p.get_int("n");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+    }
+    EXPECT_THROW((void)p.get_double("x"), std::invalid_argument);
+}
+
 TEST(Csv, RoundTripsValues) {
     const std::string path = "/tmp/tp_test_csv.csv";
     {
