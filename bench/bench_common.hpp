@@ -31,15 +31,16 @@ struct RunArtifacts {
     double finite_diff_seconds = 0.0;
 };
 
-/// Dam-break runs at all three precision modes (vectorized by default).
+/// Dam-break runs at all three precision modes (native SIMD by default).
 inline std::map<std::string, RunArtifacts> run_clamr_suite(
-    int coarse_cells, int max_level, int steps, bool vectorized = true) {
+    int coarse_cells, int max_level, int steps,
+    simd::Mode mode = simd::Mode::Auto) {
     std::map<std::string, RunArtifacts> out;
     fp::for_each_precision([&]<typename P>() {
         shallow::Config cfg;
         cfg.geom = {0.0, 0.0, 100.0, 100.0, coarse_cells, coarse_cells,
                     max_level};
-        cfg.vectorized = vectorized;
+        cfg.simd = mode;
         shallow::ShallowWaterSolver<P> s(cfg);
         s.initialize_dam_break({});
         util::WallTimer t;

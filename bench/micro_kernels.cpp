@@ -88,14 +88,14 @@ template <typename Policy>
 static void BM_ClamrStep(benchmark::State& state) {
     shallow::Config cfg;
     cfg.geom = {0.0, 0.0, 100.0, 100.0, 128, 128, 2};
-    cfg.vectorized = state.range(0) != 0;
+    cfg.simd = state.range(0) != 0 ? simd::Mode::Native : simd::Mode::Scalar;
     shallow::ShallowWaterSolver<Policy> s(cfg);
     s.initialize_dam_break({});
     for (auto _ : state) benchmark::DoNotOptimize(s.step());
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(s.mesh().num_cells()));
     state.SetLabel(std::string(Policy::name) +
-                   (cfg.vectorized ? "/simd" : "/scalar"));
+                   (state.range(0) != 0 ? "/simd" : "/scalar"));
 }
 BENCHMARK_TEMPLATE(BM_ClamrStep, fp::MinimumPrecision)->Arg(0)->Arg(1);
 BENCHMARK_TEMPLATE(BM_ClamrStep, fp::MixedPrecision)->Arg(0)->Arg(1);

@@ -27,7 +27,7 @@ int run(const util::ArgParser& args) {
     const int n = args.get_int("grid");
     cfg.geom = {0.0, 0.0, 100.0, 100.0, n, n, args.get_int("levels")};
     cfg.courant = args.get_double("courant");
-    cfg.vectorized = !args.get_flag("no-simd");
+    cfg.simd = util::apply_simd_option(args);
 
     shallow::DamBreak ic;
     ic.h_inside = args.get_double("h-inside");
@@ -58,7 +58,7 @@ int run(const util::ArgParser& args) {
     std::printf(
         "ran %d steps to t=%.5f in %.3f s (%s precision, %s kernel)\n",
         steps, solver.time(), seconds, std::string(Policy::name).c_str(),
-        cfg.vectorized ? "SIMD" : "scalar");
+        simd::use_native(cfg.simd) ? simd::isa_name() : "scalar");
     std::printf("finite_diff: %.3f s  |  cfl: %.3f s  |  rezone: %.3f s\n",
                 solver.timers().total("finite_diff"),
                 solver.timers().total("cfl"),
@@ -108,8 +108,8 @@ int main(int argc, char** argv) {
     args.add_option("cut", "write center line-cut CSV to this path", "");
     args.add_option("checkpoint", "write binary checkpoint to this path",
                     "");
-    args.add_flag("no-simd", "use the scalar finite_diff kernel");
     args.add_flag("verbose", "print periodic step diagnostics");
+    util::add_simd_option(args);
     util::add_threads_option(args);
     if (!args.parse(argc, argv)) return 1;
 

@@ -11,7 +11,15 @@ ProjectedTime PerfProjector::project(const perf::KernelWork& work) const {
 
     double sp_peak = arch_.sp_gflops * ceff;  // GFLOP/s
     double dp_peak = arch_.dp_gflops * ceff;
-    if (!gpu && !opt_.vectorized) {
+    // Per-kernel lane tallies (KernelWork::simd_lanes) take precedence over
+    // the projector-wide vectorized flag: a kernel that reports lanes == 1
+    // ran its explicit scalar path regardless of the build, and one that
+    // reports lanes > 1 keeps the vector peaks even under a scalar default.
+    // lanes == 0 means the kernel predates the dispatch layer — fall back
+    // to the global option, preserving the original projection.
+    const bool scalar_issue =
+        work.simd_lanes == 1 || (work.simd_lanes == 0 && !opt_.vectorized);
+    if (!gpu && scalar_issue) {
         // Scalar issue: no SIMD lanes, no FMA contraction, effectively one
         // op per cycle per core, identical for SP and DP. This is why the
         // paper's unvectorized runs gain only ~12% from reduced precision

@@ -37,6 +37,13 @@ struct KernelWork {
                                    ///< measured once per kernel on the
                                    ///< calling thread, so `seconds` is
                                    ///< elapsed time, not CPU time.
+    std::uint32_t simd_lanes = 0;  ///< SIMD width the kernel's inner loop
+                                   ///< actually ran with: 0 = not reported
+                                   ///< (the projector falls back to its
+                                   ///< global vectorized/scalar option),
+                                   ///< 1 = explicit scalar path, >1 = pack
+                                   ///< width of the vector path. Fed by the
+                                   ///< simd::Mode dispatch in the solvers.
 
     [[nodiscard]] std::uint64_t flops() const { return flops_sp + flops_dp; }
 
@@ -64,6 +71,7 @@ struct KernelWork {
         bytes_compute += o.bytes_compute;
         invocations += o.invocations;
         threads = threads > o.threads ? threads : o.threads;
+        simd_lanes = simd_lanes > o.simd_lanes ? simd_lanes : o.simd_lanes;
         return *this;
     }
 };
@@ -84,7 +92,7 @@ public:
                 std::uint64_t flops_sp, std::uint64_t flops_dp,
                 std::uint64_t bytes, std::uint64_t convert_ops = 0,
                 std::uint64_t bytes_compute = 0,
-                std::uint32_t threads = 1) {
+                std::uint32_t threads = 1, std::uint32_t simd_lanes = 0) {
         auto& w = kernels_[kernel];
         w.seconds += seconds;
         w.flops_sp += flops_sp;
@@ -94,6 +102,8 @@ public:
         w.bytes_compute += bytes_compute;
         ++w.invocations;
         w.threads = w.threads > threads ? w.threads : threads;
+        w.simd_lanes =
+            w.simd_lanes > simd_lanes ? w.simd_lanes : simd_lanes;
     }
 
     /// Fold another ledger (e.g. a per-thread one) into this one. The map

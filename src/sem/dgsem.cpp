@@ -7,8 +7,11 @@
 #include <utility>
 
 #include "fp/promoted.hpp"
+#include "sem/tensor_kernel.hpp"
+#include "simd/pack.hpp"
 #include "sum/expansion.hpp"
 #include "sum/parallel.hpp"
+#include "util/arena.hpp"
 #include "util/threads.hpp"
 
 namespace tp::sem {
@@ -207,155 +210,112 @@ void SpectralEulerSolver<Policy>::account(const std::string& kernel,
                                           std::uint64_t flops,
                                           std::uint64_t bytes,
                                           std::uint64_t converts,
-                                          std::uint64_t bytes_compute) {
+                                          std::uint64_t bytes_compute,
+                                          std::uint32_t simd_lanes) {
     constexpr bool sp = std::is_same_v<compute_t, float>;
     // Every SEM kernel forks one team over its element/face loop, so the
-    // current global team size is the right value to record.
+    // current global team size is the right value to record. simd_lanes is
+    // nonzero only for the kernels with an explicit pack body (volume,
+    // gradient, filter); the rest leave the projector's global option in
+    // charge.
     ledger_.record(kernel, seconds, sp ? flops : 0, sp ? 0 : flops, bytes,
                    converts, bytes_compute,
-                   static_cast<std::uint32_t>(util::max_threads()));
+                   static_cast<std::uint32_t>(util::max_threads()),
+                   simd_lanes);
     timers_.add(kernel, seconds);
+}
+
+template <fp::PrecisionPolicy Policy>
+auto SpectralEulerSolver<Policy>::volume_args()
+    -> detail::VolumeArgs<storage_t, compute_t> {
+    detail::VolumeArgs<storage_t, compute_t> a{};
+    for (int v = 0; v < kVars; ++v) {
+        a.q[v] = q_[v].data();
+        a.r[v] = r_[v].data();
+    }
+    a.rho_bar = rho_bar_.data();
+    a.e_bar = e_bar_.data();
+    a.p_bar = p_bar_.data();
+    a.d = d_.data();
+    a.np = np_;
+    a.nelem = nelem_;
+    a.gravity = cfg_.atm.gravity;
+    a.gamma = cfg_.atm.gamma;
+    // Constant metric terms (2/dx per direction), folded into the fluxes
+    // at build time so the contraction is a pure accumulate.
+    a.jx = 2.0 / dxe_;
+    a.jy = 2.0 / dye_;
+    a.jz = 2.0 / dze_;
+    return a;
+}
+
+template <fp::PrecisionPolicy Policy>
+auto SpectralEulerSolver<Policy>::gradient_args()
+    -> detail::GradientArgs<storage_t, compute_t> {
+    detail::GradientArgs<storage_t, compute_t> a{};
+    for (int v = 0; v < kVars; ++v) a.q[v] = q_[v].data();
+    for (int v = 0; v < 4; ++v)
+        for (int dir = 0; dir < 3; ++dir)
+            a.grad[v][dir] = grad_[v][dir].data();
+    a.rho_bar = rho_bar_.data();
+    a.e_bar = e_bar_.data();
+    a.p_bar = p_bar_.data();
+    a.d = d_.data();
+    a.np = np_;
+    a.nelem = nelem_;
+    a.gamma = cfg_.atm.gamma;
+    a.gas_constant = cfg_.atm.gas_constant;
+    a.jx = 2.0 / dxe_;
+    a.jy = 2.0 / dye_;
+    a.jz = 2.0 / dze_;
+    return a;
+}
+
+template <fp::PrecisionPolicy Policy>
+auto SpectralEulerSolver<Policy>::filter_args()
+    -> detail::FilterArgs<storage_t, compute_t> {
+    detail::FilterArgs<storage_t, compute_t> a{};
+    for (int v = 0; v < kVars; ++v) a.q[v] = q_[v].data();
+    a.filter = filter_.data();
+    a.np = np_;
+    a.nelem = nelem_;
+    return a;
+}
+
+template <fp::PrecisionPolicy Policy>
+template <typename S>
+void SpectralEulerSolver<Policy>::volume_sweep_native() {
+    detail::volume_sweep<S, storage_t, compute_t, simd::native_lanes<S>>(
+        volume_args());
+}
+
+template <fp::PrecisionPolicy Policy>
+template <typename S>
+void SpectralEulerSolver<Policy>::gradient_sweep_native() {
+    detail::gradient_sweep<S, storage_t, compute_t, simd::native_lanes<S>>(
+        gradient_args());
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::filter_sweep_native() {
+    detail::filter_sweep<storage_t, compute_t,
+                         simd::native_lanes<compute_t>>(filter_args());
 }
 
 template <fp::PrecisionPolicy Policy>
 template <typename S>
 void SpectralEulerSolver<Policy>::volume_kernel() {
     util::WallTimer timer;
-    using std::sqrt;
-    const int np = np_;
-    const std::size_t npts = npts_;
-    std::vector<S> dloc(static_cast<std::size_t>(np) * np);
-    std::vector<S> dtloc(static_cast<std::size_t>(np) * np);
-    for (int r = 0; r < np; ++r)
-        for (int col = 0; col < np; ++col) {
-            dloc[static_cast<std::size_t>(r) * np + col] = S(
-                static_cast<double>(d_[static_cast<std::size_t>(r) * np + col]));
-            dtloc[static_cast<std::size_t>(col) * np + r] =
-                dloc[static_cast<std::size_t>(r) * np + col];
-        }
-
-    const S grav = S(cfg_.atm.gravity);
-    const S gm1 = S(cfg_.atm.gamma - 1.0);
-    const S half = S(0.5);
-    // Fold the constant metric terms (2/dx per direction) into the fluxes
-    // at build time so the contraction is a pure accumulate.
-    const S jx = S(2.0 / dxe_);
-    const S jy = S(2.0 / dye_);
-    const S jz = S(2.0 / dze_);
-
-    // Each element writes only its own npts-slice of r_, so the element
-    // loop threads cleanly; the flux scratch must be per-thread.
-#pragma omp parallel
-    {
-    std::vector<S> fx(npts * kVars), fy(npts * kVars), fz(npts * kVars);
-    std::vector<S> acc(npts);
-#pragma omp for schedule(static)
-    for (int e = 0; e < nelem_; ++e) {
-        const std::size_t base = static_cast<std::size_t>(e) * npts;
-        // --- node fluxes + gravity source --------------------------------
-        for (std::size_t n = 0; n < npts; ++n) {
-            const std::size_t gn = base + n;
-            const S rho =
-                S(static_cast<double>(rho_bar_[gn])) +
-                S(static_cast<double>(q_[RHO][gn]));
-            const S m1 = S(static_cast<double>(q_[MX][gn]));
-            const S m2 = S(static_cast<double>(q_[MY][gn]));
-            const S m3 = S(static_cast<double>(q_[MZ][gn]));
-            const S ef = S(static_cast<double>(e_bar_[gn])) +
-                         S(static_cast<double>(q_[EN][gn]));
-            const S inv = S(1.0) / rho;
-            const S u = m1 * inv;
-            const S v = m2 * inv;
-            const S w = m3 * inv;
-            const S pf = gm1 * (ef - half * (m1 * u + m2 * v + m3 * w));
-            const S pp = pf - S(static_cast<double>(p_bar_[gn]));
-            const S hth = ef + pf;  // rho * total enthalpy
-            fx[0 * npts + n] = jx * m1;
-            fx[1 * npts + n] = jx * (m1 * u + pp);
-            fx[2 * npts + n] = jx * (m2 * u);
-            fx[3 * npts + n] = jx * (m3 * u);
-            fx[4 * npts + n] = jx * (hth * u);
-            fy[0 * npts + n] = jy * m2;
-            fy[1 * npts + n] = jy * (m1 * v);
-            fy[2 * npts + n] = jy * (m2 * v + pp);
-            fy[3 * npts + n] = jy * (m3 * v);
-            fy[4 * npts + n] = jy * (hth * v);
-            fz[0 * npts + n] = jz * m3;
-            fz[1 * npts + n] = jz * (m1 * w);
-            fz[2 * npts + n] = jz * (m2 * w);
-            fz[3 * npts + n] = jz * (m3 * w + pp);
-            fz[4 * npts + n] = jz * (hth * w);
-            // Gravity source on the perturbation: -rho' g in z-momentum,
-            // -m_z g in energy (the base-state part cancels analytically).
-            r_[MZ][gn] -= static_cast<compute_t>(static_cast<double>(
-                grav * S(static_cast<double>(q_[RHO][gn]))));
-            r_[EN][gn] -= static_cast<compute_t>(
-                static_cast<double>(grav * m3));
-        }
-
-        // --- tensor-product strong-form divergence ------------------------
-        // Broadcast/outer-product form: every inner loop runs stride-1 so
-        // the compiler vectorizes it for float and double alike.
-        const auto snp = static_cast<std::size_t>(np);
-        for (int var = 0; var < kVars; ++var) {
-            const S* fxa = &fx[static_cast<std::size_t>(var) * npts];
-            const S* fya = &fy[static_cast<std::size_t>(var) * npts];
-            const S* fza = &fz[static_cast<std::size_t>(var) * npts];
-            for (std::size_t n = 0; n < npts; ++n) acc[n] = S(0.0);
-
-            // x: acc(k,j,i) += sum_m D[i][m] fx(k,j,m) via transposed D.
-            for (int k = 0; k < np; ++k)
-                for (int j = 0; j < np; ++j) {
-                    const std::size_t row = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp;
-                    for (int m = 0; m < np; ++m) {
-                        const S fv = fxa[row + static_cast<std::size_t>(m)];
-                        const S* dt = &dtloc[static_cast<std::size_t>(m) * snp];
-                        S* out = &acc[row];
-#pragma omp simd
-                        for (int i = 0; i < np; ++i)
-                            out[i] += dt[i] * fv;
-                    }
-                }
-            // y: acc(k,j,i) += sum_m D[j][m] fy(k,m,i); inner i stride-1.
-            for (int k = 0; k < np; ++k)
-                for (int m = 0; m < np; ++m) {
-                    const std::size_t src =
-                        (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)) * snp;
-                    for (int j = 0; j < np; ++j) {
-                        const S djm =
-                            dloc[static_cast<std::size_t>(j) * snp + static_cast<std::size_t>(m)];
-                        S* out = &acc[(static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp];
-                        const S* in = &fya[src];
-#pragma omp simd
-                        for (int i = 0; i < np; ++i)
-                            out[i] += djm * in[i];
-                    }
-                }
-            // z: acc(k,j,i) += sum_m D[k][m] fz(m,j,i); inner (j,i) plane.
-            for (int m = 0; m < np; ++m)
-                for (int k = 0; k < np; ++k) {
-                    const S dkm =
-                        dloc[static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)];
-                    S* out = &acc[static_cast<std::size_t>(k) * snp * snp];
-                    const S* in = &fza[static_cast<std::size_t>(m) * snp * snp];
-#pragma omp simd
-                    for (std::size_t t = 0; t < snp * snp; ++t)
-                        out[t] += dkm * in[t];
-                }
-
-            compute_t* res = &r_[var][base];
-#pragma omp simd
-            for (std::size_t n = 0; n < npts; ++n)
-                res[n] -= static_cast<compute_t>(
-                    static_cast<double>(acc[n]));
-        }
-    }
-    }  // omp parallel
+    const bool native = simd::use_native(cfg_.simd);
+    if (native)
+        volume_sweep_native<S>();
+    else
+        volume_sweep_scalar<S>();
 
     const std::uint64_t nodes = num_nodes();
     const std::uint64_t flops =
         nodes * (kEosFlopsPerNode +
-                 static_cast<std::uint64_t>(30 * np) + 4);
+                 static_cast<std::uint64_t>(30 * np_) + 4);
     const std::uint64_t bytes = nodes * 8 * sizeof(storage_t);
     const std::uint64_t converts =
         (sizeof(storage_t) != sizeof(compute_t) &&
@@ -363,7 +323,10 @@ void SpectralEulerSolver<Policy>::volume_kernel() {
             ? nodes * 8
             : 0;
     account("volume", timer.elapsed_seconds(), flops, bytes, converts,
-            nodes * 10 * sizeof(compute_t));
+            nodes * 10 * sizeof(compute_t),
+            native ? static_cast<std::uint32_t>(
+                         simd::native_lanes<compute_t>)
+                   : 1u);
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -540,13 +503,12 @@ template <typename S>
 void SpectralEulerSolver<Policy>::gradient_kernel() {
     util::WallTimer timer;
     const int np = np_;
-    const std::size_t npts = npts_;
-    const auto snp = static_cast<std::size_t>(np);
     const S gm1 = S(cfg_.atm.gamma - 1.0);
     const S rgas = S(cfg_.atm.gas_constant);
     const S half = S(0.5);
 
-    // Primitive evaluation shared by volume and surface passes.
+    // Primitive evaluation for the surface pass (the volume pass has its
+    // own fused pack form in sem/tensor_kernel.hpp).
     auto prim_at = [&](std::size_t gn, S out[4]) {
         const S rho = S(static_cast<double>(rho_bar_[gn])) +
                       S(static_cast<double>(q_[RHO][gn]));
@@ -564,79 +526,14 @@ void SpectralEulerSolver<Policy>::gradient_kernel() {
         out[3] = pf * inv / rgas;  // temperature
     };
 
-    std::vector<S> dloc(snp * snp), dtloc(snp * snp);
-    for (int r = 0; r < np; ++r)
-        for (int c = 0; c < np; ++c) {
-            dloc[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)] =
-                S(static_cast<double>(d_[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)]));
-            dtloc[static_cast<std::size_t>(c) * snp + static_cast<std::size_t>(r)] =
-                dloc[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)];
-        }
-    const S jx = S(2.0 / dxe_);
-    const S jy = S(2.0 / dye_);
-    const S jz = S(2.0 / dze_);
-
-#pragma omp parallel
-    {
-    std::vector<S> prim(npts * 4);
-    std::vector<S> gx(npts), gy(npts), gz(npts);
-#pragma omp for schedule(static)
-    for (int e = 0; e < nelem_; ++e) {
-        const std::size_t base = static_cast<std::size_t>(e) * npts;
-        for (std::size_t n = 0; n < npts; ++n) {
-            S out[4];
-            prim_at(base + n, out);
-            for (int v = 0; v < 4; ++v) prim[static_cast<std::size_t>(v) * npts + n] = out[v];
-        }
-        for (int var = 0; var < 4; ++var) {
-            const S* f = &prim[static_cast<std::size_t>(var) * npts];
-            for (std::size_t n = 0; n < npts; ++n) {
-                gx[n] = S(0.0);
-                gy[n] = S(0.0);
-                gz[n] = S(0.0);
-            }
-            for (int k = 0; k < np; ++k)
-                for (int j = 0; j < np; ++j) {
-                    const std::size_t row = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp;
-                    for (int m = 0; m < np; ++m) {
-                        const S fv = f[row + static_cast<std::size_t>(m)] * jx;
-                        const S* dt = &dtloc[static_cast<std::size_t>(m) * snp];
-                        S* out = &gx[row];
-#pragma omp simd
-                        for (int i = 0; i < np; ++i) out[i] += dt[i] * fv;
-                    }
-                }
-            for (int k = 0; k < np; ++k)
-                for (int m = 0; m < np; ++m) {
-                    const std::size_t src = (static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)) * snp;
-                    for (int j = 0; j < np; ++j) {
-                        const S djm = dloc[static_cast<std::size_t>(j) * snp + static_cast<std::size_t>(m)] * jy;
-                        S* out = &gy[(static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(j)) * snp];
-                        const S* in = &f[src];
-#pragma omp simd
-                        for (int i = 0; i < np; ++i) out[i] += djm * in[i];
-                    }
-                }
-            for (int m = 0; m < np; ++m)
-                for (int k = 0; k < np; ++k) {
-                    const S dkm = dloc[static_cast<std::size_t>(k) * snp + static_cast<std::size_t>(m)] * jz;
-                    S* out = &gz[static_cast<std::size_t>(k) * snp * snp];
-                    const S* in = &f[static_cast<std::size_t>(m) * snp * snp];
-#pragma omp simd
-                    for (std::size_t t = 0; t < snp * snp; ++t)
-                        out[t] += dkm * in[t];
-                }
-            for (std::size_t n = 0; n < npts; ++n) {
-                grad_[var][0][base + n] =
-                    static_cast<compute_t>(static_cast<double>(gx[n]));
-                grad_[var][1][base + n] =
-                    static_cast<compute_t>(static_cast<double>(gy[n]));
-                grad_[var][2][base + n] =
-                    static_cast<compute_t>(static_cast<double>(gz[n]));
-            }
-        }
-    }
-    }  // omp parallel
+    // Volume pass: fused primitive evaluation + line contractions, width
+    // selected at run time. The face corrections below are one shared code
+    // path, so scalar/native bit-equality only depends on the sweep.
+    const bool native = simd::use_native(cfg_.simd);
+    if (native)
+        gradient_sweep_native<S>();
+    else
+        gradient_sweep_scalar<S>();
 
     // Surface corrections: both sides of an interior face receive
     // lift * (p_central - p_side) * n = lift * (pR - pL)/2 in the face
@@ -711,7 +608,9 @@ void SpectralEulerSolver<Policy>::gradient_kernel() {
     account("gradient", timer.elapsed_seconds(),
             nodes * static_cast<std::uint64_t>(20 + 18 * np),
             nodes * 8 * sizeof(storage_t), 0,
-            nodes * 12 * sizeof(compute_t));
+            nodes * 12 * sizeof(compute_t),
+            native ? static_cast<std::uint32_t>(simd::native_lanes<compute_t>)
+                   : 1u);
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -769,7 +668,13 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
         (void)half;
     };
 
-    std::vector<S> dloc(snp * snp), dtloc(snp * snp);
+    // Scratch comes from the per-thread bump arenas: after the first step
+    // every RK stage reuses the same blocks, so the steady state makes no
+    // heap allocations (ISSUE: zero-alloc step()).
+    util::ScratchArena& marena = util::tls_arena();
+    util::ArenaScope mscope(marena);
+    S* dloc = marena.alloc<S>(snp * snp);
+    S* dtloc = marena.alloc<S>(snp * snp);
     for (int r = 0; r < np; ++r)
         for (int c = 0; c < np; ++c) {
             dloc[static_cast<std::size_t>(r) * snp + static_cast<std::size_t>(c)] =
@@ -783,8 +688,12 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
 
 #pragma omp parallel
     {
-    std::vector<S> fx(npts * 4), fy(npts * 4), fz(npts * 4);
-    std::vector<S> acc(npts);
+    util::ScratchArena& arena = util::tls_arena();
+    util::ArenaScope scope(arena);
+    S* fx = arena.alloc<S>(npts * 4);
+    S* fy = arena.alloc<S>(npts * 4);
+    S* fz = arena.alloc<S>(npts * 4);
+    S* acc = arena.alloc<S>(npts);
 #pragma omp for schedule(static)
     for (int e = 0; e < nelem_; ++e) {
         const std::size_t base = static_cast<std::size_t>(e) * npts;
@@ -987,70 +896,11 @@ template <fp::PrecisionPolicy Policy>
 void SpectralEulerSolver<Policy>::apply_filter() {
     util::WallTimer timer;
     const int np = np_;
-    std::vector<compute_t> floc(static_cast<std::size_t>(np) * np);
-    for (std::size_t m = 0; m < floc.size(); ++m)
-        floc[m] = static_cast<compute_t>(static_cast<double>(filter_[m]));
-
-#pragma omp parallel
-    {
-    std::vector<compute_t> tmp(npts_), tmp2(npts_);
-#pragma omp for schedule(static)
-    for (int e = 0; e < nelem_; ++e) {
-        const std::size_t base = static_cast<std::size_t>(e) * npts_;
-        for (int var = 0; var < kVars; ++var) {
-            storage_t* q = &q_[var][base];
-            // x pass
-            for (int k = 0; k < np; ++k)
-                for (int j = 0; j < np; ++j) {
-                    const std::size_t row =
-                        (static_cast<std::size_t>(k) * np + j) *
-                        static_cast<std::size_t>(np);
-                    for (int i = 0; i < np; ++i) {
-                        compute_t acc = 0;
-                        const compute_t* frow =
-                            &floc[static_cast<std::size_t>(i) * np];
-                        for (int m = 0; m < np; ++m)
-                            acc += frow[m] *
-                                   static_cast<compute_t>(
-                                       q[row + static_cast<std::size_t>(m)]);
-                        tmp[row + static_cast<std::size_t>(i)] = acc;
-                    }
-                }
-            // y pass
-            for (int k = 0; k < np; ++k)
-                for (int j = 0; j < np; ++j)
-                    for (int i = 0; i < np; ++i) {
-                        compute_t acc = 0;
-                        const compute_t* frow =
-                            &floc[static_cast<std::size_t>(j) * np];
-                        for (int m = 0; m < np; ++m)
-                            acc += frow[m] *
-                                   tmp[(static_cast<std::size_t>(k) * np + m) *
-                                           static_cast<std::size_t>(np) +
-                                       i];
-                        tmp2[(static_cast<std::size_t>(k) * np + j) *
-                                 static_cast<std::size_t>(np) +
-                             i] = acc;
-                    }
-            // z pass, write back
-            for (int k = 0; k < np; ++k)
-                for (int j = 0; j < np; ++j)
-                    for (int i = 0; i < np; ++i) {
-                        compute_t acc = 0;
-                        const compute_t* frow =
-                            &floc[static_cast<std::size_t>(k) * np];
-                        for (int m = 0; m < np; ++m)
-                            acc += frow[m] *
-                                   tmp2[(static_cast<std::size_t>(m) * np + j) *
-                                            static_cast<std::size_t>(np) +
-                                        i];
-                        q[(static_cast<std::size_t>(k) * np + j) *
-                              static_cast<std::size_t>(np) +
-                          i] = static_cast<storage_t>(acc);
-                    }
-        }
-    }
-    }  // omp parallel
+    const bool native = simd::use_native(cfg_.simd);
+    if (native)
+        filter_sweep_native();
+    else
+        filter_sweep_scalar();
     const std::uint64_t nodes = num_nodes();
     account("filter", timer.elapsed_seconds(),
             nodes * static_cast<std::uint64_t>(30 * np),
@@ -1059,7 +909,9 @@ void SpectralEulerSolver<Policy>::apply_filter() {
              std::is_same_v<compute_t, double>)
                 ? nodes * kVars * 2
                 : 0,
-            nodes * kVars * 2 * sizeof(compute_t));
+            nodes * kVars * 2 * sizeof(compute_t),
+            native ? static_cast<std::uint32_t>(simd::native_lanes<compute_t>)
+                   : 1u);
 }
 
 template <fp::PrecisionPolicy Policy>

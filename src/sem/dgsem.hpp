@@ -38,6 +38,7 @@
 #include "sem/config.hpp"
 #include "sem/operators.hpp"
 #include "sem/quadrature.hpp"
+#include "simd/dispatch.hpp"
 #include "util/timing.hpp"
 
 namespace tp::sem {
@@ -45,6 +46,17 @@ namespace tp::sem {
 /// Conserved perturbation variable indices.
 enum Var : int { RHO = 0, MX = 1, MY = 2, MZ = 3, EN = 4 };
 inline constexpr int kVars = 5;
+
+namespace detail {
+// Pointer views handed to the fused tensor-product micro-kernels; defined
+// in sem/tensor_kernel.hpp (only the kernel TUs need the bodies).
+template <typename Sto, typename C>
+struct VolumeArgs;
+template <typename Sto, typename C>
+struct GradientArgs;
+template <typename Sto, typename C>
+struct FilterArgs;
+}  // namespace detail
 
 template <fp::PrecisionPolicy Policy>
 class SpectralEulerSolver {
@@ -108,6 +120,19 @@ public:
         return 64 + num_nodes() * kVars * sizeof(storage_t);
     }
 
+    /// Exact bit pattern of the five state fields, as raw bytes. Two runs
+    /// whose fingerprints compare equal produced bitwise-identical
+    /// solutions — how the --simd=scalar / --simd=native equivalence is
+    /// verified (bench/table_simd_speedup, tests/test_simd.cpp).
+    [[nodiscard]] std::string state_fingerprint() const {
+        std::string bits;
+        bits.reserve(num_nodes() * kVars * sizeof(storage_t));
+        for (const auto& field : q_)
+            bits.append(reinterpret_cast<const char*>(field.data()),
+                        field.size() * sizeof(storage_t));
+        return bits;
+    }
+
     // --- Instrumentation ---------------------------------------------------
     [[nodiscard]] const perf::WorkLedger& ledger() const { return ledger_; }
     [[nodiscard]] const util::StopwatchRegistry& timers() const {
@@ -123,13 +148,31 @@ private:
     void gradient_kernel();
     template <typename S>
     void viscous_kernel();
+    // Width-specific bodies of the fused micro-kernels: the *_native
+    // variants (dgsem.cpp) instantiate the pack templates at native lanes,
+    // the *_scalar variants live in sem_scalar.cpp, compiled with the
+    // auto-vectorizer off, at W = 1. Bit-identical by the pack contract.
+    template <typename S>
+    void volume_sweep_native();
+    template <typename S>
+    void volume_sweep_scalar();
+    template <typename S>
+    void gradient_sweep_native();
+    template <typename S>
+    void gradient_sweep_scalar();
+    void filter_sweep_native();
+    void filter_sweep_scalar();
+    [[nodiscard]] detail::VolumeArgs<storage_t, compute_t> volume_args();
+    [[nodiscard]] detail::GradientArgs<storage_t, compute_t> gradient_args();
+    [[nodiscard]] detail::FilterArgs<storage_t, compute_t> filter_args();
     void compute_rhs();
     void rk_stage(double a, double b, double dt);
     void apply_filter();
     [[nodiscard]] double compute_dt();
     void account(const std::string& kernel, double seconds,
                  std::uint64_t flops, std::uint64_t bytes,
-                 std::uint64_t converts, std::uint64_t bytes_compute = 0);
+                 std::uint64_t converts, std::uint64_t bytes_compute = 0,
+                 std::uint32_t simd_lanes = 0);
 
     [[nodiscard]] std::size_t elem_index(int ex, int ey, int ez) const {
         return (static_cast<std::size_t>(ez) * cfg_.ny + ey) * cfg_.nx + ex;

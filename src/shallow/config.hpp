@@ -2,6 +2,7 @@
 // Configuration types for the CLAMR-analogue shallow-water mini-app.
 
 #include "mesh/amr_mesh.hpp"
+#include "simd/dispatch.hpp"
 
 namespace tp::shallow {
 
@@ -15,7 +16,10 @@ struct Config {
     int rezone_interval = 4;      ///< steps between AMR adapt calls
     double refine_threshold = 0.02;   ///< relative height jump to refine
     double coarsen_threshold = 0.004; ///< relative height jump to coarsen
-    bool vectorized = true;       ///< SIMD or scalar finite_diff kernel
+    simd::Mode simd = simd::Mode::Auto;  ///< pack-vectorized or scalar
+                                         ///< finite_diff kernel (runtime
+                                         ///< --simd=auto|scalar|native);
+                                         ///< both paths are bit-identical
 };
 
 /// Cylindrical dam break initial condition: a column of water of height

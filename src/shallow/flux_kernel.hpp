@@ -1,0 +1,159 @@
+#pragma once
+// The Rusanov flux sweep as a width-templated pack kernel (internal to the
+// shallow-water solver; tests include it to probe the two instantiations
+// directly).
+//
+// One template body, two instantiations per precision policy:
+//
+//   W == 1                      the scalar path, driven from a translation
+//                               unit compiled with the auto-vectorizer off
+//                               (flux_scalar.cpp) so it measures true
+//                               scalar issue (Table III's baseline);
+//   W == native_lanes<compute>  the vector path, lowered to full-width
+//                               SIMD by the pack primitives (solver.cpp).
+//
+// Because pack operations are per-lane IEEE ops and the kernel TUs are
+// compiled with -ffp-contract=off, the two instantiations are bit-identical
+// per cell — `--simd` changes instruction shape, never the physics.
+//
+// The sweep is level-bucketed: cells are binned into maximal same-level
+// Morton runs when the neighbor tables are rebuilt, and the vector driver
+// walks W-wide blocks that never straddle a run boundary. Within a block
+// the center state loads are unit-stride, the neighbor *index* loads are
+// unit-stride (slot-major tables), and only the neighbor state goes through
+// a gather; run tails use the partial ops, which replicate the last valid
+// lane so every lane computes on real, finite data.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/pack.hpp"
+
+namespace tp::shallow::detail {
+
+/// Pointer bundle for one sweep — everything the kernel reads or writes,
+/// so the W = 1 and W = native drivers cannot drift apart in what they
+/// touch.
+template <typename S, typename C>
+struct FluxArgs {
+    const S* h;
+    const S* hu;
+    const S* hv;
+    C* dh;
+    C* dhu;
+    C* dhv;
+    const std::int32_t* nbr;  // kSlots slot-major tables of length n
+    const C* areas;           // matching sub-face areas
+    std::size_t n;
+    C gravity;
+};
+
+/// A maximal run of consecutive same-level cells (Morton order keeps
+/// same-level cells contiguous in practice, so runs are long).
+struct LevelRun {
+    std::int32_t begin;
+    std::int32_t end;  // one past the last cell
+    std::int32_t level;
+};
+
+/// Flux update for the block of `m` cells starting at `c` (1 <= m <= W;
+/// the block never crosses a level-run boundary). Every cell evaluates its
+/// eight sub-face slots and writes only its own increments — CLAMR's
+/// scatter-free, redundant-flux trade.
+template <typename S, typename C, int W>
+inline void flux_block(const FluxArgs<S, C>& A, std::size_t c, int m) {
+    using cpk = simd::pack<C, W>;
+    using spk = simd::pack<S, W>;
+    const bool full = m == W;
+
+    const cpk g = cpk::broadcast(A.gravity);
+    const cpk half = cpk::broadcast(C(0.5));
+    const cpk half_g = cpk::broadcast(C(0.5) * A.gravity);
+    const cpk one = cpk::broadcast(C(1));
+    const cpk hfloor = cpk::broadcast(C(1e-8));
+
+    const auto load_state = [&](const S* p) {
+        const spk s = full ? spk::load(p + c) : spk::load_partial(p + c, m);
+        return s.template convert<C>();
+    };
+    const cpk hC = simd::max(load_state(A.h), hfloor);
+    const cpk huC = load_state(A.hu);
+    const cpk hvC = load_state(A.hv);
+    const cpk invC = one / hC;
+    cpk ddh = cpk::broadcast(C(0));
+    cpk ddhu = cpk::broadcast(C(0));
+    cpk ddhv = cpk::broadcast(C(0));
+
+    const auto side = [&]<int SLOT>() {
+        constexpr bool xd = SLOT < 4;        // x-directed face
+        constexpr bool pos = (SLOT & 2) != 0;  // cell is on the low side
+        const std::size_t off = static_cast<std::size_t>(SLOT) * A.n + c;
+        const std::int32_t* idx = A.nbr + off;
+        const cpk a = full ? cpk::load(A.areas + off)
+                           : cpk::load_partial(A.areas + off, m);
+        const auto gather_state = [&](const S* p) {
+            const spk s = full ? spk::gather(p, idx)
+                               : spk::gather_partial(p, idx, m);
+            return s.template convert<C>();
+        };
+        const cpk hN = simd::max(gather_state(A.h), hfloor);
+        const cpk huN = gather_state(A.hu);
+        const cpk hvN = gather_state(A.hv);
+        const cpk invN = one / hN;
+        const cpk qnC = xd ? huC : hvC;
+        const cpk qtC = xd ? hvC : huC;
+        const cpk qnN = xd ? huN : hvN;
+        const cpk qtN = xd ? hvN : huN;
+        // Orient along +x/+y: L is the lower-coordinate side, so both
+        // cells sharing the face evaluate the identical expression and
+        // the scheme stays exactly conservative.
+        const cpk hL = pos ? hC : hN;
+        const cpk hR = pos ? hN : hC;
+        const cpk qnL = pos ? qnC : qnN;
+        const cpk qnR = pos ? qnN : qnC;
+        const cpk qtL = pos ? qtC : qtN;
+        const cpk qtR = pos ? qtN : qtC;
+        const cpk invL = pos ? invC : invN;
+        const cpk invR = pos ? invN : invC;
+        const cpk unL = qnL * invL;
+        const cpk unR = qnR * invR;
+        const cpk utL = qtL * invL;
+        const cpk utR = qtR * invR;
+        const cpk cL = simd::sqrt(g * hL);
+        const cpk cR = simd::sqrt(g * hR);
+        const cpk smax =
+            simd::max(simd::abs(unL) + cL, simd::abs(unR) + cR);
+        const cpk f1 = half * (qnL + qnR) - half * smax * (hR - hL);
+        // Momentum flux qn*un + g/2 h^2 via explicit fused multiply-add —
+        // the only fusion in the kernel, present identically in every W.
+        const cpk pL = simd::fma(half_g * hL, hL, qnL * unL);
+        const cpk pR = simd::fma(half_g * hR, hR, qnR * unR);
+        const cpk f2 = half * (pL + pR) - half * smax * (qnR - qnL);
+        const cpk f3 = half * (qnL * utL + qnR * utR) -
+                       half * smax * (qtR - qtL);
+        // Outward flux leaves the cell on its positive sides.
+        const cpk sa = pos ? a : -a;
+        ddh = ddh - sa * f1;
+        ddhu = ddhu - sa * (xd ? f2 : f3);
+        ddhv = ddhv - sa * (xd ? f3 : f2);
+    };
+    side.template operator()<0>();
+    side.template operator()<1>();
+    side.template operator()<2>();
+    side.template operator()<3>();
+    side.template operator()<4>();
+    side.template operator()<5>();
+    side.template operator()<6>();
+    side.template operator()<7>();
+    if (full) {
+        ddh.store(A.dh + c);
+        ddhu.store(A.dhu + c);
+        ddhv.store(A.dhv + c);
+    } else {
+        ddh.store_partial(A.dh + c, m);
+        ddhu.store_partial(A.dhu + c, m);
+        ddhv.store_partial(A.dhv + c, m);
+    }
+}
+
+}  // namespace tp::shallow::detail

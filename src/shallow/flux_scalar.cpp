@@ -1,0 +1,31 @@
+// The scalar flux sweep, isolated in its own translation unit so the whole
+// file can be compiled with the auto-vectorizer disabled (see
+// shallow/CMakeLists.txt). That keeps `--simd=scalar` honest: the W == 1
+// pack instantiation degenerates to plain scalar arithmetic, and nothing
+// here re-vectorizes the cell loop behind its back, so Table III's
+// scalar rows measure true one-lane issue. The arithmetic itself is the
+// same flux_block<> template the native sweep uses — bit-identical per
+// cell, different instruction shape only.
+
+#include "fp/half_policy.hpp"
+#include "shallow/solver.hpp"
+
+namespace tp::shallow {
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_scalar() {
+    const auto args = flux_args();
+    const auto n = static_cast<std::int64_t>(args.n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < n; ++c)
+        detail::flux_block<storage_t, compute_t, 1>(
+            args, static_cast<std::size_t>(c), 1);
+}
+
+template void ShallowWaterSolver<fp::MinimumPrecision>::flux_sweep_scalar();
+template void ShallowWaterSolver<fp::MixedPrecision>::flux_sweep_scalar();
+template void ShallowWaterSolver<fp::FullPrecision>::flux_sweep_scalar();
+template void
+ShallowWaterSolver<fp::HalfStoragePrecision>::flux_sweep_scalar();
+
+}  // namespace tp::shallow

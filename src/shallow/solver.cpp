@@ -2,6 +2,7 @@
 
 #include "fp/half_policy.hpp"
 #include "sum/parallel.hpp"
+#include "util/arena.hpp"
 #include "util/threads.hpp"
 
 #include <algorithm>
@@ -57,7 +58,7 @@ void ShallowWaterSolver<Policy>::rebuild_topology_caches() {
     dh_.assign(n, compute_t(0));
     dhu_.assign(n, compute_t(0));
     dhv_.assign(n, compute_t(0));
-    cfl_buf_.assign(n, 0.0);
+    cfl_buf_.assign(n, compute_t(0));
     inv_area_.resize(n);
     const auto& cells = mesh_.cells();
     for (std::size_t c = 0; c < n; ++c)
@@ -93,6 +94,27 @@ void ShallowWaterSolver<Policy>::rebuild_topology_caches() {
         assign_slot(f.lo, 6, f.hi, f.area);  // north side of lo
         assign_slot(f.hi, 4, f.lo, f.area);  // south side of hi
     }
+
+    // Level-bucketed iteration space: maximal runs of consecutive
+    // same-level cells (the Morton order keeps same-level cells contiguous,
+    // so runs are long), then pack-wide blocks that never straddle a run
+    // boundary. The native sweep parallelizes over blocks; compute_dt
+    // broadcasts the per-level spacing per run, keeping its inner loop
+    // gather-free. clear() + push_back reuses capacity across rezones.
+    level_runs_.clear();
+    for (std::size_t c = 0; c < n;) {
+        std::size_t e = c + 1;
+        while (e < n && cells[e].level == cells[c].level) ++e;
+        level_runs_.push_back({static_cast<std::int32_t>(c),
+                               static_cast<std::int32_t>(e),
+                               cells[c].level});
+        c = e;
+    }
+    flux_blocks_.clear();
+    for (const detail::LevelRun& run : level_runs_)
+        for (std::int32_t b = run.begin; b < run.end; b += kNativeLanes)
+            flux_blocks_.push_back(
+                {b, std::min<std::int32_t>(kNativeLanes, run.end - b)});
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -120,15 +142,17 @@ void ShallowWaterSolver<Policy>::initialize_dam_break(const DamBreak& ic) {
     // initial column edge is resolved at the finest level (CLAMR's initial
     // rezone does the same).
     for (std::int32_t pass = 0; pass < config_.geom.max_level; ++pass) {
-        std::vector<std::int8_t> flags;
-        compute_refinement_flags(flags);
+        compute_refinement_flags(flags_scratch_);
         // Never coarsen during initialization.
-        for (auto& f : flags)
+        for (auto& f : flags_scratch_)
             if (f == mesh::kCoarsenFlag) f = mesh::kKeepFlag;
-        mesh_.adapt(flags);
-        h_.assign(mesh_.num_cells(), storage_t(0));
-        hu_.assign(mesh_.num_cells(), storage_t(0));
-        hv_.assign(mesh_.num_cells(), storage_t(0));
+        mesh_.adapt(flags_scratch_);
+        // resize, not assign: apply_ic overwrites every cell, so zero-fill
+        // would be pure churn, and the vectors keep their capacity across
+        // the warm-up passes instead of reallocating on each one.
+        h_.resize(mesh_.num_cells());
+        hu_.resize(mesh_.num_cells());
+        hv_.resize(mesh_.num_cells());
         apply_ic(ic);
     }
     rebuild_topology_caches();
@@ -140,7 +164,12 @@ template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::compute_refinement_flags(
     std::vector<std::int8_t>& flags) const {
     const std::size_t n = mesh_.num_cells();
-    std::vector<double> jump(n, 0.0);
+    // Arena scratch: this runs every rezone_interval steps, so the jump
+    // buffer must not hit the heap at steady state.
+    util::ScratchArena& arena = util::tls_arena();
+    util::ArenaScope scope(arena);
+    double* jump = arena.alloc<double>(n);
+    std::fill_n(jump, n, 0.0);
     auto scan = [&](const std::vector<mesh::Face>& faces) {
         for (const mesh::Face& f : faces) {
             const double hl = static_cast<double>(h_[f.lo]);
@@ -169,8 +198,15 @@ void ShallowWaterSolver<Policy>::compute_refinement_flags(
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::remap_state(
     const std::vector<mesh::RemapEntry>& plan) {
-    std::vector<storage_t> nh(plan.size()), nhu(plan.size()),
-        nhv(plan.size());
+    // Double-buffer: write into the back arrays and swap. The backs keep
+    // their capacity across rezones, so steady-state remapping allocates
+    // nothing.
+    h_back_.resize(plan.size());
+    hu_back_.resize(plan.size());
+    hv_back_.resize(plan.size());
+    storage_t* nh = h_back_.data();
+    storage_t* nhu = hu_back_.data();
+    storage_t* nhv = hv_back_.data();
     // Each destination cell reads only its own source entries, so the
     // remap parallelizes with no write conflicts.
     const std::size_t nplan = plan.size();
@@ -200,18 +236,17 @@ void ShallowWaterSolver<Policy>::remap_state(
             }
         }
     }
-    h_ = std::move(nh);
-    hu_ = std::move(nhu);
-    hv_ = std::move(nhv);
+    h_.swap(h_back_);
+    hu_.swap(hu_back_);
+    hv_.swap(hv_back_);
 }
 
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::rezone() {
     util::WallTimer t;
     const std::uint64_t old_cells = mesh_.num_cells();
-    std::vector<std::int8_t> flags;
-    compute_refinement_flags(flags);
-    const auto plan = mesh_.adapt(flags);
+    compute_refinement_flags(flags_scratch_);
+    const auto plan = mesh_.adapt(flags_scratch_);
     remap_state(plan);
     rebuild_topology_caches();
     const std::uint64_t touched = old_cells + mesh_.num_cells();
@@ -226,38 +261,49 @@ template <fp::PrecisionPolicy Policy>
 double ShallowWaterSolver<Policy>::compute_dt() {
     util::WallTimer t;
     const std::size_t n = mesh_.num_cells();
-    const auto& cells = mesh_.cells();
     const compute_t g = static_cast<compute_t>(config_.gravity);
     const compute_t hfloor = static_cast<compute_t>(1e-8);
     // Per-level minimum spacing lookup (tiny, stays in L1). The
     // constructor guarantees max_level <= kMaxSupportedLevel, so the
-    // cell-level index below can never leave the array.
-    std::array<double, kMaxSupportedLevel + 1> min_dx{};
+    // run-level index below can never leave the array.
+    std::array<compute_t, kMaxSupportedLevel + 1> min_dx{};
     for (std::int32_t l = 0; l <= config_.geom.max_level; ++l)
-        min_dx[static_cast<std::size_t>(l)] =
-            std::min(mesh_.cell_dx(l), mesh_.cell_dy(l));
+        min_dx[static_cast<std::size_t>(l)] = static_cast<compute_t>(
+            std::min(mesh_.cell_dx(l), mesh_.cell_dy(l)));
 
-    const mesh::Cell* cell = cells.data();
     const storage_t* h = h_.data();
     const storage_t* hu = hu_.data();
     const storage_t* hv = hv_.data();
-    double* cfl = cfl_buf_.data();
-#pragma omp parallel for simd schedule(static)
-    for (std::size_t c = 0; c < n; ++c) {
-        const compute_t hh =
-            std::max(static_cast<compute_t>(h[c]), hfloor);
-        const compute_t inv = compute_t(1) / hh;
-        const compute_t u = std::fabs(static_cast<compute_t>(hu[c])) * inv;
-        const compute_t v = std::fabs(static_cast<compute_t>(hv[c])) * inv;
-        const compute_t wave = std::max(u, v) + std::sqrt(g * hh);
-        cfl[c] = min_dx[static_cast<std::size_t>(cell[c].level)] /
-                 static_cast<double>(wave);
+    compute_t* cfl = cfl_buf_.data();
+    const detail::LevelRun* runs = level_runs_.data();
+    const auto nruns = static_cast<std::int64_t>(level_runs_.size());
+    // Level-bucketed: the spacing is a run constant, so the inner loop has
+    // no per-cell level lookup and every candidate is computed in the
+    // policy's compute precision (the dt itself is part of what "minimum
+    // precision" changes about the run).
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < nruns; ++r) {
+        const detail::LevelRun run = runs[r];
+        const compute_t dx = min_dx[static_cast<std::size_t>(run.level)];
+#pragma omp simd
+        for (std::int32_t c = run.begin; c < run.end; ++c) {
+            const compute_t hh =
+                std::max(static_cast<compute_t>(h[c]), hfloor);
+            const compute_t inv = compute_t(1) / hh;
+            const compute_t u =
+                std::fabs(static_cast<compute_t>(hu[c])) * inv;
+            const compute_t v =
+                std::fabs(static_cast<compute_t>(hv[c])) * inv;
+            const compute_t wave = std::max(u, v) + std::sqrt(g * hh);
+            cfl[c] = dx / wave;
+        }
     }
     // Reproducible global minimum: the blocked parallel reduction has a
     // fixed shape that depends only on n, so the result is bit-identical
     // at any thread count (paper §III.C, order-independent reductions).
-    const double dt_min = sum::parallel_min(
-        cfl_buf_, std::numeric_limits<double>::infinity());
+    const compute_t dt_min = sum::parallel_min(
+        std::span<const compute_t>(cfl_buf_),
+        std::numeric_limits<compute_t>::infinity());
 
     constexpr bool sp = std::is_same_v<compute_t, float>;
     ledger_.record("cfl", t.elapsed_seconds(),
@@ -268,122 +314,37 @@ double ShallowWaterSolver<Policy>::compute_dt() {
                     std::is_same_v<compute_t, double>)
                        ? 3 * n
                        : 0,
-                   n * sizeof(double),
+                   n * sizeof(compute_t),
                    static_cast<std::uint32_t>(util::max_threads()));
     timers_.add("cfl", t.elapsed_seconds());
-    return config_.courant * dt_min;
-}
-
-// The flux body is duplicated in a SIMD-annotated and a scalar variant;
-// keep them textually identical apart from the pragma/attribute so Table
-// III measures vectorization alone. The eight sub-face slots are unrolled
-// through a constexpr-indexed lambda so the loop body is straight-line
-// (no inner control flow), which is what lets the SIMD variant vectorize.
-#define TP_SHALLOW_FLUX_BODY                                                  \
-    const std::size_t n = mesh_.num_cells();                                  \
-    const storage_t* h = h_.data();                                           \
-    const storage_t* hu = hu_.data();                                         \
-    const storage_t* hv = hv_.data();                                         \
-    compute_t* dh = dh_.data();                                               \
-    compute_t* dhu = dhu_.data();                                             \
-    compute_t* dhv = dhv_.data();                                             \
-    const std::int32_t* nbr = nbr_idx_.data();                                \
-    const compute_t* areas = nbr_area_.data();                                \
-    const compute_t g = static_cast<compute_t>(config_.gravity);              \
-    const compute_t half = compute_t(0.5);                                    \
-    const compute_t half_g = half * g;                                        \
-    const compute_t hfloor = static_cast<compute_t>(1e-8);                    \
-    _Pragma_placeholder                                                       \
-    for (std::size_t c = 0; c < n; ++c) {                                     \
-        const compute_t hC =                                                  \
-            std::max(static_cast<compute_t>(h[c]), hfloor);                   \
-        const compute_t huC = static_cast<compute_t>(hu[c]);                  \
-        const compute_t hvC = static_cast<compute_t>(hv[c]);                  \
-        const compute_t invC = compute_t(1) / hC;                             \
-        compute_t ddh = compute_t(0);                                         \
-        compute_t ddhu = compute_t(0);                                        \
-        compute_t ddhv = compute_t(0);                                        \
-        const auto side = [&]<int SLOT>() {                                   \
-            constexpr bool xd = SLOT < 4;                                     \
-            constexpr bool pos = (SLOT & 2) != 0;                             \
-            const auto nb = static_cast<std::size_t>(                         \
-                nbr[static_cast<std::size_t>(SLOT) * n + c]);                 \
-            const compute_t a =                                               \
-                areas[static_cast<std::size_t>(SLOT) * n + c];                \
-            const compute_t hN =                                              \
-                std::max(static_cast<compute_t>(h[nb]), hfloor);              \
-            const compute_t huN = static_cast<compute_t>(hu[nb]);             \
-            const compute_t hvN = static_cast<compute_t>(hv[nb]);             \
-            const compute_t invN = compute_t(1) / hN;                         \
-            const compute_t qnC = xd ? huC : hvC;                             \
-            const compute_t qtC = xd ? hvC : huC;                             \
-            const compute_t qnN = xd ? huN : hvN;                             \
-            const compute_t qtN = xd ? hvN : huN;                             \
-            /* Orient along +x/+y: L is the lower-coordinate side, so both */ \
-            /* cells sharing the face evaluate the identical expression.   */ \
-            const compute_t hL = pos ? hC : hN;                               \
-            const compute_t hR = pos ? hN : hC;                               \
-            const compute_t qnL = pos ? qnC : qnN;                            \
-            const compute_t qnR = pos ? qnN : qnC;                            \
-            const compute_t qtL = pos ? qtC : qtN;                            \
-            const compute_t qtR = pos ? qtN : qtC;                            \
-            const compute_t invL = pos ? invC : invN;                         \
-            const compute_t invR = pos ? invN : invC;                         \
-            const compute_t unL = qnL * invL;                                 \
-            const compute_t unR = qnR * invR;                                 \
-            const compute_t utL = qtL * invL;                                 \
-            const compute_t utR = qtR * invR;                                 \
-            const compute_t cL = std::sqrt(g * hL);                           \
-            const compute_t cR = std::sqrt(g * hR);                           \
-            const compute_t smax =                                            \
-                std::max(std::fabs(unL) + cL, std::fabs(unR) + cR);           \
-            const compute_t f1 =                                              \
-                half * (qnL + qnR) - half * smax * (hR - hL);                 \
-            const compute_t f2 =                                              \
-                half * (qnL * unL + half_g * hL * hL + qnR * unR +            \
-                        half_g * hR * hR) -                                   \
-                half * smax * (qnR - qnL);                                    \
-            const compute_t f3 = half * (qnL * utL + qnR * utR) -             \
-                                 half * smax * (qtR - qtL);                   \
-            /* Outward flux leaves the cell on its positive sides. */         \
-            const compute_t sa = pos ? a : -a;                                \
-            ddh -= sa * f1;                                                   \
-            ddhu -= sa * (xd ? f2 : f3);                                      \
-            ddhv -= sa * (xd ? f3 : f2);                                      \
-        };                                                                    \
-        side.template operator()<0>();                                        \
-        side.template operator()<1>();                                        \
-        side.template operator()<2>();                                        \
-        side.template operator()<3>();                                        \
-        side.template operator()<4>();                                        \
-        side.template operator()<5>();                                        \
-        side.template operator()<6>();                                        \
-        side.template operator()<7>();                                        \
-        dh[c] = ddh;                                                          \
-        dhu[c] = ddhu;                                                        \
-        dhv[c] = ddhv;                                                        \
-    }
-
-// Each cell writes only its own increments, so the sweep threads with no
-// synchronization; schedule(static) keeps the iteration->thread map fixed
-// and the per-cell arithmetic is identical at any team size. Under the
-// serial -fopenmp-simd fallback only the simd part of the combined
-// construct applies, preserving the vectorized-vs-scalar contrast.
-template <fp::PrecisionPolicy Policy>
-void ShallowWaterSolver<Policy>::flux_sweep_simd() {
-#define _Pragma_placeholder _Pragma("omp parallel for simd schedule(static)")
-    TP_SHALLOW_FLUX_BODY
-#undef _Pragma_placeholder
+    return config_.courant * static_cast<double>(dt_min);
 }
 
 template <fp::PrecisionPolicy Policy>
-TP_NO_VECTORIZE void ShallowWaterSolver<Policy>::flux_sweep_scalar() {
-#define _Pragma_placeholder _Pragma("omp parallel for schedule(static)")
-    TP_SHALLOW_FLUX_BODY
-#undef _Pragma_placeholder
+detail::FluxArgs<typename Policy::storage_t, typename Policy::compute_t>
+ShallowWaterSolver<Policy>::flux_args() {
+    return {h_.data(),       hu_.data(),       hv_.data(),
+            dh_.data(),      dhu_.data(),      dhv_.data(),
+            nbr_idx_.data(), nbr_area_.data(), mesh_.num_cells(),
+            static_cast<compute_t>(config_.gravity)};
 }
 
-#undef TP_SHALLOW_FLUX_BODY
+// Each block writes only its own cells' increments, so the sweep threads
+// with no synchronization, and the per-cell arithmetic is independent of
+// which thread runs the block — the result is identical at any team size.
+// The scalar twin (flux_sweep_scalar) lives in flux_scalar.cpp, compiled
+// with the auto-vectorizer off; it instantiates the same flux_block<> at
+// W = 1, so the two paths differ only in instruction shape.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_native() {
+    const auto args = flux_args();
+    const FluxBlock* blocks = flux_blocks_.data();
+    const auto nb = static_cast<std::int64_t>(flux_blocks_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nb; ++b)
+        detail::flux_block<storage_t, compute_t, kNativeLanes>(
+            args, static_cast<std::size_t>(blocks[b].begin), blocks[b].len);
+}
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::boundary_fluxes() {
     // Reflective walls via a mirrored ghost state fed through the same
@@ -448,7 +409,8 @@ void ShallowWaterSolver<Policy>::apply_update(double dt) {
 }
 
 template <fp::PrecisionPolicy Policy>
-void ShallowWaterSolver<Policy>::account_finite_diff(double seconds) {
+void ShallowWaterSolver<Policy>::account_finite_diff(double seconds,
+                                                     int lanes) {
     const std::uint64_t bfaces = mesh_.boundary_faces().size();
     const std::uint64_t cells = mesh_.num_cells();
     constexpr std::uint64_t ss = sizeof(storage_t);
@@ -474,21 +436,23 @@ void ShallowWaterSolver<Policy>::account_finite_diff(double seconds) {
             : 0;
     ledger_.record("finite_diff", seconds, sp ? flops : 0, sp ? 0 : flops,
                    bytes, converts, bytes_compute,
-                   static_cast<std::uint32_t>(util::max_threads()));
+                   static_cast<std::uint32_t>(util::max_threads()),
+                   static_cast<std::uint32_t>(lanes));
     timers_.add("finite_diff", seconds);
 }
 
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::finite_diff(double dt) {
     util::WallTimer t;
-    if (config_.vectorized) {
-        flux_sweep_simd();
+    const bool native = simd::use_native(config_.simd);
+    if (native) {
+        flux_sweep_native();
     } else {
         flux_sweep_scalar();
     }
     boundary_fluxes();
     apply_update(dt);
-    account_finite_diff(t.elapsed_seconds());
+    account_finite_diff(t.elapsed_seconds(), native ? kNativeLanes : 1);
 }
 
 template <fp::PrecisionPolicy Policy>

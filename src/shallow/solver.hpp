@@ -16,9 +16,12 @@
 // itself — followed by the conservative cell update. Both adjacent cells
 // evaluate the identical flux expression for a shared face, so the scheme
 // stays exactly conservative while the loop carries no scatter
-// dependencies. It exists in two code shapes — a SIMD-annotated loop and
-// a deliberately scalar loop — reproducing the paper's vectorization
-// study (Table III).
+// dependencies. The sweep is one width-templated pack kernel
+// (flux_kernel.hpp): the W == 1 instantiation, driven from a translation
+// unit with the auto-vectorizer disabled, is the paper's scalar baseline;
+// the W == native_lanes instantiation is the vector path. The two are
+// bit-identical per cell, selected at runtime by Config::simd
+// (Table III's vectorization study from one binary).
 
 #include <cstdint>
 #include <fstream>
@@ -33,16 +36,11 @@
 #include "mesh/amr_mesh.hpp"
 #include "perf/counters.hpp"
 #include "shallow/config.hpp"
+#include "shallow/flux_kernel.hpp"
+#include "simd/dispatch.hpp"
 #include "sum/expansion.hpp"
 #include "sum/reproducible.hpp"
 #include "util/timing.hpp"
-
-#if defined(__GNUC__) && !defined(__clang__)
-#define TP_NO_VECTORIZE \
-    __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
-#else
-#define TP_NO_VECTORIZE
-#endif
 
 namespace tp::shallow {
 
@@ -65,6 +63,11 @@ public:
     /// per-level spacing lookup of this size in L1, so the limit is
     /// enforced against the configured geometry at construction time.
     static constexpr std::int32_t kMaxSupportedLevel = 15;
+
+    /// Pack width of the native flux-sweep path for this policy's compute
+    /// type. float-compute policies get twice the lanes of double-compute
+    /// ones — the Table III "minimum precision doubles SIMD width" lever.
+    static constexpr int kNativeLanes = simd::native_lanes<compute_t>;
 
     /// Throws std::invalid_argument when the geometry is unusable
     /// (non-positive coarse grid or max_level outside
@@ -117,7 +120,20 @@ public:
         return timers_;
     }
 
+    /// Same-level Morton runs the level-bucketed sweeps iterate (rebuilt on
+    /// every topology change; exposed for the SIMD binning tests).
+    [[nodiscard]] const std::vector<detail::LevelRun>& level_runs() const {
+        return level_runs_;
+    }
+
 private:
+    /// A W-wide (or tail) slice of one level run — the unit the native
+    /// sweep parallelizes over. Blocks never straddle a run boundary.
+    struct FluxBlock {
+        std::int32_t begin;
+        std::int32_t len;  // 1 <= len <= kNativeLanes
+    };
+
     void apply_ic(const DamBreak& ic);
     void compute_refinement_flags(std::vector<std::int8_t>& flags) const;
     void rezone();
@@ -125,15 +141,21 @@ private:
     void rebuild_topology_caches();
     [[nodiscard]] double compute_dt();
     void finite_diff(double dt);
-    void flux_sweep_simd();
-    TP_NO_VECTORIZE void flux_sweep_scalar();
+    [[nodiscard]] detail::FluxArgs<storage_t, compute_t> flux_args();
+    void flux_sweep_native();
+    // Defined in flux_scalar.cpp, a TU compiled with the auto-vectorizer
+    // off, so the W == 1 path measures true scalar issue.
+    void flux_sweep_scalar();
     void boundary_fluxes();
     void apply_update(double dt);
-    void account_finite_diff(double seconds) ;
+    void account_finite_diff(double seconds, int lanes);
 
     Config config_;
     mesh::AmrMesh mesh_;
     std::vector<storage_t> h_, hu_, hv_;      // persistent state (storage_t)
+    // Remap double buffers: rezone writes the post-adapt state here and
+    // swaps, so steady-state refinement churns no allocations.
+    std::vector<storage_t> h_back_, hu_back_, hv_back_;
     std::vector<compute_t> dh_, dhu_, dhv_;   // per-step increments
     std::vector<compute_t> inv_area_;         // 1/area per cell
     // Cell-centric neighbor tables (CLAMR's finite_diff shape): for each
@@ -146,7 +168,11 @@ private:
     static constexpr int kSlots = 8;
     std::vector<std::int32_t> nbr_idx_;    // kSlots * ncells
     std::vector<compute_t> nbr_area_;      // kSlots * ncells
-    std::vector<double> cfl_buf_;             // per-cell dt candidates
+    // Level-bucketed iteration space (rebuilt with the neighbor tables).
+    std::vector<detail::LevelRun> level_runs_;
+    std::vector<FluxBlock> flux_blocks_;
+    std::vector<compute_t> cfl_buf_;       // per-cell dt candidates
+    std::vector<std::int8_t> flags_scratch_;  // refinement flags, reused
     double time_ = 0.0;
     std::int64_t step_count_ = 0;
     perf::WorkLedger ledger_;

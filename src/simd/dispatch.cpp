@@ -1,0 +1,15 @@
+#include "simd/dispatch.hpp"
+
+#include <stdexcept>
+
+namespace tp::simd {
+
+Mode parse_mode(const std::string& s) {
+    if (s == "auto") return Mode::Auto;
+    if (s == "scalar") return Mode::Scalar;
+    if (s == "native") return Mode::Native;
+    throw std::invalid_argument("--simd: expected auto|scalar|native, got '" +
+                                s + "'");
+}
+
+}  // namespace tp::simd

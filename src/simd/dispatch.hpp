@@ -1,0 +1,58 @@
+#pragma once
+// Runtime selection between the packed (native-width) and scalar kernel
+// variants. Every kernel that has both shapes consults a simd::Mode held
+// in its solver config:
+//
+//   Auto   — use the native packs when the build has a vector unit
+//            (native_lanes > 1), otherwise fall back to scalar;
+//   Scalar — force the W == 1 instantiation, compiled with the
+//            auto-vectorizer disabled (the paper's "unvectorized" rows);
+//   Native — force the widest instantiation for the kernel's compute type.
+//
+// Both variants are always compiled into the binary, which is what makes
+// Table III a single-binary comparison (`--simd=scalar` vs
+// `--simd=native` on the same executable). The mode changes *instruction
+// shape only*: results are bit-identical between the two paths within any
+// precision policy (see pack.hpp's determinism contract).
+
+#include <string>
+
+#include "simd/pack.hpp"
+
+namespace tp::simd {
+
+enum class Mode { Auto, Scalar, Native };
+
+[[nodiscard]] constexpr const char* to_string(Mode m) {
+    switch (m) {
+        case Mode::Auto: return "auto";
+        case Mode::Scalar: return "scalar";
+        case Mode::Native: return "native";
+    }
+    return "unknown";
+}
+
+/// Parse "auto" | "scalar" | "native". Throws std::invalid_argument on
+/// anything else (mirrors util::ArgParser's typed-accessor behavior).
+[[nodiscard]] Mode parse_mode(const std::string& s);
+
+/// Resolve Auto against the compiled ISA: Native when the build has vector
+/// registers, Scalar otherwise. Scalar/Native pass through unchanged.
+[[nodiscard]] constexpr Mode resolve(Mode m) {
+    if (m != Mode::Auto) return m;
+    return kNativeVectorBytes > 0 ? Mode::Native : Mode::Scalar;
+}
+
+/// True when `m` resolves to the packed path.
+[[nodiscard]] constexpr bool use_native(Mode m) {
+    return resolve(m) == Mode::Native;
+}
+
+/// Lane count mode `m` yields for compute type T (what a kernel should
+/// record in its WorkLedger as the SIMD width it actually ran with).
+template <typename T>
+[[nodiscard]] constexpr int lanes_for(Mode m) {
+    return use_native(m) ? native_lanes<T> : 1;
+}
+
+}  // namespace tp::simd

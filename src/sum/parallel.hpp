@@ -31,9 +31,13 @@ inline constexpr std::size_t kReduceBlock = 4096;
 
 /// Deterministic parallel minimum (identity returned for empty input).
 [[nodiscard]] double parallel_min(std::span<const double> x, double identity);
+/// float flavor, for solvers whose compute_t is single precision (the
+/// CFL buffer of the minimum-precision policy). Same fixed block shape.
+[[nodiscard]] float parallel_min(std::span<const float> x, float identity);
 
 /// Deterministic parallel maximum.
 [[nodiscard]] double parallel_max(std::span<const double> x, double identity);
+[[nodiscard]] float parallel_max(std::span<const float> x, float identity);
 
 /// Exact (hence order- and thread-count-independent) parallel sum,
 /// correctly rounded to double.

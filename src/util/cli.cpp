@@ -137,4 +137,16 @@ int apply_threads_option(const ArgParser& args) {
     return max_threads();
 }
 
+void add_simd_option(ArgParser& args) {
+    args.add_option("simd",
+                    "Kernel instruction shape: auto|scalar|native "
+                    "(bit-identical results; auto picks native when the "
+                    "build has a vector unit)",
+                    "auto");
+}
+
+simd::Mode apply_simd_option(const ArgParser& args) {
+    return simd::parse_mode(args.get_string("simd"));
+}
+
 }  // namespace tp::util

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "simd/dispatch.hpp"
+
 namespace tp::util {
 
 /// Declarative CLI option parser.
@@ -63,5 +65,13 @@ void add_threads_option(ArgParser& args);
 /// the count now in effect. Safe to call when the option value is 0 (the
 /// current setting is left untouched) or in serial builds (always 1).
 int apply_threads_option(const ArgParser& args);
+
+/// Register the standard `--simd auto|scalar|native` option selecting the
+/// kernel instruction shape at runtime (results are bit-identical across
+/// modes within a precision policy).
+void add_simd_option(ArgParser& args);
+
+/// Parse the `--simd` value; throws std::invalid_argument on junk.
+[[nodiscard]] simd::Mode apply_simd_option(const ArgParser& args);
 
 }  // namespace tp::util

@@ -169,7 +169,7 @@ TEST(Integration, VectorizationAmplifiesPrecisionGains) {
     tf::for_each_precision([&]<typename P>() {
         tp::shallow::Config cfg;
         cfg.geom = {0.0, 0.0, 100.0, 100.0, 96, 96, 2};
-        cfg.vectorized = false;
+        cfg.simd = tp::simd::Mode::Scalar;
         tp::shallow::ShallowWaterSolver<P> s(cfg);
         s.initialize_dam_break({});
         s.run(60);
