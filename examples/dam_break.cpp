@@ -28,6 +28,7 @@ int run(const util::ArgParser& args) {
     cfg.geom = {0.0, 0.0, 100.0, 100.0, n, n, args.get_int("levels")};
     cfg.courant = args.get_double("courant");
     cfg.simd = util::apply_simd_option(args);
+    cfg.rezone_mode = util::apply_rezone_option(args);
 
     shallow::DamBreak ic;
     ic.h_inside = args.get_double("h-inside");
@@ -63,6 +64,14 @@ int run(const util::ArgParser& args) {
                 solver.timers().total("finite_diff"),
                 solver.timers().total("cfl"),
                 solver.timers().total("rezone"));
+    std::printf(
+        "rezone phases (%s): flags %.3f s | adapt %.3f s | remap %.3f s | "
+        "cache %.3f s\n",
+        shallow::rezone_mode_name(cfg.rezone_mode),
+        solver.timers().total("rezone_flags"),
+        solver.timers().total("rezone_adapt"),
+        solver.timers().total("rezone_remap"),
+        solver.timers().total("rezone_cache"));
     std::printf("mass drift: %+.3e (relative)\n",
                 (solver.total_mass() - mass0) / mass0);
     std::printf("state: %s resident, checkpoint %s\n",
@@ -110,6 +119,7 @@ int main(int argc, char** argv) {
                     "");
     args.add_flag("verbose", "print periodic step diagnostics");
     util::add_simd_option(args);
+    util::add_rezone_option(args);
     util::add_threads_option(args);
     if (!args.parse(argc, argv)) return 1;
 

@@ -63,6 +63,27 @@ double PerfProjector::project_app_seconds(
     return total;
 }
 
+std::vector<std::pair<std::string, ProjectedTime>>
+PerfProjector::project_app_breakdown(const perf::WorkLedger& ledger) const {
+    std::vector<std::pair<std::string, ProjectedTime>> out;
+    out.reserve(ledger.kernels().size());
+    for (const auto& [name, work] : ledger.kernels())
+        out.emplace_back(name, project(work));
+    return out;
+}
+
+double PerfProjector::projected_share(const perf::WorkLedger& ledger,
+                                      const std::string& prefix) const {
+    double total = 0.0;
+    double matched = 0.0;
+    for (const auto& [name, work] : ledger.kernels()) {
+        const double t = project(work).total();
+        total += t;
+        if (name.rfind(prefix, 0) == 0) matched += t;
+    }
+    return total > 0.0 ? matched / total : 0.0;
+}
+
 std::uint64_t PerfProjector::project_memory_bytes(
     std::uint64_t solver_bytes) const {
     // Fixed overheads chosen to match the scale of the paper's Table I

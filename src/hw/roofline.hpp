@@ -9,6 +9,10 @@
 // single-precision speedup) are first-order functions of exactly the
 // quantities this model keeps: SP:DP throughput ratio and bandwidth.
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "hw/archspec.hpp"
 #include "perf/counters.hpp"
 
@@ -66,6 +70,17 @@ public:
     /// Whole-application time: sum of per-kernel projections.
     [[nodiscard]] double project_app_seconds(
         const perf::WorkLedger& ledger) const;
+
+    /// Per-kernel projected seconds, in ledger (kernel-name) order. The
+    /// table harnesses use this to attribute projected runtime to phases —
+    /// e.g. the rezone share is the sum over the "rezone_*" entries.
+    [[nodiscard]] std::vector<std::pair<std::string, ProjectedTime>>
+    project_app_breakdown(const perf::WorkLedger& ledger) const;
+
+    /// Fraction of projected app time spent in kernels whose name starts
+    /// with `prefix` (0 when the ledger projects to zero time).
+    [[nodiscard]] double projected_share(const perf::WorkLedger& ledger,
+                                         const std::string& prefix) const;
 
     /// Resident memory projection: solver state + device/process overhead.
     /// CPU processes carry OS/allocator/runtime overhead; GPU figures count

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -10,11 +12,6 @@
 namespace tp::mesh {
 
 namespace {
-
-/// Children of (level, i, j) in Morton order.
-struct ChildBox {
-    std::int32_t i0, j0;
-};
 
 constexpr std::array<std::pair<int, int>, 4> kChildOffsets = {
     {{0, 0}, {1, 0}, {0, 1}, {1, 1}}};
@@ -32,23 +29,29 @@ AmrMesh::AmrMesh(const MeshGeometry& geom) : geom_(geom) {
     for (std::int32_t j = 0; j < geom_.coarse_ny; ++j)
         for (std::int32_t i = 0; i < geom_.coarse_nx; ++i)
             cells_.push_back(Cell{0, i, j});
-    sort_cells();
-    rebuild_index();
-    build_faces();
+    std::sort(cells_.begin(), cells_.end(),
+              [this](const Cell& a, const Cell& b) {
+                  return morton_anchor(a, geom_.max_level) <
+                         morton_anchor(b, geom_.max_level);
+              });
+    rebuild_keys();
+    build_boundary_faces();
 }
 
-void AmrMesh::sort_cells() {
-    std::sort(cells_.begin(), cells_.end(), [this](const Cell& a, const Cell& b) {
-        return morton_anchor(a, geom_.max_level) <
-               morton_anchor(b, geom_.max_level);
-    });
-}
-
-void AmrMesh::rebuild_index() {
-    index_.clear();
-    index_.reserve(cells_.size() * 2);
+void AmrMesh::rebuild_keys() {
+    keys_.resize(cells_.size());
     for (std::size_t idx = 0; idx < cells_.size(); ++idx)
-        index_.emplace(cell_key(cells_[idx]), static_cast<std::int32_t>(idx));
+        keys_[idx] = morton_anchor(cells_[idx], geom_.max_level);
+}
+
+void AmrMesh::validate_order() const {
+#ifndef NDEBUG
+    assert(keys_.size() == cells_.size());
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+        assert(keys_[idx] == morton_anchor(cells_[idx], geom_.max_level));
+        assert(idx == 0 || keys_[idx - 1] < keys_[idx]);
+    }
+#endif
 }
 
 double AmrMesh::finest_dx() const {
@@ -57,214 +60,408 @@ double AmrMesh::finest_dx() const {
     return std::min(cell_dx(finest), cell_dy(finest));
 }
 
+std::int32_t AmrMesh::covering_leaf(std::int32_t level, std::int32_t i,
+                                    std::int32_t j) const {
+    const auto shift = static_cast<std::uint32_t>(geom_.max_level - level);
+    const std::uint64_t x = morton2d(static_cast<std::uint32_t>(i) << shift,
+                                     static_cast<std::uint32_t>(j) << shift);
+    // Leaves occupy disjoint Morton ranges aligned to their size, so the
+    // leaf containing code x is the one with the largest anchor <= x.
+    const auto it = std::upper_bound(keys_.begin(), keys_.end(), x);
+    if (it == keys_.begin()) return -1;  // unreachable inside the domain
+    return static_cast<std::int32_t>(it - keys_.begin()) - 1;
+}
+
+std::int32_t AmrMesh::gallop_last_le(std::int32_t hint, std::uint64_t x) const {
+    const auto n = static_cast<std::int32_t>(keys_.size());
+    std::int32_t step = 1;
+    std::int32_t lo;  // keys_[lo] <= x (or lo == -1)
+    std::int32_t hi;  // keys_[hi] > x (or hi == n)
+    if (keys_[static_cast<std::size_t>(hint)] <= x) {
+        lo = hint;
+        hi = lo + 1;
+        while (hi < n && keys_[static_cast<std::size_t>(hi)] <= x) {
+            lo = hi;
+            hi = lo + step;
+            step <<= 1;
+        }
+        hi = std::min(hi, n);
+    } else {
+        hi = hint;
+        lo = hi - 1;
+        while (lo >= 0 && keys_[static_cast<std::size_t>(lo)] > x) {
+            hi = lo;
+            lo = hi - step;
+            step <<= 1;
+        }
+        if (lo < 0) {
+            lo = -1;
+            if (hi == 0) return -1;
+        }
+    }
+    const auto it = std::upper_bound(keys_.begin() + lo + 1,
+                                     keys_.begin() + hi, x);
+    return static_cast<std::int32_t>(it - keys_.begin()) - 1;
+}
+
+std::int32_t AmrMesh::covering_leaf_near(std::int32_t hint, std::int32_t level,
+                                         std::int32_t i, std::int32_t j) const {
+    const auto shift = static_cast<std::uint32_t>(geom_.max_level - level);
+    const std::uint64_t x = morton2d(static_cast<std::uint32_t>(i) << shift,
+                                     static_cast<std::uint32_t>(j) << shift);
+    return gallop_last_le(hint, x);
+}
+
+std::int32_t AmrMesh::leaf_index_near(std::int32_t hint, std::int32_t level,
+                                      std::int32_t i, std::int32_t j) const {
+    const auto shift = static_cast<std::uint32_t>(geom_.max_level - level);
+    const std::uint64_t x = morton2d(static_cast<std::uint32_t>(i) << shift,
+                                     static_cast<std::uint32_t>(j) << shift);
+    const std::int32_t r = gallop_last_le(hint, x);
+    // Keys are strictly increasing, so an exact anchor match can only sit
+    // at the last-<= position; anchor + level then pin the leaf uniquely.
+    if (r < 0 || keys_[static_cast<std::size_t>(r)] != x ||
+        cells_[static_cast<std::size_t>(r)].level != level)
+        return -1;
+    return r;
+}
+
+std::int32_t AmrMesh::leaf_index(std::int32_t level, std::int32_t i,
+                                 std::int32_t j) const {
+    const auto shift = static_cast<std::uint32_t>(geom_.max_level - level);
+    const std::uint64_t x = morton2d(static_cast<std::uint32_t>(i) << shift,
+                                     static_cast<std::uint32_t>(j) << shift);
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), x);
+    if (it == keys_.end() || *it != x) return -1;
+    // A parent and its first child share an anchor, so the level must be
+    // compared; anchor + level determine (i, j) uniquely.
+    const auto idx = static_cast<std::int32_t>(it - keys_.begin());
+    return cells_[static_cast<std::size_t>(idx)].level == level ? idx : -1;
+}
+
 std::int32_t AmrMesh::find_cell(double x, double y) const {
     const double fx = (x - geom_.xmin) / dx0_;
     const double fy = (y - geom_.ymin) / dy0_;
     if (fx < 0.0 || fy < 0.0 || fx >= geom_.coarse_nx || fy >= geom_.coarse_ny)
         return -1;
-    for (std::int32_t l = 0; l <= geom_.max_level; ++l) {
-        const double scale = static_cast<double>(1u << l);
-        const auto i = static_cast<std::int32_t>(fx * scale);
-        const auto j = static_cast<std::int32_t>(fy * scale);
-        if (const auto it = index_.find(cell_key(l, i, j)); it != index_.end())
-            return it->second;
-    }
-    return -1;
+    // Locate the finest-level unit containing the point, then the covering
+    // leaf via one binary search. Scaling by 2^l is exact in binary
+    // floating point, so floor(f * 2^max) >> (max - l) == floor(f * 2^l):
+    // this finds exactly the leaf the old per-level probe loop found.
+    const double scale = static_cast<double>(1u << geom_.max_level);
+    const auto fi = static_cast<std::int32_t>(fx * scale);
+    const auto fj = static_cast<std::int32_t>(fy * scale);
+    return covering_leaf(geom_.max_level, fi, fj);
 }
 
 bool AmrMesh::has_finer_cover(std::int32_t level, std::int32_t i,
                               std::int32_t j) const {
-    // Inside the domain, a quadrant is either covered by a leaf at the same
-    // or a coarser level, or it is subdivided into finer leaves (exact
-    // tiling invariant).
-    for (std::int32_t l = level; l >= 0; --l) {
-        if (is_leaf(l, i >> (level - l), j >> (level - l))) return false;
-    }
-    return true;
+    // Exact tiling: the quadrant is either a leaf, covered by a coarser
+    // leaf, or subdivided. When subdivided, the first finer leaf inside is
+    // anchored exactly at the quadrant's anchor (finer blocks are aligned
+    // to their size, which divides the quadrant's alignment); a coarser
+    // cover is at the same anchor with level < `level`, or at an earlier
+    // anchor. So one covering lookup decides all three cases.
+    const std::int32_t q = covering_leaf(level, i, j);
+    if (q < 0) return false;
+    const auto shift = static_cast<std::uint32_t>(geom_.max_level - level);
+    const std::uint64_t x = morton2d(static_cast<std::uint32_t>(i) << shift,
+                                     static_cast<std::uint32_t>(j) << shift);
+    return keys_[static_cast<std::size_t>(q)] == x &&
+           cells_[static_cast<std::size_t>(q)].level > level;
 }
 
-std::vector<RemapEntry> AmrMesh::adapt(std::span<const std::int8_t> flags) {
+RemapPlan AmrMesh::adapt(std::span<const std::int8_t> flags) {
     if (flags.size() != cells_.size())
         throw std::invalid_argument("adapt: flag count != cell count");
 
     const std::int32_t max_level = geom_.max_level;
+    const std::int32_t nx0 = geom_.coarse_nx;
+    const std::int32_t ny0 = geom_.coarse_ny;
+    const auto n = static_cast<std::int64_t>(cells_.size());
 
     // --- Pass 1: approve coarsen groups --------------------------------
     // A sibling group (four leaves sharing a parent) coarsens only when all
     // four are flagged kCoarsenFlag and no adjacent leaf is finer than the
     // siblings (the parent would then break 2:1 balance), and no same-level
-    // neighbor is about to refine.
+    // neighbor is about to refine. The four siblings of a complete group
+    // are consecutive in Morton order (their parent block contains no other
+    // leaf), so groups stream off the sorted list with no hashing; group
+    // starts are disjoint 4-cell windows, so the scan threads safely.
     std::vector<std::uint8_t> coarsen_ok(cells_.size(), 0);
-    std::unordered_map<std::uint64_t, std::array<std::int32_t, 4>> groups;
-    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
-        const Cell& c = cells_[idx];
-        if (flags[idx] != kCoarsenFlag || c.level == 0) continue;
-        const std::uint64_t pk = cell_key(c.level - 1, c.i >> 1, c.j >> 1);
-        auto [it, inserted] = groups.try_emplace(
-            pk, std::array<std::int32_t, 4>{-1, -1, -1, -1});
-        const int child_slot = (c.i & 1) + 2 * (c.j & 1);
-        it->second[child_slot] = static_cast<std::int32_t>(idx);
-    }
-    const std::int32_t nx0 = geom_.coarse_nx;
-    const std::int32_t ny0 = geom_.coarse_ny;
     auto inside = [&](std::int32_t l, std::int32_t i, std::int32_t j) {
         return i >= 0 && j >= 0 && i < (nx0 << l) && j < (ny0 << l);
     };
-    auto neighbor_blocks_coarsen = [&](std::int32_t l, std::int32_t i,
-                                       std::int32_t j) {
+    auto neighbor_blocks_coarsen = [&](std::int32_t hint, std::int32_t l,
+                                       std::int32_t i, std::int32_t j) {
         if (!inside(l, i, j)) return false;
-        if (has_finer_cover(l, i, j)) return true;
-        if (const auto it = index_.find(cell_key(l, i, j)); it != index_.end())
-            if (flags[static_cast<std::size_t>(it->second)] == kRefineFlag)
-                return true;
-        return false;
+        const std::int32_t q = covering_leaf_near(hint, l, i, j);
+        const Cell& nb = cells_[static_cast<std::size_t>(q)];
+        if (nb.level > l) return true;  // finer neighbor blocks the parent
+        if (nb.level == l && nb.i == i && nb.j == j)
+            return flags[static_cast<std::size_t>(q)] == kRefineFlag;
+        return false;  // coarser neighbor never blocks
     };
-    for (const auto& [pk, members] : groups) {
-        if (std::any_of(members.begin(), members.end(),
-                        [](std::int32_t m) { return m < 0; }))
+    std::int64_t nrefine = 0;  // exact split count, for pass-2 reserves
+#pragma omp parallel for schedule(static) reduction(+ : nrefine)
+    for (std::int64_t idx = 0; idx < n; ++idx) {
+        const Cell& c = cells_[static_cast<std::size_t>(idx)];
+        if (flags[static_cast<std::size_t>(idx)] == kRefineFlag &&
+            c.level < max_level)
+            ++nrefine;
+        // Only the slot-0 sibling (even i and j) opens a group window.
+        if (flags[static_cast<std::size_t>(idx)] != kCoarsenFlag ||
+            c.level == 0 || (c.i & 1) != 0 || (c.j & 1) != 0)
             continue;
-        bool ok = true;
-        for (const std::int32_t m : members) {
-            const Cell& c = cells_[static_cast<std::size_t>(m)];
-            if (neighbor_blocks_coarsen(c.level, c.i - 1, c.j) ||
-                neighbor_blocks_coarsen(c.level, c.i + 1, c.j) ||
-                neighbor_blocks_coarsen(c.level, c.i, c.j - 1) ||
-                neighbor_blocks_coarsen(c.level, c.i, c.j + 1)) {
-                ok = false;
+        if (idx + 3 >= n) continue;
+        bool complete = true;
+        for (int s = 1; s < 4; ++s) {
+            const Cell& m = cells_[static_cast<std::size_t>(idx + s)];
+            const auto& [di, dj] = kChildOffsets[static_cast<std::size_t>(s)];
+            if (m.level != c.level || m.i != c.i + di || m.j != c.j + dj ||
+                flags[static_cast<std::size_t>(idx + s)] != kCoarsenFlag) {
+                complete = false;
                 break;
             }
         }
+        if (!complete) continue;
+        bool ok = true;
+        for (int s = 0; s < 4 && ok; ++s) {
+            const auto h = static_cast<std::int32_t>(idx + s);
+            const Cell& m = cells_[static_cast<std::size_t>(idx + s)];
+            if (neighbor_blocks_coarsen(h, m.level, m.i - 1, m.j) ||
+                neighbor_blocks_coarsen(h, m.level, m.i + 1, m.j) ||
+                neighbor_blocks_coarsen(h, m.level, m.i, m.j - 1) ||
+                neighbor_blocks_coarsen(h, m.level, m.i, m.j + 1))
+                ok = false;
+        }
         if (ok)
-            for (const std::int32_t m : members)
-                coarsen_ok[static_cast<std::size_t>(m)] = 1;
+            for (int s = 0; s < 4; ++s)
+                coarsen_ok[static_cast<std::size_t>(idx + s)] = 1;
     }
 
     // --- Pass 2: emit the new cell list ---------------------------------
     // Processing in Morton order keeps the output Morton-ordered: the four
     // siblings of a coarsen group are contiguous, and refine children are
-    // emitted in Morton child order inside their parent's span.
+    // emitted in Morton child order inside their parent's span. keys_ is
+    // emitted alongside, so no post-adapt sort or index rebuild exists.
     std::vector<Cell> next;
+    std::vector<std::uint64_t> next_keys;
     std::vector<RemapEntry> remap;
-    next.reserve(cells_.size());
-    remap.reserve(cells_.size());
+    // Newly created children, recorded as balance-scan seeds: only their
+    // neighborhoods can have lost 2:1 balance.
+    std::vector<std::int32_t> seeds;
+    next.reserve(cells_.size() + 3 * static_cast<std::size_t>(nrefine));
+    next_keys.reserve(next.capacity());
+    remap.reserve(next.capacity());
+    seeds.reserve(4 * static_cast<std::size_t>(nrefine));
+    // Unchanged cells dominate in steady state, so they move in bulk runs
+    // (cells and keys via range insert, Copy entries via a tight fill)
+    // flushed at each coarsen/refine site instead of cell-at-a-time.
+    std::size_t run_begin = 0;
+    auto flush_run = [&](std::size_t end) {
+        if (run_begin >= end) return;
+        next.insert(next.end(), cells_.begin() + run_begin,
+                    cells_.begin() + end);
+        next_keys.insert(next_keys.end(), keys_.begin() + run_begin,
+                         keys_.begin() + end);
+        const std::size_t base = remap.size();
+        remap.resize(base + (end - run_begin));
+        RemapEntry* r = remap.data() + base;
+        for (std::size_t k = run_begin; k < end; ++k)
+            r[k - run_begin] = RemapEntry{
+                RemapKind::Copy, {static_cast<std::int32_t>(k), -1, -1, -1}};
+    };
     for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
         const Cell& c = cells_[idx];
         if (coarsen_ok[idx]) {
+            flush_run(idx);
+            run_begin = idx + 1;
             // Only the first sibling in Morton order (child slot 0 of the
-            // group: even i and j) emits the parent.
+            // group: even i and j) emits the parent; members are the four
+            // consecutive cells starting at it.
             if ((c.i & 1) == 0 && (c.j & 1) == 0) {
-                const std::uint64_t pk =
-                    cell_key(c.level - 1, c.i >> 1, c.j >> 1);
-                const auto& members = groups.at(pk);
-                next.push_back(Cell{c.level - 1, c.i >> 1, c.j >> 1});
+                const Cell parent{c.level - 1, c.i >> 1, c.j >> 1};
+                next.push_back(parent);
+                next_keys.push_back(morton_anchor(parent, max_level));
                 RemapEntry e{RemapKind::Coarsen, {}};
-                for (int s = 0; s < 4; ++s) e.src[s] = members[s];
+                for (int s = 0; s < 4; ++s)
+                    e.src[s] = static_cast<std::int32_t>(idx) + s;
                 remap.push_back(e);
             }
             continue;
         }
         if (flags[idx] == kRefineFlag && c.level < max_level) {
+            flush_run(idx);
+            run_begin = idx + 1;
             for (const auto& [di, dj] : kChildOffsets) {
-                next.push_back(Cell{c.level + 1, 2 * c.i + di, 2 * c.j + dj});
+                const Cell child{c.level + 1, 2 * c.i + di, 2 * c.j + dj};
+                seeds.push_back(static_cast<std::int32_t>(next.size()));
+                next.push_back(child);
+                next_keys.push_back(morton_anchor(child, max_level));
                 remap.push_back(RemapEntry{
                     RemapKind::Refine,
                     {static_cast<std::int32_t>(idx), -1, -1, -1}});
             }
             continue;
         }
-        next.push_back(c);
-        remap.push_back(RemapEntry{
-            RemapKind::Copy, {static_cast<std::int32_t>(idx), -1, -1, -1}});
     }
+    flush_run(cells_.size());
 
     cells_ = std::move(next);
-    rebuild_index();
-    enforce_balance(remap);
-    build_faces();
-    return remap;
+    keys_ = std::move(next_keys);
+    enforce_balance(remap, std::move(seeds));
+    build_boundary_faces();
+    faces_dirty_ = true;
+    validate_order();
+
+    // --- Digest: maximal constant-shift Copy spans -----------------------
+    RemapPlan plan;
+    plan.entries = std::move(remap);
+    for (std::size_t idx = 0; idx < plan.entries.size();) {
+        const RemapEntry& e = plan.entries[idx];
+        if (e.kind != RemapKind::Copy) {
+            ++idx;
+            continue;
+        }
+        const std::int32_t begin = static_cast<std::int32_t>(idx);
+        const std::int32_t shift = begin - e.src[0];
+        ++idx;
+        while (idx < plan.entries.size() &&
+               plan.entries[idx].kind == RemapKind::Copy &&
+               static_cast<std::int32_t>(idx) - plan.entries[idx].src[0] ==
+                   shift)
+            ++idx;
+        plan.copy_spans.push_back(
+            CopySpan{begin, static_cast<std::int32_t>(idx), shift});
+    }
+    return plan;
 }
 
-void AmrMesh::enforce_balance(std::vector<RemapEntry>& remap) {
+void AmrMesh::enforce_balance(std::vector<RemapEntry>& remap,
+                              std::vector<std::int32_t>&& seeds) {
+    // Balance violations only appear next to cells created this adapt: the
+    // pre-adapt mesh was balanced, coarsening is blocked whenever a finer
+    // (or refining) neighbor exists, and refinement deepens any edge
+    // neighborhood by at most one level per pass. So instead of scanning
+    // the full mesh every pass, scan only the edge neighbors of the cells
+    // created in the previous round (`seeds`). A covering leaf two or more
+    // levels coarser than a seed is a violated cell, and every violated
+    // cell borders some seed, so the violated set — sorted, i.e. in Morton
+    // order — matches what the historic full-mesh scan found, and the
+    // splice below reproduces it bit-for-bit.
     const std::int32_t nx0 = geom_.coarse_nx;
     const std::int32_t ny0 = geom_.coarse_ny;
     auto inside = [&](std::int32_t l, std::int32_t i, std::int32_t j) {
         return i >= 0 && j >= 0 && i < (nx0 << l) && j < (ny0 << l);
     };
-    // True when the neighbor quadrant adjacent to a level-l cell contains
-    // leaves at level >= l+2, which breaks 2:1 balance. (pa, pb) are the
-    // two level-(l+1) positions touching the shared edge.
-    auto too_fine = [&](std::int32_t l, std::int32_t ni, std::int32_t nj,
-                        std::int32_t pa_i, std::int32_t pa_j,
-                        std::int32_t pb_i, std::int32_t pb_j) {
-        if (!inside(l, ni, nj)) return false;
-        if (!has_finer_cover(l, ni, nj)) return false;  // same/coarser leaf
-        return has_finer_cover(l + 1, pa_i, pa_j) ||
-               has_finer_cover(l + 1, pb_i, pb_j);
-    };
 
+    std::vector<std::int32_t> violated;
     for (int pass = 0; pass <= geom_.max_level + 1; ++pass) {
-        std::vector<std::size_t> to_refine;
-        for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
-            const Cell& c = cells_[idx];
-            const std::int32_t l = c.level;
-            const bool violated =
-                too_fine(l, c.i - 1, c.j, 2 * c.i - 1, 2 * c.j, 2 * c.i - 1,
-                         2 * c.j + 1) ||
-                too_fine(l, c.i + 1, c.j, 2 * c.i + 2, 2 * c.j, 2 * c.i + 2,
-                         2 * c.j + 1) ||
-                too_fine(l, c.i, c.j - 1, 2 * c.i, 2 * c.j - 1, 2 * c.i + 1,
-                         2 * c.j - 1) ||
-                too_fine(l, c.i, c.j + 1, 2 * c.i, 2 * c.j + 2, 2 * c.i + 1,
-                         2 * c.j + 2);
-            if (violated) to_refine.push_back(idx);
+        if (seeds.empty()) return;
+        violated.clear();
+        for (const std::int32_t s : seeds) {
+            const Cell& f = cells_[static_cast<std::size_t>(s)];
+            const std::int32_t l = f.level;
+            auto check = [&](std::int32_t ni, std::int32_t nj) {
+                if (!inside(l, ni, nj)) return;
+                const std::int32_t q = covering_leaf_near(s, l, ni, nj);
+                if (cells_[static_cast<std::size_t>(q)].level <= l - 2)
+                    violated.push_back(q);
+            };
+            // Seeds are always created as complete sibling quads, so the
+            // two sides facing the sibling block see a level-l leaf and
+            // can never be violated; only the two outward sides (picked
+            // by coordinate parity) need a lookup.
+            check((f.i & 1) == 0 ? f.i - 1 : f.i + 1, f.j);
+            check(f.i, (f.j & 1) == 0 ? f.j - 1 : f.j + 1);
         }
-        if (to_refine.empty()) return;
+        std::sort(violated.begin(), violated.end());
+        violated.erase(std::unique(violated.begin(), violated.end()),
+                       violated.end());
+        if (violated.empty()) return;
 
-        std::vector<Cell> next;
-        std::vector<RemapEntry> next_remap;
-        next.reserve(cells_.size() + 3 * to_refine.size());
-        next_remap.reserve(next.capacity());
-        std::size_t r = 0;
-        for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
-            if (r < to_refine.size() && to_refine[r] == idx) {
-                ++r;
-                const Cell& c = cells_[idx];
-                for (const auto& [di, dj] : kChildOffsets) {
-                    next.push_back(
-                        Cell{c.level + 1, 2 * c.i + di, 2 * c.j + dj});
-                    // Compose with the entry the parent already carries: a
-                    // Copy source becomes a Refine source; Refine stays
-                    // (piecewise-constant prolongation); Coarsen stays (the
-                    // children inherit the group average).
-                    RemapEntry e = remap[idx];
-                    if (e.kind == RemapKind::Copy) e.kind = RemapKind::Refine;
-                    next_remap.push_back(e);
-                }
-            } else {
-                next.push_back(cells_[idx]);
-                next_remap.push_back(remap[idx]);
+        // Expand the violated cells in place, walking backward so each
+        // suffix block moves at most once (memmove) — the prefix before
+        // the first violated index is never touched, keys stay sorted by
+        // construction, and no index rebuild or re-sort happens. The new
+        // children become the next pass's seeds.
+        const std::size_t oldn = cells_.size();
+        const std::size_t newn = oldn + 3 * violated.size();
+        cells_.resize(newn);
+        keys_.resize(newn);
+        remap.resize(newn);
+        seeds.clear();
+        std::size_t src_end = oldn;
+        std::size_t dst_end = newn;
+        for (std::size_t k = violated.size(); k-- > 0;) {
+            const auto v = static_cast<std::size_t>(violated[k]);
+            const std::size_t len = src_end - (v + 1);
+            if (len > 0) {
+                std::memmove(cells_.data() + dst_end - len,
+                             cells_.data() + v + 1, len * sizeof(Cell));
+                std::memmove(keys_.data() + dst_end - len,
+                             keys_.data() + v + 1,
+                             len * sizeof(std::uint64_t));
+                std::memmove(remap.data() + dst_end - len,
+                             remap.data() + v + 1, len * sizeof(RemapEntry));
             }
+            dst_end -= len;
+            // Compose with the entry the parent already carries: a Copy
+            // source becomes a Refine source; Refine stays (piecewise-
+            // constant prolongation); Coarsen stays (the children inherit
+            // the group average). Copy the parent out first: for the
+            // first violated index the children land on top of it.
+            const Cell c = cells_[v];
+            RemapEntry e = remap[v];
+            if (e.kind == RemapKind::Copy) e.kind = RemapKind::Refine;
+            for (int s = 3; s >= 0; --s) {
+                const auto& [di, dj] =
+                    kChildOffsets[static_cast<std::size_t>(s)];
+                const Cell child{c.level + 1, 2 * c.i + di, 2 * c.j + dj};
+                const std::size_t p =
+                    dst_end - 4 + static_cast<std::size_t>(s);
+                cells_[p] = child;
+                keys_[p] = morton_anchor(child, geom_.max_level);
+                remap[p] = e;
+                seeds.push_back(static_cast<std::int32_t>(p));
+            }
+            dst_end -= 4;
+            src_end = v;
         }
-        cells_ = std::move(next);
-        remap = std::move(next_remap);
-        rebuild_index();
     }
     throw std::logic_error("enforce_balance: failed to reach a fixed point");
 }
 
-void AmrMesh::build_faces() {
-    xfaces_.clear();
-    yfaces_.clear();
+void AmrMesh::build_boundary_faces() {
     bfaces_.clear();
     const std::int32_t nx0 = geom_.coarse_nx;
     const std::int32_t ny0 = geom_.coarse_ny;
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+        const Cell& c = cells_[idx];
+        const auto self = static_cast<std::int32_t>(idx);
+        const std::int32_t l = c.level;
+        const double dy = cell_dy(l);
+        const double dx = cell_dx(l);
+        // Per-cell emission order (+x, -x, +y, -y) matches the historic
+        // face builder so boundary-flux accumulation order is unchanged.
+        if (c.i + 1 >= (nx0 << l)) bfaces_.push_back({self, 1, dy});
+        if (c.i == 0) bfaces_.push_back({self, 0, dy});
+        if (c.j + 1 >= (ny0 << l)) bfaces_.push_back({self, 3, dx});
+        if (c.j == 0) bfaces_.push_back({self, 2, dx});
+    }
+}
 
-    auto leaf_at = [&](std::int32_t l, std::int32_t i,
-                       std::int32_t j) -> std::int32_t {
-        const auto it = index_.find(cell_key(l, i, j));
-        return it == index_.end() ? -1 : it->second;
-    };
+void AmrMesh::build_interior_faces() const {
+    xfaces_.clear();
+    yfaces_.clear();
+    const std::int32_t nx0 = geom_.coarse_nx;
+    const std::int32_t ny0 = geom_.coarse_ny;
 
+    // Face ownership: the lower cell owns same-level +x/+y faces; the fine
+    // side owns fine-coarse faces; 2:1 balance holds here, so a covering
+    // lookup returns the neighbor at level l (same), l-1 (coarser), or
+    // finer (that side then owns the face instead).
     for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
         const Cell& c = cells_[idx];
         const auto self = static_cast<std::int32_t>(idx);
@@ -272,57 +469,37 @@ void AmrMesh::build_faces() {
         const double dy = cell_dy(l);
         const double dx = cell_dx(l);
 
-        // +x side: owner of same-level faces; fine side of fine-coarse.
-        if (c.i + 1 >= (nx0 << l)) {
-            bfaces_.push_back({self, 1, dy});
-        } else if (const std::int32_t n = leaf_at(l, c.i + 1, c.j); n >= 0) {
-            xfaces_.push_back({self, n, dy});
-        } else if (l > 0) {
-            if (const std::int32_t nc =
-                    leaf_at(l - 1, (c.i + 1) >> 1, c.j >> 1);
-                nc >= 0)
-                xfaces_.push_back({self, nc, dy});
+        if (c.i + 1 < (nx0 << l)) {
+            const std::int32_t q = covering_leaf_near(self, l, c.i + 1, c.j);
+            const std::int32_t ql = cells_[static_cast<std::size_t>(q)].level;
+            if (ql == l || ql == l - 1) xfaces_.push_back({self, q, dy});
             // else: finer neighbors own the face
         }
-        // -x side: only the fine side of a fine-coarse interface adds here.
-        if (c.i == 0) {
-            bfaces_.push_back({self, 0, dy});
-        } else if (leaf_at(l, c.i - 1, c.j) < 0 && l > 0) {
-            if (const std::int32_t nc =
-                    leaf_at(l - 1, (c.i - 1) >> 1, c.j >> 1);
-                nc >= 0)
-                xfaces_.push_back({nc, self, dy});
+        if (c.i > 0) {
+            const std::int32_t q = covering_leaf_near(self, l, c.i - 1, c.j);
+            if (cells_[static_cast<std::size_t>(q)].level == l - 1)
+                xfaces_.push_back({q, self, dy});
         }
-
-        // +y side.
-        if (c.j + 1 >= (ny0 << l)) {
-            bfaces_.push_back({self, 3, dx});
-        } else if (const std::int32_t n = leaf_at(l, c.i, c.j + 1); n >= 0) {
-            yfaces_.push_back({self, n, dx});
-        } else if (l > 0) {
-            if (const std::int32_t nc =
-                    leaf_at(l - 1, c.i >> 1, (c.j + 1) >> 1);
-                nc >= 0)
-                yfaces_.push_back({self, nc, dx});
+        if (c.j + 1 < (ny0 << l)) {
+            const std::int32_t q = covering_leaf_near(self, l, c.i, c.j + 1);
+            const std::int32_t ql = cells_[static_cast<std::size_t>(q)].level;
+            if (ql == l || ql == l - 1) yfaces_.push_back({self, q, dx});
         }
-        // -y side.
-        if (c.j == 0) {
-            bfaces_.push_back({self, 2, dx});
-        } else if (leaf_at(l, c.i, c.j - 1) < 0 && l > 0) {
-            if (const std::int32_t nc =
-                    leaf_at(l - 1, c.i >> 1, (c.j - 1) >> 1);
-                nc >= 0)
-                yfaces_.push_back({nc, self, dx});
+        if (c.j > 0) {
+            const std::int32_t q = covering_leaf_near(self, l, c.i, c.j - 1);
+            if (cells_[static_cast<std::size_t>(q)].level == l - 1)
+                yfaces_.push_back({q, self, dx});
         }
     }
+    faces_dirty_ = false;
 }
 
 std::uint64_t AmrMesh::resident_bytes() const {
+    ensure_faces();
     return cells_.size() * sizeof(Cell) +
+           keys_.size() * sizeof(std::uint64_t) +
            (xfaces_.size() + yfaces_.size()) * sizeof(Face) +
-           bfaces_.size() * sizeof(BoundaryFace) +
-           index_.size() * (sizeof(std::uint64_t) + sizeof(std::int32_t) +
-                            sizeof(void*));
+           bfaces_.size() * sizeof(BoundaryFace);
 }
 
 bool AmrMesh::check_invariants(std::string* why) const {
@@ -347,19 +524,14 @@ bool AmrMesh::check_invariants(std::string* why) const {
         (std::uint64_t{1} << (2 * static_cast<unsigned>(max_level)));
     if (covered != want) return fail("leaves do not tile the domain");
 
-    // Index consistency and key uniqueness.
-    if (index_.size() != cells_.size()) return fail("duplicate cell keys");
-    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
-        const auto it = index_.find(cell_key(cells_[idx]));
-        if (it == index_.end() ||
-            it->second != static_cast<std::int32_t>(idx))
-            return fail("index out of sync");
-    }
-
-    // Morton ordering.
+    // Key-array consistency and strict Morton ordering (strictness also
+    // proves anchor uniqueness, i.e. no duplicate or overlapping leaves).
+    if (keys_.size() != cells_.size()) return fail("key array out of sync");
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx)
+        if (keys_[idx] != morton_anchor(cells_[idx], max_level))
+            return fail("key does not match cell anchor");
     for (std::size_t idx = 1; idx < cells_.size(); ++idx)
-        if (morton_anchor(cells_[idx - 1], max_level) >=
-            morton_anchor(cells_[idx], max_level))
+        if (keys_[idx - 1] >= keys_[idx])
             return fail("cells not in Morton order");
 
     // 2:1 balance across every face: levels of face-adjacent leaves differ
@@ -396,7 +568,7 @@ bool AmrMesh::check_invariants(std::string* why) const {
     const double tol = 1e-12 * std::max(geom_.width, geom_.height);
     std::vector<std::array<double, 4>> side(cells_.size(),
                                             {0.0, 0.0, 0.0, 0.0});
-    for (const Face& f : xfaces_) {
+    for (const Face& f : x_faces()) {
         if (f.lo < 0 || f.hi < 0 ||
             f.lo >= static_cast<std::int32_t>(cells_.size()) ||
             f.hi >= static_cast<std::int32_t>(cells_.size()))
@@ -404,7 +576,7 @@ bool AmrMesh::check_invariants(std::string* why) const {
         side[static_cast<std::size_t>(f.lo)][1] += f.area;  // +x of lo
         side[static_cast<std::size_t>(f.hi)][0] += f.area;  // -x of hi
     }
-    for (const Face& f : yfaces_) {
+    for (const Face& f : y_faces()) {
         if (f.lo < 0 || f.hi < 0 ||
             f.lo >= static_cast<std::int32_t>(cells_.size()) ||
             f.hi >= static_cast<std::int32_t>(cells_.size()))

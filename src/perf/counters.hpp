@@ -129,6 +129,16 @@ public:
         return t;
     }
 
+    /// Sum over kernels whose name starts with `prefix` — e.g.
+    /// total_matching("rezone_") aggregates the per-phase rezone entries
+    /// (flags/adapt/remap/cache) the solver records.
+    [[nodiscard]] KernelWork total_matching(const std::string& prefix) const {
+        KernelWork t;
+        for (const auto& [name, w] : kernels_)
+            if (name.rfind(prefix, 0) == 0) t += w;
+        return t;
+    }
+
     void clear() { kernels_.clear(); }
 
 private:

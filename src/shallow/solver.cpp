@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <span>
 #include <stdexcept>
@@ -23,10 +24,10 @@ constexpr std::uint64_t kSlotFlops = 46;        // Rusanov flux, one sub-face
 constexpr std::uint64_t kBoundaryFaceFlops = 20;
 constexpr std::uint64_t kCellUpdateFlops = 9;   // 3 x (mul + mul + add)
 constexpr std::uint64_t kCflFlopsPerCell = 12;
-// Mesh management cost proxy (hash rebuild + neighbor resolution): integer
-// work, precision independent; recorded as SP-class ops.
-constexpr std::uint64_t kRezoneOpsPerCell = 120;
-constexpr std::uint64_t kRezoneBytesPerCell = 96;
+// Rezone phases are integer/streaming work: each ledger entry below
+// carries measured wall time and estimated data volume with zero flops,
+// so the roofline projects them as pure memory time instead of the old
+// hard-coded per-cell op proxies.
 
 }  // namespace
 
@@ -52,8 +53,165 @@ ShallowWaterSolver<Policy>::ShallowWaterSolver(const Config& config)
     rebuild_topology_caches();
 }
 
+// Resolve one cell's neighbor slots straight off the Morton-sorted leaf
+// list. Slot layout and sub-face order reproduce the historic face-scan
+// bit-for-bit: 0/1 = west sub-faces, 2/3 = east, 4/5 = south, 6/7 = north,
+// with the lower-coordinate sub-face first (that is the Morton order the
+// face lists pushed them in). Areas are the fine side's cell width, cast
+// from the same double the face builder produced, so the tables built here
+// are element-wise identical to a face-scan rebuild.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::resolve_cell_slots(std::int32_t c,
+                                                    std::int32_t* idx,
+                                                    compute_t* area) const {
+    for (int base = 0; base < kSlots; base += 2)
+        resolve_cell_side(c, base, idx + base, area + base);
+}
+
+// One covering lookup per side. Under 2:1 balance the covering leaf is at
+// level l (same), l-1 (coarser: one sub-face, area = our width), or l+1
+// (finer: two sub-faces, both leaves by balance). The widths are the same
+// double expressions the face builder evaluated, so the slots produced
+// here are bit-identical to a face-scan rebuild.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::resolve_cell_side(std::int32_t c, int base,
+                                                   std::int32_t* idx,
+                                                   compute_t* area) const {
+    const auto& cells = mesh_.cells();
+    const mesh::Cell& cell = cells[static_cast<std::size_t>(c)];
+    const std::int32_t l = cell.level;
+    const auto& g = mesh_.geometry();
+    idx[0] = c;
+    idx[1] = c;
+    area[0] = compute_t(0);
+    area[1] = compute_t(0);
+    std::int32_t ni, nj, fa_i, fa_j, fb_i, fb_j;
+    double w_same, w_fine;
+    switch (base) {
+    case 0:  // west
+        if (cell.i == 0) return;
+        ni = cell.i - 1, nj = cell.j;
+        fa_i = 2 * cell.i - 1, fa_j = 2 * cell.j;
+        fb_i = 2 * cell.i - 1, fb_j = 2 * cell.j + 1;
+        w_same = mesh_.cell_dy(l), w_fine = mesh_.cell_dy(l + 1);
+        break;
+    case 2:  // east
+        if (cell.i + 1 >= (g.coarse_nx << l)) return;
+        ni = cell.i + 1, nj = cell.j;
+        fa_i = 2 * cell.i + 2, fa_j = 2 * cell.j;
+        fb_i = 2 * cell.i + 2, fb_j = 2 * cell.j + 1;
+        w_same = mesh_.cell_dy(l), w_fine = mesh_.cell_dy(l + 1);
+        break;
+    case 4:  // south
+        if (cell.j == 0) return;
+        ni = cell.i, nj = cell.j - 1;
+        fa_i = 2 * cell.i, fa_j = 2 * cell.j - 1;
+        fb_i = 2 * cell.i + 1, fb_j = 2 * cell.j - 1;
+        w_same = mesh_.cell_dx(l), w_fine = mesh_.cell_dx(l + 1);
+        break;
+    default:  // 6, north
+        if (cell.j + 1 >= (g.coarse_ny << l)) return;
+        ni = cell.i, nj = cell.j + 1;
+        fa_i = 2 * cell.i, fa_j = 2 * cell.j + 2;
+        fb_i = 2 * cell.i + 1, fb_j = 2 * cell.j + 2;
+        w_same = mesh_.cell_dx(l), w_fine = mesh_.cell_dx(l + 1);
+        break;
+    }
+    const std::int32_t q = mesh_.covering_leaf_near(c, l, ni, nj);
+    if (cells[static_cast<std::size_t>(q)].level <= l) {
+        idx[0] = q;
+        area[0] = static_cast<compute_t>(w_same);
+    } else {
+        idx[0] = mesh_.leaf_index_near(q, l + 1, fa_i, fa_j);
+        idx[1] = mesh_.leaf_index_near(q, l + 1, fb_i, fb_j);
+        area[0] = static_cast<compute_t>(w_fine);
+        area[1] = static_cast<compute_t>(w_fine);
+    }
+}
+
+// Shared tail of every cache builder: per-level inverse areas, increment
+// buffer sizing, and the level-bucketed iteration space.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::rebuild_iteration_space() {
+    const std::size_t n = mesh_.num_cells();
+    // The increment buffers are all-zero outside finite_diff (apply_update
+    // re-zeroes them every step), so resize() — which zero-fills only
+    // growth — preserves the invariant without streaming the whole array.
+    dh_.resize(n);
+    dhu_.resize(n);
+    dhv_.resize(n);
+    cfl_buf_.resize(n);
+
+    // cell_area depends only on the level, so 1/area is a tiny per-level
+    // table; the per-cell fill is a gather from L1 instead of a divide.
+    // The table entries are the same double expression the per-cell divide
+    // evaluated, so the cached values are bit-identical.
+    std::array<compute_t, kMaxSupportedLevel + 1> inv_by_level{};
+    for (std::int32_t l = 0; l <= config_.geom.max_level; ++l)
+        inv_by_level[static_cast<std::size_t>(l)] = static_cast<compute_t>(
+            1.0 / (mesh_.cell_dx(l) * mesh_.cell_dy(l)));
+    inv_area_.resize(n);
+    const auto& cells = mesh_.cells();
+    const auto ni = static_cast<std::int64_t>(n);
+    compute_t* inv = inv_area_.data();
+    const mesh::Cell* cell = cells.data();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < ni; ++c)
+        inv[c] = inv_by_level[static_cast<std::size_t>(cell[c].level)];
+
+    // Level-bucketed iteration space: maximal runs of consecutive
+    // same-level cells (the Morton order keeps same-level cells contiguous,
+    // so runs are long), then pack-wide blocks that never straddle a run
+    // boundary. The native sweep parallelizes over blocks; compute_dt
+    // broadcasts the per-level spacing per run, keeping its inner loop
+    // gather-free. clear() + push_back reuses capacity across rezones.
+    level_runs_.clear();
+    for (std::size_t c = 0; c < n;) {
+        std::size_t e = c + 1;
+        while (e < n && cells[e].level == cells[c].level) ++e;
+        level_runs_.push_back({static_cast<std::int32_t>(c),
+                               static_cast<std::int32_t>(e),
+                               cells[c].level});
+        c = e;
+    }
+    flux_blocks_.clear();
+    for (const detail::LevelRun& run : level_runs_)
+        for (std::int32_t b = run.begin; b < run.end; b += kNativeLanes)
+            flux_blocks_.push_back(
+                {b, std::min<std::int32_t>(kNativeLanes, run.end - b)});
+}
+
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::rebuild_topology_caches() {
+    const std::size_t n = mesh_.num_cells();
+    nbr_idx_.resize(static_cast<std::size_t>(kSlots) * n);
+    nbr_area_.resize(static_cast<std::size_t>(kSlots) * n);
+    std::int32_t* nidx = nbr_idx_.data();
+    compute_t* narea = nbr_area_.data();
+    const auto ni = static_cast<std::int64_t>(n);
+    // Every cell resolves and writes only its own slots: threads cleanly,
+    // and the result does not depend on the team size.
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < ni; ++c) {
+        std::int32_t idx[kSlots];
+        compute_t area[kSlots];
+        resolve_cell_slots(static_cast<std::int32_t>(c), idx, area);
+        for (int s = 0; s < kSlots; ++s) {
+            nidx[static_cast<std::size_t>(s) * n +
+                 static_cast<std::size_t>(c)] = idx[s];
+            narea[static_cast<std::size_t>(s) * n +
+                  static_cast<std::size_t>(c)] = area[s];
+        }
+    }
+    rebuild_iteration_space();
+}
+
+// The historic rebuild: zero-fill the full slot tables, then scatter the
+// mesh face lists into them (which also pays for rebuilding those lists).
+// Kept verbatim as RezoneMode::Full — the measured pre-incremental
+// baseline and the bit-match reference for the tests.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::rebuild_topology_caches_facescan() {
     const std::size_t n = mesh_.num_cells();
     dh_.assign(n, compute_t(0));
     dhu_.assign(n, compute_t(0));
@@ -65,10 +223,6 @@ void ShallowWaterSolver<Policy>::rebuild_topology_caches() {
         inv_area_[c] =
             static_cast<compute_t>(1.0 / mesh_.cell_area(cells[c]));
 
-    // Cell-centric neighbor slots from the mesh face lists. Slots:
-    // 0/1 = west sub-faces, 2/3 = east, 4/5 = south, 6/7 = north.
-    // Unused slots self-reference with zero area so the flux loop needs no
-    // branches; 2:1 balance guarantees at most two sub-faces per side.
     nbr_idx_.assign(static_cast<std::size_t>(kSlots) * n, 0);
     nbr_area_.assign(static_cast<std::size_t>(kSlots) * n, compute_t(0));
     for (std::size_t c = 0; c < n; ++c)
@@ -94,27 +248,181 @@ void ShallowWaterSolver<Policy>::rebuild_topology_caches() {
         assign_slot(f.lo, 6, f.hi, f.area);  // north side of lo
         assign_slot(f.hi, 4, f.lo, f.area);  // south side of hi
     }
+    rebuild_iteration_space();
+}
 
-    // Level-bucketed iteration space: maximal runs of consecutive
-    // same-level cells (the Morton order keeps same-level cells contiguous,
-    // so runs are long), then pack-wide blocks that never straddle a run
-    // boundary. The native sweep parallelizes over blocks; compute_dt
-    // broadcasts the per-level spacing per run, keeping its inner loop
-    // gather-free. clear() + push_back reuses capacity across rezones.
-    level_runs_.clear();
-    for (std::size_t c = 0; c < n;) {
-        std::size_t e = c + 1;
-        while (e < n && cells[e].level == cells[c].level) ++e;
-        level_runs_.push_back({static_cast<std::int32_t>(c),
-                               static_cast<std::int32_t>(e),
-                               cells[c].level});
-        c = e;
+template <fp::PrecisionPolicy Policy>
+std::size_t ShallowWaterSolver<Policy>::update_topology_caches(
+    const mesh::RemapPlan& plan) {
+    const std::size_t n = plan.size();
+    const std::size_t old_n = nbr_idx_.size() / kSlots;
+
+    // Prefix-offset map old index -> new index (-1 = did not survive),
+    // filled from the copy spans. Copy sources ascend with the new index,
+    // so the spans' old ranges are disjoint and increasing: each span
+    // fills its own range with new indices and the gap before it with -1,
+    // and a serial tail covers old cells past the last span.
+    old_to_new_.resize(old_n);
+    std::int32_t* o2n = old_to_new_.data();
+    const auto old_ni = static_cast<std::int64_t>(old_n);
+    const auto nspans = static_cast<std::int64_t>(plan.copy_spans.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t sp = 0; sp < nspans; ++sp) {
+        const mesh::CopySpan s = plan.copy_spans[sp];
+        const std::int32_t ob = s.begin - s.shift;
+        const std::int32_t gap =
+            sp == 0 ? 0
+                    : plan.copy_spans[static_cast<std::size_t>(sp - 1)].end -
+                          plan.copy_spans[static_cast<std::size_t>(sp - 1)]
+                              .shift;
+        for (std::int32_t k = gap; k < ob; ++k) o2n[k] = -1;
+        for (std::int32_t k = s.begin; k < s.end; ++k)
+            o2n[k - s.shift] = k;
     }
-    flux_blocks_.clear();
-    for (const detail::LevelRun& run : level_runs_)
-        for (std::int32_t b = run.begin; b < run.end; b += kNativeLanes)
-            flux_blocks_.push_back(
-                {b, std::min<std::int32_t>(kNativeLanes, run.end - b)});
+    const std::int64_t tail =
+        nspans == 0
+            ? 0
+            : plan.copy_spans[static_cast<std::size_t>(nspans - 1)].end -
+                  plan.copy_spans[static_cast<std::size_t>(nspans - 1)].shift;
+    for (std::int64_t k = tail; k < old_ni; ++k) o2n[k] = -1;
+
+    nbr_idx_back_.resize(static_cast<std::size_t>(kSlots) * n);
+    nbr_area_back_.resize(static_cast<std::size_t>(kSlots) * n);
+    const std::int32_t* oidx = nbr_idx_.data();
+    const compute_t* oarea = nbr_area_.data();
+    std::int32_t* nidx = nbr_idx_back_.data();
+    compute_t* narea = nbr_area_back_.data();
+    const mesh::RemapEntry* entries = plan.entries.data();
+    const auto ni = static_cast<std::int64_t>(n);
+    std::int64_t resolved = 0;
+    // A surviving (Copy) cell keeps its exact neighborhood unless one of
+    // its old neighbors refined or coarsened away — a face cannot change
+    // without a level change on one side, and our side is unchanged. So:
+    // translate every old slot through the offset map (self-slots land on
+    // ourselves since o2n[src] is this cell) and fall back to a full
+    // resolve only when a dead neighbor (-1) shows the span is dirty.
+    // Copying the old area bits is exact: same face, same level, same
+    // double.
+    //
+    // The translate streams one slot plane at a time so both tables move
+    // at memcpy-like sequential speed (the slot-major layout would make a
+    // per-cell loop take 16 strided touches); a dead translated neighbor
+    // sets the cell's dirty byte, and a second per-cell pass resolves the
+    // dirty remainder (plus everything outside the spans) from the mesh.
+    slot_dirty_.assign(n, 0);
+    std::uint8_t* dirty = slot_dirty_.data();
+    for (int s = 0; s < kSlots; ++s) {
+        const std::int32_t* op = oidx + static_cast<std::size_t>(s) * old_n;
+        const compute_t* oa = oarea + static_cast<std::size_t>(s) * old_n;
+        std::int32_t* np = nidx + static_cast<std::size_t>(s) * n;
+        compute_t* na = narea + static_cast<std::size_t>(s) * n;
+#pragma omp parallel for schedule(static)
+        for (std::int64_t sp = 0; sp < nspans; ++sp) {
+            const mesh::CopySpan span = plan.copy_spans[sp];
+            const std::size_t len =
+                static_cast<std::size_t>(span.end - span.begin);
+            std::memcpy(na + span.begin, oa + (span.begin - span.shift),
+                        len * sizeof(compute_t));
+            for (std::int32_t c = span.begin; c < span.end; ++c) {
+                const std::int32_t m = o2n[op[c - span.shift]];
+                np[c] = m;
+                dirty[c] |= static_cast<std::uint8_t>(m < 0);
+            }
+        }
+    }
+#pragma omp parallel for schedule(static) reduction(+ : resolved)
+    for (std::int64_t c = 0; c < ni; ++c) {
+        const bool copy = entries[c].kind == mesh::RemapKind::Copy;
+        if (copy && dirty[c] == 0) continue;
+        ++resolved;
+        if (!copy) {
+            std::int32_t idx[kSlots];
+            compute_t area[kSlots];
+            resolve_cell_slots(static_cast<std::int32_t>(c), idx, area);
+            for (int s = 0; s < kSlots; ++s) {
+                nidx[static_cast<std::size_t>(s) * n +
+                     static_cast<std::size_t>(c)] = idx[s];
+                narea[static_cast<std::size_t>(s) * n +
+                      static_cast<std::size_t>(c)] = area[s];
+            }
+            continue;
+        }
+        // Dirty Copy cell: a side's structure can only have changed if an
+        // old neighbor on it died (level changes kill the old cell), and
+        // exactly those sides carry a -1 translated slot. Re-resolve only
+        // them; the clean sides' translated slots are already exact.
+        for (int base = 0; base < kSlots; base += 2) {
+            const std::size_t s0 =
+                static_cast<std::size_t>(base) * n + static_cast<std::size_t>(c);
+            const std::size_t s1 = s0 + n;
+            if (nidx[s0] >= 0 && nidx[s1] >= 0) continue;
+            std::int32_t idx2[2];
+            compute_t area2[2];
+            resolve_cell_side(static_cast<std::int32_t>(c), base, idx2, area2);
+            nidx[s0] = idx2[0];
+            narea[s0] = area2[0];
+            nidx[s1] = idx2[1];
+            narea[s1] = area2[1];
+        }
+    }
+    nbr_idx_.swap(nbr_idx_back_);
+    nbr_area_.swap(nbr_area_back_);
+    rebuild_iteration_space();
+    return static_cast<std::size_t>(resolved);
+}
+
+template <fp::PrecisionPolicy Policy>
+bool ShallowWaterSolver<Policy>::topology_caches_consistent() const {
+    const std::size_t n = mesh_.num_cells();
+    if (nbr_idx_.size() != static_cast<std::size_t>(kSlots) * n ||
+        nbr_area_.size() != nbr_idx_.size() || inv_area_.size() != n)
+        return false;
+    // Reference tables via the historic face-scan into scratch storage.
+    std::vector<std::int32_t> ridx(nbr_idx_.size());
+    std::vector<compute_t> rarea(nbr_area_.size(), compute_t(0));
+    for (std::size_t c = 0; c < n; ++c)
+        for (int slot = 0; slot < kSlots; ++slot)
+            ridx[static_cast<std::size_t>(slot) * n + c] =
+                static_cast<std::int32_t>(c);
+    auto assign_slot = [&](std::int32_t cell, int base, std::int32_t nbr,
+                           double area) {
+        const auto c = static_cast<std::size_t>(cell);
+        const int slot =
+            rarea[static_cast<std::size_t>(base) * n + c] == compute_t(0)
+                ? base
+                : base + 1;
+        ridx[static_cast<std::size_t>(slot) * n + c] = nbr;
+        rarea[static_cast<std::size_t>(slot) * n + c] =
+            static_cast<compute_t>(area);
+    };
+    for (const mesh::Face& f : mesh_.x_faces()) {
+        assign_slot(f.lo, 2, f.hi, f.area);
+        assign_slot(f.hi, 0, f.lo, f.area);
+    }
+    for (const mesh::Face& f : mesh_.y_faces()) {
+        assign_slot(f.lo, 6, f.hi, f.area);
+        assign_slot(f.hi, 4, f.lo, f.area);
+    }
+    if (ridx != nbr_idx_ || rarea != nbr_area_) return false;
+    const auto& cells = mesh_.cells();
+    for (std::size_t c = 0; c < n; ++c)
+        if (inv_area_[c] !=
+            static_cast<compute_t>(1.0 / mesh_.cell_area(cells[c])))
+            return false;
+    // Level runs must exactly tile [0, n) into maximal same-level runs.
+    std::size_t at = 0;
+    for (const detail::LevelRun& run : level_runs_) {
+        if (static_cast<std::size_t>(run.begin) != at || run.end <= run.begin)
+            return false;
+        for (std::int32_t c = run.begin; c < run.end; ++c)
+            if (cells[static_cast<std::size_t>(c)].level != run.level)
+                return false;
+        if (static_cast<std::size_t>(run.end) < n &&
+            cells[static_cast<std::size_t>(run.end)].level == run.level)
+            return false;  // not maximal
+        at = static_cast<std::size_t>(run.end);
+    }
+    return at == n;
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -142,7 +450,10 @@ void ShallowWaterSolver<Policy>::initialize_dam_break(const DamBreak& ic) {
     // initial column edge is resolved at the finest level (CLAMR's initial
     // rezone does the same).
     for (std::int32_t pass = 0; pass < config_.geom.max_level; ++pass) {
-        compute_refinement_flags(flags_scratch_);
+        // Face-scan flags here: the neighbor-slot tables are rebuilt only
+        // once after the whole pre-refine loop, so they are stale inside
+        // it, while the (lazily rebuilt) face lists are always current.
+        compute_refinement_flags_facescan(flags_scratch_);
         // Never coarsen during initialization.
         for (auto& f : flags_scratch_)
             if (f == mesh::kCoarsenFlag) f = mesh::kKeepFlag;
@@ -162,6 +473,44 @@ void ShallowWaterSolver<Policy>::initialize_dam_break(const DamBreak& ic) {
 
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::compute_refinement_flags(
+    std::vector<std::int8_t>& flags) const {
+    const std::size_t n = mesh_.num_cells();
+    flags.resize(n);
+    const storage_t* h = h_.data();
+    const std::int32_t* nbr = nbr_idx_.data();
+    const compute_t* narea = nbr_area_.data();
+    std::int8_t* out = flags.data();
+    const double refine_t = config_.refine_threshold;
+    const double coarsen_t = config_.coarsen_threshold;
+    const auto ni = static_cast<std::int64_t>(n);
+    // Every interior face appears in both endpoint cells' slots and the
+    // relative-jump measure is symmetric and order-independent under max,
+    // so the per-cell max over own slots equals the face-scan's scattered
+    // max bit-for-bit — with no scatter, this loop threads freely.
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < ni; ++c) {
+        const double hc = static_cast<double>(h[c]);
+        const double ahc = std::fabs(hc);
+        double jump = 0.0;
+        for (int s = 0; s < kSlots; ++s) {
+            const std::size_t o = static_cast<std::size_t>(s) * n +
+                                  static_cast<std::size_t>(c);
+            if (narea[o] == compute_t(0)) continue;  // empty slot
+            const double hn = static_cast<double>(h[nbr[o]]);
+            const double ref = std::max({ahc, std::fabs(hn), 1e-12});
+            jump = std::max(jump, std::fabs(hc - hn) / ref);
+        }
+        if (jump > refine_t)
+            out[c] = mesh::kRefineFlag;
+        else if (jump < coarsen_t)
+            out[c] = mesh::kCoarsenFlag;
+        else
+            out[c] = mesh::kKeepFlag;
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::compute_refinement_flags_facescan(
     std::vector<std::int8_t>& flags) const {
     const std::size_t n = mesh_.num_cells();
     // Arena scratch: this runs every rezone_interval steps, so the jump
@@ -196,25 +545,41 @@ void ShallowWaterSolver<Policy>::compute_refinement_flags(
 }
 
 template <fp::PrecisionPolicy Policy>
-void ShallowWaterSolver<Policy>::remap_state(
-    const std::vector<mesh::RemapEntry>& plan) {
+void ShallowWaterSolver<Policy>::remap_state(const mesh::RemapPlan& plan) {
     // Double-buffer: write into the back arrays and swap. The backs keep
     // their capacity across rezones, so steady-state remapping allocates
     // nothing.
-    h_back_.resize(plan.size());
-    hu_back_.resize(plan.size());
-    hv_back_.resize(plan.size());
+    const std::size_t nplan = plan.size();
+    h_back_.resize(nplan);
+    hu_back_.resize(nplan);
+    hv_back_.resize(nplan);
     storage_t* nh = h_back_.data();
     storage_t* nhu = hu_back_.data();
     storage_t* nhv = hv_back_.data();
-    // Each destination cell reads only its own source entries, so the
-    // remap parallelizes with no write conflicts.
-    const std::size_t nplan = plan.size();
+    // Surviving cells move in whole copy spans — three memcpys per span
+    // instead of an entry-wise gather. Span targets are disjoint, so the
+    // span loop threads; the entry loop below skips Copy entries and
+    // writes only refine/coarsen targets, which are disjoint from the
+    // spans, so the two loops compose without conflicts.
+    const auto nspans = static_cast<std::int64_t>(plan.copy_spans.size());
 #pragma omp parallel for schedule(static)
-    for (std::size_t c = 0; c < nplan; ++c) {
-        const mesh::RemapEntry& e = plan[c];
+    for (std::int64_t sp = 0; sp < nspans; ++sp) {
+        const mesh::CopySpan s = plan.copy_spans[sp];
+        const auto len = static_cast<std::size_t>(s.end - s.begin);
+        const auto src = static_cast<std::size_t>(s.begin - s.shift);
+        const auto dst = static_cast<std::size_t>(s.begin);
+        std::memcpy(nh + dst, h_.data() + src, len * sizeof(storage_t));
+        std::memcpy(nhu + dst, hu_.data() + src, len * sizeof(storage_t));
+        std::memcpy(nhv + dst, hv_.data() + src, len * sizeof(storage_t));
+    }
+    const auto ni = static_cast<std::int64_t>(nplan);
+    const mesh::RemapEntry* entries = plan.entries.data();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < ni; ++c) {
+        const mesh::RemapEntry& e = entries[c];
         switch (e.kind) {
             case mesh::RemapKind::Copy:
+                break;  // handled span-wise above
             case mesh::RemapKind::Refine:
                 // Height and momenta are intensive (per-area) quantities, so
                 // piecewise-constant prolongation conserves mass exactly.
@@ -243,18 +608,81 @@ void ShallowWaterSolver<Policy>::remap_state(
 
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::rezone() {
-    util::WallTimer t;
+    const bool incremental =
+        config_.rezone_mode == RezoneMode::Incremental;
     const std::uint64_t old_cells = mesh_.num_cells();
-    compute_refinement_flags(flags_scratch_);
+    const auto threads = static_cast<std::uint32_t>(util::max_threads());
+    constexpr std::uint64_t ss = sizeof(storage_t);
+    constexpr std::uint64_t sc = sizeof(compute_t);
+    // Per-slot table traffic: index + area entry.
+    constexpr std::uint64_t slot_bytes =
+        kSlots * (sizeof(std::int32_t) + sc);
+    util::WallTimer t_all;
+    util::WallTimer t;
+
+    // Phase 1: refinement flags. Incremental mode reads the slot tables
+    // per cell; the Full baseline scans the (lazily rebuilt) face lists.
+    if (incremental)
+        compute_refinement_flags(flags_scratch_);
+    else
+        compute_refinement_flags_facescan(flags_scratch_);
+    const double s_flags = t.elapsed_seconds();
+    const std::uint64_t flags_bytes =
+        incremental
+            ? old_cells * (9 * ss + slot_bytes + 1)
+            : old_cells * (2 * 24 + 4 * ss + 4 * sizeof(double) + 1);
+    ledger_.record("rezone_flags", s_flags, 0, 0, flags_bytes, 0, 0,
+                   incremental ? threads : 1);
+    timers_.add("rezone_flags", s_flags);
+
+    // Phase 2: mesh adapt (coarsen-group approval, emit, 2:1 balance, all
+    // over the sorted Morton keys — no hashing, no post-sort).
+    t.restart();
     const auto plan = mesh_.adapt(flags_scratch_);
+    const double s_adapt = t.elapsed_seconds();
+    const std::uint64_t new_cells = mesh_.num_cells();
+    const std::uint64_t adapt_bytes =
+        (old_cells + new_cells) * (sizeof(mesh::Cell) + 8) + old_cells +
+        new_cells * sizeof(mesh::RemapEntry);
+    ledger_.record("rezone_adapt", s_adapt, 0, 0, adapt_bytes, 0, 0,
+                   threads);
+    timers_.add("rezone_adapt", s_adapt);
+
+    // Phase 3: state carry-over (span memcpy + refine/coarsen gather).
+    t.restart();
     remap_state(plan);
-    rebuild_topology_caches();
-    const std::uint64_t touched = old_cells + mesh_.num_cells();
-    ledger_.record("rezone", t.elapsed_seconds(),
-                   touched * kRezoneOpsPerCell, 0,
-                   touched * kRezoneBytesPerCell, 0, 0,
-                   static_cast<std::uint32_t>(util::max_threads()));
-    timers_.add("rezone", t.elapsed_seconds());
+    const double s_remap = t.elapsed_seconds();
+    ledger_.record("rezone_remap", s_remap, 0, 0,
+                   (old_cells + new_cells) * 3 * ss, 0, 0, threads);
+    timers_.add("rezone_remap", s_remap);
+
+    // Phase 4: topology caches — incremental translate of surviving
+    // cells' slots vs. the Full face-scan rebuild.
+    t.restart();
+    std::size_t resolved;
+    if (incremental) {
+        resolved = update_topology_caches(plan);
+    } else {
+        rebuild_topology_caches_facescan();
+        resolved = new_cells;
+    }
+    const double s_cache = t.elapsed_seconds();
+    const std::uint64_t cache_bytes =
+        incremental
+            ? (old_cells + new_cells) * slot_bytes + old_cells * 4 +
+                  new_cells * (sc + 4)
+            : new_cells * (2 * slot_bytes + 7 * sc + 2 * 24);
+    ledger_.record("rezone_cache", s_cache, 0, 0, cache_bytes, 0, 0,
+                   incremental ? threads : 1);
+    timers_.add("rezone_cache", s_cache);
+
+    // Aggregate timer kept for whole-rezone reporting (examples, tests).
+    timers_.add("rezone", t_all.elapsed_seconds());
+    rezone_stats_.rezones += 1;
+    rezone_stats_.cells_touched += old_cells + new_cells;
+    rezone_stats_.translated_cells += new_cells - resolved;
+    rezone_stats_.resolved_cells += resolved;
+    rezone_stats_.copy_spans += plan.copy_spans.size();
 }
 
 template <fp::PrecisionPolicy Policy>

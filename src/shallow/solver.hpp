@@ -126,6 +126,35 @@ public:
         return level_runs_;
     }
 
+    /// Rezone bookkeeping accumulated across the run. Phase wall times
+    /// live under timers() ("rezone_flags" / "rezone_adapt" /
+    /// "rezone_remap" / "rezone_cache" plus the "rezone" aggregate) and in
+    /// the ledger under the same phase names.
+    struct RezoneStats {
+        std::uint64_t rezones = 0;
+        std::uint64_t cells_touched = 0;     ///< old + new cells, summed
+        std::uint64_t translated_cells = 0;  ///< slots index-shifted
+        std::uint64_t resolved_cells = 0;    ///< slots recomputed from mesh
+        std::uint64_t copy_spans = 0;        ///< clean spans seen
+    };
+    [[nodiscard]] const RezoneStats& rezone_stats() const {
+        return rezone_stats_;
+    }
+
+    /// Slot-major neighbor tables (kSlots x ncells), exposed so tests can
+    /// compare incremental and full rebuilds element-wise.
+    [[nodiscard]] const std::vector<std::int32_t>& neighbor_indices() const {
+        return nbr_idx_;
+    }
+    [[nodiscard]] const std::vector<compute_t>& neighbor_areas() const {
+        return nbr_area_;
+    }
+
+    /// Recompute every topology cache from scratch via the historic
+    /// face-scan path into scratch buffers and compare bit-for-bit with
+    /// the live caches. Test/bench hook for the incremental update.
+    [[nodiscard]] bool topology_caches_consistent() const;
+
 private:
     /// A W-wide (or tail) slice of one level run — the unit the native
     /// sweep parallelizes over. Blocks never straddle a run boundary.
@@ -135,10 +164,36 @@ private:
     };
 
     void apply_ic(const DamBreak& ic);
+    /// Scatter-free threaded flags: each cell takes the max relative
+    /// height jump over its own neighbor slots (every interior face
+    /// appears in both endpoint cells' slots and the jump measure is
+    /// symmetric, so this equals the historic face-scan bit-for-bit).
     void compute_refinement_flags(std::vector<std::int8_t>& flags) const;
+    /// Historic serial face-scan flags (RezoneMode::Full baseline; also
+    /// used during initialization, when the slot tables are stale).
+    void compute_refinement_flags_facescan(
+        std::vector<std::int8_t>& flags) const;
     void rezone();
-    void remap_state(const std::vector<mesh::RemapEntry>& plan);
+    void remap_state(const mesh::RemapPlan& plan);
+    /// Resolve all kSlots neighbor slots of one cell directly from the
+    /// sorted mesh, reproducing the face-scan slot order and area bits.
+    void resolve_cell_slots(std::int32_t c, std::int32_t* idx,
+                            compute_t* area) const;
+    /// Resolve one side (slot pair base/base+1, base in {0,2,4,6}) of one
+    /// cell; `idx`/`area` receive exactly the two slots of that side.
+    void resolve_cell_side(std::int32_t c, int base, std::int32_t* idx,
+                           compute_t* area) const;
+    /// From-scratch threaded per-cell rebuild (constructor / init).
     void rebuild_topology_caches();
+    /// Historic serial face-scan rebuild (RezoneMode::Full baseline).
+    void rebuild_topology_caches_facescan();
+    /// Dirty-span incremental update: translate surviving cells' slots
+    /// through the copy-span prefix-offset map, resolve only cells whose
+    /// neighborhood changed. Returns the number of cells resolved.
+    std::size_t update_topology_caches(const mesh::RemapPlan& plan);
+    /// Rebuild level_runs_/flux_blocks_/inv_area_ and size the increment
+    /// buffers for the current mesh (shared tail of every cache builder).
+    void rebuild_iteration_space();
     [[nodiscard]] double compute_dt();
     void finite_diff(double dt);
     [[nodiscard]] detail::FluxArgs<storage_t, compute_t> flux_args();
@@ -168,6 +223,12 @@ private:
     static constexpr int kSlots = 8;
     std::vector<std::int32_t> nbr_idx_;    // kSlots * ncells
     std::vector<compute_t> nbr_area_;      // kSlots * ncells
+    // Double buffers + prefix-offset map for the incremental cache
+    // update; kept as members so steady-state rezones allocate nothing.
+    std::vector<std::int32_t> nbr_idx_back_;
+    std::vector<compute_t> nbr_area_back_;
+    std::vector<std::int32_t> old_to_new_;
+    std::vector<std::uint8_t> slot_dirty_;  // per-cell "needs resolve" flag
     // Level-bucketed iteration space (rebuilt with the neighbor tables).
     std::vector<detail::LevelRun> level_runs_;
     std::vector<FluxBlock> flux_blocks_;
@@ -175,6 +236,7 @@ private:
     std::vector<std::int8_t> flags_scratch_;  // refinement flags, reused
     double time_ = 0.0;
     std::int64_t step_count_ = 0;
+    RezoneStats rezone_stats_;
     perf::WorkLedger ledger_;
     util::StopwatchRegistry timers_;
 };

@@ -149,4 +149,16 @@ simd::Mode apply_simd_option(const ArgParser& args) {
     return simd::parse_mode(args.get_string("simd"));
 }
 
+void add_rezone_option(ArgParser& args) {
+    args.add_option("rezone",
+                    "Topology-cache refresh after AMR adapts: "
+                    "incremental|full (bit-identical solutions; full is the "
+                    "historic face-scan rebuild baseline)",
+                    "incremental");
+}
+
+shallow::RezoneMode apply_rezone_option(const ArgParser& args) {
+    return shallow::parse_rezone_mode(args.get_string("rezone"));
+}
+
 }  // namespace tp::util

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "shallow/config.hpp"
 #include "simd/dispatch.hpp"
 
 namespace tp::util {
@@ -73,5 +74,13 @@ void add_simd_option(ArgParser& args);
 
 /// Parse the `--simd` value; throws std::invalid_argument on junk.
 [[nodiscard]] simd::Mode apply_simd_option(const ArgParser& args);
+
+/// Register the standard `--rezone incremental|full` option selecting how
+/// the solver refreshes topology caches after an AMR adapt (bit-identical
+/// solutions; `full` is the measured pre-incremental baseline).
+void add_rezone_option(ArgParser& args);
+
+/// Parse the `--rezone` value; throws std::invalid_argument on junk.
+[[nodiscard]] shallow::RezoneMode apply_rezone_option(const ArgParser& args);
 
 }  // namespace tp::util

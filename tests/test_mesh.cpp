@@ -280,6 +280,111 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4, 8), ::testing::Values(1, 2, 3),
                        ::testing::Values(1, 2)));
 
+namespace {
+
+// Deterministic xorshift flag generator shared by the incremental-index
+// tests below.
+std::vector<std::int8_t> random_flags(std::size_t n, std::uint64_t& state) {
+    std::vector<std::int8_t> flags(n);
+    for (auto& f : flags) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        const auto r = state % 10;
+        f = r < 3 ? tmsh::kRefineFlag
+                  : (r < 6 ? tmsh::kCoarsenFlag : tmsh::kKeepFlag);
+    }
+    return flags;
+}
+
+}  // namespace
+
+// The sorted Morton index is maintained by splicing across adapt/balance,
+// never rebuilt — so after any flag sequence the leaf list must still be
+// strictly ordered by finest-level anchor code.
+TEST(AmrMesh, AdaptKeepsCellsMortonSorted) {
+    tmsh::AmrMesh m(geom(6, 3));
+    std::uint64_t state = 12345;
+    for (int round = 0; round < 6; ++round) {
+        const auto flags = random_flags(m.num_cells(), state);
+        (void)m.adapt(flags);
+        const auto& cells = m.cells();
+        for (std::size_t c = 1; c < cells.size(); ++c) {
+            EXPECT_LT(tmsh::morton_anchor(cells[c - 1], 3),
+                      tmsh::morton_anchor(cells[c], 3))
+                << "round " << round << " at index " << c;
+        }
+    }
+}
+
+// The hinted (galloping) lookups must agree with the plain binary search
+// for every hint, including worst-case far-away ones.
+TEST(AmrMesh, HintedLookupsMatchPlainSearch) {
+    tmsh::AmrMesh m(geom(6, 3));
+    std::uint64_t state = 999;
+    for (int round = 0; round < 3; ++round)
+        (void)m.adapt(random_flags(m.num_cells(), state));
+    const auto& cells = m.cells();
+    const auto n = static_cast<std::int32_t>(cells.size());
+    for (std::int32_t c = 0; c < n; ++c) {
+        const auto& cell = cells[static_cast<std::size_t>(c)];
+        if (cell.i == 0) continue;
+        const std::int32_t want =
+            m.covering_leaf(cell.level, cell.i - 1, cell.j);
+        // Hints: self (the hot-path case), both extremes, and a rotation.
+        for (const std::int32_t hint : {c, std::int32_t{0}, n - 1,
+                                        (c * 7 + 13) % n}) {
+            EXPECT_EQ(m.covering_leaf_near(hint, cell.level, cell.i - 1,
+                                           cell.j),
+                      want)
+                << "cell " << c << " hint " << hint;
+        }
+    }
+}
+
+// Copy spans must (a) cover exactly the Copy entries, (b) carry the true
+// constant shift, and (c) be maximal — no two adjacent spans can merge and
+// no span can extend by one entry on either side.
+TEST(AmrMesh, CopySpansExactMaximalSorted) {
+    tmsh::AmrMesh m(geom(8, 3));
+    std::uint64_t state = 777;
+    for (int round = 0; round < 5; ++round) {
+        const auto plan = m.adapt(random_flags(m.num_cells(), state));
+        const auto& entries = plan.entries;
+        const auto& spans = plan.copy_spans;
+        std::vector<bool> in_span(entries.size(), false);
+        std::int32_t prev_end = 0;
+        for (std::size_t k = 0; k < spans.size(); ++k) {
+            const auto& s = spans[k];
+            ASSERT_LT(s.begin, s.end);
+            ASSERT_GE(s.begin, prev_end);  // sorted and disjoint
+            for (std::int32_t c = s.begin; c < s.end; ++c) {
+                ASSERT_EQ(entries[static_cast<std::size_t>(c)].kind,
+                          tmsh::RemapKind::Copy);
+                ASSERT_EQ(c - entries[static_cast<std::size_t>(c)].src[0],
+                          s.shift);
+                in_span[static_cast<std::size_t>(c)] = true;
+            }
+            // Maximality: the entry just before/after is not a Copy
+            // continuing the same shift (adjacent spans always differ in
+            // shift, otherwise they would be one span).
+            if (k > 0 && spans[k - 1].end == s.begin)
+                EXPECT_NE(spans[k - 1].shift, s.shift);
+            const auto before = s.begin - 1;
+            if (before >= 0 && !in_span[static_cast<std::size_t>(before)])
+                EXPECT_TRUE(entries[static_cast<std::size_t>(before)].kind !=
+                                tmsh::RemapKind::Copy ||
+                            before - entries[static_cast<std::size_t>(before)]
+                                         .src[0] !=
+                                s.shift);
+            prev_end = s.end;
+        }
+        for (std::size_t c = 0; c < entries.size(); ++c)
+            EXPECT_EQ(in_span[c], entries[c].kind == tmsh::RemapKind::Copy)
+                << "entry " << c << " round " << round;
+    }
+}
+
 TEST(AmrMesh, MetadataBytesPerCell) {
     tmsh::AmrMesh m(geom(4, 1));
     EXPECT_EQ(m.metadata_bytes(), m.num_cells() * 12u);
