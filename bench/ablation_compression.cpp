@@ -67,7 +67,7 @@ int main() {
                    util::money(cost.storage_dollars),
                    util::fixed(100.0 / ratio, 0) + "%"});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Reading: 16 bits/value holds reconstruction error near 1e-4 of\n"
         "the field peak while cutting the Table VII storage line 4x —\n"

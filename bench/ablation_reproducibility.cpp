@@ -63,7 +63,7 @@ int main() {
             row.push_back(util::scientific(mass[ranks][a], 16));
         t.add_row(row);
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
 
     util::TextTable v("Verdict per algorithm");
     v.set_header({"algorithm", "distinct values across rank counts",
@@ -75,7 +75,7 @@ int main() {
                    std::to_string(distinct.size()),
                    distinct.size() == 1 ? "yes" : "NO"});
     }
-    std::printf("%s\n", v.str().c_str());
+    v.print();
 
     std::printf(
         "Solver state bitwise invariant across rank counts: %s\n"

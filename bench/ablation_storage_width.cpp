@@ -76,7 +76,7 @@ int main() {
                    util::human_bytes(r.checkpoint),
                    util::fixed(r.haswell_s, 4), util::fixed(r.titan_s, 4)});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Reading: binary16 storage halves the footprint again but costs\n"
         "several digits of solution accuracy and visible mass drift — the\n"

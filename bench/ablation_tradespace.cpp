@@ -42,7 +42,7 @@ int main() {
                    util::fixed(c.projected_seconds, 4),
                    util::fixed(c.energy_joules, 2),
                    util::human_bytes(c.checkpoint_bytes)});
-    std::printf("%s\n", t.str().c_str());
+    t.print();
 
     struct Scenario {
         const char* label;
@@ -73,7 +73,7 @@ int main() {
             pick.add_row({s.label, "infeasible", "-", "-", "-"});
         }
     }
-    std::printf("%s\n", pick.str().c_str());
+    pick.print();
     std::printf(
         "Reading: with precision on the table, the optimizer spends the\n"
         "saved time/energy on resolution — reduced-precision high-\n"

@@ -80,7 +80,7 @@ int main() {
     popt.title = "Figure 1 (bottom): pairwise differences";
     std::printf("%s\n", util::ascii_plot(ys, diff_series, popt).c_str());
 
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Wrote fig1_clamr_slices.csv / fig1_clamr_diffs.csv.\n"
         "Paper shape check: slices visually identical; |full-mixed| is the\n"

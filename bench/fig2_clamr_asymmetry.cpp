@@ -65,7 +65,7 @@ int main() {
                    util::scientific(solution_scale / std::max(m, 1e-300),
                                     1)});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Wrote fig2_clamr_asymmetry.csv.\n"
         "Paper shape check: asymmetry grows as precision drops "

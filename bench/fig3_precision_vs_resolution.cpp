@@ -80,7 +80,7 @@ int main() {
                std::to_string(min_hires.mesh().num_cells()),
                util::fixed(hi_seconds, 3),
                util::fixed(max_gradient(ch), 2)});
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Wrote fig3_precision_vs_resolution.csv.\n"
         "Paper shape check: the Min-HiRes slice shows sharper fronts (more\n"

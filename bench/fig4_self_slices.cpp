@@ -69,7 +69,7 @@ int main() {
     t.add_row({"max |double - single|", util::scientific(maxd, 3)});
     t.add_row({"orders below solution",
                util::fixed(std::log10(maxa / std::max(maxd, 1e-300)), 1)});
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Wrote fig4_self_slices.csv / fig4_self_diff.csv.\n"
         "Paper shape check: slices visually identical; the difference sits\n"

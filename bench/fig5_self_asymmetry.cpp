@@ -55,7 +55,7 @@ int main() {
         t.add_row({asyms[k].label, util::scientific(maxima[k], 2),
                    util::scientific(scale / std::max(maxima[k], 1e-300),
                                     1)});
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Wrote fig5_self_asymmetry.csv.\n"
         "Paper shape check: single-precision asymmetry (%.1e) exceeds\n"

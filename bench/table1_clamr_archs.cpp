@@ -58,7 +58,7 @@ int main() {
             util::fixed(100.0 * rz, 1),
         });
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
 
     std::printf(
         "Paper shape check: min <= mixed <= full everywhere; CPU speedups\n"

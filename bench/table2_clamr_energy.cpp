@@ -29,7 +29,7 @@ int main() {
         t.add_row({arch.name, util::fixed(e_min, 2), util::fixed(e_mixed, 2),
                    util::fixed(e_full, 2), util::fixed(e_min / e_full, 2)});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Paper shape check: energy ordering min < mixed <= full per arch;\n"
         "largest single-precision energy saving on the GTX TITAN X.\n");

@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
         const perf::KernelWork* w = r.ledger.find("finite_diff");
         return std::to_string(w != nullptr ? w->threads : 1);
     });
-    std::printf("%s\n", t.str().c_str());
+    t.print();
 
     const double unvec_gain = unvec.at("full").finite_diff_seconds /
                               unvec.at("minimum").finite_diff_seconds;

@@ -58,7 +58,7 @@ int main() {
                util::fixed(gnu_double, 3)});
     t.add_row({"Intel model (native SP)", util::fixed(intel_single, 3),
                util::fixed(intel_double, 3)});
-    std::printf("%s\n", t.str().c_str());
+    t.print();
 
     std::printf(
         "Paper shape check: GNU-model single (%.3f) SLOWER than double "

@@ -44,7 +44,7 @@ int main() {
             util::speedup_percent(t_dp / t_sp),
         });
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Paper shape check: single precision faster everywhere; ~20-50%% on\n"
         "CPUs, ~30%% on compute GPUs (K40m/K6000/P100), and an outsized win\n"

@@ -26,7 +26,7 @@ int main() {
         t.add_row({arch.name, util::fixed(e_sp, 2), util::fixed(e_dp, 2),
                    util::fixed(e_sp / e_dp, 2)});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "Paper shape check: single precision saves energy on every part;\n"
         "the TITAN X shows the largest ratio (paper: 4025 vs 12425 J).\n");

@@ -65,7 +65,7 @@ void print_cost_table(const std::string& title, double clamr_min_s,
                "-", util::money(s_double.storage_dollars)});
     t.add_row({"SELF Total Cost", util::money(s_single.total()), "-",
                util::money(s_double.total())});
-    std::printf("%s", t.str().c_str());
+    t.print();
     std::printf(
         "CLAMR savings: min %.0f%%, mixed %.0f%% (paper: 23%%, 15%%); "
         "SELF savings: %.0f%% (paper: 20%%)\n\n",

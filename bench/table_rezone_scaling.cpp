@@ -145,7 +145,7 @@ int main(int argc, char** argv) {
     }
     util::set_threads(0);  // restore the runtime default
 
-    std::printf("%s\n", table.str().c_str());
+    table.print();
     std::printf(
         "best Full/Incremental rezone ratio: %.2fx (PR target: >= 3x at 8 "
         "threads on a max_level >= 4 workload; serial hosts understate it\n"

@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
     sem_pair.template operator()<fp::MinimumPrecision>("single");
     sem_pair.template operator()<fp::FullPrecision>("double");
 
-    std::printf("%s\n", t.str().c_str());
+    t.print();
     std::printf(
         "CLAMR minimum-precision flux-sweep speedup: %.2fx "
         "(acceptance floor: 1.5x)\n%s\n",

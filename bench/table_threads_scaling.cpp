@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
     });
     util::set_threads(0);  // restore the runtime default
 
-    std::printf("%s\n", table.str().c_str());
+    table.print();
     std::printf("determinism across team sizes: %s\n",
                 all_identical ? "PASS (mass and every dt bit-identical)"
                               : "FAIL");

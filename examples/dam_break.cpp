@@ -8,9 +8,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
 
 #include "analysis/linecut.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "shallow/solver.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -36,6 +39,15 @@ int run(const util::ArgParser& args) {
 
     const int nthreads = util::apply_threads_option(args);
 
+    const obs::ObsGuard obs_guard(
+        args, "dam_break",
+        {{"precision", std::string(Policy::name)},
+         {"simd", simd::use_native(cfg.simd) ? simd::isa_name() : "scalar"},
+         {"rezone", shallow::rezone_mode_name(cfg.rezone_mode)},
+         {"grid", std::to_string(n)},
+         {"levels", std::to_string(cfg.geom.max_level)},
+         {"courant", std::to_string(cfg.courant)}});
+
     shallow::ShallowWaterSolver<Policy> solver(cfg);
     solver.initialize_dam_break(ic);
     const double mass0 = solver.total_mass();
@@ -48,8 +60,32 @@ int run(const util::ArgParser& args) {
     const int steps = args.get_int("steps");
     util::WallTimer timer;
     const int report = std::max(1, steps / 10);
+    std::map<std::string, double> phase_baseline;
     for (int s = 0; s < steps; ++s) {
         const double dt = solver.step();
+        if (obs::metrics().is_open()) {
+            const auto& rz = solver.rezone_stats();
+            obs::metrics().write_line(
+                obs::json::Object()
+                    .field("type", "step")
+                    .field("step", solver.step_count())
+                    .field("t", solver.time())
+                    .field("dt", dt)
+                    .field("cells",
+                           static_cast<std::uint64_t>(
+                               solver.mesh().num_cells()))
+                    .field("mass", solver.total_mass())
+                    .field("rezones", rz.rezones)
+                    .field("rezone_cells_touched", rz.cells_touched)
+                    .field("rezone_translated", rz.translated_cells)
+                    .field("rezone_resolved", rz.resolved_cells)
+                    .field("flops",
+                           solver.ledger().total().flops())
+                    .field_raw("phase_seconds",
+                               obs::timer_delta_json(solver.timers(),
+                                                     phase_baseline))
+                    .str());
+        }
         if (args.get_flag("verbose") && (s + 1) % report == 0)
             std::printf("  step %6d  t=%.5f  dt=%.3e  cells=%zu\n", s + 1,
                         solver.time(), dt, solver.mesh().num_cells());
@@ -108,12 +144,13 @@ int main(int argc, char** argv) {
     util::ArgParser args("dam_break",
                          "CLAMR-analogue cylindrical dam break");
     args.add_option("precision", "minimum | mixed | full", "full");
-    args.add_option("grid", "coarse cells per side", "64");
-    args.add_option("levels", "max AMR refinement levels", "2");
-    args.add_option("steps", "time steps to run", "200");
-    args.add_option("courant", "CFL number", "0.2");
-    args.add_option("h-inside", "column height inside the dam", "80.0");
-    args.add_option("h-outside", "background water height", "10.0");
+    args.add_int_option("grid", "coarse cells per side", "64");
+    args.add_int_option("levels", "max AMR refinement levels", "2");
+    args.add_int_option("steps", "time steps to run", "200");
+    args.add_double_option("courant", "CFL number", "0.2");
+    args.add_double_option("h-inside", "column height inside the dam",
+                           "80.0");
+    args.add_double_option("h-outside", "background water height", "10.0");
     args.add_option("cut", "write center line-cut CSV to this path", "");
     args.add_option("checkpoint", "write binary checkpoint to this path",
                     "");
@@ -121,13 +158,26 @@ int main(int argc, char** argv) {
     util::add_simd_option(args);
     util::add_rezone_option(args);
     util::add_threads_option(args);
+    obs::add_obs_options(args);
     if (!args.parse(argc, argv)) return 1;
 
-    const std::string p = args.get_string("precision");
-    if (p == "minimum") return run<fp::MinimumPrecision>(args);
-    if (p == "mixed") return run<fp::MixedPrecision>(args);
-    if (p == "full") return run<fp::FullPrecision>(args);
-    std::fprintf(stderr, "unknown precision '%s'\n%s", p.c_str(),
-                 args.help().c_str());
-    return 1;
+    try {
+        const std::string p = args.get_string("precision");
+        if (p == "minimum") return run<fp::MinimumPrecision>(args);
+        if (p == "mixed") return run<fp::MixedPrecision>(args);
+        if (p == "full") return run<fp::FullPrecision>(args);
+        std::fprintf(stderr, "unknown precision '%s'\n%s", p.c_str(),
+                     args.help().c_str());
+        return 1;
+    } catch (const obs::NumericalFault& fault) {
+        // The probe layer already wrote a {"type":"diagnostic"} record and
+        // the ObsGuard flushed trace/metrics during unwind; this is the
+        // human-readable summary.
+        std::fprintf(stderr,
+                     "dam_break: numerical fault in kernel '%s' at step "
+                     "%lld: %s\n",
+                     fault.kernel().c_str(),
+                     static_cast<long long>(fault.step()), fault.what());
+        return 2;
+    }
 }

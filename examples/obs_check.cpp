@@ -1,0 +1,179 @@
+// obs_check: CI validator for the flight-recorder output formats.
+//
+// Checks that a Chrome-trace file and/or a metrics JSON-Lines file are
+// well-formed and carry the records a healthy run must produce:
+//
+//   $ ./obs_check --trace=run.trace.json \
+//                 --metrics=run.metrics.jsonl \
+//                 --require=clamr.step,clamr.flux_sweep,clamr.rezone
+//
+// Exit status is 0 when every check passes, 1 otherwise, with one line
+// per failure on stderr. Uses the same strict JSON validator the emitters
+// are tested against (obs/json.hpp), so CI needs no external JSON tools.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+using namespace tp;
+
+namespace {
+
+int failures = 0;
+
+void fail(const std::string& msg) {
+    std::fprintf(stderr, "obs_check: FAIL: %s\n", msg.c_str());
+    ++failures;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(s);
+    while (std::getline(is, item, ','))
+        if (!item.empty()) out.push_back(item);
+    return out;
+}
+
+// The emitters write keys exactly as "key":value with no inner whitespace,
+// so a quoted-substring probe is a reliable presence check for documents
+// that already passed full JSON validation.
+bool has_key(const std::string& doc, const std::string& key) {
+    return doc.find("\"" + key + "\":") != std::string::npos;
+}
+
+bool has_pair(const std::string& doc, const std::string& key,
+              const std::string& value) {
+    return doc.find("\"" + key + "\":\"" + value + "\"") !=
+           std::string::npos;
+}
+
+void check_trace(const std::string& path,
+                 const std::vector<std::string>& required_spans) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        fail("trace file '" + path + "' cannot be opened");
+        return;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string doc = buf.str();
+    if (!obs::json::valid(doc)) {
+        fail("trace file '" + path + "' is not valid JSON");
+        return;
+    }
+    if (!has_key(doc, "traceEvents")) {
+        fail("trace file '" + path + "' has no traceEvents array");
+        return;
+    }
+    for (const char* key : {"name", "ph", "ts", "dur", "pid", "tid"})
+        if (!has_key(doc, key))
+            fail("trace file '" + path + "' events are missing the '" +
+                 std::string(key) + "' field");
+    for (const std::string& span : required_spans)
+        if (!has_pair(doc, "name", span))
+            fail("trace file '" + path + "' has no '" + span + "' span");
+}
+
+void check_metrics(const std::string& path,
+                   const std::vector<std::string>& required_phases) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        fail("metrics file '" + path + "' cannot be opened");
+        return;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    std::size_t steps = 0;
+    bool saw_manifest = false;
+    std::string all_steps;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty()) {
+            fail("metrics file '" + path + "' line " +
+                 std::to_string(lineno) + " is empty");
+            continue;
+        }
+        if (!obs::json::valid(line)) {
+            fail("metrics file '" + path + "' line " +
+                 std::to_string(lineno) + " is not valid JSON");
+            continue;
+        }
+        if (lineno == 1) {
+            if (!has_pair(line, "type", "manifest")) {
+                fail("metrics file '" + path +
+                     "' does not start with a manifest record");
+            } else {
+                saw_manifest = true;
+                for (const char* key :
+                     {"program", "git_sha", "compiler", "build", "host",
+                      "start_time", "threads"})
+                    if (!has_key(line, key))
+                        fail("manifest record is missing '" +
+                             std::string(key) + "'");
+            }
+            continue;
+        }
+        if (has_pair(line, "type", "step")) {
+            ++steps;
+            all_steps += line;
+            if (!has_key(line, "dt") || !has_key(line, "t"))
+                fail("step record on line " + std::to_string(lineno) +
+                     " is missing dt/t");
+            if (line.find("\"dt\":null") != std::string::npos)
+                fail("step record on line " + std::to_string(lineno) +
+                     " has a non-finite dt");
+        }
+    }
+    if (!saw_manifest) fail("metrics file '" + path + "' has no manifest");
+    if (steps == 0)
+        fail("metrics file '" + path + "' has no step records");
+    for (const std::string& phase : required_phases)
+        if (all_steps.find("\"" + phase + "\":") == std::string::npos)
+            fail("no step record carries a '" + phase +
+                 "' phase timing");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::ArgParser args("obs_check",
+                         "validate flight-recorder trace/metrics output");
+    args.add_option("trace", "Chrome-trace JSON file to validate", "");
+    args.add_option("metrics", "metrics JSON-Lines file to validate", "");
+    args.add_option("require",
+                    "comma-separated span names the trace must contain",
+                    "");
+    args.add_option("require-phases",
+                    "comma-separated phase timers the step records must "
+                    "contain",
+                    "");
+    if (!args.parse(argc, argv)) return 1;
+
+    const std::string trace = args.get_string("trace");
+    const std::string metrics = args.get_string("metrics");
+    if (trace.empty() && metrics.empty()) {
+        std::fprintf(stderr,
+                     "obs_check: nothing to do (pass --trace and/or "
+                     "--metrics)\n");
+        return 1;
+    }
+    if (!trace.empty())
+        check_trace(trace, split_csv(args.get_string("require")));
+    if (!metrics.empty())
+        check_metrics(metrics, split_csv(args.get_string("require-phases")));
+
+    if (failures == 0) {
+        std::printf("obs_check: OK (%s%s%s)\n", trace.c_str(),
+                    (!trace.empty() && !metrics.empty()) ? ", " : "",
+                    metrics.c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "obs_check: %d check(s) failed\n", failures);
+    return 1;
+}

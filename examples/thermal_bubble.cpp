@@ -6,9 +6,12 @@
 //                      --steps 50 --lineout rho.csv
 
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "analysis/linecut.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "sem/dgsem.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -33,6 +36,13 @@ int run(const util::ArgParser& args) {
 
     const int nthreads = util::apply_threads_option(args);
 
+    const obs::ObsGuard obs_guard(
+        args, "thermal_bubble",
+        {{"precision", std::string(Policy::name)},
+         {"elements", std::to_string(cfg.nx)},
+         {"order", std::to_string(cfg.order)},
+         {"courant", std::to_string(cfg.courant)}});
+
     sem::SpectralEulerSolver<Policy> solver(cfg);
     solver.initialize_thermal_bubble(bubble);
     const double mass0 = solver.total_mass_perturbation();
@@ -49,8 +59,26 @@ int run(const util::ArgParser& args) {
     const int steps = args.get_int("steps");
     util::WallTimer timer;
     const int report = std::max(1, steps / 10);
+    std::map<std::string, double> phase_baseline;
     for (int s = 0; s < steps; ++s) {
         const double dt = solver.step();
+        if (obs::metrics().is_open())
+            obs::metrics().write_line(
+                obs::json::Object()
+                    .field("type", "step")
+                    .field("step",
+                           static_cast<std::int64_t>(solver.step_count()))
+                    .field("t", solver.time())
+                    .field("dt", dt)
+                    .field("nodes",
+                           static_cast<std::uint64_t>(solver.num_nodes()))
+                    .field("mass_perturbation",
+                           solver.total_mass_perturbation())
+                    .field("flops", solver.ledger().total().flops())
+                    .field_raw("phase_seconds",
+                               obs::timer_delta_json(solver.timers(),
+                                                     phase_baseline))
+                    .str());
         if (args.get_flag("verbose") && (s + 1) % report == 0)
             std::printf("  step %5d  t=%.4f  dt=%.3e  max w-momentum "
                         "%.3e\n",
@@ -97,13 +125,13 @@ int main(int argc, char** argv) {
                          "SELF-analogue rising warm bubble (3-D "
                          "compressible flow, DG spectral elements)");
     args.add_option("precision", "single | mixed | double", "double");
-    args.add_option("elements", "elements per direction", "4");
-    args.add_option("order", "polynomial order per direction", "7");
-    args.add_option("steps", "RK3 steps to run", "20");
-    args.add_option("courant", "CFL number", "0.3");
-    args.add_option("dtheta", "bubble potential-temperature excess (K)",
-                    "0.5");
-    args.add_option("radius", "bubble radius (m)", "250.0");
+    args.add_int_option("elements", "elements per direction", "4");
+    args.add_int_option("order", "polynomial order per direction", "7");
+    args.add_int_option("steps", "RK3 steps to run", "20");
+    args.add_double_option("courant", "CFL number", "0.3");
+    args.add_double_option("dtheta",
+                           "bubble potential-temperature excess (K)", "0.5");
+    args.add_double_option("radius", "bubble radius (m)", "250.0");
     args.add_option("lineout",
                     "write density-anomaly line-out CSV to this path", "");
     args.add_flag("gnu-model",
@@ -111,14 +139,25 @@ int main(int argc, char** argv) {
                   "(Table IV GNU-compiler model)");
     args.add_flag("verbose", "print periodic step diagnostics");
     util::add_threads_option(args);
+    obs::add_obs_options(args);
     if (!args.parse(argc, argv)) return 1;
 
-    const std::string p = args.get_string("precision");
-    if (p == "single" || p == "minimum")
-        return run<fp::MinimumPrecision>(args);
-    if (p == "mixed") return run<fp::MixedPrecision>(args);
-    if (p == "double" || p == "full") return run<fp::FullPrecision>(args);
-    std::fprintf(stderr, "unknown precision '%s'\n%s", p.c_str(),
-                 args.help().c_str());
-    return 1;
+    try {
+        const std::string p = args.get_string("precision");
+        if (p == "single" || p == "minimum")
+            return run<fp::MinimumPrecision>(args);
+        if (p == "mixed") return run<fp::MixedPrecision>(args);
+        if (p == "double" || p == "full")
+            return run<fp::FullPrecision>(args);
+        std::fprintf(stderr, "unknown precision '%s'\n%s", p.c_str(),
+                     args.help().c_str());
+        return 1;
+    } catch (const obs::NumericalFault& fault) {
+        std::fprintf(stderr,
+                     "thermal_bubble: numerical fault in kernel '%s' at "
+                     "step %lld: %s\n",
+                     fault.kernel().c_str(),
+                     static_cast<long long>(fault.step()), fault.what());
+        return 2;
+    }
 }

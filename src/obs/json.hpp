@@ -1,0 +1,267 @@
+#pragma once
+// Minimal JSON support for the observability layer.
+//
+// The flight recorder emits two machine-readable formats — Chrome-trace
+// JSON and JSON-Lines metric records — and the CI checker must be able to
+// verify them without external dependencies. This header provides both
+// halves: an append-only object/array builder that can only produce valid
+// JSON (non-finite doubles become null rather than the illegal bare NaN),
+// and a strict recursive-descent validator used by tests and by
+// examples/obs_check.cpp.
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tp::obs::json {
+
+/// Append `s` to `out` as a quoted JSON string with all mandatory escapes.
+inline void append_escaped(std::string& out, std::string_view s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+/// Format a double as a JSON number token. JSON has no NaN/Infinity, so
+/// non-finite values are emitted as null — downstream checkers treat a
+/// null metric as "value was not representable", never as silent garbage.
+inline void append_number(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+/// Append-only JSON object builder. Field order is insertion order; the
+/// result is retrieved exactly once with str().
+class Object {
+public:
+    Object() : buf_("{") {}
+
+    Object& field(std::string_view key, std::string_view value) {
+        key_(key);
+        append_escaped(buf_, value);
+        return *this;
+    }
+    Object& field(std::string_view key, const char* value) {
+        return field(key, std::string_view(value));
+    }
+    Object& field(std::string_view key, double value) {
+        key_(key);
+        append_number(buf_, value);
+        return *this;
+    }
+    Object& field(std::string_view key, std::int64_t value) {
+        key_(key);
+        buf_ += std::to_string(value);
+        return *this;
+    }
+    Object& field(std::string_view key, std::uint64_t value) {
+        key_(key);
+        buf_ += std::to_string(value);
+        return *this;
+    }
+    Object& field(std::string_view key, int value) {
+        return field(key, static_cast<std::int64_t>(value));
+    }
+    Object& field(std::string_view key, bool value) {
+        key_(key);
+        buf_ += value ? "true" : "false";
+        return *this;
+    }
+    /// Splice a pre-built JSON value (nested object/array) verbatim.
+    Object& field_raw(std::string_view key, std::string_view json_value) {
+        key_(key);
+        buf_ += json_value;
+        return *this;
+    }
+
+    /// Close the object and hand out the buffer. Call exactly once; the
+    /// builder is spent afterwards.
+    [[nodiscard]] std::string str() {
+        buf_.push_back('}');
+        return std::move(buf_);
+    }
+
+private:
+    void key_(std::string_view key) {
+        if (!first_) buf_.push_back(',');
+        first_ = false;
+        append_escaped(buf_, key);
+        buf_.push_back(':');
+    }
+    std::string buf_;
+    bool first_ = true;
+};
+
+// ---------------------------------------------------------------- validator
+
+namespace detail {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : s_(text) {}
+
+    [[nodiscard]] bool parse_document() {
+        skip_ws();
+        if (!parse_value()) return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+private:
+    [[nodiscard]] bool parse_value() {
+        if (depth_ > 256) return false;  // runaway nesting
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': return parse_string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return parse_number();
+        }
+    }
+
+    [[nodiscard]] bool parse_object() {
+        ++depth_;
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; --depth_; return true; }
+        while (true) {
+            skip_ws();
+            if (peek() != '"' || !parse_string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            if (!parse_value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; --depth_; return true; }
+            return false;
+        }
+    }
+
+    [[nodiscard]] bool parse_array() {
+        ++depth_;
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; --depth_; return true; }
+        while (true) {
+            if (!parse_value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; --depth_; return true; }
+            return false;
+        }
+    }
+
+    [[nodiscard]] bool parse_string() {
+        ++pos_;  // '"'
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20) return false;
+            if (c == '"') { ++pos_; return true; }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size()) return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    if (pos_ + 4 >= s_.size()) return false;
+                    for (int k = 1; k <= 4; ++k)
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + static_cast<std::size_t>(k)])))
+                            return false;
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                           e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    [[nodiscard]] bool parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        if (!digit()) return false;
+        if (s_[pos_] == '0') ++pos_;
+        else while (digit()) ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!digit()) return false;
+            while (digit()) ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') ++pos_;
+            if (!digit()) return false;
+            while (digit()) ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    [[nodiscard]] bool literal(std::string_view word) {
+        if (s_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    [[nodiscard]] bool digit() const {
+        return pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]));
+    }
+    [[nodiscard]] char peek() const {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+    void skip_ws() {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+}  // namespace detail
+
+/// Strict whole-document validity check (single JSON value, no trailing
+/// garbage). Used by tests and the CI output checker.
+[[nodiscard]] inline bool valid(std::string_view text) {
+    return detail::Parser(text).parse_document();
+}
+
+}  // namespace tp::obs::json

@@ -1,0 +1,45 @@
+#include "obs/obs.hpp"
+
+namespace tp::obs {
+
+void add_obs_options(util::ArgParser& args) {
+    args.add_option("trace",
+                    "Write a Chrome-trace JSON span timeline to this path "
+                    "(open in chrome://tracing or ui.perfetto.dev)",
+                    "");
+    args.add_option("metrics",
+                    "Write per-step JSON-Lines metric records (plus a run "
+                    "manifest) to this path",
+                    "");
+    args.add_flag("probe",
+                  "Enable sampled numerical-health probes (NaN/Inf, "
+                  "min/max) on the solver state");
+}
+
+ObsOptions apply_obs_options(
+    const util::ArgParser& args, const std::string& program,
+    const std::map<std::string, std::string>& extra) {
+    ObsOptions opt;
+    opt.trace_path = args.get_string("trace");
+    opt.metrics_path = args.get_string("metrics");
+    opt.probe = args.get_flag("probe");
+    if (!opt.metrics_path.empty()) {
+        metrics().open(opt.metrics_path);
+        write_manifest(program, extra);
+    }
+    if (!opt.trace_path.empty()) trace_start(opt.trace_path);
+    probe_reset();
+    set_probe_enabled(opt.probe);
+    return opt;
+}
+
+void finish_observability() {
+    if (probe_enabled()) {
+        probe_flush_to_metrics();
+        set_probe_enabled(false);
+    }
+    trace_stop();
+    metrics().close();
+}
+
+}  // namespace tp::obs

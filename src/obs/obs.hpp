@@ -1,0 +1,79 @@
+#pragma once
+// Unified flight-recorder entry point: wires the trace layer
+// (obs/trace.hpp), the metrics stream (obs/metrics.hpp), and the
+// numerical-health probes (obs/probe.hpp) behind the three standard CLI
+// flags every solver binary exposes:
+//
+//   --trace=<file>     span trace, Chrome-trace JSON (chrome://tracing,
+//                      https://ui.perfetto.dev)
+//   --metrics=<file>   per-step JSON-Lines records + run manifest
+//   --probe            sampled NaN/Inf + min/max numerical-health checks
+//
+// Typical driver shape:
+//
+//   util::ArgParser args(...);
+//   obs::add_obs_options(args);
+//   if (!args.parse(argc, argv)) return 1;
+//   obs::ObsGuard guard(args, "dam_break", {{"precision", p}});
+//   ... run; emit per-step records via obs::metrics() ...
+//   // guard destructor flushes probes and writes the trace file
+//
+// All three layers are process-global and zero-cost when their flag is
+// off (one relaxed atomic load per instrumentation point).
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace tp::obs {
+
+/// Register --trace / --metrics / --probe on a parser.
+void add_obs_options(util::ArgParser& args);
+
+/// Parsed state of the three observability flags.
+struct ObsOptions {
+    std::string trace_path;    // empty = off
+    std::string metrics_path;  // empty = off
+    bool probe = false;
+
+    [[nodiscard]] bool any() const {
+        return probe || !trace_path.empty() || !metrics_path.empty();
+    }
+};
+
+/// Act on the parsed flags: start the trace session, open the metrics
+/// stream and write the run manifest (`extra` adds app-specific manifest
+/// fields), and arm the probes. Throws std::runtime_error when an output
+/// file cannot be created.
+ObsOptions apply_obs_options(const util::ArgParser& args,
+                             const std::string& program,
+                             const std::map<std::string, std::string>& extra);
+
+/// Flush probe summaries into the metrics stream, write the trace file,
+/// and close the metrics stream. Safe to call repeatedly or with
+/// everything off; also safe mid-unwind (used by ObsGuard).
+void finish_observability();
+
+/// RAII wrapper: applies the options on construction and finishes on
+/// destruction, so a run aborted by a NumericalFault still flushes its
+/// trace and metrics to disk.
+class ObsGuard {
+public:
+    ObsGuard(const util::ArgParser& args, const std::string& program,
+             const std::map<std::string, std::string>& extra)
+        : options_(apply_obs_options(args, program, extra)) {}
+    ~ObsGuard() { finish_observability(); }
+    ObsGuard(const ObsGuard&) = delete;
+    ObsGuard& operator=(const ObsGuard&) = delete;
+
+    [[nodiscard]] const ObsOptions& options() const { return options_; }
+
+private:
+    ObsOptions options_;
+};
+
+}  // namespace tp::obs

@@ -1,0 +1,97 @@
+#include "obs/probe.hpp"
+
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace tp::obs {
+
+namespace detail {
+
+std::atomic<bool> g_probe_enabled{false};
+
+namespace {
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, ProbeStats> stats;
+};
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+}  // namespace
+
+void record_probe(const std::string& kernel, const ProbeStats& s) {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.stats[kernel].merge(s);
+}
+
+}  // namespace detail
+
+void ProbeStats::merge(const ProbeStats& o) {
+    samples += o.samples;
+    nan_count += o.nan_count;
+    inf_count += o.inf_count;
+    min = o.min < min ? o.min : min;
+    max = o.max > max ? o.max : max;
+    max_ulp_drift =
+        o.max_ulp_drift > max_ulp_drift ? o.max_ulp_drift : max_ulp_drift;
+    if (first_bad_index < 0) first_bad_index = o.first_bad_index;
+}
+
+void set_probe_enabled(bool on) {
+    detail::g_probe_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::map<std::string, ProbeStats> probe_report() {
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.stats;
+}
+
+void probe_reset() {
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.stats.clear();
+}
+
+void probe_flush_to_metrics() {
+    if (!metrics().is_open()) return;
+    for (const auto& [kernel, s] : probe_report()) {
+        json::Object rec;
+        rec.field("type", "probe")
+            .field("kernel", kernel)
+            .field("samples", s.samples)
+            .field("nan_count", s.nan_count)
+            .field("inf_count", s.inf_count)
+            .field("min", s.min)
+            .field("max", s.max)
+            .field("max_ulp_drift", s.max_ulp_drift)
+            .field("first_bad_index", s.first_bad_index)
+            .field("healthy", s.healthy());
+        metrics().write_line(std::move(rec).str());
+    }
+}
+
+NumericalFault::NumericalFault(std::string kernel, std::int64_t step,
+                               const std::string& detail_msg)
+    : std::runtime_error("numerical fault in '" + kernel + "' at step " +
+                         std::to_string(step) + ": " + detail_msg),
+      kernel_(std::move(kernel)),
+      step_(step) {}
+
+void raise_numerical_fault(const std::string& kernel, std::int64_t step,
+                           const std::string& detail_msg) {
+    json::Object rec;
+    rec.field("type", "diagnostic")
+        .field("severity", "fatal")
+        .field("kernel", kernel)
+        .field("step", step)
+        .field("detail", detail_msg);
+    metrics().write_line(std::move(rec).str());
+    throw NumericalFault(kernel, step, detail_msg);
+}
+
+}  // namespace tp::obs

@@ -1,0 +1,137 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace tp::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+};
+
+// Buffers live here (not in thread_local storage directly) so they
+// survive thread exit and the flush can walk all of them. A deque never
+// relocates elements, so the thread-local pointers stay valid as other
+// threads register.
+struct Session {
+    std::mutex mutex;                  // registration + start/stop only
+    std::deque<ThreadBuffer> buffers;  // one per thread that ever traced
+    std::uint32_t next_tid = 0;
+    std::string path;
+    std::chrono::steady_clock::time_point epoch;
+    std::uint64_t generation = 0;  // bumped per trace_start; stale TLS
+                                   // pointers from a prior session re-register
+};
+
+Session& session() {
+    static Session s;
+    return s;
+}
+
+ThreadBuffer& thread_buffer() {
+    thread_local ThreadBuffer* buf = nullptr;
+    thread_local std::uint64_t buf_generation = 0;
+    Session& s = session();
+    if (buf == nullptr || buf_generation != s.generation) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        buf = &s.buffers.emplace_back();
+        buf->tid = s.next_tid++;
+        buf->events.reserve(1024);
+        buf_generation = s.generation;
+    }
+    return *buf;
+}
+
+}  // namespace
+
+std::int64_t trace_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - session().epoch)
+        .count();
+}
+
+void trace_append(const char* name, std::int64_t begin_ns,
+                  std::int64_t dur_ns) {
+    // Re-check under the race with trace_stop(): a span that straddles the
+    // stop sees enabled == false here and is simply dropped.
+    if (!g_trace_enabled.load(std::memory_order_relaxed)) return;
+    thread_buffer().events.push_back({name, begin_ns, dur_ns});
+}
+
+}  // namespace detail
+
+void trace_start(const std::string& path) {
+    auto& s = detail::session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Probe writability now so a bad path fails at startup, not after the
+    // whole run has been traced.
+    if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+        std::fclose(f);
+    } else {
+        throw std::runtime_error("trace: cannot open '" + path +
+                                 "' for writing");
+    }
+    s.path = path;
+    s.epoch = std::chrono::steady_clock::now();
+    s.buffers.clear();
+    s.next_tid = 0;
+    ++s.generation;
+    detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+std::size_t trace_stop() {
+    auto& s = detail::session();
+    if (!detail::g_trace_enabled.exchange(false)) return 0;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::FILE* f = std::fopen(s.path.c_str(), "w");
+    if (f == nullptr)
+        throw std::runtime_error("trace: cannot write '" + s.path + "'");
+    std::size_t count = 0;
+    std::string line;
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+    for (const auto& buf : s.buffers) {
+        for (const auto& e : buf.events) {
+            line.clear();
+            if (count != 0) line.push_back(',');
+            line += "\n";
+            json::Object ev;
+            ev.field("name", e.name)
+                .field("cat", "tp")
+                .field("ph", "X")
+                .field("ts", static_cast<double>(e.begin_ns) * 1e-3)
+                .field("dur", static_cast<double>(e.dur_ns) * 1e-3)
+                .field("pid", 1)
+                .field("tid", static_cast<std::int64_t>(buf.tid));
+            line += std::move(ev).str();
+            std::fputs(line.c_str(), f);
+            ++count;
+        }
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+    s.buffers.clear();
+    return count;
+}
+
+std::size_t trace_event_count() {
+    auto& s = detail::session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::size_t n = 0;
+    for (const auto& buf : s.buffers) n += buf.events.size();
+    return n;
+}
+
+}  // namespace tp::obs

@@ -1,0 +1,101 @@
+#pragma once
+// Flight-recorder trace layer: kernel/phase begin-end spans collected into
+// lock-free per-thread buffers and flushed as Chrome-trace JSON
+// (chrome://tracing / https://ui.perfetto.dev).
+//
+// Design constraints (DESIGN.md §10):
+//   * zero cost when off — an instrumentation point is one relaxed atomic
+//     load; no clock read, no allocation, no branch into cold code;
+//   * no synchronization on the hot path when on — each thread appends to
+//     its own buffer, registered once under a mutex at first use;
+//   * span names are static strings (string literals at the call sites),
+//     so events store a pointer, never copy.
+//
+// Usage at an instrumentation point:
+//
+//   void Solver::step() {
+//       TP_OBS_SPAN("clamr.step");
+//       ...
+//   }
+//
+// Lifecycle (driven by the CLI layer, obs/obs.hpp):
+//
+//   obs::trace_start("run.trace.json");   // enables collection
+//   ... run ...
+//   obs::trace_stop();                    // writes the JSON, disables
+//
+// trace_stop() must be called from outside any traced parallel region
+// (worker threads must be quiescent at the fork-join boundary, which every
+// caller in this repo is).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tp::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+struct TraceEvent {
+    const char* name;       // static string
+    std::int64_t begin_ns;  // since trace_start
+    std::int64_t dur_ns;
+};
+
+/// Append one completed span to the calling thread's buffer.
+void trace_append(const char* name, std::int64_t begin_ns,
+                  std::int64_t dur_ns);
+
+[[nodiscard]] std::int64_t trace_now_ns();
+}  // namespace detail
+
+/// True while a trace session is collecting. One relaxed load — this is
+/// the entire cost of an instrumentation point when tracing is off.
+[[nodiscard]] inline bool trace_enabled() {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Begin collecting spans; the JSON goes to `path` at trace_stop().
+/// Throws std::runtime_error if the file cannot be created.
+void trace_start(const std::string& path);
+
+/// Flush every thread's buffer to the trace file as Chrome-trace JSON and
+/// stop collecting. No-op when no session is active. Returns the number
+/// of events written.
+std::size_t trace_stop();
+
+/// Number of events currently buffered across all threads (diagnostics).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// RAII span: records [construction, destruction) of the enclosing scope
+/// under `name` (a string literal). When tracing is off the constructor
+/// is a single relaxed load and the destructor a null check.
+class ScopedSpan {
+public:
+    explicit ScopedSpan(const char* name)
+        : name_(trace_enabled() ? name : nullptr) {
+        if (name_) begin_ns_ = detail::trace_now_ns();
+    }
+    ~ScopedSpan() {
+        if (name_)
+            detail::trace_append(name_, begin_ns_,
+                                 detail::trace_now_ns() - begin_ns_);
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    const char* name_;
+    std::int64_t begin_ns_ = 0;
+};
+
+}  // namespace tp::obs
+
+#define TP_OBS_CONCAT_IMPL(a, b) a##b
+#define TP_OBS_CONCAT(a, b) TP_OBS_CONCAT_IMPL(a, b)
+/// Trace the enclosing scope as one span. `name` must be a string literal
+/// (the recorder stores the pointer). Zero-cost when tracing is off.
+#define TP_OBS_SPAN(name) \
+    ::tp::obs::ScopedSpan TP_OBS_CONCAT(tp_obs_span_, __LINE__)(name)

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace tp::par {
 
 namespace {
@@ -66,6 +68,7 @@ void DistributedShallowSolver<Policy>::initialize_dam_break(
 
 template <fp::PrecisionPolicy Policy>
 void DistributedShallowSolver<Policy>::exchange_halos() {
+    TP_OBS_SPAN("dist.halo_exchange");
     // Phase 1: every rank posts its boundary rows. Rows travel in storage
     // precision — the wire moves exactly the bytes the arrays hold (a
     // float-storage policy ships half of what double storage does), and
@@ -262,6 +265,7 @@ void DistributedShallowSolver<Policy>::update_rank(Rank& rk, double dt) {
 
 template <fp::PrecisionPolicy Policy>
 double DistributedShallowSolver<Policy>::step() {
+    TP_OBS_SPAN("dist.step");
     exchange_halos();
     const double dt = global_dt();
     for (Rank& rk : ranks_) update_rank(rk, dt);

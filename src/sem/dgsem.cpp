@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "fp/promoted.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sem/tensor_kernel.hpp"
 #include "simd/pack.hpp"
 #include "sum/expansion.hpp"
@@ -845,6 +847,7 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
 
 template <fp::PrecisionPolicy Policy>
 void SpectralEulerSolver<Policy>::compute_rhs() {
+    TP_OBS_SPAN("sem.rhs");
     const bool promote = cfg_.promote_each_op &&
                          std::is_same_v<compute_t, float>;
     if (promote) {
@@ -866,6 +869,7 @@ void SpectralEulerSolver<Policy>::compute_rhs() {
 
 template <fp::PrecisionPolicy Policy>
 void SpectralEulerSolver<Policy>::rk_stage(double a, double b, double dt) {
+    TP_OBS_SPAN("sem.rk_stage");
     util::WallTimer timer;
     const std::size_t n = num_nodes();
     const compute_t ac = static_cast<compute_t>(a);
@@ -894,6 +898,7 @@ void SpectralEulerSolver<Policy>::rk_stage(double a, double b, double dt) {
 
 template <fp::PrecisionPolicy Policy>
 void SpectralEulerSolver<Policy>::apply_filter() {
+    TP_OBS_SPAN("sem.filter");
     util::WallTimer timer;
     const int np = np_;
     const bool native = simd::use_native(cfg_.simd);
@@ -916,6 +921,7 @@ void SpectralEulerSolver<Policy>::apply_filter() {
 
 template <fp::PrecisionPolicy Policy>
 double SpectralEulerSolver<Policy>::compute_dt() {
+    TP_OBS_SPAN("sem.cfl");
     util::WallTimer timer;
     const std::size_t n = num_nodes();
     const double gm1 = cfg_.atm.gamma - 1.0;
@@ -960,11 +966,32 @@ double SpectralEulerSolver<Policy>::compute_dt() {
             nu * (1.0 / (gx * gx) + 1.0 / (gy * gy) + 1.0 / (gz * gz));
         dt = std::min(dt, 0.6 / diff_rate);
     }
+    if (!std::isfinite(dt) || dt <= 0.0) {
+        std::string detail = "non-finite or non-positive dt " +
+                             std::to_string(dt) + " (rate_max " +
+                             std::to_string(rate_max) + " over " +
+                             std::to_string(n) + " nodes)";
+        static constexpr const char* kVarNames[kVars] = {"rho", "mx", "my",
+                                                         "mz", "en"};
+        for (int v = 0; v < kVars; ++v) {
+            const obs::ProbeStats s = obs::probe_array(
+                std::string("sem.") + kVarNames[v], q_[v].data(), n);
+            if (!s.healthy())
+                detail += "; " + std::string(kVarNames[v]) + " has " +
+                          std::to_string(s.nan_count) + " NaN / " +
+                          std::to_string(s.inf_count) +
+                          " Inf values (first at node " +
+                          std::to_string(s.first_bad_index) + ")";
+        }
+        obs::probe_flush_to_metrics();
+        obs::raise_numerical_fault("sem.cfl", step_count_, detail);
+    }
     return dt;
 }
 
 template <fp::PrecisionPolicy Policy>
 double SpectralEulerSolver<Policy>::step() {
+    TP_OBS_SPAN("sem.step");
     const double dt = compute_dt();
     for (int s = 0; s < 3; ++s) {
         compute_rhs();
@@ -973,6 +1000,28 @@ double SpectralEulerSolver<Policy>::step() {
     if (cfg_.filter_interval > 0 &&
         (step_count_ + 1) % cfg_.filter_interval == 0)
         apply_filter();
+    // Same contract as the shallow solver: a NaN in the state must fault
+    // here, because comparison-based reductions (CFL max) silently skip
+    // NaN operands.
+    if (obs::probe_enabled()) {
+        static constexpr const char* kVarNames[kVars] = {"rho", "mx", "my",
+                                                         "mz", "en"};
+        for (int v = 0; v < kVars; ++v) {
+            const std::string kernel = std::string("sem.") + kVarNames[v];
+            const obs::ProbeStats s =
+                obs::probe_array(kernel, q_[v].data(), num_nodes());
+            if (!s.healthy()) {
+                obs::probe_flush_to_metrics();
+                obs::raise_numerical_fault(
+                    kernel, step_count_,
+                    std::to_string(s.nan_count) + " NaN / " +
+                        std::to_string(s.inf_count) + " Inf values over " +
+                        std::to_string(s.samples) +
+                        " nodes (first at node " +
+                        std::to_string(s.first_bad_index) + ")");
+            }
+        }
+    }
     time_ += dt;
     ++step_count_;
     return dt;

@@ -1,6 +1,8 @@
 #include "shallow/solver.hpp"
 
 #include "fp/half_policy.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sum/parallel.hpp"
 #include "util/arena.hpp"
 #include "util/threads.hpp"
@@ -608,6 +610,7 @@ void ShallowWaterSolver<Policy>::remap_state(const mesh::RemapPlan& plan) {
 
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::rezone() {
+    TP_OBS_SPAN("clamr.rezone");
     const bool incremental =
         config_.rezone_mode == RezoneMode::Incremental;
     const std::uint64_t old_cells = mesh_.num_cells();
@@ -622,10 +625,13 @@ void ShallowWaterSolver<Policy>::rezone() {
 
     // Phase 1: refinement flags. Incremental mode reads the slot tables
     // per cell; the Full baseline scans the (lazily rebuilt) face lists.
-    if (incremental)
-        compute_refinement_flags(flags_scratch_);
-    else
-        compute_refinement_flags_facescan(flags_scratch_);
+    {
+        TP_OBS_SPAN("clamr.rezone_flags");
+        if (incremental)
+            compute_refinement_flags(flags_scratch_);
+        else
+            compute_refinement_flags_facescan(flags_scratch_);
+    }
     const double s_flags = t.elapsed_seconds();
     const std::uint64_t flags_bytes =
         incremental
@@ -638,7 +644,10 @@ void ShallowWaterSolver<Policy>::rezone() {
     // Phase 2: mesh adapt (coarsen-group approval, emit, 2:1 balance, all
     // over the sorted Morton keys — no hashing, no post-sort).
     t.restart();
-    const auto plan = mesh_.adapt(flags_scratch_);
+    const auto plan = [&] {
+        TP_OBS_SPAN("clamr.rezone_adapt");
+        return mesh_.adapt(flags_scratch_);
+    }();
     const double s_adapt = t.elapsed_seconds();
     const std::uint64_t new_cells = mesh_.num_cells();
     const std::uint64_t adapt_bytes =
@@ -650,7 +659,10 @@ void ShallowWaterSolver<Policy>::rezone() {
 
     // Phase 3: state carry-over (span memcpy + refine/coarsen gather).
     t.restart();
-    remap_state(plan);
+    {
+        TP_OBS_SPAN("clamr.rezone_remap");
+        remap_state(plan);
+    }
     const double s_remap = t.elapsed_seconds();
     ledger_.record("rezone_remap", s_remap, 0, 0,
                    (old_cells + new_cells) * 3 * ss, 0, 0, threads);
@@ -660,11 +672,14 @@ void ShallowWaterSolver<Policy>::rezone() {
     // cells' slots vs. the Full face-scan rebuild.
     t.restart();
     std::size_t resolved;
-    if (incremental) {
-        resolved = update_topology_caches(plan);
-    } else {
-        rebuild_topology_caches_facescan();
-        resolved = new_cells;
+    {
+        TP_OBS_SPAN("clamr.rezone_cache");
+        if (incremental) {
+            resolved = update_topology_caches(plan);
+        } else {
+            rebuild_topology_caches_facescan();
+            resolved = new_cells;
+        }
     }
     const double s_cache = t.elapsed_seconds();
     const std::uint64_t cache_bytes =
@@ -685,8 +700,40 @@ void ShallowWaterSolver<Policy>::rezone() {
     rezone_stats_.copy_spans += plan.copy_spans.size();
 }
 
+// Failure path of the compute_dt guard: the cheap always-on check only
+// sees the reduced dt, so when it trips, scan the state to say *where*
+// the garbage is — the diagnostic names the first offending cell and
+// array, which is what makes a reduced-precision blow-up debuggable.
+template <fp::PrecisionPolicy Policy>
+[[noreturn]] void describe_dt_fault(
+    const ShallowWaterSolver<Policy>& solver,
+    const std::vector<typename Policy::storage_t>& h,
+    const std::vector<typename Policy::storage_t>& hu,
+    const std::vector<typename Policy::storage_t>& hv, double bad_dt) {
+    std::string detail = "non-finite or non-positive dt " +
+                         std::to_string(bad_dt) + " over " +
+                         std::to_string(h.size()) + " cells";
+    const auto scan = [&](const char* name, const auto& a) {
+        const obs::ProbeStats s =
+            obs::probe_array(std::string("clamr.") + name, a.data(),
+                             a.size());
+        if (!s.healthy())
+            detail += "; " + std::string(name) + " has " +
+                      std::to_string(s.nan_count) + " NaN / " +
+                      std::to_string(s.inf_count) +
+                      " Inf values (first at cell " +
+                      std::to_string(s.first_bad_index) + ")";
+    };
+    scan("h", h);
+    scan("hu", hu);
+    scan("hv", hv);
+    obs::probe_flush_to_metrics();
+    obs::raise_numerical_fault("cfl", solver.step_count(), detail);
+}
+
 template <fp::PrecisionPolicy Policy>
 double ShallowWaterSolver<Policy>::compute_dt() {
+    TP_OBS_SPAN("clamr.cfl");
     util::WallTimer t;
     const std::size_t n = mesh_.num_cells();
     const compute_t g = static_cast<compute_t>(config_.gravity);
@@ -745,7 +792,15 @@ double ShallowWaterSolver<Policy>::compute_dt() {
                    n * sizeof(compute_t),
                    static_cast<std::uint32_t>(util::max_threads()));
     timers_.add("cfl", t.elapsed_seconds());
-    return config_.courant * static_cast<double>(dt_min);
+    const double dt = config_.courant * static_cast<double>(dt_min);
+    // Finite-dt guard: a NaN/Inf anywhere in the state poisons the CFL
+    // reduction, and without this check the run would keep stepping on
+    // garbage (time_ += NaN) with no error until someone inspects the
+    // output. An Inf wave speed shows up here as dt == 0. The check is
+    // one comparison per step; the diagnostic scan runs only on failure.
+    if (!std::isfinite(dt) || dt <= 0.0)
+        describe_dt_fault(*this, h_, hu_, hv_, dt);
+    return dt;
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -873,23 +928,56 @@ template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::finite_diff(double dt) {
     util::WallTimer t;
     const bool native = simd::use_native(config_.simd);
-    if (native) {
-        flux_sweep_native();
-    } else {
-        flux_sweep_scalar();
+    {
+        TP_OBS_SPAN("clamr.flux_sweep");
+        if (native) {
+            flux_sweep_native();
+        } else {
+            flux_sweep_scalar();
+        }
+        boundary_fluxes();
     }
-    boundary_fluxes();
-    apply_update(dt);
+    {
+        TP_OBS_SPAN("clamr.apply_update");
+        apply_update(dt);
+    }
     account_finite_diff(t.elapsed_seconds(), native ? kNativeLanes : 1);
 }
 
 template <fp::PrecisionPolicy Policy>
 double ShallowWaterSolver<Policy>::step() {
+    TP_OBS_SPAN("clamr.step");
     if (config_.rezone_interval > 0 &&
         step_count_ % config_.rezone_interval == 0 && step_count_ > 0)
         rezone();
     const double dt = compute_dt();
     finite_diff(dt);
+    // Sampled health check: with --probe on, scan the freshly updated
+    // state so a NaN is attributed to the step (and kernel) that produced
+    // it rather than to the next CFL reduction that trips over it. The
+    // fault must come from here: min/max reductions drop NaN operands
+    // (comparisons are false), so the dt guard alone cannot see a state
+    // that has already gone bad.
+    if (obs::probe_enabled()) {
+        const auto check = [&](const char* name, const auto& a) {
+            const std::string kernel = std::string("clamr.") + name;
+            const obs::ProbeStats s =
+                obs::probe_array(kernel, a.data(), a.size());
+            if (!s.healthy()) {
+                obs::probe_flush_to_metrics();
+                obs::raise_numerical_fault(
+                    kernel, step_count_,
+                    std::to_string(s.nan_count) + " NaN / " +
+                        std::to_string(s.inf_count) + " Inf values over " +
+                        std::to_string(s.samples) +
+                        " cells (first at cell " +
+                        std::to_string(s.first_bad_index) + ")");
+            }
+        };
+        check("h", h_);
+        check("hu", hu_);
+        check("hv", hv_);
+    }
     time_ += dt;
     ++step_count_;
     return dt;
@@ -980,6 +1068,7 @@ T read_pod(std::istream& is) {
 
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::write_checkpoint(std::ostream& os) const {
+    TP_OBS_SPAN("clamr.checkpoint_write");
     write_pod(os, kCheckpointMagic);
     write_pod(os, kCheckpointVersion);
     write_pod(os, static_cast<std::uint32_t>(sizeof(storage_t)));
@@ -1011,6 +1100,7 @@ void ShallowWaterSolver<Policy>::write_checkpoint(std::ostream& os) const {
 template <fp::PrecisionPolicy Policy>
 CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
     std::istream& is) {
+    TP_OBS_SPAN("clamr.checkpoint_read");
     if (read_pod<std::uint32_t>(is) != kCheckpointMagic)
         throw std::runtime_error("checkpoint: bad magic");
     if (read_pod<std::uint32_t>(is) != kCheckpointVersion)
@@ -1059,7 +1149,9 @@ CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
             " impossible for the stored geometry (max " +
             std::to_string(max_cells) + ")");
     // When the stream is seekable, also require that the payload the
-    // header promises actually fits in the remaining bytes.
+    // header promises actually fits in the remaining bytes — expected vs.
+    // actual, so a truncated state section is rejected before any
+    // allocation instead of reading short.
     if (const auto here = is.tellg(); here != std::istream::pos_type(-1)) {
         is.seekg(0, std::ios::end);
         const auto end = is.tellg();
@@ -1070,17 +1162,37 @@ CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
             const std::uint64_t per_cell = 12 + 3 * elem;
             if (n > remaining / per_cell)  // division: no overflow
                 throw std::runtime_error(
-                    "checkpoint: header promises " +
-                    std::to_string(n) + " cells (" +
-                    std::to_string(per_cell) + " bytes each) but only " +
+                    "checkpoint: header promises " + std::to_string(n) +
+                    " cells (" + std::to_string(per_cell * n) +
+                    " payload bytes) but only " +
                     std::to_string(remaining) + " bytes remain");
         }
     }
     d.cells.resize(n);
-    for (auto& c : d.cells) {
+    for (std::size_t k = 0; k < n; ++k) {
+        auto& c = d.cells[k];
         c.level = read_pod<std::int32_t>(is);
         c.i = read_pod<std::int32_t>(is);
         c.j = read_pod<std::int32_t>(is);
+        // Payload validation (the header checks above can't see this): a
+        // corrupt cell record would otherwise flow into mesh rebuilds and
+        // index computations as out-of-range levels or coordinates.
+        if (c.level < 0 || c.level > d.geom.max_level)
+            throw std::runtime_error(
+                "checkpoint: cell " + std::to_string(k) + " level " +
+                std::to_string(c.level) + " outside [0, " +
+                std::to_string(d.geom.max_level) + "]");
+        const std::int64_t nx_at_level =
+            static_cast<std::int64_t>(d.geom.coarse_nx) << c.level;
+        const std::int64_t ny_at_level =
+            static_cast<std::int64_t>(d.geom.coarse_ny) << c.level;
+        if (c.i < 0 || c.i >= nx_at_level || c.j < 0 || c.j >= ny_at_level)
+            throw std::runtime_error(
+                "checkpoint: cell " + std::to_string(k) + " index (" +
+                std::to_string(c.i) + ", " + std::to_string(c.j) +
+                ") outside the level-" + std::to_string(c.level) +
+                " grid " + std::to_string(nx_at_level) + "x" +
+                std::to_string(ny_at_level));
     }
     auto read_array = [&](std::vector<double>& out) {
         out.resize(n);

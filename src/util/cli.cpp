@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,13 +13,53 @@ namespace tp::util {
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
+namespace {
+
+/// Strict whole-string integer parse; nullopt on junk, trailing
+/// characters, or out-of-range values (`1e99`, `99999999999999`).
+std::optional<int> parse_int(const std::string& v) {
+    try {
+        std::size_t used = 0;
+        const int n = std::stoi(v, &used);
+        if (used != v.size()) return std::nullopt;
+        return n;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+std::optional<double> parse_double(const std::string& v) {
+    try {
+        std::size_t used = 0;
+        const double x = std::stod(v, &used);
+        if (used != v.size()) return std::nullopt;
+        return x;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace
+
 void ArgParser::add_flag(const std::string& name, const std::string& help) {
-    specs_.emplace_back(name, Spec{help, "false", true});
+    specs_.emplace_back(name, Spec{help, "false", Kind::Flag});
 }
 
 void ArgParser::add_option(const std::string& name, const std::string& help,
                            const std::string& default_value) {
-    specs_.emplace_back(name, Spec{help, default_value, false});
+    specs_.emplace_back(name, Spec{help, default_value, Kind::String});
+}
+
+void ArgParser::add_int_option(const std::string& name,
+                               const std::string& help,
+                               const std::string& default_value) {
+    specs_.emplace_back(name, Spec{help, default_value, Kind::Int});
+}
+
+void ArgParser::add_double_option(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& default_value) {
+    specs_.emplace_back(name, Spec{help, default_value, Kind::Double});
 }
 
 const ArgParser::Spec* ArgParser::find(const std::string& name) const {
@@ -54,7 +95,7 @@ bool ArgParser::parse(int argc, const char* const* argv) {
                       << help();
             return false;
         }
-        if (spec->is_flag) {
+        if (spec->is_flag()) {
             values_[name] = has_value ? value : "true";
         } else if (has_value) {
             values_[name] = value;
@@ -63,6 +104,27 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         } else {
             std::cerr << program_ << ": option '--" << name
                       << "' requires a value\n";
+            return false;
+        }
+    }
+    // Eager validation of typed options (provided values AND registered
+    // defaults, so a bad default is caught in development rather than at
+    // first get_int). Reporting here — with the flag and the value —
+    // replaces an unhelpful std::terminate from an escaped
+    // std::invalid_argument deep in the driver.
+    for (const auto& [name, spec] : specs_) {
+        if (spec.kind != Kind::Int && spec.kind != Kind::Double) continue;
+        const auto it = values_.find(name);
+        const std::string& v =
+            it != values_.end() ? it->second : spec.default_value;
+        const bool ok = spec.kind == Kind::Int
+                            ? parse_int(v).has_value()
+                            : parse_double(v).has_value();
+        if (!ok) {
+            std::cerr << program_ << ": option '--" << name << "': expected "
+                      << (spec.kind == Kind::Int ? "an integer"
+                                                 : "a number")
+                      << " in range, got '" << v << "'\n";
             return false;
         }
     }
@@ -85,28 +147,18 @@ std::string ArgParser::get_string(const std::string& name) const {
 
 int ArgParser::get_int(const std::string& name) const {
     const std::string v = get_string(name);
-    try {
-        std::size_t used = 0;
-        const int n = std::stoi(v, &used);
-        if (used != v.size()) throw std::invalid_argument(v);
-        return n;
-    } catch (const std::exception&) {
-        throw std::invalid_argument("option --" + name +
-                                    ": expected an integer, got '" + v + "'");
-    }
+    // Options registered via add_int_option were validated by parse();
+    // this throw is the backstop for string-registered options only.
+    if (const auto n = parse_int(v)) return *n;
+    throw std::invalid_argument("option --" + name +
+                                ": expected an integer, got '" + v + "'");
 }
 
 double ArgParser::get_double(const std::string& name) const {
     const std::string v = get_string(name);
-    try {
-        std::size_t used = 0;
-        const double x = std::stod(v, &used);
-        if (used != v.size()) throw std::invalid_argument(v);
-        return x;
-    } catch (const std::exception&) {
-        throw std::invalid_argument("option --" + name +
-                                    ": expected a number, got '" + v + "'");
-    }
+    if (const auto x = parse_double(v)) return *x;
+    throw std::invalid_argument("option --" + name +
+                                ": expected a number, got '" + v + "'");
 }
 
 std::string ArgParser::help() const {
@@ -114,9 +166,10 @@ std::string ArgParser::help() const {
     os << program_ << " — " << description_ << "\n\nOptions:\n";
     for (const auto& [name, spec] : specs_) {
         os << "  --" << name;
-        if (!spec.is_flag) os << " <value>";
+        if (!spec.is_flag()) os << " <value>";
         os << "\n      " << spec.help;
-        if (!spec.is_flag) os << " (default: " << spec.default_value << ")";
+        if (!spec.is_flag())
+            os << " (default: " << spec.default_value << ")";
         os << "\n";
     }
     os << "  --help\n      Show this message\n";
@@ -124,7 +177,7 @@ std::string ArgParser::help() const {
 }
 
 void add_threads_option(ArgParser& args) {
-    args.add_option("threads",
+    args.add_int_option("threads",
                     "OpenMP threads for the solver hot paths "
                     "(0 = runtime default; results are identical at any "
                     "count)",

@@ -32,6 +32,17 @@ public:
     void add_option(const std::string& name, const std::string& help,
                     const std::string& default_value);
 
+    /// Register options whose values must parse as an integer / number.
+    /// parse() validates these eagerly: a malformed or out-of-range value
+    /// (`--threads=1e99`, `--grid=abc`) is reported on stderr with the
+    /// offending flag and value and parse() returns false, instead of a
+    /// std::invalid_argument escaping from the typed getter and killing
+    /// the program via std::terminate.
+    void add_int_option(const std::string& name, const std::string& help,
+                        const std::string& default_value);
+    void add_double_option(const std::string& name, const std::string& help,
+                           const std::string& default_value);
+
     /// Parse argv. Returns false if --help was requested or an unknown or
     /// malformed option was seen (an error message goes to stderr).
     [[nodiscard]] bool parse(int argc, const char* const* argv);
@@ -44,10 +55,14 @@ public:
     [[nodiscard]] std::string help() const;
 
 private:
+    enum class Kind { String, Int, Double, Flag };
+
     struct Spec {
         std::string help;
         std::string default_value;
-        bool is_flag = false;
+        Kind kind = Kind::String;
+
+        [[nodiscard]] bool is_flag() const { return kind == Kind::Flag; }
     };
 
     std::string program_;

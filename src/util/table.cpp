@@ -1,8 +1,15 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+
+// Header-only and dependency-free, so pulling it in here does not invert
+// the tp_obs -> tp_util link direction.
+#include "obs/json.hpp"
 
 namespace tp::util {
 
@@ -60,6 +67,50 @@ std::string TextTable::str() const {
     return os.str();
 }
 
-void TextTable::print(std::ostream& os) const { os << str(); }
+std::string TextTable::json_str() const {
+    const auto array = [](const std::vector<std::string>& r) {
+        std::string a = "[";
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            if (i) a += ',';
+            obs::json::append_escaped(a, r[i]);
+        }
+        a += ']';
+        return a;
+    };
+    std::string rows = "[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (i) rows += ',';
+        rows += array(rows_[i]);
+    }
+    rows += ']';
+    return obs::json::Object()
+        .field("type", "table")
+        .field("title", title_)
+        .field_raw("header", array(header_))
+        .field_raw("rows", rows)
+        .str();
+}
+
+namespace {
+
+void append_table_json(const TextTable& t) {
+    if (const char* path = std::getenv("TP_TABLE_JSON");
+        path != nullptr && *path != '\0') {
+        std::ofstream f(path, std::ios::app);
+        if (f) f << t.json_str() << '\n';
+    }
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+    os << str();
+    append_table_json(*this);
+}
+
+void TextTable::print() const {
+    std::fputs((str() + '\n').c_str(), stdout);
+    append_table_json(*this);
+}
 
 }  // namespace tp::util

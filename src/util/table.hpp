@@ -21,7 +21,18 @@ public:
     /// Render the table. Every row is padded to the widest column count.
     [[nodiscard]] std::string str() const;
 
+    /// The same table as one machine-readable JSON object
+    /// ({"type":"table","title":...,"header":[...],"rows":[[...]...]}).
+    [[nodiscard]] std::string json_str() const;
+
+    /// Render to `os` (or stdout, with a trailing blank line, in the
+    /// zero-argument form every bench harness uses). When the
+    /// TP_TABLE_JSON environment variable names a file, additionally
+    /// append json_str() as one JSON-Lines record there, so every bench
+    /// table in the suite is scriptable without re-parsing the ASCII
+    /// layout.
     void print(std::ostream& os) const;
+    void print() const;
 
     [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 

@@ -1,0 +1,371 @@
+// Tests for the flight-recorder observability layer (src/obs/): the JSON
+// builder/validator, the trace session, the metrics stream + manifest,
+// the numerical-health probes, and the two contracts the solvers rely on:
+// instrumentation is allocation-free when the flags are off, and an
+// injected NaN is caught and reported as a structured NumericalFault.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "shallow/solver.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace obs = tp::obs;
+namespace json = tp::obs::json;
+
+// ------------------------------------------------- allocation bookkeeping
+
+// Count every heap allocation in the test binary so the zero-cost-when-off
+// contract is testable: N instrumentation points with tracing/probing off
+// must perform zero allocations (and, per ScopedSpan's design, no clock
+// reads — not observable here, but the allocation half is).
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+std::vector<std::string> lines_of(const std::string& path) {
+    std::ifstream is(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    return lines;
+}
+
+std::string temp_path(const char* stem) {
+    return std::string(::testing::TempDir()) + stem;
+}
+
+// Pull one numeric field out of a single-line JSON object written by the
+// emitters (keys are unique per event line, no inner whitespace).
+double field_of(const std::string& line, const std::string& key) {
+    const auto pos = line.find("\"" + key + "\":");
+    EXPECT_NE(pos, std::string::npos) << key << " in " << line;
+    return std::strtod(line.c_str() + pos + key.size() + 3, nullptr);
+}
+
+// --------------------------------------------------------------- builder
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+    std::string out;
+    json::append_escaped(out, "a\"b\\c\nd\te\x01" "f");
+    EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    EXPECT_TRUE(json::valid(out));
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+    std::string out;
+    json::append_number(out, std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(out, "null");
+    out.clear();
+    json::append_number(out, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(out, "null");
+
+    const std::string doc = json::Object()
+                                .field("dt", std::nan(""))
+                                .field("ok", 1.5)
+                                .str();
+    EXPECT_EQ(doc, "{\"dt\":null,\"ok\":1.5}");
+    EXPECT_TRUE(json::valid(doc));
+}
+
+TEST(Json, ObjectBuilderOutputIsValid) {
+    const std::string doc = json::Object()
+                                .field("type", "step")
+                                .field("step", std::int64_t{7})
+                                .field("cells", std::uint64_t{1768})
+                                .field("enabled", true)
+                                .field("mass", 1.25e-3)
+                                .field_raw("phases", "{\"cfl\":0.5}")
+                                .str();
+    EXPECT_TRUE(json::valid(doc));
+    EXPECT_NE(doc.find("\"cells\":1768"), std::string::npos);
+    EXPECT_NE(doc.find("\"phases\":{\"cfl\":0.5}"), std::string::npos);
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+    EXPECT_TRUE(json::valid("{}"));
+    EXPECT_TRUE(json::valid("[1, 2.5, -3e-2, \"x\", null, true]"));
+    EXPECT_TRUE(json::valid("{\"a\":{\"b\":[{}]}}"));
+    EXPECT_FALSE(json::valid(""));
+    EXPECT_FALSE(json::valid("{"));
+    EXPECT_FALSE(json::valid("{\"a\":1,}"));
+    EXPECT_FALSE(json::valid("{\"a\":NaN}"));
+    EXPECT_FALSE(json::valid("{\"a\":1} trailing"));
+    EXPECT_FALSE(json::valid("{'a':1}"));
+    EXPECT_FALSE(json::valid("{\"a\":01}"));
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(Trace, SpansAreDroppedWhenOff) {
+    ASSERT_FALSE(obs::trace_enabled());
+    {
+        TP_OBS_SPAN("off.outer");
+        TP_OBS_SPAN("off.inner");
+    }
+    EXPECT_EQ(obs::trace_event_count(), 0u);
+    EXPECT_EQ(obs::trace_stop(), 0u);  // no session: no-op
+}
+
+TEST(Trace, WritesValidChromeTraceWithNestedSpans) {
+    const std::string path = temp_path("nested.trace.json");
+    obs::trace_start(path);
+    {
+        TP_OBS_SPAN("outer");
+        { TP_OBS_SPAN("inner"); }
+    }
+    EXPECT_EQ(obs::trace_event_count(), 2u);
+    EXPECT_EQ(obs::trace_stop(), 2u);
+
+    const std::string doc = slurp(path);
+    ASSERT_TRUE(json::valid(doc)) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+
+    // Events are one per line; the inner span completes (and is appended)
+    // first. The outer interval must contain the inner one.
+    std::string inner_line, outer_line;
+    for (const auto& line : lines_of(path)) {
+        if (line.find("\"inner\"") != std::string::npos) inner_line = line;
+        if (line.find("\"outer\"") != std::string::npos) outer_line = line;
+    }
+    ASSERT_FALSE(inner_line.empty());
+    ASSERT_FALSE(outer_line.empty());
+    const double outer_ts = field_of(outer_line, "ts");
+    const double outer_end = outer_ts + field_of(outer_line, "dur");
+    const double inner_ts = field_of(inner_line, "ts");
+    const double inner_end = inner_ts + field_of(inner_line, "dur");
+    EXPECT_LE(outer_ts, inner_ts);
+    EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(Trace, RestartDiscardsPriorSession) {
+    const std::string a = temp_path("a.trace.json");
+    const std::string b = temp_path("b.trace.json");
+    obs::trace_start(a);
+    { TP_OBS_SPAN("first"); }
+    obs::trace_start(b);  // restart without stop
+    { TP_OBS_SPAN("second"); }
+    EXPECT_EQ(obs::trace_stop(), 1u);
+    EXPECT_EQ(slurp(b).find("\"first\""), std::string::npos);
+}
+
+TEST(Trace, StartRejectsUnwritablePath) {
+    EXPECT_THROW(obs::trace_start("/nonexistent-dir/x/y.trace.json"),
+                 std::runtime_error);
+    EXPECT_FALSE(obs::trace_enabled());
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(Metrics, ManifestIsFirstAndCarriesBuildFields) {
+    const std::string path = temp_path("run.metrics.jsonl");
+    obs::metrics().open(path);
+    obs::write_manifest("test_obs", {{"precision", "mixed"}});
+    obs::metrics().write_line(
+        json::Object().field("type", "step").field("dt", 0.5).str());
+    EXPECT_EQ(obs::metrics().lines_written(), 2u);
+    obs::metrics().close();
+    EXPECT_FALSE(obs::metrics().is_open());
+
+    const auto lines = lines_of(path);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const auto& line : lines) EXPECT_TRUE(json::valid(line)) << line;
+    for (const char* key :
+         {"\"type\":\"manifest\"", "\"program\":\"test_obs\"", "\"git_sha\"",
+          "\"build\"", "\"start_time\"", "\"threads\"",
+          "\"precision\":\"mixed\""})
+        EXPECT_NE(lines[0].find(key), std::string::npos) << key;
+    EXPECT_NE(lines[1].find("\"type\":\"step\""), std::string::npos);
+}
+
+TEST(Metrics, WritesAreNoOpsWhenClosed) {
+    ASSERT_FALSE(obs::metrics().is_open());
+    const std::uint64_t before = obs::metrics().lines_written();
+    obs::metrics().write_line("{}");          // must not crash
+    obs::write_manifest("ignored", {});       // must not crash
+    EXPECT_EQ(obs::metrics().lines_written(), before);
+}
+
+TEST(Metrics, TimerDeltaJsonReportsPerStepIncrements) {
+    tp::util::StopwatchRegistry timers;
+    std::map<std::string, double> previous;
+    timers.add("cfl", 0.5);
+    timers.add("flux", 1.0);
+    EXPECT_EQ(obs::timer_delta_json(timers, previous),
+              "{\"cfl\":0.5,\"flux\":1}");
+    timers.add("cfl", 0.25);
+    EXPECT_EQ(obs::timer_delta_json(timers, previous),
+              "{\"cfl\":0.25,\"flux\":0}");
+}
+
+TEST(Table, JsonExportMatchesRows) {
+    tp::util::TextTable t("Table X: demo");
+    t.set_header({"col a", "col b"});
+    t.add_row({"1", "2.5"});
+    t.add_row({"x \"quoted\"", ""});
+    const std::string doc = t.json_str();
+    EXPECT_TRUE(json::valid(doc)) << doc;
+    EXPECT_EQ(doc,
+              "{\"type\":\"table\",\"title\":\"Table X: demo\","
+              "\"header\":[\"col a\",\"col b\"],"
+              "\"rows\":[[\"1\",\"2.5\"],[\"x \\\"quoted\\\"\",\"\"]]}");
+}
+
+// ---------------------------------------------------------------- probes
+
+TEST(Probe, DetectsNanAndInfWithFirstBadIndex) {
+    obs::probe_reset();
+    std::vector<float> data{1.0f, 2.0f, std::nanf(""), 4.0f,
+                            std::numeric_limits<float>::infinity()};
+    const obs::ProbeStats s =
+        obs::probe_array("unit.h", data.data(), data.size());
+    EXPECT_EQ(s.samples, 5u);
+    EXPECT_EQ(s.nan_count, 1u);
+    EXPECT_EQ(s.inf_count, 1u);
+    EXPECT_EQ(s.first_bad_index, 2);
+    EXPECT_FALSE(s.healthy());
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, 4.0);
+
+    // The registry accumulates across calls under the same kernel name.
+    obs::probe_array("unit.h", data.data(), 2);
+    const auto report = obs::probe_report();
+    ASSERT_EQ(report.count("unit.h"), 1u);
+    EXPECT_EQ(report.at("unit.h").samples, 7u);
+    EXPECT_EQ(report.at("unit.h").nan_count, 1u);
+    obs::probe_reset();
+    EXPECT_TRUE(obs::probe_report().empty());
+}
+
+TEST(Probe, UlpDriftAgainstShadowReference) {
+    obs::probe_reset();
+    std::vector<float> test{1.0f, 2.0f, 3.0f};
+    std::vector<float> ref{1.0f, std::nextafterf(2.0f, 3.0f), 3.0f};
+    const obs::ProbeStats s =
+        obs::probe_ulp_drift("unit.ulp", test.data(), ref.data(), 3);
+    EXPECT_EQ(s.max_ulp_drift, 1u);
+    EXPECT_TRUE(s.healthy());
+    obs::probe_reset();
+}
+
+TEST(Probe, RaiseWritesDiagnosticRecordBeforeThrowing) {
+    const std::string path = temp_path("fault.metrics.jsonl");
+    obs::metrics().open(path);
+    try {
+        obs::raise_numerical_fault("unit.cfl", 42, "dt is NaN");
+        FAIL() << "raise_numerical_fault must throw";
+    } catch (const obs::NumericalFault& fault) {
+        EXPECT_EQ(fault.kernel(), "unit.cfl");
+        EXPECT_EQ(fault.step(), 42);
+        EXPECT_NE(std::string(fault.what()).find("dt is NaN"),
+                  std::string::npos);
+    }
+    obs::metrics().close();
+    const auto lines = lines_of(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(json::valid(lines[0]));
+    for (const char* key :
+         {"\"type\":\"diagnostic\"", "\"severity\":\"fatal\"",
+          "\"kernel\":\"unit.cfl\"", "\"step\":42"})
+        EXPECT_NE(lines[0].find(key), std::string::npos) << key;
+}
+
+// --------------------------------------------- solver-level NaN injection
+
+TEST(Probe, CatchesInjectedNanInShallowSolver) {
+    tp::shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, 16, 16, 1};
+    tp::shallow::ShallowWaterSolver<tp::fp::MixedPrecision> solver(cfg);
+    tp::shallow::DamBreak ic;
+    ic.h_inside = std::numeric_limits<double>::quiet_NaN();
+    solver.initialize_dam_break(ic);
+
+    obs::probe_reset();
+    obs::set_probe_enabled(true);
+    EXPECT_THROW(solver.step(), obs::NumericalFault);
+    obs::set_probe_enabled(false);
+
+    const auto report = obs::probe_report();
+    ASSERT_EQ(report.count("clamr.h"), 1u);
+    EXPECT_GT(report.at("clamr.h").nan_count, 0u);
+    obs::probe_reset();
+}
+
+TEST(Probe, HealthySolverStepRaisesNothing) {
+    tp::shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, 16, 16, 1};
+    tp::shallow::ShallowWaterSolver<tp::fp::MixedPrecision> solver(cfg);
+    solver.initialize_dam_break({});
+    obs::probe_reset();
+    obs::set_probe_enabled(true);
+    EXPECT_NO_THROW(solver.run(3));
+    obs::set_probe_enabled(false);
+    const auto report = obs::probe_report();
+    ASSERT_EQ(report.count("clamr.h"), 1u);
+    EXPECT_TRUE(report.at("clamr.h").healthy());
+    obs::probe_reset();
+}
+
+// --------------------------------------------------- zero-cost when off
+
+TEST(ZeroCost, InstrumentationPointsDoNotAllocateWhenOff) {
+    ASSERT_FALSE(obs::trace_enabled());
+    ASSERT_FALSE(obs::probe_enabled());
+    const std::uint64_t before = g_allocs.load();
+    for (int i = 0; i < 10000; ++i) {
+        TP_OBS_SPAN("zero.cost");
+        if (obs::probe_enabled()) ADD_FAILURE() << "probe must be off";
+    }
+    EXPECT_EQ(g_allocs.load() - before, 0u);
+}
+
+TEST(ZeroCost, SolverStepsAllocationFreeWithObsOffAfterWarmup) {
+    // Reuses the arena-warmup idea from test_simd: after a few steps every
+    // scratch buffer has reached steady state, so further steps with the
+    // observability flags off must not touch the heap at all. Rezone is
+    // disabled — AMR adapts legitimately allocate.
+    tp::shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, 16, 16, 1};
+    cfg.rezone_interval = 0;
+    tp::shallow::ShallowWaterSolver<tp::fp::MixedPrecision> solver(cfg);
+    solver.initialize_dam_break({});
+    solver.run(5);  // warmup
+    const std::uint64_t before = g_allocs.load();
+    solver.run(5);
+    EXPECT_EQ(g_allocs.load() - before, 0u);
+}
+
+}  // namespace

@@ -305,6 +305,30 @@ TEST(Shallow, CheckpointRejectsAbsurdCellCount) {
     expect_rejected(patched<std::uint64_t>(good, kOffCellCount, 0));
 }
 
+TEST(Shallow, CheckpointRejectsCorruptCellMetadata) {
+    // Payload validation: the header can be pristine while a cell record
+    // is garbage. An out-of-range level or coordinate must be rejected at
+    // read time, not flow into mesh rebuilds as a wild index. The cells
+    // section starts at byte 84, 12 bytes (level, i, j as int32) per cell.
+    const std::string good = valid_checkpoint();
+    constexpr std::size_t kOffCells = 84;
+    // level outside [0, max_level] (the run was built with max_level 1).
+    expect_rejected(patched<std::int32_t>(good, kOffCells + 0, 2));
+    expect_rejected(patched<std::int32_t>(good, kOffCells + 0, -1));
+    // i / j outside the level-l grid (16 coarse cells per side).
+    expect_rejected(patched<std::int32_t>(good, kOffCells + 4, 1 << 20));
+    expect_rejected(patched<std::int32_t>(good, kOffCells + 4, -3));
+    expect_rejected(patched<std::int32_t>(good, kOffCells + 8, 32));
+    // The bound is per-level: j = 16 fits the level-1 grid (32 cells per
+    // side) but not the level-0 grid.
+    expect_rejected(patched<std::int32_t>(
+        patched<std::int32_t>(good, kOffCells + 0, 0), kOffCells + 8, 16));
+    std::stringstream fine(patched<std::int32_t>(
+        patched<std::int32_t>(good, kOffCells + 0, 1), kOffCells + 8, 16));
+    EXPECT_NO_THROW(
+        (void)tsh::FullShallowSolver::read_checkpoint(fine));
+}
+
 TEST(Shallow, CheckpointRejectsBadHeaderFields) {
     const std::string good = valid_checkpoint();
     expect_rejected(patched<std::uint32_t>(good, kOffElemSize, 3));

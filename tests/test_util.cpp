@@ -160,6 +160,47 @@ TEST(Cli, NonNumericValueNamesTheOption) {
     EXPECT_THROW((void)p.get_double("x"), std::invalid_argument);
 }
 
+TEST(Cli, TypedOptionsValidateAtParseTime) {
+    // Regression: `--threads=1e99` used to sail through parse() and then
+    // std::stoi's out_of_range escaped the typed getter, killing the
+    // program via std::terminate. Typed registration rejects it at parse.
+    tu::ArgParser p("prog", "test");
+    p.add_int_option("threads", "count", "0");
+    p.add_double_option("courant", "CFL", "0.2");
+    {
+        const char* argv[] = {"prog", "--threads=1e99"};
+        EXPECT_FALSE(p.parse(2, argv));
+    }
+    {
+        const char* argv[] = {"prog", "--threads", "abc"};
+        EXPECT_FALSE(p.parse(3, argv));
+    }
+    {
+        const char* argv[] = {"prog", "--threads", "99999999999999999999"};
+        EXPECT_FALSE(p.parse(3, argv));
+    }
+    {
+        const char* argv[] = {"prog", "--threads=4", "--courant=0.5zzz"};
+        EXPECT_FALSE(p.parse(3, argv));
+    }
+    {
+        const char* argv[] = {"prog", "--threads=4", "--courant=2.5e-1"};
+        ASSERT_TRUE(p.parse(3, argv));
+        EXPECT_EQ(p.get_int("threads"), 4);
+        EXPECT_DOUBLE_EQ(p.get_double("courant"), 0.25);
+    }
+}
+
+TEST(Cli, TypedOptionsValidateDefaultsToo) {
+    // A malformed default is a programming error; catch it on the first
+    // parse() during development, not at the first get_int() in a branch
+    // that may rarely run.
+    tu::ArgParser p("prog", "test");
+    p.add_int_option("n", "count", "not-a-number");
+    const char* argv[] = {"prog"};
+    EXPECT_FALSE(p.parse(1, argv));
+}
+
 TEST(Csv, RoundTripsValues) {
     const std::string path = "/tmp/tp_test_csv.csv";
     {
