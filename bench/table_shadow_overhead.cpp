@@ -1,0 +1,162 @@
+// Shadow-profiling overhead study: step time with --shadow-profile off
+// vs. on across sampling strides, for both mini-apps.
+//
+// Two gates back the telemetry design contract:
+//   * shadowing must not perturb the physics — checkpoints with profiling
+//     on and off must be bit-identical (the shadow only reads);
+//   * overhead must shrink with the sampling stride — the 1/16 default
+//     should cost a few percent, not a 2x slowdown.
+// The harness exits nonzero if any checkpoint differs, so CI can run it
+// as a smoke test (--quick).
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/numerics.hpp"
+#include "util/cli.hpp"
+
+using namespace tp;
+
+namespace {
+
+struct Sample {
+    double step_seconds = 0.0;
+    std::uint64_t shadow_samples = 0;
+    std::string checkpoint;
+};
+
+template <typename P>
+Sample run_clamr(int n, int levels, int steps, bool shadow,
+                 std::uint32_t stride) {
+    obs::shadow_reset();
+    obs::set_shadow_sample_stride(stride);
+    obs::set_shadow_profile(shadow);
+    shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, n, n, levels};
+    shallow::ShallowWaterSolver<P> s(cfg);
+    s.initialize_dam_break({});
+    util::WallTimer t;
+    s.run(steps);
+    Sample out;
+    out.step_seconds = t.elapsed_seconds();
+    for (const auto& [kernel, arrays] : obs::shadow_report())
+        for (const auto& [array, stats] : arrays)
+            out.shadow_samples += stats.samples;
+    std::ostringstream os;
+    s.write_checkpoint(os);
+    out.checkpoint = os.str();
+    obs::set_shadow_profile(false);
+    obs::shadow_reset();
+    return out;
+}
+
+template <typename P>
+Sample run_sem(int elems, int order, int steps, bool shadow,
+               std::uint32_t stride) {
+    obs::shadow_reset();
+    obs::set_shadow_sample_stride(stride);
+    obs::set_shadow_profile(shadow);
+    sem::SemConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = elems;
+    cfg.order = order;
+    sem::SpectralEulerSolver<P> s(cfg);
+    s.initialize_thermal_bubble({});
+    util::WallTimer t;
+    s.run(steps);
+    Sample out;
+    out.step_seconds = t.elapsed_seconds();
+    for (const auto& [kernel, arrays] : obs::shadow_report())
+        for (const auto& [array, stats] : arrays)
+            out.shadow_samples += stats.samples;
+    out.checkpoint = s.state_fingerprint();
+    obs::set_shadow_profile(false);
+    obs::shadow_reset();
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::ArgParser args(
+        "table_shadow_overhead",
+        "Shadow-profiling step-time overhead across sampling strides");
+    args.add_option("grid", "CLAMR coarse cells per side", "32");
+    args.add_option("levels", "CLAMR max AMR levels", "3");
+    args.add_option("elems", "SEM elements per side", "4");
+    args.add_option("order", "SEM polynomial order", "4");
+    args.add_option("steps", "time steps per run", "30");
+    args.add_option("strides", "comma-separated sampling strides",
+                    "1,4,16,64");
+    args.add_flag("quick", "CI smoke mode: small grids, few steps");
+    if (!args.parse(argc, argv)) return 1;
+
+    int grid = args.get_int("grid");
+    int levels = args.get_int("levels");
+    int elems = args.get_int("elems");
+    int order = args.get_int("order");
+    int steps = args.get_int("steps");
+    std::vector<std::uint32_t> strides;
+    {
+        std::stringstream ss(args.get_string("strides"));
+        for (std::string tok; std::getline(ss, tok, ',');)
+            strides.push_back(
+                static_cast<std::uint32_t>(std::stoul(tok)));
+    }
+    if (args.get_flag("quick")) {
+        grid = 16;
+        levels = 2;
+        elems = 2;
+        order = 3;
+        steps = 8;
+        strides = {16};
+    }
+
+    bench::print_scale_note(
+        "shadow-profiling overhead, CLAMR dam break " +
+        std::to_string(grid) + "^2 lvl" + std::to_string(levels) +
+        " and SEM thermal bubble " + std::to_string(elems) + "^3 order " +
+        std::to_string(order) + ", mixed/single precision, " +
+        std::to_string(steps) + " steps");
+
+    util::TextTable table("Shadow-profiling overhead vs sampling stride");
+    table.set_header({"App", "Stride", "Off (s)", "On (s)", "Overhead",
+                      "Samples", "Bitwise"});
+    bool all_identical = true;
+    auto add_rows = [&](const char* app, auto runner) {
+        const Sample off = runner(false, std::uint32_t{16});
+        for (const std::uint32_t stride : strides) {
+            const Sample on = runner(true, stride);
+            const bool identical = on.checkpoint == off.checkpoint;
+            all_identical = all_identical && identical;
+            const double overhead =
+                off.step_seconds > 0.0
+                    ? (on.step_seconds - off.step_seconds) /
+                          off.step_seconds
+                    : 0.0;
+            table.add_row({app, "1/" + std::to_string(stride),
+                           util::fixed(off.step_seconds, 4),
+                           util::fixed(on.step_seconds, 4),
+                           util::fixed(100.0 * overhead, 1) + "%",
+                           std::to_string(on.shadow_samples),
+                           identical ? "identical" : "DIFFERS"});
+        }
+    };
+    add_rows("clamr", [&](bool shadow, std::uint32_t stride) {
+        return run_clamr<fp::MixedPrecision>(grid, levels, steps, shadow,
+                                             stride);
+    });
+    add_rows("sem", [&](bool shadow, std::uint32_t stride) {
+        return run_sem<fp::MinimumPrecision>(elems, order, steps, shadow,
+                                             stride);
+    });
+
+    table.print();
+    std::printf("bitwise checkpoint gate: %s\n",
+                all_identical
+                    ? "PASS (shadowing never perturbs the physics)"
+                    : "FAIL");
+    return all_identical ? 0 : 1;
+}

@@ -62,7 +62,9 @@ int run(const util::ArgParser& args) {
     const int report = std::max(1, steps / 10);
     std::map<std::string, double> phase_baseline;
     for (int s = 0; s < steps; ++s) {
+        util::WallTimer step_timer;
         const double dt = solver.step();
+        const double wall_s = step_timer.elapsed_seconds();
         if (obs::metrics().is_open()) {
             const auto& rz = solver.rezone_stats();
             obs::metrics().write_line(
@@ -71,6 +73,7 @@ int run(const util::ArgParser& args) {
                     .field("step", solver.step_count())
                     .field("t", solver.time())
                     .field("dt", dt)
+                    .field("wall_s", wall_s)
                     .field("cells",
                            static_cast<std::uint64_t>(
                                solver.mesh().num_cells()))

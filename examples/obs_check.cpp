@@ -80,18 +80,78 @@ void check_trace(const std::string& path,
             fail("trace file '" + path + "' has no '" + span + "' span");
 }
 
+// Schema check for one {"type":"numerics"} record (obs/numerics.hpp):
+// every field the analyzer consumes must be present with the right type,
+// and the histogram must be an array of non-negative integers.
+void check_numerics_record(const std::string& line, std::size_t lineno) {
+    const auto rec = obs::json::parse(line);
+    if (!rec || !rec->is_object()) {
+        fail("numerics record on line " + std::to_string(lineno) +
+             " does not parse");
+        return;
+    }
+    for (const char* key : {"kernel", "array"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || !v->is_string() || v->as_string().empty())
+            fail("numerics record on line " + std::to_string(lineno) +
+                 " is missing string '" + std::string(key) + "'");
+    // max_rel/mean_rel may legitimately be null (infinite divergence on a
+    // zero-reference sample); everything else must be a finite number.
+    for (const char* key :
+         {"samples", "exact", "max_ulp", "mean_ulp", "sum_abs_err",
+          "max_abs_ref", "rel_hist_lo_exp", "sample_stride"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || !v->is_number())
+            fail("numerics record on line " + std::to_string(lineno) +
+                 " is missing numeric '" + std::string(key) + "'");
+    for (const char* key : {"max_rel", "mean_rel"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || (!v->is_number() && !v->is_null()))
+            fail("numerics record on line " + std::to_string(lineno) +
+                 " field '" + std::string(key) + "' is not number|null");
+    const obs::json::Value* hist = rec->find("rel_hist");
+    if (hist == nullptr || !hist->is_array() || hist->items().empty()) {
+        fail("numerics record on line " + std::to_string(lineno) +
+             " has no rel_hist array");
+        return;
+    }
+    double hist_total = 0.0;
+    for (const obs::json::Value& bucket : hist->items()) {
+        if (!bucket.is_number() || bucket.as_number() < 0.0) {
+            fail("numerics record on line " + std::to_string(lineno) +
+                 " rel_hist holds a non-count entry");
+            return;
+        }
+        hist_total += bucket.as_number();
+    }
+    if (hist_total != rec->number_or("samples", -1.0))
+        fail("numerics record on line " + std::to_string(lineno) +
+             " rel_hist does not sum to samples");
+    if (rec->number_or("exact", 0.0) > rec->number_or("samples", 0.0))
+        fail("numerics record on line " + std::to_string(lineno) +
+             " has exact > samples");
+}
+
 void check_metrics(const std::string& path,
-                   const std::vector<std::string>& required_phases) {
+                   const std::vector<std::string>& required_phases,
+                   const std::vector<std::string>& required_numerics) {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         fail("metrics file '" + path + "' cannot be opened");
         return;
     }
+    // The record vocabulary this build understands. A stream carrying any
+    // other "type" fails the check: either the producer is newer than the
+    // checker (update CI together) or the stream is corrupt — both need a
+    // human, not a silent pass.
+    static constexpr const char* kKnownTypes[] = {
+        "manifest", "step", "diagnostic", "probe", "numerics", "table"};
     std::string line;
     std::size_t lineno = 0;
     std::size_t steps = 0;
     bool saw_manifest = false;
     std::string all_steps;
+    std::string numerics_kernels;
     while (std::getline(is, line)) {
         ++lineno;
         if (line.empty()) {
@@ -119,6 +179,19 @@ void check_metrics(const std::string& path,
             }
             continue;
         }
+        bool known = false;
+        for (const char* type : kKnownTypes)
+            if (has_pair(line, "type", type)) {
+                known = true;
+                break;
+            }
+        if (!known) {
+            fail("metrics file '" + path + "' line " +
+                 std::to_string(lineno) +
+                 " has an unknown record type (known: manifest, step, "
+                 "diagnostic, probe, numerics, table)");
+            continue;
+        }
         if (has_pair(line, "type", "step")) {
             ++steps;
             all_steps += line;
@@ -129,6 +202,10 @@ void check_metrics(const std::string& path,
                 fail("step record on line " + std::to_string(lineno) +
                      " has a non-finite dt");
         }
+        if (has_pair(line, "type", "numerics")) {
+            check_numerics_record(line, lineno);
+            numerics_kernels += line;
+        }
     }
     if (!saw_manifest) fail("metrics file '" + path + "' has no manifest");
     if (steps == 0)
@@ -137,6 +214,10 @@ void check_metrics(const std::string& path,
         if (all_steps.find("\"" + phase + "\":") == std::string::npos)
             fail("no step record carries a '" + phase +
                  "' phase timing");
+    for (const std::string& kernel : required_numerics)
+        if (numerics_kernels.find("\"kernel\":\"" + kernel + "\"") ==
+            std::string::npos)
+            fail("no numerics record for kernel '" + kernel + "'");
 }
 
 }  // namespace
@@ -153,6 +234,10 @@ int main(int argc, char** argv) {
                     "comma-separated phase timers the step records must "
                     "contain",
                     "");
+    args.add_option("require-numerics",
+                    "comma-separated kernels that must have a "
+                    "{\"type\":\"numerics\"} divergence record",
+                    "");
     if (!args.parse(argc, argv)) return 1;
 
     const std::string trace = args.get_string("trace");
@@ -166,7 +251,8 @@ int main(int argc, char** argv) {
     if (!trace.empty())
         check_trace(trace, split_csv(args.get_string("require")));
     if (!metrics.empty())
-        check_metrics(metrics, split_csv(args.get_string("require-phases")));
+        check_metrics(metrics, split_csv(args.get_string("require-phases")),
+                      split_csv(args.get_string("require-numerics")));
 
     if (failures == 0) {
         std::printf("obs_check: OK (%s%s%s)\n", trace.c_str(),

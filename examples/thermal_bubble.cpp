@@ -61,7 +61,9 @@ int run(const util::ArgParser& args) {
     const int report = std::max(1, steps / 10);
     std::map<std::string, double> phase_baseline;
     for (int s = 0; s < steps; ++s) {
+        util::WallTimer step_timer;
         const double dt = solver.step();
+        const double wall_s = step_timer.elapsed_seconds();
         if (obs::metrics().is_open())
             obs::metrics().write_line(
                 obs::json::Object()
@@ -70,6 +72,7 @@ int run(const util::ArgParser& args) {
                            static_cast<std::int64_t>(solver.step_count()))
                     .field("t", solver.time())
                     .field("dt", dt)
+                    .field("wall_s", wall_s)
                     .field("nodes",
                            static_cast<std::uint64_t>(solver.num_nodes()))
                     .field("mass_perturbation",

@@ -12,11 +12,14 @@
 // recommendation CRAFT emitted: "state arrays can be float; this
 // accumulation must stay double."
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "fp/ulp.hpp"
 
 namespace tp::craft {
 
@@ -75,15 +78,28 @@ private:
     float shadow_ = 0.0f;
 };
 
-/// Accumulated divergence statistics for one named program site.
+/// Accumulated divergence statistics for one named program site. Beyond
+/// the max/mean relative divergence the original CRAFT-style verdict
+/// used, each site now carries the two views the numerics telemetry layer
+/// (obs/numerics.hpp) standardizes on: ULP drift of the float shadow
+/// against the rounded double reference, and a log-bucketed
+/// relative-error histogram (fp::kRelHistBuckets decades starting at
+/// fp::kRelHistLowExp) so a site's error *distribution* survives into the
+/// report, not just its extremes.
 struct SiteStats {
     std::uint64_t samples = 0;
     double max_rel = 0.0;
     double sum_rel = 0.0;
     double max_abs_ref = 0.0;
+    std::uint64_t max_ulp = 0;  ///< shadow vs rounded ref, float ULPs
+    double sum_ulp = 0.0;
+    std::array<std::uint64_t, fp::kRelHistBuckets> rel_hist{};
 
     [[nodiscard]] double mean_rel() const {
         return samples == 0 ? 0.0 : sum_rel / static_cast<double>(samples);
+    }
+    [[nodiscard]] double mean_ulp() const {
+        return samples == 0 ? 0.0 : sum_ulp / static_cast<double>(samples);
     }
     /// Matching decimal digits at the worst observation.
     [[nodiscard]] double worst_digits() const {
@@ -111,6 +127,11 @@ public:
         s.max_rel = std::max(s.max_rel, rel);
         s.sum_rel += rel;
         s.max_abs_ref = std::max(s.max_abs_ref, std::fabs(value.ref()));
+        const std::uint64_t ulp =
+            fp::ulp_distance_vs_ref(value.shadow(), value.ref());
+        s.max_ulp = std::max(s.max_ulp, ulp);
+        s.sum_ulp += static_cast<double>(ulp);
+        ++s.rel_hist[static_cast<std::size_t>(fp::rel_error_bucket(rel))];
     }
 
     [[nodiscard]] const std::map<std::string, SiteStats>& sites() const {

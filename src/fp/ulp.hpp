@@ -54,4 +54,45 @@ template <typename T>
     return next - std::fabs(x);
 }
 
+/// ULP drift of a value against a higher-precision shadow reference,
+/// measured in the *output* precision T: the reference is rounded to T
+/// first, so a kernel whose double re-execution rounds to the same T
+/// value reports 0 even though the infinite-precision results differ.
+/// This is the metric the shadow-divergence profiler (obs/numerics.hpp)
+/// records per kernel.
+template <typename T>
+[[nodiscard]] std::uint64_t ulp_distance_vs_ref(T test, double ref) {
+    return ulp_distance(test, static_cast<T>(ref));
+}
+
+/// Relative error of `test` against `ref`. Zero reference: exact match
+/// is 0, anything else is +inf (there is no meaningful scale). NaN on
+/// either side is +inf as well, so it lands in the worst histogram
+/// bucket instead of poisoning accumulators.
+[[nodiscard]] inline double relative_error(double test, double ref) {
+    if (std::isnan(test) || std::isnan(ref))
+        return std::numeric_limits<double>::infinity();
+    const double scale = std::fabs(ref);
+    if (scale == 0.0)
+        return test == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    return std::fabs(test - ref) / scale;
+}
+
+// Log-bucketed relative-error histogram layout, shared by the CRAFT-style
+// shadow log (craft/shadow.hpp) and the numerics telemetry records
+// (obs/numerics.hpp): bucket 0 holds rel <= 10^kRelHistLowExp (including
+// exact matches), bucket i holds [10^(lo+i-1), 10^(lo+i)), and the top
+// bucket absorbs everything from 10^(lo+kRelHistBuckets-2) up to +inf.
+inline constexpr int kRelHistBuckets = 12;
+inline constexpr int kRelHistLowExp = -16;
+
+[[nodiscard]] inline int rel_error_bucket(double rel) {
+    if (std::isnan(rel) || std::isinf(rel)) return kRelHistBuckets - 1;
+    if (rel <= 0.0) return 0;
+    const int e = static_cast<int>(std::floor(std::log10(rel)));
+    const int idx = e - kRelHistLowExp + 1;
+    if (idx < 0) return 0;
+    return idx >= kRelHistBuckets ? kRelHistBuckets - 1 : idx;
+}
+
 }  // namespace tp::fp

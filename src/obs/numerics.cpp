@@ -1,0 +1,155 @@
+#include "obs/numerics.hpp"
+
+#include <mutex>
+#include <set>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace tp::obs {
+
+namespace detail {
+std::atomic<bool> g_shadow_profile_enabled{false};
+std::atomic<std::uint32_t> g_shadow_stride{16};
+}  // namespace detail
+
+namespace {
+
+// kernel -> array -> stats. Transparent comparators so hook merges look
+// up by string_view without building a key string (alloc-free after the
+// first merge of each pair).
+using ArrayMap = std::map<std::string, DivergenceStats, std::less<>>;
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, ArrayMap, std::less<>> kernels;
+};
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+struct Filter {
+    std::mutex mutex;
+    std::set<std::string, std::less<>> kernels;  // empty = all
+};
+Filter& filter() {
+    static Filter f;
+    return f;
+}
+
+}  // namespace
+
+void DivergenceStats::merge(const DivergenceStats& o) {
+    samples += o.samples;
+    exact += o.exact;
+    max_ulp = o.max_ulp > max_ulp ? o.max_ulp : max_ulp;
+    sum_ulp += o.sum_ulp;
+    if (!(o.max_rel <= max_rel)) max_rel = o.max_rel;
+    sum_rel += o.sum_rel;
+    sum_abs_err += o.sum_abs_err;
+    max_abs_ref = o.max_abs_ref > max_abs_ref ? o.max_abs_ref : max_abs_ref;
+    for (std::size_t b = 0; b < rel_hist.size(); ++b)
+        rel_hist[b] += o.rel_hist[b];
+}
+
+void set_shadow_profile(bool on) {
+    detail::g_shadow_profile_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_shadow_sample_stride(std::uint32_t stride) {
+    detail::g_shadow_stride.store(stride < 1 ? 1 : stride,
+                                  std::memory_order_relaxed);
+}
+
+void set_shadow_kernel_filter(const std::string& csv) {
+    auto& f = filter();
+    std::lock_guard<std::mutex> lock(f.mutex);
+    f.kernels.clear();
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t end = csv.find(',', start);
+        if (end == std::string::npos) end = csv.size();
+        while (start < end && csv[start] == ' ') ++start;
+        std::size_t stop = end;
+        while (stop > start && csv[stop - 1] == ' ') --stop;
+        if (stop > start) f.kernels.insert(csv.substr(start, stop - start));
+        start = end + 1;
+    }
+}
+
+bool shadow_kernel_enabled(std::string_view kernel) {
+    auto& f = filter();
+    std::lock_guard<std::mutex> lock(f.mutex);
+    return f.kernels.empty() || f.kernels.find(kernel) != f.kernels.end();
+}
+
+void shadow_merge(std::string_view kernel, std::string_view array,
+                  const DivergenceStats& s) {
+    if (s.samples == 0) return;
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto kit = r.kernels.find(kernel);
+    if (kit == r.kernels.end())
+        kit = r.kernels.emplace(std::string(kernel), ArrayMap{}).first;
+    auto ait = kit->second.find(array);
+    if (ait == kit->second.end())
+        ait = kit->second.emplace(std::string(array), DivergenceStats{})
+                  .first;
+    ait->second.merge(s);
+}
+
+std::map<std::string, std::map<std::string, DivergenceStats>>
+shadow_report() {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::map<std::string, std::map<std::string, DivergenceStats>> out;
+    for (const auto& [kernel, arrays] : r.kernels) {
+        auto& dst = out[kernel];
+        for (const auto& [array, stats] : arrays) dst[array] = stats;
+    }
+    return out;
+}
+
+void shadow_reset() {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.kernels.clear();
+}
+
+std::string numerics_record_json(const std::string& kernel,
+                                 const std::string& array,
+                                 const DivergenceStats& s) {
+    std::string hist = "[";
+    for (std::size_t b = 0; b < s.rel_hist.size(); ++b) {
+        if (b != 0) hist.push_back(',');
+        hist += std::to_string(s.rel_hist[b]);
+    }
+    hist.push_back(']');
+    json::Object rec;
+    rec.field("type", "numerics")
+        .field("kernel", kernel)
+        .field("array", array)
+        .field("samples", s.samples)
+        .field("exact", s.exact)
+        .field("max_ulp", s.max_ulp)
+        .field("mean_ulp", s.mean_ulp())
+        .field("max_rel", s.max_rel)
+        .field("mean_rel", s.mean_rel())
+        .field("sum_abs_err", s.sum_abs_err)
+        .field("max_abs_ref", s.max_abs_ref)
+        .field_raw("rel_hist", hist)
+        .field("rel_hist_lo_exp",
+               static_cast<std::int64_t>(fp::kRelHistLowExp))
+        .field("sample_stride",
+               static_cast<std::uint64_t>(shadow_sample_stride()));
+    return std::move(rec).str();
+}
+
+void shadow_flush_to_metrics() {
+    if (!metrics().is_open()) return;
+    for (const auto& [kernel, arrays] : shadow_report())
+        for (const auto& [array, stats] : arrays)
+            metrics().write_line(numerics_record_json(kernel, array, stats));
+}
+
+}  // namespace tp::obs

@@ -1,6 +1,32 @@
 #include "obs/obs.hpp"
 
+#include <exception>
+
 namespace tp::obs {
+
+namespace {
+
+// Satellite flush guarantee: an exception that escapes main() (or any
+// std::terminate path) still flushes the trace buffer and closes the
+// metrics stream before the process dies. Installed once, on the first
+// apply_obs_options() call; chains to the previous handler so a custom
+// terminate hook set by the host keeps working.
+std::terminate_handler g_previous_terminate = nullptr;
+
+[[noreturn]] void flush_on_terminate() {
+    finish_observability();
+    if (g_previous_terminate != nullptr) g_previous_terminate();
+    std::abort();
+}
+
+void install_terminate_flush() {
+    static bool installed = false;
+    if (installed) return;
+    installed = true;
+    g_previous_terminate = std::set_terminate(flush_on_terminate);
+}
+
+}  // namespace
 
 void add_obs_options(util::ArgParser& args) {
     args.add_option("trace",
@@ -14,6 +40,18 @@ void add_obs_options(util::ArgParser& args) {
     args.add_flag("probe",
                   "Enable sampled numerical-health probes (NaN/Inf, "
                   "min/max) on the solver state");
+    args.add_flag("shadow-profile",
+                  "Re-execute a sampled subset of every instrumented "
+                  "kernel in double precision and record per-kernel ULP "
+                  "drift / relative-error divergence");
+    args.add_int_option("shadow-sample",
+                        "Shadow-profile sampling stride: shadow every Nth "
+                        "cell/node/element (1 = everything)",
+                        "16");
+    args.add_option("shadow-kernels",
+                    "Comma-separated kernel filter for --shadow-profile "
+                    "(e.g. clamr.flux_sweep,sem.rhs); empty = all",
+                    "");
 }
 
 ObsOptions apply_obs_options(
@@ -23,13 +61,31 @@ ObsOptions apply_obs_options(
     opt.trace_path = args.get_string("trace");
     opt.metrics_path = args.get_string("metrics");
     opt.probe = args.get_flag("probe");
+    opt.shadow_profile = args.get_flag("shadow-profile");
+    opt.shadow_sample = args.get_int("shadow-sample");
+    if (opt.shadow_sample < 1) opt.shadow_sample = 1;
+    opt.shadow_kernels = args.get_string("shadow-kernels");
     if (!opt.metrics_path.empty()) {
         metrics().open(opt.metrics_path);
-        write_manifest(program, extra);
+        std::map<std::string, std::string> manifest_extra = extra;
+        manifest_extra["shadow_profile"] =
+            opt.shadow_profile ? "on" : "off";
+        if (opt.shadow_profile) {
+            manifest_extra["shadow_sample"] =
+                std::to_string(opt.shadow_sample);
+            if (!opt.shadow_kernels.empty())
+                manifest_extra["shadow_kernels"] = opt.shadow_kernels;
+        }
+        write_manifest(program, manifest_extra);
     }
     if (!opt.trace_path.empty()) trace_start(opt.trace_path);
     probe_reset();
     set_probe_enabled(opt.probe);
+    shadow_reset();
+    set_shadow_sample_stride(static_cast<std::uint32_t>(opt.shadow_sample));
+    set_shadow_kernel_filter(opt.shadow_kernels);
+    set_shadow_profile(opt.shadow_profile);
+    if (opt.any()) install_terminate_flush();
     return opt;
 }
 
@@ -37,6 +93,10 @@ void finish_observability() {
     if (probe_enabled()) {
         probe_flush_to_metrics();
         set_probe_enabled(false);
+    }
+    if (shadow_profile_enabled()) {
+        shadow_flush_to_metrics();
+        set_shadow_profile(false);
     }
     trace_stop();
     metrics().close();

@@ -1,13 +1,17 @@
 #pragma once
 // Unified flight-recorder entry point: wires the trace layer
-// (obs/trace.hpp), the metrics stream (obs/metrics.hpp), and the
-// numerical-health probes (obs/probe.hpp) behind the three standard CLI
-// flags every solver binary exposes:
+// (obs/trace.hpp), the metrics stream (obs/metrics.hpp), the
+// numerical-health probes (obs/probe.hpp), and the shadow-divergence
+// profiler (obs/numerics.hpp) behind the standard CLI flags every solver
+// binary exposes:
 //
-//   --trace=<file>     span trace, Chrome-trace JSON (chrome://tracing,
-//                      https://ui.perfetto.dev)
-//   --metrics=<file>   per-step JSON-Lines records + run manifest
-//   --probe            sampled NaN/Inf + min/max numerical-health checks
+//   --trace=<file>       span trace, Chrome-trace JSON (chrome://tracing,
+//                        https://ui.perfetto.dev)
+//   --metrics=<file>     per-step JSON-Lines records + run manifest
+//   --probe              sampled NaN/Inf + min/max numerical-health checks
+//   --shadow-profile     per-kernel double-precision shadow re-execution
+//   --shadow-sample=N    shadow every Nth work unit (default 16)
+//   --shadow-kernels=a,b restrict shadowing to the listed kernels
 //
 // Typical driver shape:
 //
@@ -18,30 +22,40 @@
 //   ... run; emit per-step records via obs::metrics() ...
 //   // guard destructor flushes probes and writes the trace file
 //
-// All three layers are process-global and zero-cost when their flag is
-// off (one relaxed atomic load per instrumentation point).
+// All layers are process-global and zero-cost when their flag is off
+// (one relaxed atomic load per instrumentation point). Crash-flush
+// contract: metrics lines hit the OS per write, ObsGuard flushes during
+// NumericalFault unwinding, and apply_obs_options installs a
+// std::terminate hook so even an *uncaught* exception still lands the
+// trace file and every buffered record before the process dies — the
+// diagnostic record is never the one that is lost.
 
 #include <map>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/numerics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 namespace tp::obs {
 
-/// Register --trace / --metrics / --probe on a parser.
+/// Register --trace / --metrics / --probe / --shadow-* on a parser.
 void add_obs_options(util::ArgParser& args);
 
-/// Parsed state of the three observability flags.
+/// Parsed state of the observability flags.
 struct ObsOptions {
     std::string trace_path;    // empty = off
     std::string metrics_path;  // empty = off
     bool probe = false;
+    bool shadow_profile = false;
+    int shadow_sample = 16;        // stride, >= 1
+    std::string shadow_kernels;    // CSV filter, empty = all
 
     [[nodiscard]] bool any() const {
-        return probe || !trace_path.empty() || !metrics_path.empty();
+        return probe || shadow_profile || !trace_path.empty() ||
+               !metrics_path.empty();
     }
 };
 

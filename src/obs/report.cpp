@@ -1,0 +1,233 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace tp::obs::report {
+
+namespace {
+
+/// True when `name` nests inside some other phase in `phases` by the
+/// naming convention parent + '_' + detail (rezone_remap under rezone).
+bool is_sub_phase(const std::string& name,
+                  const std::map<std::string, double>& phases) {
+    for (const auto& [other, seconds] : phases) {
+        (void)seconds;
+        if (other.size() < name.size() && name.compare(0, other.size(), other) == 0 &&
+            name[other.size()] == '_')
+            return true;
+    }
+    return false;
+}
+
+void digest_manifest(const json::Value& rec, RunSummary& out) {
+    out.program = rec.string_or("program", out.program);
+    for (const auto& [key, value] : rec.members()) {
+        if (key == "type") continue;
+        if (value.is_string()) out.manifest[key] = value.as_string();
+    }
+}
+
+void digest_step(const json::Value& rec, RunSummary& out) {
+    ++out.steps;
+    if (const json::Value* w = rec.find("wall_s");
+        w != nullptr && w->is_number()) {
+        out.wall_s_total += w->as_number();
+        ++out.wall_s_steps;
+    }
+    out.final_time = rec.number_or("t", out.final_time);
+    if (const json::Value* f = rec.find("flops");
+        f != nullptr && f->is_number())
+        out.flops = static_cast<std::uint64_t>(f->as_number());
+    out.rezones += static_cast<std::int64_t>(rec.number_or("rezones", 0.0));
+    if (const json::Value* phases = rec.find("phase_seconds");
+        phases != nullptr && phases->is_object())
+        for (const auto& [name, seconds] : phases->members())
+            if (seconds.is_number())
+                out.phase_seconds[name] += seconds.as_number();
+}
+
+void digest_numerics(const json::Value& rec, RunSummary& out) {
+    const std::string key =
+        rec.string_or("kernel", "?") + "/" + rec.string_or("array", "?");
+    NumericsEntry& e = out.numerics[key];
+    e.samples = static_cast<std::uint64_t>(rec.number_or("samples", 0.0));
+    e.exact = static_cast<std::uint64_t>(rec.number_or("exact", 0.0));
+    e.max_ulp = static_cast<std::uint64_t>(rec.number_or("max_ulp", 0.0));
+    e.mean_ulp = rec.number_or("mean_ulp", 0.0);
+    // The builder writes non-finite doubles as null; a null max_rel means
+    // the true maximum was infinite (a NaN/zero-reference sample).
+    if (const json::Value* mr = rec.find("max_rel");
+        mr != nullptr && mr->is_number()) {
+        e.max_rel = mr->as_number();
+        e.max_rel_finite = true;
+    } else {
+        e.max_rel = 0.0;
+        e.max_rel_finite = false;
+    }
+    e.mean_rel = rec.number_or("mean_rel", 0.0);
+    e.sum_abs_err = rec.number_or("sum_abs_err", 0.0);
+    e.max_abs_ref = rec.number_or("max_abs_ref", 0.0);
+    e.rel_hist.clear();
+    if (const json::Value* hist = rec.find("rel_hist");
+        hist != nullptr && hist->is_array())
+        for (const json::Value& bucket : hist->items())
+            e.rel_hist.push_back(static_cast<std::uint64_t>(
+                bucket.is_number() ? bucket.as_number() : 0.0));
+    e.rel_hist_lo_exp =
+        static_cast<std::int64_t>(rec.number_or("rel_hist_lo_exp", 0.0));
+    e.sample_stride =
+        static_cast<std::uint64_t>(rec.number_or("sample_stride", 0.0));
+}
+
+}  // namespace
+
+double RunSummary::rezone_share() const {
+    double top_total = 0.0;
+    double rezone = 0.0;
+    for (const auto& [name, seconds] : phase_seconds) {
+        if (is_sub_phase(name, phase_seconds)) continue;
+        top_total += seconds;
+        if (name == "rezone") rezone = seconds;
+    }
+    return top_total > 0.0 ? rezone / top_total : 0.0;
+}
+
+RunSummary summarize(const std::vector<std::string>& lines) {
+    RunSummary out;
+    for (const std::string& line : lines) {
+        if (line.empty()) continue;
+        const auto rec = json::parse(line);
+        if (!rec || !rec->is_object()) {
+            ++out.invalid_lines;  // crash-truncated tail, or not a record
+            continue;
+        }
+        const json::Value* type = rec->find("type");
+        if (type == nullptr || !type->is_string()) {
+            ++out.invalid_lines;
+            continue;
+        }
+        const std::string& t = type->as_string();
+        if (t == "manifest")
+            digest_manifest(*rec, out);
+        else if (t == "step")
+            digest_step(*rec, out);
+        else if (t == "numerics")
+            digest_numerics(*rec, out);
+        else if (t == "diagnostic")
+            ++out.diagnostics;
+        else if (t == "probe")
+            ++out.probes;
+        else if (t == "table")
+            ;  // bench table echo; nothing to roll up
+        else
+            ++out.unknown_records;
+    }
+    return out;
+}
+
+std::optional<RunSummary> load_metrics_file(const std::string& path,
+                                            std::string* error) {
+    std::ifstream is(path);
+    if (!is) {
+        if (error != nullptr) *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    return summarize(lines);
+}
+
+DiffResult diff_runs(const RunSummary& baseline, const RunSummary& candidate,
+                     const Thresholds& t) {
+    DiffResult out;
+
+    if (baseline.wall_s_steps > 0 && candidate.wall_s_steps > 0) {
+        const double base = baseline.mean_step_wall_s();
+        const double cand = candidate.mean_step_wall_s();
+        const double limit = base * (1.0 + t.step_time_frac);
+        if (cand > limit)
+            out.regressions.push_back(
+                {"mean_step_wall_s", base, cand, limit});
+    } else {
+        out.notes.push_back(
+            "step-time comparison skipped: a run has no wall_s fields");
+    }
+
+    {
+        const double base = baseline.rezone_share();
+        const double cand = candidate.rezone_share();
+        const double limit = base + t.rezone_share_pts;
+        if (cand > limit)
+            out.regressions.push_back({"rezone_share", base, cand, limit});
+    }
+
+    for (const auto& [key, cand] : candidate.numerics) {
+        const auto bit = baseline.numerics.find(key);
+        if (bit == baseline.numerics.end()) {
+            out.notes.push_back("kernel only in candidate: " + key);
+            continue;
+        }
+        const NumericsEntry& base = bit->second;
+        const double limit =
+            static_cast<double>(base.max_ulp) * t.ulp_factor;
+        if (static_cast<double>(cand.max_ulp) > limit)
+            out.regressions.push_back({"max_ulp[" + key + "]",
+                                       static_cast<double>(base.max_ulp),
+                                       static_cast<double>(cand.max_ulp),
+                                       limit});
+        // An infinite max_rel appearing where the baseline was finite is
+        // a new NaN/zero-reference divergence even when ULP counts agree.
+        if (!cand.max_rel_finite && base.max_rel_finite)
+            out.regressions.push_back({"max_rel[" + key + "] became infinite",
+                                       base.max_rel, 0.0, 0.0});
+    }
+    for (const auto& [key, base] : baseline.numerics) {
+        (void)base;
+        if (candidate.numerics.find(key) == candidate.numerics.end())
+            out.notes.push_back("kernel only in baseline: " + key);
+    }
+    return out;
+}
+
+std::vector<PhaseRow> phase_rollup(const RunSummary& run) {
+    const auto& phases = run.phase_seconds;
+    double top_total = 0.0;
+    for (const auto& [name, seconds] : phases)
+        if (!is_sub_phase(name, phases)) top_total += seconds;
+
+    std::vector<PhaseRow> top;
+    for (const auto& [name, seconds] : phases)
+        if (!is_sub_phase(name, phases))
+            top.push_back({name, seconds,
+                           top_total > 0.0 ? seconds / top_total : 0.0,
+                           false});
+    std::sort(top.begin(), top.end(), [](const PhaseRow& a, const PhaseRow& b) {
+        return a.seconds > b.seconds;
+    });
+
+    std::vector<PhaseRow> out;
+    for (const PhaseRow& parent : top) {
+        out.push_back(parent);
+        std::vector<PhaseRow> subs;
+        for (const auto& [name, seconds] : phases)
+            if (name.size() > parent.phase.size() + 1 &&
+                name.compare(0, parent.phase.size(), parent.phase) == 0 &&
+                name[parent.phase.size()] == '_')
+                subs.push_back({name, seconds,
+                                top_total > 0.0 ? seconds / top_total : 0.0,
+                                true});
+        std::sort(subs.begin(), subs.end(),
+                  [](const PhaseRow& a, const PhaseRow& b) {
+                      return a.seconds > b.seconds;
+                  });
+        out.insert(out.end(), subs.begin(), subs.end());
+    }
+    return out;
+}
+
+}  // namespace tp::obs::report

@@ -1,0 +1,131 @@
+#pragma once
+// Offline analysis of flight-recorder metrics streams (tools/tp_report).
+//
+// The metrics JSONL contract (obs/metrics.hpp) discriminates records by
+// their "type" field; this header turns one such stream into a
+// RunSummary — per-phase time totals, step-time statistics, and the
+// per-kernel shadow-divergence entries — and diffs two summaries under
+// configurable regression thresholds. The logic lives here, not in the
+// tp_report binary, so tests can drive the exact production paths with
+// synthetic streams.
+//
+// Tolerance contract: a stream may end mid-line (the writer crashed) or
+// carry record types this build does not know; summarize() counts both
+// instead of failing, because a run-diffing tool that refuses to read a
+// crashed run's stream is useless exactly when it is needed most.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tp::obs::report {
+
+/// One {"type":"numerics"} record: accumulated divergence of a
+/// (kernel, array) pair (see obs/numerics.hpp for field semantics).
+struct NumericsEntry {
+    std::uint64_t samples = 0;
+    std::uint64_t exact = 0;
+    std::uint64_t max_ulp = 0;
+    double mean_ulp = 0.0;
+    double max_rel = 0.0;  ///< 0 when the record carried null (infinite)
+    bool max_rel_finite = true;
+    double mean_rel = 0.0;
+    double sum_abs_err = 0.0;
+    double max_abs_ref = 0.0;
+    std::vector<std::uint64_t> rel_hist;
+    std::int64_t rel_hist_lo_exp = 0;
+    std::uint64_t sample_stride = 0;
+};
+
+/// Everything tp_report needs from one metrics stream.
+struct RunSummary {
+    std::string program;
+    /// String-valued manifest fields (precision, simd, grid, ...).
+    std::map<std::string, std::string> manifest;
+
+    std::int64_t steps = 0;
+    double wall_s_total = 0.0;  ///< sum of per-step "wall_s" (0 if absent)
+    std::int64_t wall_s_steps = 0;  ///< steps that carried "wall_s"
+    double final_time = 0.0;
+    std::uint64_t flops = 0;  ///< last cumulative "flops" value
+    std::int64_t rezones = 0;  ///< sum of per-step "rezones"
+    /// Per-phase wall seconds, summed from the per-step "phase_seconds"
+    /// deltas. Includes sub-phases (names with a '_' after a parent
+    /// prefix, e.g. rezone_remap under rezone).
+    std::map<std::string, double> phase_seconds;
+    /// key = "kernel/array" (e.g. "clamr.flux_sweep/dh").
+    std::map<std::string, NumericsEntry> numerics;
+
+    std::int64_t diagnostics = 0;  ///< {"type":"diagnostic"} count
+    std::int64_t probes = 0;       ///< {"type":"probe"} count
+    std::int64_t invalid_lines = 0;    ///< unparseable lines (crash tail)
+    std::int64_t unknown_records = 0;  ///< valid JSON, unknown "type"
+
+    [[nodiscard]] double mean_step_wall_s() const {
+        return wall_s_steps == 0
+                   ? 0.0
+                   : wall_s_total / static_cast<double>(wall_s_steps);
+    }
+
+    /// Fraction of accounted phase time spent in the "rezone" phase.
+    /// Sub-phases (rezone_flags, ...) nest inside their parent and are
+    /// excluded from the denominator to avoid double counting.
+    [[nodiscard]] double rezone_share() const;
+};
+
+/// Digest a metrics stream, one JSONL record per element of `lines`.
+/// Never fails: malformed lines / unknown types are counted, not fatal.
+[[nodiscard]] RunSummary summarize(const std::vector<std::string>& lines);
+
+/// Read `path` and summarize it. nullopt (with *error set) only when the
+/// file cannot be opened — content problems are tolerated per summarize().
+[[nodiscard]] std::optional<RunSummary> load_metrics_file(
+    const std::string& path, std::string* error);
+
+/// Regression limits for diff_runs. A candidate fails when it exceeds
+/// baseline * (1 + frac) for fractional limits, baseline * factor for
+/// multiplicative ones, or baseline + pts for the share.
+struct Thresholds {
+    double step_time_frac = 0.20;   ///< mean step wall time: +20%
+    double rezone_share_pts = 0.10; ///< rezone time share: +10 points
+    double ulp_factor = 2.0;        ///< per-kernel max ULP drift: 2x
+};
+
+/// One threshold violation. `metric` names what regressed
+/// ("mean_step_wall_s", "rezone_share", "max_ulp[clamr.flux_sweep/dh]").
+struct Regression {
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    double limit = 0.0;
+};
+
+struct DiffResult {
+    std::vector<Regression> regressions;
+    /// Informational asymmetries (kernel present in only one run,
+    /// step-time comparison skipped because wall_s is missing, ...).
+    std::vector<std::string> notes;
+    [[nodiscard]] bool ok() const { return regressions.empty(); }
+};
+
+/// Compare candidate against baseline under `t`. Pure function of the
+/// two summaries; tp_report turns a non-ok() result into exit code 1.
+[[nodiscard]] DiffResult diff_runs(const RunSummary& baseline,
+                                   const RunSummary& candidate,
+                                   const Thresholds& t);
+
+/// Row of the per-phase rollup table.
+struct PhaseRow {
+    std::string phase;
+    double seconds = 0.0;
+    double share = 0.0;  ///< of the top-level (non-sub-phase) total
+    bool sub_phase = false;
+};
+
+/// Phase table data, descending by seconds, sub-phases after their
+/// parents. Shares are relative to the top-level phase total.
+[[nodiscard]] std::vector<PhaseRow> phase_rollup(const RunSummary& run);
+
+}  // namespace tp::obs::report

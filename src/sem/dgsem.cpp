@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "fp/promoted.hpp"
+#include "obs/numerics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "sem/tensor_kernel.hpp"
@@ -845,6 +846,277 @@ void SpectralEulerSolver<Policy>::viscous_kernel() {
             nodes * 20 * sizeof(compute_t));
 }
 
+// --- shadow-divergence hooks (--shadow-profile) ---------------------------
+// Double-precision re-execution of a strided sample of each kernel's
+// work, replicating the production accumulation order (per output, the
+// three direction passes in sequence, modal contributions ascending) so
+// a double-compute policy reports zero drift and a reduced-precision one
+// reports exactly the rounding its compute scalar introduced.
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::shadow_profile_cfl() const {
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    const std::size_t n = num_nodes();
+    const double gm1 = cfg_.atm.gamma - 1.0;
+    const double node_gap = 0.5 * (lgl_.nodes[1] - lgl_.nodes[0]);
+    const double gx = node_gap * dxe_;
+    const double gy = node_gap * dye_;
+    const double gz = node_gap * dze_;
+    const double gamma = cfg_.atm.gamma;
+    obs::DivergenceStats s;
+    for (std::size_t i = 0; i < n; i += stride) {
+        const double rho = static_cast<double>(rho_bar_[i]) +
+                           static_cast<double>(q_[RHO][i]);
+        const double inv = 1.0 / rho;
+        const double u = std::fabs(static_cast<double>(q_[MX][i])) * inv;
+        const double v = std::fabs(static_cast<double>(q_[MY][i])) * inv;
+        const double w = std::fabs(static_cast<double>(q_[MZ][i])) * inv;
+        const double ef = static_cast<double>(e_bar_[i]) +
+                          static_cast<double>(q_[EN][i]);
+        const double ke = 0.5 * rho * (u * u + v * v + w * w);
+        const double p = gm1 * (ef - ke);
+        const double c = std::sqrt(gamma * p * inv);
+        s.observe(cfl_scratch_[i],
+                  (u + c) / gx + (v + c) / gy + (w + c) / gz);
+    }
+    obs::shadow_merge("sem.cfl", "rates", s);
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::shadow_profile_rhs() {
+    const auto A = volume_args();
+    const int np = np_;
+    const auto snp = static_cast<std::size_t>(np);
+    const std::size_t npts = npts_;
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    shadow_a_.resize(15 * npts);  // double fx/fy/fz, 5 vars each
+    double* fx = shadow_a_.data();
+    double* fy = fx + 5 * npts;
+    double* fz = fy + 5 * npts;
+    const double gm1 = A.gamma - 1.0;
+    static constexpr const char* kVarNames[kVars] = {"rho", "mx", "my",
+                                                     "mz", "en"};
+    obs::DivergenceStats stats[kVars];
+    for (std::size_t e = 0; e < static_cast<std::size_t>(A.nelem);
+         e += stride) {
+        const std::size_t base = e * npts;
+        for (std::size_t n = 0; n < npts; ++n) {
+            const std::size_t gn = base + n;
+            const double qr = static_cast<double>(A.q[RHO][gn]);
+            const double rho = static_cast<double>(A.rho_bar[gn]) + qr;
+            const double m1 = static_cast<double>(A.q[MX][gn]);
+            const double m2 = static_cast<double>(A.q[MY][gn]);
+            const double m3 = static_cast<double>(A.q[MZ][gn]);
+            const double ef = static_cast<double>(A.e_bar[gn]) +
+                              static_cast<double>(A.q[EN][gn]);
+            const double inv = 1.0 / rho;
+            const double u = m1 * inv;
+            const double v = m2 * inv;
+            const double w = m3 * inv;
+            const double pf =
+                gm1 * (ef - 0.5 * (m1 * u + m2 * v + m3 * w));
+            const double pp = pf - static_cast<double>(A.p_bar[gn]);
+            const double hth = ef + pf;
+            fx[0 * npts + n] = A.jx * m1;
+            fx[1 * npts + n] = A.jx * (m1 * u + pp);
+            fx[2 * npts + n] = A.jx * (m2 * u);
+            fx[3 * npts + n] = A.jx * (m3 * u);
+            fx[4 * npts + n] = A.jx * (hth * u);
+            fy[0 * npts + n] = A.jy * m2;
+            fy[1 * npts + n] = A.jy * (m1 * v);
+            fy[2 * npts + n] = A.jy * (m2 * v + pp);
+            fy[3 * npts + n] = A.jy * (m3 * v);
+            fy[4 * npts + n] = A.jy * (hth * v);
+            fz[0 * npts + n] = A.jz * m3;
+            fz[1 * npts + n] = A.jz * (m1 * w);
+            fz[2 * npts + n] = A.jz * (m2 * w);
+            fz[3 * npts + n] = A.jz * (m3 * w + pp);
+            fz[4 * npts + n] = A.jz * (hth * w);
+        }
+        // Only interior nodes: the surface kernel writes face nodes, so
+        // an interior node's residual is the pure volume contribution the
+        // reference above reproduces.
+        for (int var = 0; var < kVars; ++var) {
+            const double* fxa = fx + static_cast<std::size_t>(var) * npts;
+            const double* fya = fy + static_cast<std::size_t>(var) * npts;
+            const double* fza = fz + static_cast<std::size_t>(var) * npts;
+            for (int k = 1; k < np - 1; ++k)
+                for (int j = 1; j < np - 1; ++j)
+                    for (int i = 1; i < np - 1; ++i) {
+                        const std::size_t row =
+                            (static_cast<std::size_t>(k) * snp +
+                             static_cast<std::size_t>(j)) *
+                            snp;
+                        const std::size_t n =
+                            row + static_cast<std::size_t>(i);
+                        double acc = 0.0;
+                        for (int mm = 0; mm < np; ++mm)
+                            acc += static_cast<double>(
+                                       A.d[static_cast<std::size_t>(i) *
+                                               snp +
+                                           static_cast<std::size_t>(mm)]) *
+                                   fxa[row + static_cast<std::size_t>(mm)];
+                        for (int mm = 0; mm < np; ++mm)
+                            acc += static_cast<double>(
+                                       A.d[static_cast<std::size_t>(j) *
+                                               snp +
+                                           static_cast<std::size_t>(mm)]) *
+                                   fya[(static_cast<std::size_t>(k) * snp +
+                                        static_cast<std::size_t>(mm)) *
+                                           snp +
+                                       static_cast<std::size_t>(i)];
+                        for (int mm = 0; mm < np; ++mm)
+                            acc += static_cast<double>(
+                                       A.d[static_cast<std::size_t>(k) *
+                                               snp +
+                                           static_cast<std::size_t>(mm)]) *
+                                   fza[(static_cast<std::size_t>(mm) * snp +
+                                        static_cast<std::size_t>(j)) *
+                                           snp +
+                                       static_cast<std::size_t>(i)];
+                        double ref = 0.0;
+                        if (var == MZ)
+                            ref -= A.gravity *
+                                   static_cast<double>(A.q[RHO][base + n]);
+                        if (var == EN)
+                            ref -= A.gravity *
+                                   static_cast<double>(A.q[MZ][base + n]);
+                        ref -= acc;
+                        stats[var].observe(r_[var][base + n], ref);
+                    }
+        }
+    }
+    for (int var = 0; var < kVars; ++var)
+        obs::shadow_merge("sem.rhs", kVarNames[var], stats[var]);
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::shadow_profile_rk_capture(double a,
+                                                            double b,
+                                                            double dt) {
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    const std::size_t n = num_nodes();
+    shadow_nodes_.clear();
+    shadow_a_.clear();
+    for (std::size_t i = 0; i < n; i += stride) {
+        shadow_nodes_.push_back(static_cast<std::int64_t>(i));
+        for (int v = 0; v < kVars; ++v) {
+            const double gd = a * static_cast<double>(g_[v][i]) +
+                              dt * static_cast<double>(r_[v][i]);
+            const double qd = static_cast<double>(q_[v][i]) + b * gd;
+            shadow_a_.push_back(gd);
+            shadow_a_.push_back(qd);
+        }
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::shadow_profile_rk_observe() const {
+    obs::DivergenceStats sq;
+    obs::DivergenceStats sg;
+    std::size_t p = 0;
+    for (const std::int64_t node : shadow_nodes_) {
+        const auto i = static_cast<std::size_t>(node);
+        for (int v = 0; v < kVars; ++v) {
+            sg.observe(g_[v][i], shadow_a_[p++]);
+            sq.observe(q_[v][i], shadow_a_[p++]);
+        }
+    }
+    obs::shadow_merge("sem.rk_stage", "g", sg);
+    obs::shadow_merge("sem.rk_stage", "q", sq);
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::shadow_profile_filter_capture() {
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    const std::size_t npts = npts_;
+    shadow_elems_.clear();
+    shadow_a_.clear();
+    for (std::size_t e = 0; e < static_cast<std::size_t>(nelem_);
+         e += stride) {
+        shadow_elems_.push_back(static_cast<std::int32_t>(e));
+        const std::size_t base = e * npts;
+        for (int v = 0; v < kVars; ++v)
+            for (std::size_t n = 0; n < npts; ++n)
+                shadow_a_.push_back(
+                    static_cast<double>(q_[v][base + n]));
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::shadow_profile_filter_observe() {
+    const int np = np_;
+    const auto snp = static_cast<std::size_t>(np);
+    const std::size_t npts = npts_;
+    const std::size_t plane = snp * snp;
+    shadow_b_.resize(2 * npts);
+    double* tmp = shadow_b_.data();
+    double* tmp2 = tmp + npts;
+    const auto F = [&](int r, int c) {
+        return static_cast<double>(
+            filter_[static_cast<std::size_t>(r) * snp +
+                    static_cast<std::size_t>(c)]);
+    };
+    static constexpr const char* kVarNames[kVars] = {"rho", "mx", "my",
+                                                     "mz", "en"};
+    obs::DivergenceStats stats[kVars];
+    std::size_t off = 0;
+    for (const std::int32_t elem : shadow_elems_) {
+        const std::size_t base = static_cast<std::size_t>(elem) * npts;
+        for (int var = 0; var < kVars; ++var) {
+            const double* qin = shadow_a_.data() + off;
+            off += npts;
+            // Same per-output accumulation order as filter_element: the
+            // x, y, z matrix passes in sequence, modal index ascending.
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j)
+                    for (int i = 0; i < np; ++i) {
+                        const std::size_t row =
+                            (static_cast<std::size_t>(k) * snp +
+                             static_cast<std::size_t>(j)) *
+                            snp;
+                        double val = 0.0;
+                        for (int mm = 0; mm < np; ++mm)
+                            val += F(i, mm) *
+                                   qin[row + static_cast<std::size_t>(mm)];
+                        tmp[row + static_cast<std::size_t>(i)] = val;
+                    }
+            for (int k = 0; k < np; ++k)
+                for (int j = 0; j < np; ++j)
+                    for (int i = 0; i < np; ++i) {
+                        double val = 0.0;
+                        for (int mm = 0; mm < np; ++mm)
+                            val += F(j, mm) *
+                                   tmp[(static_cast<std::size_t>(k) * snp +
+                                        static_cast<std::size_t>(mm)) *
+                                           snp +
+                                       static_cast<std::size_t>(i)];
+                        tmp2[(static_cast<std::size_t>(k) * snp +
+                              static_cast<std::size_t>(j)) *
+                                 snp +
+                             static_cast<std::size_t>(i)] = val;
+                    }
+            for (int k = 0; k < np; ++k)
+                for (std::size_t t = 0; t < plane; ++t) {
+                    double val = 0.0;
+                    for (int mm = 0; mm < np; ++mm)
+                        val += F(k, mm) *
+                               tmp2[static_cast<std::size_t>(mm) * plane +
+                                    t];
+                    const std::size_t n =
+                        static_cast<std::size_t>(k) * plane + t;
+                    stats[var].observe(q_[var][base + n], val);
+                }
+        }
+    }
+    for (int var = 0; var < kVars; ++var)
+        obs::shadow_merge("sem.filter", kVarNames[var], stats[var]);
+}
+
 template <fp::PrecisionPolicy Policy>
 void SpectralEulerSolver<Policy>::compute_rhs() {
     TP_OBS_SPAN("sem.rhs");
@@ -865,6 +1137,11 @@ void SpectralEulerSolver<Policy>::compute_rhs() {
             viscous_kernel<compute_t>();
         }
     }
+    // Interior-node references assume the residual is the pure volume
+    // contribution; the viscous kernels also write interior nodes, so the
+    // rhs shadow only runs inviscid.
+    if (obs::shadow_kernel_active("sem.rhs") && cfg_.viscosity == 0.0)
+        shadow_profile_rhs();
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -875,6 +1152,8 @@ void SpectralEulerSolver<Policy>::rk_stage(double a, double b, double dt) {
     const compute_t ac = static_cast<compute_t>(a);
     const compute_t bc = static_cast<compute_t>(b);
     const compute_t dtc = static_cast<compute_t>(dt);
+    const bool shadow = obs::shadow_kernel_active("sem.rk_stage");
+    if (shadow) shadow_profile_rk_capture(a, b, dt);
     for (int v = 0; v < kVars; ++v) {
         storage_t* q = q_[v].data();
         compute_t* r = r_[v].data();
@@ -887,6 +1166,7 @@ void SpectralEulerSolver<Policy>::rk_stage(double a, double b, double dt) {
             r[i] = compute_t(0);
         }
     }
+    if (shadow) shadow_profile_rk_observe();
     account("rk_update", timer.elapsed_seconds(), n * kRkFlopsPerNode,
             n * kVars * 2 * sizeof(storage_t),
             (sizeof(storage_t) != sizeof(compute_t) &&
@@ -902,10 +1182,13 @@ void SpectralEulerSolver<Policy>::apply_filter() {
     util::WallTimer timer;
     const int np = np_;
     const bool native = simd::use_native(cfg_.simd);
+    const bool shadow = obs::shadow_kernel_active("sem.filter");
+    if (shadow) shadow_profile_filter_capture();
     if (native)
         filter_sweep_native();
     else
         filter_sweep_scalar();
+    if (shadow) shadow_profile_filter_observe();
     const std::uint64_t nodes = num_nodes();
     account("filter", timer.elapsed_seconds(),
             nodes * static_cast<std::uint64_t>(30 * np),
@@ -950,6 +1233,7 @@ double SpectralEulerSolver<Policy>::compute_dt() {
         const double c = std::sqrt(gamma * p * inv);
         rates[i] = (u + c) / gx + (v + c) / gy + (w + c) / gz;
     }
+    if (obs::shadow_kernel_active("sem.cfl")) shadow_profile_cfl();
     // Fixed-shape reduction: the stable dt is bit-identical at any thread
     // count (max is exact, the blocked shape depends only on n).
     const double rate_max = sum::parallel_max(cfl_scratch_, 0.0);

@@ -169,6 +169,15 @@ private:
     void rk_stage(double a, double b, double dt);
     void apply_filter();
     [[nodiscard]] double compute_dt();
+    // --shadow-profile hooks (obs/numerics.hpp): double-precision
+    // re-execution of a strided sample, cold paths behind the relaxed-load
+    // gate at each call site.
+    void shadow_profile_cfl() const;
+    void shadow_profile_rhs();
+    void shadow_profile_rk_capture(double a, double b, double dt);
+    void shadow_profile_rk_observe() const;
+    void shadow_profile_filter_capture();
+    void shadow_profile_filter_observe();
     void account(const std::string& kernel, double seconds,
                  std::uint64_t flops, std::uint64_t bytes,
                  std::uint64_t converts, std::uint64_t bytes_compute = 0,
@@ -203,6 +212,12 @@ private:
     // (variable, direction); allocated only when viscosity > 0.
     std::vector<compute_t> grad_[4][3];
     std::vector<double> cfl_scratch_;    // per-node CFL rates (compute_dt)
+    // Shadow-profile scratch (sampled indices, captured pre-state, double
+    // reference work arrays) — members so profiling a steady-state run
+    // allocates nothing after warmup.
+    std::vector<std::int64_t> shadow_nodes_;
+    std::vector<std::int32_t> shadow_elems_;
+    std::vector<double> shadow_a_, shadow_b_;
 
     double time_ = 0.0;
     std::int64_t step_count_ = 0;

@@ -1,6 +1,7 @@
 #include "shallow/solver.hpp"
 
 #include "fp/half_policy.hpp"
+#include "obs/numerics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "sum/parallel.hpp"
@@ -30,6 +31,71 @@ constexpr std::uint64_t kCflFlopsPerCell = 12;
 // carries measured wall time and estimated data volume with zero flops,
 // so the roofline projects them as pure memory time instead of the old
 // hard-coded per-cell op proxies.
+
+// Double-precision shadow reference for one cell of the Rusanov sweep:
+// the same operation sequence as flux_kernel.hpp's flux_block (slot
+// order, the lone fma, the hfloor clamps), but every intermediate in
+// double and the gravity constant unrounded. Against this, the
+// production increments' divergence is exactly the rounding the policy's
+// compute_t introduced (obs/numerics.hpp records it in compute_t ULPs).
+template <typename S, typename C>
+void shadow_flux_cell(const detail::FluxArgs<S, C>& A, std::size_t c,
+                      double g, double& rdh, double& rdhu, double& rdhv) {
+    constexpr double hfloor = 1e-8;
+    const double half = 0.5;
+    const double half_g = 0.5 * g;
+    const double hC = std::max(static_cast<double>(A.h[c]), hfloor);
+    const double huC = static_cast<double>(A.hu[c]);
+    const double hvC = static_cast<double>(A.hv[c]);
+    const double invC = 1.0 / hC;
+    double ddh = 0.0;
+    double ddhu = 0.0;
+    double ddhv = 0.0;
+    for (int slot = 0; slot < 8; ++slot) {
+        const bool xd = slot < 4;
+        const bool pos = (slot & 2) != 0;
+        const std::size_t off = static_cast<std::size_t>(slot) * A.n + c;
+        const auto nidx = static_cast<std::size_t>(A.nbr[off]);
+        const double a = static_cast<double>(A.areas[off]);
+        const double hN = std::max(static_cast<double>(A.h[nidx]), hfloor);
+        const double huN = static_cast<double>(A.hu[nidx]);
+        const double hvN = static_cast<double>(A.hv[nidx]);
+        const double invN = 1.0 / hN;
+        const double qnC = xd ? huC : hvC;
+        const double qtC = xd ? hvC : huC;
+        const double qnN = xd ? huN : hvN;
+        const double qtN = xd ? hvN : huN;
+        const double hL = pos ? hC : hN;
+        const double hR = pos ? hN : hC;
+        const double qnL = pos ? qnC : qnN;
+        const double qnR = pos ? qnN : qnC;
+        const double qtL = pos ? qtC : qtN;
+        const double qtR = pos ? qtN : qtC;
+        const double invL = pos ? invC : invN;
+        const double invR = pos ? invN : invC;
+        const double unL = qnL * invL;
+        const double unR = qnR * invR;
+        const double utL = qtL * invL;
+        const double utR = qtR * invR;
+        const double cL = std::sqrt(g * hL);
+        const double cR = std::sqrt(g * hR);
+        const double smax =
+            std::max(std::fabs(unL) + cL, std::fabs(unR) + cR);
+        const double f1 = half * (qnL + qnR) - half * smax * (hR - hL);
+        const double pL = std::fma(half_g * hL, hL, qnL * unL);
+        const double pR = std::fma(half_g * hR, hR, qnR * unR);
+        const double f2 = half * (pL + pR) - half * smax * (qnR - qnL);
+        const double f3 =
+            half * (qnL * utL + qnR * utR) - half * smax * (qtR - qtL);
+        const double sa = pos ? a : -a;
+        ddh -= sa * f1;
+        ddhu -= sa * (xd ? f2 : f3);
+        ddhv -= sa * (xd ? f3 : f2);
+    }
+    rdh = ddh;
+    rdhu = ddhu;
+    rdhv = ddhv;
+}
 
 }  // namespace
 
@@ -603,6 +669,8 @@ void ShallowWaterSolver<Policy>::remap_state(const mesh::RemapPlan& plan) {
             }
         }
     }
+    if (obs::shadow_kernel_active("clamr.rezone_remap"))
+        shadow_profile_remap(plan, nh, nhu, nhv);
     h_.swap(h_back_);
     hu_.swap(hu_back_);
     hv_.swap(hv_back_);
@@ -773,6 +841,7 @@ double ShallowWaterSolver<Policy>::compute_dt() {
             cfl[c] = dx / wave;
         }
     }
+    if (obs::shadow_kernel_active("clamr.cfl")) shadow_profile_cfl();
     // Reproducible global minimum: the blocked parallel reduction has a
     // fixed shape that depends only on n, so the result is bit-identical
     // at any thread count (paper §III.C, order-independent reductions).
@@ -891,6 +960,144 @@ void ShallowWaterSolver<Policy>::apply_update(double dt) {
     }
 }
 
+// --- shadow-divergence hooks (--shadow-profile) ---------------------------
+// Each hook re-executes a strided sample of its kernel's work in double,
+// then merges the observed divergence under (kernel, array) in the
+// numerics registry. Stack-local accumulators + member scratch keep the
+// hooks alloc-free after warmup; none of this code runs unless the
+// relaxed-load gate at the call site fired.
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::shadow_profile_cfl() const {
+    const auto stride =
+        static_cast<std::int32_t>(obs::shadow_sample_stride());
+    const double g = config_.gravity;
+    obs::DivergenceStats s;
+    for (const detail::LevelRun& run : level_runs_) {
+        const double dx =
+            std::min(mesh_.cell_dx(run.level), mesh_.cell_dy(run.level));
+        std::int32_t c = run.begin + (stride - run.begin % stride) % stride;
+        for (; c < run.end; c += stride) {
+            const auto i = static_cast<std::size_t>(c);
+            const double hh =
+                std::max(static_cast<double>(h_[i]), 1e-8);
+            const double inv = 1.0 / hh;
+            const double u = std::fabs(static_cast<double>(hu_[i])) * inv;
+            const double v = std::fabs(static_cast<double>(hv_[i])) * inv;
+            const double wave = std::max(u, v) + std::sqrt(g * hh);
+            s.observe(cfl_buf_[i], dx / wave);
+        }
+    }
+    obs::shadow_merge("clamr.cfl", "cfl", s);
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::shadow_profile_flux_sweep() {
+    const auto args = flux_args();
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    const double g = config_.gravity;
+    obs::DivergenceStats sdh;
+    obs::DivergenceStats sdhu;
+    obs::DivergenceStats sdhv;
+    for (std::size_t c = 0; c < args.n; c += stride) {
+        double rdh;
+        double rdhu;
+        double rdhv;
+        shadow_flux_cell(args, c, g, rdh, rdhu, rdhv);
+        sdh.observe(dh_[c], rdh);
+        sdhu.observe(dhu_[c], rdhu);
+        sdhv.observe(dhv_[c], rdhv);
+    }
+    obs::shadow_merge("clamr.flux_sweep", "dh", sdh);
+    obs::shadow_merge("clamr.flux_sweep", "dhu", sdhu);
+    obs::shadow_merge("clamr.flux_sweep", "dhv", sdhv);
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::shadow_capture_apply_update() {
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    const std::size_t n = mesh_.num_cells();
+    shadow_idx_.clear();
+    shadow_vals_.clear();
+    for (std::size_t c = 0; c < n; c += stride) {
+        shadow_idx_.push_back(static_cast<std::int32_t>(c));
+        shadow_vals_.push_back(static_cast<double>(h_[c]));
+        shadow_vals_.push_back(static_cast<double>(hu_[c]));
+        shadow_vals_.push_back(static_cast<double>(hv_[c]));
+        shadow_vals_.push_back(static_cast<double>(dh_[c]));
+        shadow_vals_.push_back(static_cast<double>(dhu_[c]));
+        shadow_vals_.push_back(static_cast<double>(dhv_[c]));
+        shadow_vals_.push_back(static_cast<double>(inv_area_[c]));
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::shadow_observe_apply_update(
+    double dt) const {
+    obs::DivergenceStats sh;
+    obs::DivergenceStats shu;
+    obs::DivergenceStats shv;
+    for (std::size_t k = 0; k < shadow_idx_.size(); ++k) {
+        const auto c = static_cast<std::size_t>(shadow_idx_[k]);
+        const double* v = shadow_vals_.data() + 7 * k;
+        const double s = dt * v[6];
+        sh.observe(h_[c], std::max(v[0] + s * v[3], 1e-8));
+        shu.observe(hu_[c], v[1] + s * v[4]);
+        shv.observe(hv_[c], v[2] + s * v[5]);
+    }
+    obs::shadow_merge("clamr.apply_update", "h", sh);
+    obs::shadow_merge("clamr.apply_update", "hu", shu);
+    obs::shadow_merge("clamr.apply_update", "hv", shv);
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::shadow_profile_remap(
+    const mesh::RemapPlan& plan, const storage_t* nh, const storage_t* nhu,
+    const storage_t* nhv) const {
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    obs::DivergenceStats sh;
+    obs::DivergenceStats shu;
+    obs::DivergenceStats shv;
+    const std::size_t n = plan.size();
+    for (std::size_t c = 0; c < n; c += stride) {
+        const mesh::RemapEntry& e = plan.entries[c];
+        // Copy spans are memcpys — bit-exact by construction, and they
+        // would drown the interesting refine/coarsen samples.
+        if (e.kind == mesh::RemapKind::Copy) continue;
+        double rh;
+        double rhu;
+        double rhv;
+        if (e.kind == mesh::RemapKind::Refine) {
+            const auto s0 = static_cast<std::size_t>(e.src[0]);
+            rh = static_cast<double>(h_[s0]);
+            rhu = static_cast<double>(hu_[s0]);
+            rhv = static_cast<double>(hv_[s0]);
+        } else {
+            double ah = 0.0;
+            double au = 0.0;
+            double av = 0.0;
+            for (int s = 0; s < 4; ++s) {
+                const auto src = static_cast<std::size_t>(e.src[s]);
+                ah += static_cast<double>(h_[src]);
+                au += static_cast<double>(hu_[src]);
+                av += static_cast<double>(hv_[src]);
+            }
+            rh = 0.25 * ah;
+            rhu = 0.25 * au;
+            rhv = 0.25 * av;
+        }
+        sh.observe(nh[c], rh);
+        shu.observe(nhu[c], rhu);
+        shv.observe(nhv[c], rhv);
+    }
+    obs::shadow_merge("clamr.rezone_remap", "h", sh);
+    obs::shadow_merge("clamr.rezone_remap", "hu", shu);
+    obs::shadow_merge("clamr.rezone_remap", "hv", shv);
+}
+
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::account_finite_diff(double seconds,
                                                      int lanes) {
@@ -935,11 +1142,20 @@ void ShallowWaterSolver<Policy>::finite_diff(double dt) {
         } else {
             flux_sweep_scalar();
         }
+        // Shadow the pure sweep increments before the boundary closure
+        // touches them — every sampled cell's dh/dhu/dhv is then exactly
+        // one flux_block evaluation, which is what the double reference
+        // replicates.
+        if (obs::shadow_kernel_active("clamr.flux_sweep"))
+            shadow_profile_flux_sweep();
         boundary_fluxes();
     }
     {
         TP_OBS_SPAN("clamr.apply_update");
+        const bool shadow = obs::shadow_kernel_active("clamr.apply_update");
+        if (shadow) shadow_capture_apply_update();
         apply_update(dt);
+        if (shadow) shadow_observe_apply_update(dt);
     }
     account_finite_diff(t.elapsed_seconds(), native ? kNativeLanes : 1);
 }

@@ -204,6 +204,17 @@ private:
     void boundary_fluxes();
     void apply_update(double dt);
     void account_finite_diff(double seconds, int lanes);
+    // --shadow-profile hooks (obs/numerics.hpp): re-execute a strided
+    // sample of the kernel's work in double precision and record the
+    // production result's divergence. All are cold paths, entered only
+    // when the relaxed-load gate at the call site fires.
+    void shadow_profile_cfl() const;
+    void shadow_profile_flux_sweep();
+    void shadow_capture_apply_update();
+    void shadow_observe_apply_update(double dt) const;
+    void shadow_profile_remap(const mesh::RemapPlan& plan,
+                              const storage_t* nh, const storage_t* nhu,
+                              const storage_t* nhv) const;
 
     Config config_;
     mesh::AmrMesh mesh_;
@@ -234,6 +245,10 @@ private:
     std::vector<FluxBlock> flux_blocks_;
     std::vector<compute_t> cfl_buf_;       // per-cell dt candidates
     std::vector<std::int8_t> flags_scratch_;  // refinement flags, reused
+    // Shadow-profile capture scratch (cell indices + pre-update state),
+    // reused across steps so profiling allocates nothing after warmup.
+    std::vector<std::int32_t> shadow_idx_;
+    std::vector<double> shadow_vals_;
     double time_ = 0.0;
     std::int64_t step_count_ = 0;
     RezoneStats rezone_stats_;

@@ -19,9 +19,12 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/numerics.hpp"
+#include "obs/obs.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "shallow/solver.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timing.hpp"
 
@@ -113,6 +116,78 @@ TEST(Json, ObjectBuilderOutputIsValid) {
     EXPECT_TRUE(json::valid(doc));
     EXPECT_NE(doc.find("\"cells\":1768"), std::string::npos);
     EXPECT_NE(doc.find("\"phases\":{\"cfl\":0.5}"), std::string::npos);
+}
+
+TEST(Json, WellFormedUtf8PassesThroughVerbatim) {
+    std::string out;
+    json::append_escaped(out, "h\xC3\xA9llo \xE6\x97\xA5\xE6\x9C\xAC");
+    EXPECT_EQ(out, "\"h\xC3\xA9llo \xE6\x97\xA5\xE6\x9C\xAC\"");
+    EXPECT_TRUE(json::valid(out));
+}
+
+TEST(Json, InvalidBytesEscapeAsLatin1) {
+    // A lone 0xFF (not valid UTF-8 anywhere) must not leak into the
+    // document raw; it re-interprets as Latin-1 U+00FF.
+    std::string out;
+    json::append_escaped(out, "a\xFF" "b");
+    EXPECT_EQ(out, "\"a\\u00ffb\"");
+    // Truncated multi-byte sequence at end of string: same treatment.
+    out.clear();
+    json::append_escaped(out, "x\xC3");
+    EXPECT_EQ(out, "\"x\\u00c3\"");
+}
+
+TEST(Json, EveryByteValueEscapesToAParseableDocument) {
+    // Fuzz-ish sweep: singleton bytes and adversarial multi-byte soups
+    // must always produce strictly valid, parseable JSON.
+    for (int b = 0; b < 256; ++b) {
+        std::string s = "x";
+        s.push_back(static_cast<char>(b));
+        s += "y";
+        std::string out;
+        json::append_escaped(out, s);
+        EXPECT_TRUE(json::valid(out)) << "byte " << b;
+        EXPECT_TRUE(json::parse(out).has_value()) << "byte " << b;
+    }
+    std::uint32_t lcg = 12345;
+    for (int trial = 0; trial < 64; ++trial) {
+        std::string s;
+        for (int i = 0; i < 48; ++i) {
+            lcg = lcg * 1664525u + 1013904223u;
+            s.push_back(static_cast<char>(lcg >> 24));
+        }
+        std::string out;
+        json::append_escaped(out, s);
+        EXPECT_TRUE(json::valid(out)) << "trial " << trial;
+        EXPECT_TRUE(json::parse(out).has_value()) << "trial " << trial;
+    }
+}
+
+TEST(JsonDom, ParsesObjectsArraysAndEscapes) {
+    const auto v = json::parse(
+        "{\"a\":1.5,\"b\":[true,null,\"x\"],\"c\":{\"d\":-2e3}}");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(v->number_or("a", 0.0), 1.5);
+    const json::Value* b = v->find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->items().size(), 3u);
+    EXPECT_TRUE(b->items()[0].as_bool());
+    EXPECT_TRUE(b->items()[1].is_null());
+    EXPECT_EQ(b->items()[2].as_string(), "x");
+    ASSERT_NE(v->find("c"), nullptr);
+    EXPECT_DOUBLE_EQ(v->find("c")->number_or("d", 0.0), -2000.0);
+    EXPECT_FALSE(json::parse("{\"a\":1,}").has_value());
+    EXPECT_FALSE(json::parse("[1] junk").has_value());
+}
+
+TEST(JsonDom, DecodesUnicodeEscapesAndSurrogatePairs) {
+    const auto v =
+        json::parse("{\"s\":\"a\\u00e9\\ud83d\\ude00\\n\"}");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string_or("s", ""),
+              "a\xC3\xA9\xF0\x9F\x98\x80\n");
+    EXPECT_FALSE(json::parse("{\"s\":\"\\ud83d\"}").has_value());
+    EXPECT_FALSE(json::parse("{\"s\":\"\\ude00\"}").has_value());
 }
 
 TEST(Json, ValidatorRejectsMalformedDocuments) {
@@ -356,7 +431,9 @@ TEST(ZeroCost, SolverStepsAllocationFreeWithObsOffAfterWarmup) {
     // Reuses the arena-warmup idea from test_simd: after a few steps every
     // scratch buffer has reached steady state, so further steps with the
     // observability flags off must not touch the heap at all. Rezone is
-    // disabled — AMR adapts legitimately allocate.
+    // disabled — AMR adapts legitimately allocate. Shadow profiling off is
+    // part of the contract: each hook must cost one relaxed load, no heap.
+    ASSERT_FALSE(obs::shadow_profile_enabled());
     tp::shallow::Config cfg;
     cfg.geom = {0.0, 0.0, 100.0, 100.0, 16, 16, 1};
     cfg.rezone_interval = 0;
@@ -366,6 +443,176 @@ TEST(ZeroCost, SolverStepsAllocationFreeWithObsOffAfterWarmup) {
     const std::uint64_t before = g_allocs.load();
     solver.run(5);
     EXPECT_EQ(g_allocs.load() - before, 0u);
+}
+
+TEST(ZeroCost, ShadowProfilingAllocationFreeAfterWarmup) {
+    // With profiling ON the hooks may allocate during warmup (scratch
+    // capture vectors, first registry merge per kernel/array pair) but a
+    // steady-state step must then run entirely out of those buffers.
+    obs::shadow_reset();
+    obs::set_shadow_profile(true);
+    obs::set_shadow_sample_stride(4);
+    tp::shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, 16, 16, 1};
+    cfg.rezone_interval = 0;
+    tp::shallow::ShallowWaterSolver<tp::fp::MixedPrecision> solver(cfg);
+    solver.initialize_dam_break({});
+    solver.run(5);  // warmup: scratch + registry reach steady state
+    const std::uint64_t before = g_allocs.load();
+    solver.run(5);
+    EXPECT_EQ(g_allocs.load() - before, 0u);
+    obs::set_shadow_profile(false);
+    obs::set_shadow_sample_stride(16);
+    obs::shadow_reset();
+}
+
+// ------------------------------------------------- crash-flush semantics
+
+TEST(Flush, PoisonedRunKeepsStreamValidAndNumericsFlushed) {
+    // Telemetry accumulated before a NumericalFault must land in the
+    // stream during unwind-time finish_observability(), and every line of
+    // the resulting file must still be strictly valid JSON — the
+    // poisoned-run regression the flush contract exists for.
+    const std::string path = temp_path("poison.metrics.jsonl");
+    obs::metrics().open(path);
+    obs::write_manifest("poisoned_run", {{"precision", "mixed"}});
+    obs::probe_reset();
+    obs::shadow_reset();
+    obs::set_shadow_profile(true);
+    obs::set_shadow_sample_stride(2);
+
+    tp::shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, 16, 16, 1};
+    {  // healthy steps accumulate shadow telemetry
+        tp::shallow::ShallowWaterSolver<tp::fp::MixedPrecision> solver(cfg);
+        solver.initialize_dam_break({});
+        solver.run(2);
+    }
+    {  // then the poisoned run dies mid-step
+        tp::shallow::ShallowWaterSolver<tp::fp::MixedPrecision> solver(cfg);
+        tp::shallow::DamBreak ic;
+        ic.h_inside = std::numeric_limits<double>::quiet_NaN();
+        solver.initialize_dam_break(ic);
+        obs::set_probe_enabled(true);
+        EXPECT_THROW(solver.step(), obs::NumericalFault);
+    }
+    obs::finish_observability();  // what ObsGuard runs during unwind
+    EXPECT_FALSE(obs::metrics().is_open());
+    EXPECT_FALSE(obs::shadow_profile_enabled());
+
+    const auto lines = lines_of(path);
+    ASSERT_GE(lines.size(), 3u);
+    int numerics = 0, diagnostics = 0;
+    for (const auto& line : lines) {
+        EXPECT_TRUE(json::valid(line)) << line;
+        if (line.find("\"type\":\"numerics\"") != std::string::npos)
+            ++numerics;
+        if (line.find("\"type\":\"diagnostic\"") != std::string::npos)
+            ++diagnostics;
+    }
+    EXPECT_GT(numerics, 0);
+    EXPECT_EQ(diagnostics, 1);
+    obs::probe_reset();
+    obs::set_shadow_sample_stride(16);
+}
+
+// Body of the death test below: lives in a free function because the
+// brace-initialized argv would otherwise split EXPECT_DEATH's macro args.
+[[noreturn]] void run_then_throw_uncaught(const std::string& trace,
+                                          const std::string& metrics) {
+    tp::util::ArgParser args("death", "terminate-flush probe");
+    obs::add_obs_options(args);
+    const char* argv[] = {"death", "--trace", trace.c_str(), "--metrics",
+                          metrics.c_str()};
+    if (!args.parse(5, argv)) std::abort();
+    (void)obs::apply_obs_options(args, "death", {});
+    { TP_OBS_SPAN("death.span"); }
+    // Throw across a noexcept boundary: std::terminate fires at the throw
+    // point itself, which the death-test harness cannot catch — the same
+    // handler an exception escaping main() reaches.
+    [&]() noexcept { throw std::runtime_error("uncaught"); }();
+    std::abort();
+}
+
+TEST(FlushDeathTest, UncaughtExceptionStillLandsTraceAndMetrics) {
+    // apply_obs_options installs a std::terminate hook; an exception that
+    // escapes everything must still flush the (buffered) trace file and
+    // close the metrics stream before the process dies.
+    const std::string trace = temp_path("term.trace.json");
+    const std::string metrics = temp_path("term.metrics.jsonl");
+    EXPECT_DEATH(run_then_throw_uncaught(trace, metrics), "");
+    const std::string doc = slurp(trace);
+    ASSERT_FALSE(doc.empty())
+        << "terminate hook did not write the trace file";
+    EXPECT_TRUE(json::valid(doc));
+    EXPECT_NE(doc.find("death.span"), std::string::npos);
+    for (const auto& line : lines_of(metrics))
+        EXPECT_TRUE(json::valid(line)) << line;
+}
+
+// ------------------------------- record-type round trip (all emitters)
+
+TEST(RoundTrip, EveryRecordTypeSurvivesEmitThenParse) {
+    // Drive the real emitters end to end — manifest (with non-ASCII and
+    // deliberately invalid-encoding values), step, diagnostic, probe,
+    // numerics, table — then require every line to pass the strict
+    // validator AND the DOM parser, with a known type discriminator.
+    const std::string path = temp_path("roundtrip.metrics.jsonl");
+    obs::metrics().open(path);
+    obs::write_manifest("round_trip",
+                        {{"note", "h\xC3\xA9llo \xE6\x97\xA5\xE6\x9C\xAC"},
+                         {"legacy", "raw\xFF" "byte"}});
+    obs::metrics().write_line(json::Object()
+                                  .field("type", "step")
+                                  .field("t", 0.25)
+                                  .field("dt", 1e-3)
+                                  .field("wall_s", 0.01)
+                                  .str());
+    try {
+        obs::raise_numerical_fault("unit.k", 3, "injected");
+    } catch (const obs::NumericalFault&) {
+    }
+    obs::probe_reset();
+    obs::set_probe_enabled(true);
+    const float healthy[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    obs::probe_array("unit.rt", healthy, 4);
+    obs::probe_flush_to_metrics();
+    obs::set_probe_enabled(false);
+    obs::shadow_reset();
+    obs::DivergenceStats s;
+    s.observe(std::nextafterf(1.0f, 2.0f), 1.0);
+    obs::shadow_merge("unit.kernel", "arr", s);
+    obs::shadow_flush_to_metrics();
+    obs::shadow_reset();
+    tp::util::TextTable table("rt");
+    table.set_header({"a"});
+    table.add_row({"1"});
+    obs::metrics().write_line(table.json_str());
+    obs::metrics().close();
+
+    const auto lines = lines_of(path);
+    ASSERT_EQ(lines.size(), 6u);
+    std::vector<std::string> types;
+    for (const auto& line : lines) {
+        EXPECT_TRUE(json::valid(line)) << line;
+        const auto v = json::parse(line);
+        ASSERT_TRUE(v.has_value()) << line;
+        types.push_back(v->string_or("type", "?"));
+    }
+    const std::vector<std::string> expected{"manifest", "step",
+                                            "diagnostic", "probe",
+                                            "numerics",  "table"};
+    EXPECT_EQ(types, expected);
+
+    // The decoded manifest strings: well-formed UTF-8 round-trips
+    // byte-identical, the invalid 0xFF byte comes back as U+00FF.
+    const auto manifest = json::parse(lines[0]);
+    EXPECT_EQ(manifest->string_or("note", ""),
+              "h\xC3\xA9llo \xE6\x97\xA5\xE6\x9C\xAC");
+    EXPECT_EQ(manifest->string_or("legacy", ""),
+              "raw\xC3\xBF"
+              "byte");
+    obs::probe_reset();
 }
 
 }  // namespace

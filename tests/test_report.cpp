@@ -1,0 +1,249 @@
+// Tests for the offline metrics analyzer (obs/report.hpp) that backs
+// tools/tp_report: stream digestion (manifest/step/numerics records,
+// crash-truncated tails, unknown types), the per-phase rollup, and the
+// baseline-vs-candidate regression gate with its three thresholds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/numerics.hpp"
+#include "obs/report.hpp"
+
+namespace report = tp::obs::report;
+namespace json = tp::obs::json;
+namespace obs = tp::obs;
+
+namespace {
+
+std::string manifest_line() {
+    return json::Object()
+        .field("type", "manifest")
+        .field("program", "dam_break")
+        .field("precision", "mixed")
+        .field("grid", "32")
+        .str();
+}
+
+std::string step_line(double wall_s, double rezone_s, double flux_s,
+                      int rezones = 0) {
+    const std::string phases = json::Object()
+                                   .field("finite_diff", flux_s)
+                                   .field("rezone", rezone_s)
+                                   .field("rezone_remap", rezone_s * 0.5)
+                                   .str();
+    return json::Object()
+        .field("type", "step")
+        .field("t", 0.1)
+        .field("dt", 0.01)
+        .field("wall_s", wall_s)
+        .field("rezones", rezones)
+        .field("flops", std::uint64_t{1000})
+        .field_raw("phase_seconds", phases)
+        .str();
+}
+
+std::string numerics_line(const std::string& kernel,
+                          const std::string& array, std::uint64_t max_ulp) {
+    obs::DivergenceStats s;
+    s.samples = 100;
+    s.exact = 90;
+    s.max_ulp = max_ulp;
+    s.sum_ulp = static_cast<double>(max_ulp) * 10.0;
+    s.max_rel = 1e-7;
+    s.rel_hist[0] = 100;
+    return obs::numerics_record_json(kernel, array, s);
+}
+
+// ------------------------------------------------------------- summarize
+
+TEST(Summarize, DigestsManifestStepsAndNumerics) {
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), step_line(0.010, 0.002, 0.006, 1),
+         step_line(0.020, 0.002, 0.006, 0),
+         numerics_line("clamr.flux_sweep", "dh", 3)});
+    EXPECT_EQ(run.program, "dam_break");
+    EXPECT_EQ(run.manifest.at("precision"), "mixed");
+    EXPECT_EQ(run.steps, 2);
+    EXPECT_DOUBLE_EQ(run.wall_s_total, 0.030);
+    EXPECT_DOUBLE_EQ(run.mean_step_wall_s(), 0.015);
+    EXPECT_EQ(run.rezones, 1);
+    EXPECT_DOUBLE_EQ(run.phase_seconds.at("finite_diff"), 0.012);
+    ASSERT_EQ(run.numerics.count("clamr.flux_sweep/dh"), 1u);
+    EXPECT_EQ(run.numerics.at("clamr.flux_sweep/dh").max_ulp, 3u);
+    EXPECT_EQ(run.invalid_lines, 0);
+    EXPECT_EQ(run.unknown_records, 0);
+}
+
+TEST(Summarize, ToleratesCrashTruncatedTailAndUnknownTypes) {
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), step_line(0.01, 0.0, 0.01),
+         "{\"type\":\"wibble\",\"x\":1}", "{\"type\":\"step\",\"t\":0.2,"});
+    EXPECT_EQ(run.steps, 1);
+    EXPECT_EQ(run.unknown_records, 1);
+    EXPECT_EQ(run.invalid_lines, 1);
+}
+
+TEST(Summarize, EmptyStreamYieldsEmptySummary) {
+    const report::RunSummary run = report::summarize({});
+    EXPECT_EQ(run.steps, 0);
+    EXPECT_EQ(run.mean_step_wall_s(), 0.0);
+    EXPECT_EQ(run.rezone_share(), 0.0);
+    EXPECT_TRUE(report::phase_rollup(run).empty());
+}
+
+TEST(Summarize, NullMaxRelMarksInfiniteDivergence) {
+    obs::DivergenceStats s;
+    s.observe(1.0f, 0.0);  // rel = inf -> null in the record
+    const report::RunSummary run =
+        report::summarize({obs::numerics_record_json("k", "a", s)});
+    ASSERT_EQ(run.numerics.count("k/a"), 1u);
+    EXPECT_FALSE(run.numerics.at("k/a").max_rel_finite);
+}
+
+// ---------------------------------------------------------- phase rollup
+
+TEST(PhaseRollup, SubPhasesNestAndSharesExcludeThem) {
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), step_line(0.01, 0.002, 0.006)});
+    // rezone_share denominator is finite_diff + rezone (rezone_remap is a
+    // sub-phase of rezone and must not double count).
+    EXPECT_NEAR(run.rezone_share(), 0.002 / 0.008, 1e-12);
+    const auto rows = report::phase_rollup(run);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].phase, "finite_diff");
+    EXPECT_FALSE(rows[0].sub_phase);
+    EXPECT_EQ(rows[1].phase, "rezone");
+    EXPECT_EQ(rows[2].phase, "rezone_remap");
+    EXPECT_TRUE(rows[2].sub_phase);
+    EXPECT_NEAR(rows[0].share + rows[1].share, 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ diff
+
+report::RunSummary baseline_run() {
+    return report::summarize({manifest_line(),
+                              step_line(0.010, 0.001, 0.008),
+                              step_line(0.010, 0.001, 0.008),
+                              numerics_line("clamr.flux_sweep", "dh", 10)});
+}
+
+TEST(Diff, IdenticalRunsPass) {
+    const auto base = baseline_run();
+    const auto diff = report::diff_runs(base, base, {});
+    EXPECT_TRUE(diff.ok()) << (diff.regressions.empty()
+                                   ? ""
+                                   : diff.regressions[0].metric);
+}
+
+TEST(Diff, StepTimeRegressionPastThresholdFails) {
+    const auto base = baseline_run();
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.013, 0.001, 0.008),
+         numerics_line("clamr.flux_sweep", "dh", 10)});
+    report::Thresholds t;
+    t.step_time_frac = 0.20;
+    const auto diff = report::diff_runs(base, cand, t);
+    ASSERT_FALSE(diff.ok());
+    EXPECT_EQ(diff.regressions[0].metric, "mean_step_wall_s");
+    // +30% fails the 20% gate but passes a 50% one.
+    t.step_time_frac = 0.50;
+    EXPECT_TRUE(report::diff_runs(base, cand, t).ok());
+}
+
+TEST(Diff, UlpDriftPastFactorFails) {
+    const auto base = baseline_run();
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         numerics_line("clamr.flux_sweep", "dh", 21)});  // > 2 x 10
+    const auto diff = report::diff_runs(base, cand, {});
+    ASSERT_FALSE(diff.ok());
+    EXPECT_EQ(diff.regressions[0].metric, "max_ulp[clamr.flux_sweep/dh]");
+    EXPECT_EQ(diff.regressions[0].baseline, 10.0);
+    EXPECT_EQ(diff.regressions[0].candidate, 21.0);
+    // Exactly 2x is allowed.
+    const auto cand2x = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         numerics_line("clamr.flux_sweep", "dh", 20)});
+    EXPECT_TRUE(report::diff_runs(base, cand2x, {}).ok());
+}
+
+TEST(Diff, NewDriftWhereBaselineWasExactFails) {
+    const auto base = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         numerics_line("clamr.flux_sweep", "dh", 0)});
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         numerics_line("clamr.flux_sweep", "dh", 1)});
+    EXPECT_FALSE(report::diff_runs(base, cand, {}).ok());
+}
+
+TEST(Diff, RezoneShareGrowthPastPointsFails) {
+    const auto base = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.009)});  // 10% share
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.003, 0.007)});  // 30% share
+    report::Thresholds t;
+    t.rezone_share_pts = 0.10;
+    const auto diff = report::diff_runs(base, cand, t);
+    ASSERT_FALSE(diff.ok());
+    EXPECT_EQ(diff.regressions[0].metric, "rezone_share");
+    t.rezone_share_pts = 0.25;
+    EXPECT_TRUE(report::diff_runs(base, cand, t).ok());
+}
+
+TEST(Diff, KernelAsymmetryIsANoteNotARegression) {
+    const auto base = baseline_run();
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         numerics_line("clamr.flux_sweep", "dh", 10),
+         numerics_line("sem.rhs", "rho", 5)});
+    const auto diff = report::diff_runs(base, cand, {});
+    EXPECT_TRUE(diff.ok());
+    ASSERT_FALSE(diff.notes.empty());
+    EXPECT_NE(diff.notes[0].find("sem.rhs/rho"), std::string::npos);
+}
+
+TEST(Diff, MissingWallSecondsSkipsStepTimeWithNote) {
+    // Baseline steps carry phase timings (so the rezone-share gate is
+    // comparable) but no wall_s — the step-time gate must skip, not trip.
+    const std::string phases =
+        json::Object().field("finite_diff", 0.008).field("rezone", 0.001)
+            .str();
+    const auto base = report::summarize(
+        {manifest_line(), json::Object()
+                              .field("type", "step")
+                              .field("t", 0.1)
+                              .field_raw("phase_seconds", phases)
+                              .str(),
+         numerics_line("clamr.flux_sweep", "dh", 10)});
+    const auto cand = baseline_run();
+    const auto diff = report::diff_runs(base, cand, {});
+    EXPECT_TRUE(diff.ok());
+    bool noted = false;
+    for (const auto& note : diff.notes)
+        if (note.find("wall_s") != std::string::npos) noted = true;
+    EXPECT_TRUE(noted);
+}
+
+TEST(Diff, InfiniteMaxRelAppearingIsARegression) {
+    obs::DivergenceStats inf_stats;
+    inf_stats.observe(1.0f, 0.0);
+    const auto base = baseline_run();
+    auto cand_lines = std::vector<std::string>{
+        manifest_line(), step_line(0.010, 0.001, 0.008),
+        obs::numerics_record_json("clamr.flux_sweep", "dh", inf_stats)};
+    const auto cand = report::summarize(cand_lines);
+    // max_ulp also regressed here (inf observation counts ULPs), so just
+    // assert the infinite-rel regression is among them.
+    const auto diff = report::diff_runs(base, cand, {});
+    bool found = false;
+    for (const auto& r : diff.regressions)
+        if (r.metric.find("became infinite") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+// tp_report: offline analyzer for flight-recorder metrics streams.
+//
+// Single-run rollup:
+//   $ ./tp_report --metrics run.jsonl
+// prints the run manifest line, the per-phase time table, and the
+// per-kernel shadow-divergence table.
+//
+// Run diffing (CI regression gate):
+//   $ ./tp_report --metrics candidate.jsonl --baseline golden.jsonl
+// exits 1 when the candidate regresses past the thresholds (mean step
+// wall time +20%, rezone time share +10 points, per-kernel max ULP
+// drift 2x — all overridable), 0 otherwise. --format=json emits the
+// whole report as one JSON document for scripted consumers.
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace tp;
+using obs::report::DiffResult;
+using obs::report::RunSummary;
+
+namespace {
+
+std::string percent(double frac) {
+    return util::fixed(frac * 100.0, 1) + "%";
+}
+
+void print_summary_text(const RunSummary& run) {
+    std::printf("program: %s\n",
+                run.program.empty() ? "(no manifest)" : run.program.c_str());
+    std::string manifest;
+    for (const auto& [key, value] : run.manifest) {
+        if (key == "program") continue;
+        if (!manifest.empty()) manifest += "  ";
+        manifest += key + "=" + value;
+    }
+    if (!manifest.empty()) std::printf("manifest: %s\n", manifest.c_str());
+    std::printf("steps: %lld  final t: %s  mean step: %s ms  "
+                "rezones: %lld\n",
+                static_cast<long long>(run.steps),
+                util::fixed(run.final_time, 5).c_str(),
+                util::fixed(run.mean_step_wall_s() * 1e3, 3).c_str(),
+                static_cast<long long>(run.rezones));
+    if (run.diagnostics > 0)
+        std::printf("DIAGNOSTICS: %lld numerical-fault record%s\n",
+                    static_cast<long long>(run.diagnostics),
+                    run.diagnostics == 1 ? "" : "s");
+    if (run.invalid_lines > 0 || run.unknown_records > 0)
+        std::printf("stream: %lld invalid line%s, %lld unknown record "
+                    "type%s\n",
+                    static_cast<long long>(run.invalid_lines),
+                    run.invalid_lines == 1 ? "" : "s",
+                    static_cast<long long>(run.unknown_records),
+                    run.unknown_records == 1 ? "" : "s");
+    std::printf("\n");
+
+    const auto rows = obs::report::phase_rollup(run);
+    if (!rows.empty()) {
+        util::TextTable table("per-phase time rollup");
+        table.set_header({"phase", "seconds", "share"});
+        for (const auto& row : rows)
+            table.add_row({(row.sub_phase ? "  " : "") + row.phase,
+                           util::fixed(row.seconds, 4),
+                           row.sub_phase ? "" : percent(row.share)});
+        table.print();
+    }
+
+    if (!run.numerics.empty()) {
+        util::TextTable table("shadow divergence (vs double reference)");
+        table.set_header({"kernel/array", "samples", "exact", "max ulp",
+                          "mean ulp", "max rel", "err budget"});
+        for (const auto& [key, e] : run.numerics) {
+            const double exact_frac =
+                e.samples == 0 ? 0.0
+                               : static_cast<double>(e.exact) /
+                                     static_cast<double>(e.samples);
+            table.add_row(
+                {key, std::to_string(e.samples), percent(exact_frac),
+                 std::to_string(e.max_ulp), util::fixed(e.mean_ulp, 3),
+                 e.max_rel_finite ? util::scientific(e.max_rel, 2) : "inf",
+                 util::scientific(e.sum_abs_err, 2)});
+        }
+        table.print();
+    }
+}
+
+void print_diff_text(const DiffResult& diff) {
+    for (const std::string& note : diff.notes)
+        std::printf("note: %s\n", note.c_str());
+    if (diff.ok()) {
+        std::printf("diff: OK (no threshold exceeded)\n");
+        return;
+    }
+    util::TextTable table("REGRESSIONS");
+    table.set_header({"metric", "baseline", "candidate", "limit"});
+    for (const auto& r : diff.regressions)
+        table.add_row({r.metric, util::scientific(r.baseline, 3),
+                       util::scientific(r.candidate, 3),
+                       util::scientific(r.limit, 3)});
+    table.print();
+}
+
+std::string summary_json(const RunSummary& run) {
+    std::string numerics = "[";
+    bool first = true;
+    for (const auto& [key, e] : run.numerics) {
+        if (!first) numerics.push_back(',');
+        first = false;
+        obs::json::Object entry;
+        entry.field("key", key)
+            .field("samples", e.samples)
+            .field("exact", e.exact)
+            .field("max_ulp", e.max_ulp)
+            .field("mean_ulp", e.mean_ulp)
+            .field("max_rel", e.max_rel_finite
+                                  ? e.max_rel
+                                  : std::numeric_limits<double>::infinity())
+            .field("mean_rel", e.mean_rel)
+            .field("sum_abs_err", e.sum_abs_err);
+        numerics += std::move(entry).str();
+    }
+    numerics.push_back(']');
+
+    std::string phases = "[";
+    first = true;
+    for (const auto& row : obs::report::phase_rollup(run)) {
+        if (!first) phases.push_back(',');
+        first = false;
+        obs::json::Object entry;
+        entry.field("phase", row.phase)
+            .field("seconds", row.seconds)
+            .field("share", row.share)
+            .field("sub_phase", row.sub_phase);
+        phases += std::move(entry).str();
+    }
+    phases.push_back(']');
+
+    obs::json::Object out;
+    out.field("program", run.program)
+        .field("steps", static_cast<std::int64_t>(run.steps))
+        .field("final_time", run.final_time)
+        .field("mean_step_wall_s", run.mean_step_wall_s())
+        .field("rezone_share", run.rezone_share())
+        .field("rezones", static_cast<std::int64_t>(run.rezones))
+        .field("diagnostics", static_cast<std::int64_t>(run.diagnostics))
+        .field("invalid_lines",
+               static_cast<std::int64_t>(run.invalid_lines))
+        .field("unknown_records",
+               static_cast<std::int64_t>(run.unknown_records))
+        .field_raw("phases", phases)
+        .field_raw("numerics", numerics);
+    return std::move(out).str();
+}
+
+std::string diff_json(const DiffResult& diff) {
+    std::string regressions = "[";
+    bool first = true;
+    for (const auto& r : diff.regressions) {
+        if (!first) regressions.push_back(',');
+        first = false;
+        obs::json::Object entry;
+        entry.field("metric", r.metric)
+            .field("baseline", r.baseline)
+            .field("candidate", r.candidate)
+            .field("limit", r.limit);
+        regressions += std::move(entry).str();
+    }
+    regressions.push_back(']');
+
+    std::string notes = "[";
+    first = true;
+    for (const std::string& note : diff.notes) {
+        if (!first) notes.push_back(',');
+        first = false;
+        obs::json::append_escaped(notes, note);
+    }
+    notes.push_back(']');
+
+    obs::json::Object out;
+    out.field("ok", diff.ok())
+        .field_raw("regressions", regressions)
+        .field_raw("notes", notes);
+    return std::move(out).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::ArgParser args(
+        "tp_report",
+        "Analyze and diff flight-recorder metrics streams (JSONL)");
+    args.add_option("metrics", "metrics JSONL file to analyze", "");
+    args.add_option("baseline",
+                    "baseline metrics JSONL to diff against (enables the "
+                    "regression gate)",
+                    "");
+    args.add_option("format", "text | json", "text");
+    args.add_double_option(
+        "max-step-time-frac",
+        "allowed fractional mean-step-time growth vs baseline", "0.20");
+    args.add_double_option(
+        "max-rezone-share-pts",
+        "allowed rezone time-share growth vs baseline (fraction)", "0.10");
+    args.add_double_option(
+        "max-ulp-factor", "allowed per-kernel max-ULP growth vs baseline",
+        "2.0");
+    if (!args.parse(argc, argv)) return 2;
+
+    const std::string metrics_path = args.get_string("metrics");
+    if (metrics_path.empty()) {
+        std::fprintf(stderr, "tp_report: --metrics is required\n%s",
+                     args.help().c_str());
+        return 2;
+    }
+    const std::string format = args.get_string("format");
+    if (format != "text" && format != "json") {
+        std::fprintf(stderr, "tp_report: unknown --format '%s'\n",
+                     format.c_str());
+        return 2;
+    }
+
+    std::string error;
+    const auto candidate =
+        obs::report::load_metrics_file(metrics_path, &error);
+    if (!candidate) {
+        std::fprintf(stderr, "tp_report: %s\n", error.c_str());
+        return 2;
+    }
+
+    const std::string baseline_path = args.get_string("baseline");
+    if (baseline_path.empty()) {
+        if (format == "json")
+            std::printf("%s\n", summary_json(*candidate).c_str());
+        else
+            print_summary_text(*candidate);
+        return 0;
+    }
+
+    const auto baseline =
+        obs::report::load_metrics_file(baseline_path, &error);
+    if (!baseline) {
+        std::fprintf(stderr, "tp_report: %s\n", error.c_str());
+        return 2;
+    }
+    obs::report::Thresholds thresholds;
+    thresholds.step_time_frac = args.get_double("max-step-time-frac");
+    thresholds.rezone_share_pts = args.get_double("max-rezone-share-pts");
+    thresholds.ulp_factor = args.get_double("max-ulp-factor");
+    const DiffResult diff =
+        obs::report::diff_runs(*baseline, *candidate, thresholds);
+
+    if (format == "json") {
+        obs::json::Object out;
+        out.field_raw("candidate", summary_json(*candidate))
+            .field_raw("baseline", summary_json(*baseline))
+            .field_raw("diff", diff_json(diff));
+        std::printf("%s\n", std::move(out).str().c_str());
+    } else {
+        print_summary_text(*candidate);
+        print_diff_text(diff);
+    }
+    return diff.ok() ? 0 : 1;
+}
