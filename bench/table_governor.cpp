@@ -1,0 +1,264 @@
+// Runtime precision-governor study: governed step time and transition
+// behavior vs. the static precision policies, for both mini-apps.
+//
+// Three gates back the governor design contract (DESIGN.md §11):
+//   * attaching a DISABLED governor must not perturb the physics — the
+//     checkpoint must be bit-identical to a plain run for every policy
+//     (this is the `--governor=off` ≡ ungoverned-binary guarantee);
+//   * an ENABLED governor whose budget can never be crossed must leave a
+//     float-compute policy on its native path — bit-identical to the
+//     plain single-precision run (the monitor only reads);
+//   * a tight budget must drive the loop through BOTH transitions — at
+//     least one promote (the telemetry crossed the budget) and at least
+//     one demote (promoted double steps score zero drift on the float
+//     lattice, so the hysteresis window fills with clean steps).
+// The harness exits nonzero if any gate fails, so CI can run it as a
+// smoke test (--quick).
+
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "fp/governor.hpp"
+#include "util/cli.hpp"
+
+using namespace tp;
+
+namespace {
+
+struct Sample {
+    double seconds = 0.0;
+    std::string checkpoint;
+    std::size_t promotes = 0;
+    std::size_t demotes = 0;
+    std::uint64_t reduced_steps = 0;
+    std::uint64_t observed_steps = 0;
+};
+
+void digest_decisions(const fp::PrecisionGovernor& gov, Sample& out) {
+    for (const auto& d : gov.decisions())
+        (d.action == "promote" ? out.promotes : out.demotes) += 1;
+    out.reduced_steps = gov.reduced_steps(0);
+    out.observed_steps = gov.observed_steps(0);
+}
+
+/// Budget the telemetry can never cross: the governor stays attached and
+/// measuring, but every kernel stays demoted for the whole run.
+fp::GovernorConfig uncrossable_budget() {
+    fp::GovernorConfig cfg;
+    cfg.enabled = true;
+    cfg.drift_budget_ulp = std::numeric_limits<std::uint64_t>::max();
+    cfg.tail_budget_frac = 2.0;  // tail fractions live in [0, 1]
+    return cfg;
+}
+
+/// Budget any nonzero drift crosses: promotes as soon as warmup ends,
+/// then demotes once `hysteresis` promoted steps come back clean.
+fp::GovernorConfig zero_budget() {
+    fp::GovernorConfig cfg;
+    cfg.enabled = true;
+    cfg.drift_budget_ulp = 0;
+    cfg.tail_budget_frac = 0.0;
+    cfg.warmup = 1;
+    cfg.hysteresis = 4;
+    return cfg;
+}
+
+template <typename P>
+Sample run_clamr(int n, int levels, int steps,
+                 const std::optional<fp::GovernorConfig>& gov_cfg) {
+    shallow::Config cfg;
+    cfg.geom = {0.0, 0.0, 100.0, 100.0, n, n, levels};
+    shallow::ShallowWaterSolver<P> s(cfg);
+    std::optional<fp::PrecisionGovernor> gov;
+    if (gov_cfg) {
+        gov.emplace(*gov_cfg);
+        s.set_governor(&*gov);
+    }
+    s.initialize_dam_break({});
+    util::WallTimer t;
+    for (int i = 0; i < steps; ++i) {
+        s.step();
+        if (gov) gov->end_step(s.step_count());
+    }
+    Sample out;
+    out.seconds = t.elapsed_seconds();
+    std::ostringstream os;
+    s.write_checkpoint(os);
+    out.checkpoint = os.str();
+    if (gov && gov->enabled()) digest_decisions(*gov, out);
+    return out;
+}
+
+template <typename P>
+Sample run_sem(int elems, int order, int steps,
+               const std::optional<fp::GovernorConfig>& gov_cfg) {
+    sem::SemConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = elems;
+    cfg.order = order;
+    sem::SpectralEulerSolver<P> s(cfg);
+    std::optional<fp::PrecisionGovernor> gov;
+    if (gov_cfg) {
+        gov.emplace(*gov_cfg);
+        s.set_governor(&*gov);
+    }
+    s.initialize_thermal_bubble({});
+    util::WallTimer t;
+    for (int i = 0; i < steps; ++i) {
+        s.step();
+        if (gov) gov->end_step(static_cast<std::int64_t>(s.step_count()));
+    }
+    Sample out;
+    out.seconds = t.elapsed_seconds();
+    out.checkpoint = s.state_fingerprint();
+    if (gov && gov->enabled()) digest_decisions(*gov, out);
+    return out;
+}
+
+std::string share(std::uint64_t part, std::uint64_t total) {
+    if (total == 0) return "-";
+    return util::fixed(100.0 * static_cast<double>(part) /
+                           static_cast<double>(total),
+                       0) +
+           "%";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::ArgParser args(
+        "table_governor",
+        "Runtime precision governor: governed vs static step time, "
+        "transition counts, and bitwise no-perturbation gates");
+    args.add_int_option("grid", "CLAMR coarse cells per side", "32");
+    args.add_int_option("levels", "CLAMR max AMR levels", "3");
+    args.add_int_option("elems", "SEM elements per side", "4");
+    args.add_int_option("order", "SEM polynomial order", "4");
+    args.add_int_option("steps", "time steps per run", "40");
+    args.add_flag("quick", "CI smoke mode: small grids, few steps");
+    if (!args.parse(argc, argv)) return 1;
+
+    int grid = args.get_int("grid");
+    int levels = args.get_int("levels");
+    int elems = args.get_int("elems");
+    int order = args.get_int("order");
+    int steps = args.get_int("steps");
+    if (args.get_flag("quick")) {
+        grid = 16;
+        levels = 2;
+        elems = 2;
+        order = 3;
+        steps = 12;
+    }
+
+    bench::print_scale_note(
+        "precision governor, CLAMR dam break " + std::to_string(grid) +
+        "^2 lvl" + std::to_string(levels) + " and SEM thermal bubble " +
+        std::to_string(elems) + "^3 order " + std::to_string(order) + ", " +
+        std::to_string(steps) + " steps");
+
+    int failures = 0;
+    auto gate = [&](const char* what, bool pass) {
+        std::printf("gate: %-52s %s\n", what, pass ? "PASS" : "FAIL");
+        if (!pass) ++failures;
+    };
+
+    util::TextTable table("Governed vs static runs");
+    table.set_header({"App", "Policy", "Governor", "Time (s)", "Promotes",
+                      "Demotes", "Reduced steps"});
+    auto add_row = [&](const char* app, const char* policy,
+                       const char* mode, const Sample& s, bool governed) {
+        table.add_row({app, policy, mode, util::fixed(s.seconds, 4),
+                       governed ? std::to_string(s.promotes) : "-",
+                       governed ? std::to_string(s.demotes) : "-",
+                       governed
+                           ? share(s.reduced_steps, s.observed_steps)
+                           : "-"});
+    };
+
+    // --- CLAMR: disabled-governor gate across every policy -------------
+    {
+        fp::GovernorConfig off;  // enabled = false
+        const auto plain_min =
+            run_clamr<fp::MinimumPrecision>(grid, levels, steps, {});
+        const auto plain_mix =
+            run_clamr<fp::MixedPrecision>(grid, levels, steps, {});
+        const auto plain_full =
+            run_clamr<fp::FullPrecision>(grid, levels, steps, {});
+        gate("clamr minimum: disabled governor bit-identical",
+             run_clamr<fp::MinimumPrecision>(grid, levels, steps, off)
+                     .checkpoint == plain_min.checkpoint);
+        gate("clamr mixed: disabled governor bit-identical",
+             run_clamr<fp::MixedPrecision>(grid, levels, steps, off)
+                     .checkpoint == plain_mix.checkpoint);
+        gate("clamr full: disabled governor bit-identical",
+             run_clamr<fp::FullPrecision>(grid, levels, steps, off)
+                     .checkpoint == plain_full.checkpoint);
+
+        // Enabled but uncrossable: minimum precision already computes in
+        // float, so the demoted dispatch is the native path and the run
+        // must stay bitwise identical — the monitor only reads.
+        const auto uncross = run_clamr<fp::MinimumPrecision>(
+            grid, levels, steps, uncrossable_budget());
+        gate("clamr minimum: uncrossable budget bit-identical",
+             uncross.checkpoint == plain_min.checkpoint);
+        gate("clamr minimum: uncrossable budget never transitions",
+             uncross.promotes == 0 && uncross.demotes == 0);
+
+        const auto governed = run_clamr<fp::MixedPrecision>(
+            grid, levels, steps, zero_budget());
+        gate("clamr mixed: zero budget promotes",
+             governed.promotes >= 1);
+        gate("clamr mixed: promoted steps come back clean (demotes)",
+             governed.demotes >= 1);
+
+        add_row("clamr", "minimum", "off", plain_min, false);
+        add_row("clamr", "mixed", "off", plain_mix, false);
+        add_row("clamr", "full", "off", plain_full, false);
+        add_row("clamr", "minimum", "uncrossable", uncross, true);
+        add_row("clamr", "mixed", "zero-budget", governed, true);
+    }
+
+    // --- SEM: same contract on the spectral-element solver --------------
+    {
+        fp::GovernorConfig off;
+        const auto plain_min =
+            run_sem<fp::MinimumPrecision>(elems, order, steps, {});
+        const auto plain_full =
+            run_sem<fp::FullPrecision>(elems, order, steps, {});
+        gate("sem single: disabled governor bit-identical",
+             run_sem<fp::MinimumPrecision>(elems, order, steps, off)
+                     .checkpoint == plain_min.checkpoint);
+        gate("sem double: disabled governor bit-identical",
+             run_sem<fp::FullPrecision>(elems, order, steps, off)
+                     .checkpoint == plain_full.checkpoint);
+
+        const auto uncross = run_sem<fp::MinimumPrecision>(
+            elems, order, steps, uncrossable_budget());
+        gate("sem single: uncrossable budget bit-identical",
+             uncross.checkpoint == plain_min.checkpoint);
+
+        const auto governed =
+            run_sem<fp::FullPrecision>(elems, order, steps, zero_budget());
+        gate("sem double: zero budget promotes", governed.promotes >= 1);
+        gate("sem double: promoted steps come back clean (demotes)",
+             governed.demotes >= 1);
+
+        add_row("sem", "single", "off", plain_min, false);
+        add_row("sem", "double", "off", plain_full, false);
+        add_row("sem", "single", "uncrossable", uncross, true);
+        add_row("sem", "double", "zero-budget", governed, true);
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("governor gates: %s\n",
+                failures == 0 ? "PASS (governor off/idle never perturbs "
+                                "the physics; tight budgets drive both "
+                                "transitions)"
+                              : "FAIL");
+    return failures == 0 ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "analysis/linecut.hpp"
+#include "fp/governor.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "shallow/solver.hpp"
@@ -38,6 +39,7 @@ int run(const util::ArgParser& args) {
     ic.h_outside = args.get_double("h-outside");
 
     const int nthreads = util::apply_threads_option(args);
+    const fp::GovernorConfig gov_cfg = util::apply_governor_options(args);
 
     const obs::ObsGuard obs_guard(
         args, "dam_break",
@@ -46,9 +48,19 @@ int run(const util::ArgParser& args) {
          {"rezone", shallow::rezone_mode_name(cfg.rezone_mode)},
          {"grid", std::to_string(n)},
          {"levels", std::to_string(cfg.geom.max_level)},
-         {"courant", std::to_string(cfg.courant)}});
+         {"courant", std::to_string(cfg.courant)},
+         {"governor", gov_cfg.enabled ? "on" : "off"},
+         {"drift_budget", std::to_string(gov_cfg.drift_budget_ulp)}});
+
+    // The governor outlives the solver's use of it; the record sink routes
+    // each transition into the metrics stream as a {"type":"governor"} line.
+    fp::PrecisionGovernor governor(gov_cfg);
+    governor.set_record_sink([](const std::string& line) {
+        if (obs::metrics().is_open()) obs::metrics().write_line(line);
+    });
 
     shallow::ShallowWaterSolver<Policy> solver(cfg);
+    solver.set_governor(&governor);
     solver.initialize_dam_break(ic);
     const double mass0 = solver.total_mass();
     std::printf(
@@ -64,6 +76,7 @@ int run(const util::ArgParser& args) {
     for (int s = 0; s < steps; ++s) {
         util::WallTimer step_timer;
         const double dt = solver.step();
+        if (governor.enabled()) governor.end_step(solver.step_count());
         const double wall_s = step_timer.elapsed_seconds();
         if (obs::metrics().is_open()) {
             const auto& rz = solver.rezone_stats();
@@ -113,6 +126,20 @@ int run(const util::ArgParser& args) {
         solver.timers().total("rezone_cache"));
     std::printf("mass drift: %+.3e (relative)\n",
                 (solver.total_mass() - mass0) / mass0);
+    if (governor.enabled()) {
+        std::size_t promotes = 0;
+        for (const auto& d : governor.decisions())
+            if (d.action == "promote") ++promotes;
+        // The solver registers exactly one governed kernel, so id 0 is
+        // clamr.flux_sweep.
+        std::printf(
+            "governor: %zu transitions (%zu promotes, %zu demotes), "
+            "flux sweep reduced %llu of %llu governed steps\n",
+            governor.decisions().size(), promotes,
+            governor.decisions().size() - promotes,
+            static_cast<unsigned long long>(governor.reduced_steps(0)),
+            static_cast<unsigned long long>(governor.observed_steps(0)));
+    }
     std::printf("state: %s resident, checkpoint %s\n",
                 util::human_bytes(solver.state_bytes()).c_str(),
                 util::human_bytes(solver.checkpoint_bytes()).c_str());
@@ -161,6 +188,7 @@ int main(int argc, char** argv) {
     util::add_simd_option(args);
     util::add_rezone_option(args);
     util::add_threads_option(args);
+    util::add_governor_options(args);
     obs::add_obs_options(args);
     if (!args.parse(argc, argv)) return 1;
 

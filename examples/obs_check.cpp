@@ -132,9 +132,47 @@ void check_numerics_record(const std::string& line, std::size_t lineno) {
              " has exact > samples");
 }
 
+// Schema check for one {"type":"governor"} record (fp/governor.hpp): a
+// runtime precision transition. Every field the timeline analyzer
+// consumes must be present with the right type, the action must be one
+// of the two transitions, and from/to must name the two lattices.
+void check_governor_record(const std::string& line, std::size_t lineno) {
+    const auto rec = obs::json::parse(line);
+    if (!rec || !rec->is_object()) {
+        fail("governor record on line " + std::to_string(lineno) +
+             " does not parse");
+        return;
+    }
+    const obs::json::Value* kernel = rec->find("kernel");
+    if (kernel == nullptr || !kernel->is_string() ||
+        kernel->as_string().empty())
+        fail("governor record on line " + std::to_string(lineno) +
+             " is missing string 'kernel'");
+    const obs::json::Value* action = rec->find("action");
+    if (action == nullptr || !action->is_string() ||
+        (action->as_string() != "promote" &&
+         action->as_string() != "demote"))
+        fail("governor record on line " + std::to_string(lineno) +
+             " action is not promote|demote");
+    for (const char* key : {"from", "to"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || !v->is_string() ||
+            (v->as_string() != "float" && v->as_string() != "double"))
+            fail("governor record on line " + std::to_string(lineno) +
+                 " field '" + std::string(key) + "' is not float|double");
+    for (const char* key : {"step", "max_ulp", "tail_frac", "samples",
+                            "clean_steps", "drift_budget_ulp",
+                            "tail_budget_frac"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || !v->is_number())
+            fail("governor record on line " + std::to_string(lineno) +
+                 " is missing numeric '" + std::string(key) + "'");
+}
+
 void check_metrics(const std::string& path,
                    const std::vector<std::string>& required_phases,
-                   const std::vector<std::string>& required_numerics) {
+                   const std::vector<std::string>& required_numerics,
+                   const std::vector<std::string>& required_governor) {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         fail("metrics file '" + path + "' cannot be opened");
@@ -145,13 +183,15 @@ void check_metrics(const std::string& path,
     // checker (update CI together) or the stream is corrupt — both need a
     // human, not a silent pass.
     static constexpr const char* kKnownTypes[] = {
-        "manifest", "step", "diagnostic", "probe", "numerics", "table"};
+        "manifest", "step",     "diagnostic", "probe",
+        "numerics", "governor", "table"};
     std::string line;
     std::size_t lineno = 0;
     std::size_t steps = 0;
     bool saw_manifest = false;
     std::string all_steps;
     std::string numerics_kernels;
+    std::string governor_kernels;
     while (std::getline(is, line)) {
         ++lineno;
         if (line.empty()) {
@@ -189,7 +229,7 @@ void check_metrics(const std::string& path,
             fail("metrics file '" + path + "' line " +
                  std::to_string(lineno) +
                  " has an unknown record type (known: manifest, step, "
-                 "diagnostic, probe, numerics, table)");
+                 "diagnostic, probe, numerics, governor, table)");
             continue;
         }
         if (has_pair(line, "type", "step")) {
@@ -206,6 +246,10 @@ void check_metrics(const std::string& path,
             check_numerics_record(line, lineno);
             numerics_kernels += line;
         }
+        if (has_pair(line, "type", "governor")) {
+            check_governor_record(line, lineno);
+            governor_kernels += line;
+        }
     }
     if (!saw_manifest) fail("metrics file '" + path + "' has no manifest");
     if (steps == 0)
@@ -218,6 +262,11 @@ void check_metrics(const std::string& path,
         if (numerics_kernels.find("\"kernel\":\"" + kernel + "\"") ==
             std::string::npos)
             fail("no numerics record for kernel '" + kernel + "'");
+    for (const std::string& kernel : required_governor)
+        if (governor_kernels.find("\"kernel\":\"" + kernel + "\"") ==
+            std::string::npos)
+            fail("no governor transition record for kernel '" + kernel +
+                 "'");
 }
 
 }  // namespace
@@ -238,6 +287,10 @@ int main(int argc, char** argv) {
                     "comma-separated kernels that must have a "
                     "{\"type\":\"numerics\"} divergence record",
                     "");
+    args.add_option("require-governor",
+                    "comma-separated kernels that must have a "
+                    "{\"type\":\"governor\"} transition record",
+                    "");
     if (!args.parse(argc, argv)) return 1;
 
     const std::string trace = args.get_string("trace");
@@ -252,7 +305,8 @@ int main(int argc, char** argv) {
         check_trace(trace, split_csv(args.get_string("require")));
     if (!metrics.empty())
         check_metrics(metrics, split_csv(args.get_string("require-phases")),
-                      split_csv(args.get_string("require-numerics")));
+                      split_csv(args.get_string("require-numerics")),
+                      split_csv(args.get_string("require-governor")));
 
     if (failures == 0) {
         std::printf("obs_check: OK (%s%s%s)\n", trace.c_str(),

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "analysis/linecut.hpp"
+#include "fp/governor.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "sem/dgsem.hpp"
@@ -35,15 +36,26 @@ int run(const util::ArgParser& args) {
     bubble.radius = args.get_double("radius");
 
     const int nthreads = util::apply_threads_option(args);
+    const fp::GovernorConfig gov_cfg = util::apply_governor_options(args);
 
     const obs::ObsGuard obs_guard(
         args, "thermal_bubble",
         {{"precision", std::string(Policy::name)},
          {"elements", std::to_string(cfg.nx)},
          {"order", std::to_string(cfg.order)},
-         {"courant", std::to_string(cfg.courant)}});
+         {"courant", std::to_string(cfg.courant)},
+         {"governor", gov_cfg.enabled ? "on" : "off"},
+         {"drift_budget", std::to_string(gov_cfg.drift_budget_ulp)}});
+
+    // The governor outlives the solver's use of it; the record sink routes
+    // each transition into the metrics stream as a {"type":"governor"} line.
+    fp::PrecisionGovernor governor(gov_cfg);
+    governor.set_record_sink([](const std::string& line) {
+        if (obs::metrics().is_open()) obs::metrics().write_line(line);
+    });
 
     sem::SpectralEulerSolver<Policy> solver(cfg);
+    solver.set_governor(&governor);
     solver.initialize_thermal_bubble(bubble);
     const double mass0 = solver.total_mass_perturbation();
     std::printf(
@@ -63,6 +75,7 @@ int run(const util::ArgParser& args) {
     for (int s = 0; s < steps; ++s) {
         util::WallTimer step_timer;
         const double dt = solver.step();
+        if (governor.enabled()) governor.end_step(solver.step_count());
         const double wall_s = step_timer.elapsed_seconds();
         if (obs::metrics().is_open())
             obs::metrics().write_line(
@@ -102,6 +115,20 @@ int run(const util::ArgParser& args) {
                 solver.timers().total("filter"));
     std::printf("integral rho' drift: %+.3e (relative)\n",
                 (solver.total_mass_perturbation() - mass0) / mass0);
+    if (governor.enabled()) {
+        std::size_t promotes = 0;
+        for (const auto& d : governor.decisions())
+            if (d.action == "promote") ++promotes;
+        // The solver registers exactly one governed kernel, so id 0 is
+        // sem.rhs.
+        std::printf(
+            "governor: %zu transitions (%zu promotes, %zu demotes), "
+            "rhs reduced %llu of %llu governed steps\n",
+            governor.decisions().size(), promotes,
+            governor.decisions().size() - promotes,
+            static_cast<unsigned long long>(governor.reduced_steps(0)),
+            static_cast<unsigned long long>(governor.observed_steps(0)));
+    }
     std::printf("state: %s resident, snapshot %s\n",
                 util::human_bytes(solver.state_bytes()).c_str(),
                 util::human_bytes(solver.snapshot_bytes()).c_str());
@@ -142,6 +169,7 @@ int main(int argc, char** argv) {
                   "(Table IV GNU-compiler model)");
     args.add_flag("verbose", "print periodic step diagnostics");
     util::add_threads_option(args);
+    util::add_governor_options(args);
     obs::add_obs_options(args);
     if (!args.parse(argc, argv)) return 1;
 

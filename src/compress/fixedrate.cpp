@@ -1,6 +1,7 @@
 #include "compress/fixedrate.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,13 +14,37 @@ namespace {
 constexpr int kExpBits = 11;
 constexpr int kExpBias = 1023;  // stored exponent = e + bias, like binary64
 
+// Smallest encodable block exponent. stored_e == 0 is the all-zero-block
+// sentinel, so nonzero blocks must store e + kExpBias >= 1. A subnormal
+// peak gives frexp exponents down to -1073; clamping to kMinExp keeps the
+// sentinel unambiguous (and keeps the field from wrapping through the
+// 11-bit mask). The clamp only coarsens the quantization step for blocks
+// whose peak is below 2^-1023 — the error stays within error_bound, which
+// applies the identical clamp.
+constexpr int kMinExp = 1 - kExpBias;  // -1022
+
+constexpr std::int64_t quant_max(int bits) {
+    return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+int block_exponent(double peak) {
+    int e = 0;
+    (void)std::frexp(peak, &e);  // peak = m * 2^e, m in [0.5, 1)
+    return std::max(e, kMinExp);
+}
+
 }  // namespace
 
 double error_bound(double peak, int bits) {
     if (peak == 0.0) return 0.0;
-    int e = 0;
-    (void)std::frexp(peak, &e);  // peak = m * 2^e, m in [0.5, 1)
-    return std::ldexp(1.0, e - bits + 1);
+    const int e = block_exponent(peak);
+    const auto qmax = static_cast<double>(quant_max(bits));
+    // Half a quantization step, 2^(e-1) / qmax, plus headroom for the two
+    // non-power-of-two scalings (encode multiplies by qmax, decode divides
+    // by it; each rounds once, contributing at most 2*qmax*2^-53 steps for
+    // bits <= 32) and for a reconstruction that lands on the subnormal
+    // grid. 2^-18 covers both with a wide margin.
+    return std::ldexp(0.5, e) / qmax * (1.0 + 0x1p-18);
 }
 
 CompressedArray compress_fixed_rate(std::span<const double> xs, int bits) {
@@ -31,7 +56,8 @@ CompressedArray compress_fixed_rate(std::span<const double> xs, int bits) {
     out.data.reserve((xs.size() * static_cast<std::size_t>(bits)) / 8 + 64);
     BitWriter w(out.data);
 
-    const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+    const std::int64_t qmax = quant_max(bits);
+    const auto qmax_d = static_cast<double>(qmax);
     for (std::size_t start = 0; start < xs.size(); start += kBlockSize) {
         const std::size_t n = std::min(kBlockSize, xs.size() - start);
         double peak = 0.0;
@@ -42,18 +68,29 @@ CompressedArray compress_fixed_rate(std::span<const double> xs, int bits) {
                     "compress_fixed_rate: non-finite value");
             peak = std::max(peak, std::fabs(v));
         }
-        int e = 0;
-        if (peak > 0.0) (void)std::frexp(peak, &e);
-        // All-zero blocks store the minimum exponent and all-zero payload.
+        // All-zero blocks store the sentinel exponent 0 and an all-zero
+        // payload; nonzero blocks store e + bias, clamped to >= 1 so a
+        // subnormal peak can never alias the sentinel.
+        const int e = peak > 0.0 ? block_exponent(peak) : 0;
         const int stored_e = peak > 0.0 ? e + kExpBias : 0;
         w.write(static_cast<std::uint64_t>(stored_e), kExpBits);
-        const double scale =
-            peak > 0.0 ? std::ldexp(1.0, bits - 1 - e) : 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            std::int64_t q = static_cast<std::int64_t>(
-                std::llround(xs[start + i] * scale));
+            const double x = xs[start + i];
+            // Map x to [-1, 1] with an exact power-of-two scaling, then
+            // quantize against qmax — not 2^(bits-1) — so the block peak
+            // itself rounds to at most qmax and clamping never adds error
+            // beyond the half-step the bound advertises.
+            std::int64_t q = peak > 0.0
+                                 ? std::llround(std::ldexp(x, -e) * qmax_d)
+                                 : 0;
             q = std::clamp(q, -qmax, qmax);
             w.write(static_cast<std::uint64_t>(q), bits);
+#ifndef NDEBUG
+            const double back =
+                std::ldexp(static_cast<double>(q) / qmax_d, e);
+            assert(std::fabs(back - x) <= error_bound(peak, bits) &&
+                   "fixed-rate reconstruction violates error_bound");
+#endif
         }
     }
     return out;
@@ -63,19 +100,20 @@ std::vector<double> decompress(const CompressedArray& c) {
     std::vector<double> out(c.count);
     BitReader r(c.data);
     const int bits = c.bits;
+    const auto qmax_d = static_cast<double>(quant_max(bits));
     for (std::size_t start = 0; start < c.count; start += kBlockSize) {
         const std::size_t n = std::min(kBlockSize, c.count - start);
         const auto stored_e = static_cast<int>(r.read(kExpBits));
-        const double inv_scale =
-            stored_e == 0
-                ? 0.0
-                : std::ldexp(1.0, (stored_e - kExpBias) - (bits - 1));
+        const int e = stored_e - kExpBias;
         for (std::size_t i = 0; i < n; ++i) {
             auto raw = static_cast<std::int64_t>(r.read(bits));
             // Sign-extend the bits-wide two's-complement field.
             const std::int64_t sign_bit = std::int64_t{1} << (bits - 1);
             if (raw & sign_bit) raw -= (std::int64_t{1} << bits);
-            out[start + i] = static_cast<double>(raw) * inv_scale;
+            out[start + i] =
+                stored_e == 0
+                    ? 0.0
+                    : std::ldexp(static_cast<double>(raw) / qmax_d, e);
         }
     }
     return out;

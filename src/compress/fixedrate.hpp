@@ -7,8 +7,15 @@
 // Scheme: values are processed in blocks of 64. Each block stores the
 // binade of its largest magnitude (11 bits) plus one `bits`-wide signed
 // fixed-point value per element, quantized against that common exponent.
-// The pointwise error is bounded by 2^(e_block - bits + 1), i.e. the
-// *relative-to-block-peak* error halves with every extra bit of rate.
+// Values are scaled to [-1, 1] by the block exponent and quantized against
+// qmax = 2^(bits-1) - 1, so the peak itself lands on a representable code
+// and clamping never exceeds the advertised half-step. The pointwise
+// error is bounded by error_bound(peak, bits) ~= 2^(e_block - 1) / qmax —
+// roughly halving with every extra bit of rate. The stored exponent is
+// clamped to >= -1022 (subnormal peaks quantize against the smallest
+// normal binade), which keeps the all-zero-block sentinel (stored
+// exponent 0) unambiguous; the clamp only tightens the quantization of
+// sub-2^-1023 blocks relative to the bound, never loosens it.
 
 #include <cstdint>
 #include <span>

@@ -1,0 +1,136 @@
+#include "fp/governor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace tp::fp {
+
+PrecisionGovernor::PrecisionGovernor(const GovernorConfig& cfg)
+    : cfg_(cfg) {
+    if (cfg_.hysteresis < 1) cfg_.hysteresis = 1;
+    if (cfg_.warmup < 0) cfg_.warmup = 0;
+    if (!(cfg_.tail_budget_frac >= 0.0)) cfg_.tail_budget_frac = 0.0;
+}
+
+int PrecisionGovernor::register_kernel(const std::string& name) {
+    for (std::size_t i = 0; i < kernels_.size(); ++i)
+        if (kernels_[i].name == name) {
+            kernels_[i] = Kernel{name, true, 0, 0, 0, {}, false};
+            return static_cast<int>(i);
+        }
+    kernels_.push_back(Kernel{name, true, 0, 0, 0, {}, false});
+    return static_cast<int>(kernels_.size()) - 1;
+}
+
+bool PrecisionGovernor::reduced(int id) const {
+    return kernels_.at(static_cast<std::size_t>(id)).reduced;
+}
+
+void PrecisionGovernor::observe(int id, const obs::DivergenceStats& s) {
+    Kernel& k = kernels_.at(static_cast<std::size_t>(id));
+    if (s.samples == 0) return;
+    k.pending.merge(s);
+    k.pending_any = true;
+}
+
+double PrecisionGovernor::tail_fraction(
+    const obs::DivergenceStats& s) const {
+    if (s.samples == 0) return 0.0;
+    // Bucket i >= 1 holds rel in [10^(lo+i-1), 10^(lo+i)); the top bucket
+    // absorbs everything from 10^(lo+buckets-2) up, so the finest
+    // resolvable tail start is that decade.
+    const int first =
+        std::clamp(cfg_.tail_exp - fp::kRelHistLowExp + 1, 1,
+                   fp::kRelHistBuckets - 1);
+    std::uint64_t tail = 0;
+    for (int i = first; i < fp::kRelHistBuckets; ++i)
+        tail += s.rel_hist[static_cast<std::size_t>(i)];
+    return static_cast<double>(tail) / static_cast<double>(s.samples);
+}
+
+bool PrecisionGovernor::over_budget(const obs::DivergenceStats& s) const {
+    return s.max_ulp > cfg_.drift_budget_ulp ||
+           tail_fraction(s) > cfg_.tail_budget_frac;
+}
+
+void PrecisionGovernor::end_step(std::int64_t step) {
+    if (!cfg_.enabled) return;
+    for (Kernel& k : kernels_) {
+        if (!k.pending_any) continue;  // kernel idle this step
+        ++k.steps_observed;
+        if (k.reduced) ++k.steps_reduced;
+        const bool noisy = over_budget(k.pending);
+        const bool warmed =
+            k.steps_observed > static_cast<std::uint64_t>(cfg_.warmup);
+        if (k.reduced) {
+            if (warmed && noisy) {
+                Decision d{step,
+                           k.name,
+                           "promote",
+                           k.pending.max_ulp,
+                           tail_fraction(k.pending),
+                           k.pending.samples,
+                           0};
+                k.reduced = false;
+                k.clean_steps = 0;
+                if (sink_) sink_(decision_record_json(d));
+                decisions_.push_back(std::move(d));
+            }
+        } else {
+            // Promoted: the double path matches the double reference, so
+            // steps are clean unless the monitor still objects (which can
+            // only happen through storage-precision rounding).
+            k.clean_steps = noisy ? 0 : k.clean_steps + 1;
+            if (k.clean_steps >= cfg_.hysteresis) {
+                Decision d{step,
+                           k.name,
+                           "demote",
+                           k.pending.max_ulp,
+                           tail_fraction(k.pending),
+                           k.pending.samples,
+                           k.clean_steps};
+                k.reduced = true;
+                k.clean_steps = 0;
+                if (sink_) sink_(decision_record_json(d));
+                decisions_.push_back(std::move(d));
+            }
+        }
+        k.pending = obs::DivergenceStats{};
+        k.pending_any = false;
+    }
+}
+
+std::uint64_t PrecisionGovernor::reduced_steps(int id) const {
+    return kernels_.at(static_cast<std::size_t>(id)).steps_reduced;
+}
+
+std::uint64_t PrecisionGovernor::observed_steps(int id) const {
+    return kernels_.at(static_cast<std::size_t>(id)).steps_observed;
+}
+
+void PrecisionGovernor::set_record_sink(
+    std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+}
+
+std::string PrecisionGovernor::decision_record_json(
+    const Decision& d) const {
+    return obs::json::Object()
+        .field("type", "governor")
+        .field("step", d.step)
+        .field("kernel", d.kernel)
+        .field("action", d.action)
+        .field("from", d.action == "promote" ? "float" : "double")
+        .field("to", d.action == "promote" ? "double" : "float")
+        .field("max_ulp", d.max_ulp)
+        .field("tail_frac", d.tail_frac)
+        .field("samples", d.samples)
+        .field("clean_steps", d.clean_steps)
+        .field("drift_budget_ulp", cfg_.drift_budget_ulp)
+        .field("tail_budget_frac", cfg_.tail_budget_frac)
+        .str();
+}
+
+}  // namespace tp::fp

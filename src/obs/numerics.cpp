@@ -39,19 +39,6 @@ Filter& filter() {
 
 }  // namespace
 
-void DivergenceStats::merge(const DivergenceStats& o) {
-    samples += o.samples;
-    exact += o.exact;
-    max_ulp = o.max_ulp > max_ulp ? o.max_ulp : max_ulp;
-    sum_ulp += o.sum_ulp;
-    if (!(o.max_rel <= max_rel)) max_rel = o.max_rel;
-    sum_rel += o.sum_rel;
-    sum_abs_err += o.sum_abs_err;
-    max_abs_ref = o.max_abs_ref > max_abs_ref ? o.max_abs_ref : max_abs_ref;
-    for (std::size_t b = 0; b < rel_hist.size(); ++b)
-        rel_hist[b] += o.rel_hist[b];
-}
-
 void set_shadow_profile(bool on) {
     detail::g_shadow_profile_enabled.store(on, std::memory_order_relaxed);
 }

@@ -125,7 +125,22 @@ struct DivergenceStats {
         ++rel_hist[static_cast<std::size_t>(fp::rel_error_bucket(rel))];
     }
 
-    void merge(const DivergenceStats& o);
+    /// Fold another accumulator in. Inline (like observe) so consumers
+    /// that only aggregate stats — fp's precision governor — need no link
+    /// dependency on the registry machinery in numerics.cpp.
+    void merge(const DivergenceStats& o) {
+        samples += o.samples;
+        exact += o.exact;
+        max_ulp = o.max_ulp > max_ulp ? o.max_ulp : max_ulp;
+        sum_ulp += o.sum_ulp;
+        if (!(o.max_rel <= max_rel)) max_rel = o.max_rel;
+        sum_rel += o.sum_rel;
+        sum_abs_err += o.sum_abs_err;
+        max_abs_ref =
+            o.max_abs_ref > max_abs_ref ? o.max_abs_ref : max_abs_ref;
+        for (std::size_t b = 0; b < rel_hist.size(); ++b)
+            rel_hist[b] += o.rel_hist[b];
+    }
 
     [[nodiscard]] double mean_ulp() const {
         return samples == 0 ? 0.0 : sum_ulp / static_cast<double>(samples);

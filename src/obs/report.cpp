@@ -83,6 +83,19 @@ void digest_numerics(const json::Value& rec, RunSummary& out) {
         static_cast<std::uint64_t>(rec.number_or("sample_stride", 0.0));
 }
 
+void digest_governor(const json::Value& rec, RunSummary& out) {
+    GovernorEvent e;
+    e.step = static_cast<std::int64_t>(rec.number_or("step", 0.0));
+    e.kernel = rec.string_or("kernel", "?");
+    e.action = rec.string_or("action", "?");
+    e.from = rec.string_or("from", "?");
+    e.to = rec.string_or("to", "?");
+    e.max_ulp = static_cast<std::uint64_t>(rec.number_or("max_ulp", 0.0));
+    e.tail_frac = rec.number_or("tail_frac", 0.0);
+    e.samples = static_cast<std::uint64_t>(rec.number_or("samples", 0.0));
+    out.governor_events.push_back(std::move(e));
+}
+
 }  // namespace
 
 double RunSummary::rezone_share() const {
@@ -117,6 +130,8 @@ RunSummary summarize(const std::vector<std::string>& lines) {
             digest_step(*rec, out);
         else if (t == "numerics")
             digest_numerics(*rec, out);
+        else if (t == "governor")
+            digest_governor(*rec, out);
         else if (t == "diagnostic")
             ++out.diagnostics;
         else if (t == "probe")
@@ -191,6 +206,14 @@ DiffResult diff_runs(const RunSummary& baseline, const RunSummary& candidate,
         if (candidate.numerics.find(key) == candidate.numerics.end())
             out.notes.push_back("kernel only in baseline: " + key);
     }
+    // Governor transitions are informational: the count depends on budget
+    // and physics, so a shift is worth a note but is not a regression.
+    if (baseline.governor_events.size() != candidate.governor_events.size())
+        out.notes.push_back(
+            "governor transitions differ: baseline " +
+            std::to_string(baseline.governor_events.size()) +
+            ", candidate " +
+            std::to_string(candidate.governor_events.size()));
     return out;
 }
 

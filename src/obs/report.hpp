@@ -39,6 +39,20 @@ struct NumericsEntry {
     std::uint64_t sample_stride = 0;
 };
 
+/// One {"type":"governor"} record: a runtime precision transition
+/// (fp/governor.hpp) — the governor promoted a kernel to double when its
+/// telemetry crossed the drift budget, or demoted it back to float after
+/// enough clean steps.
+struct GovernorEvent {
+    std::int64_t step = 0;
+    std::string kernel;
+    std::string action;  ///< "promote" | "demote"
+    std::string from, to;  ///< "float" / "double"
+    std::uint64_t max_ulp = 0;
+    double tail_frac = 0.0;
+    std::uint64_t samples = 0;
+};
+
 /// Everything tp_report needs from one metrics stream.
 struct RunSummary {
     std::string program;
@@ -57,6 +71,8 @@ struct RunSummary {
     std::map<std::string, double> phase_seconds;
     /// key = "kernel/array" (e.g. "clamr.flux_sweep/dh").
     std::map<std::string, NumericsEntry> numerics;
+    /// Precision-governor transitions, in stream (= step) order.
+    std::vector<GovernorEvent> governor_events;
 
     std::int64_t diagnostics = 0;  ///< {"type":"diagnostic"} count
     std::int64_t probes = 0;       ///< {"type":"probe"} count

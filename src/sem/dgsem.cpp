@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fp/governor.hpp"
 #include "fp/promoted.hpp"
 #include "obs/numerics.hpp"
 #include "obs/probe.hpp"
@@ -884,7 +885,8 @@ void SpectralEulerSolver<Policy>::shadow_profile_cfl() const {
 }
 
 template <fp::PrecisionPolicy Policy>
-void SpectralEulerSolver<Policy>::shadow_profile_rhs() {
+void SpectralEulerSolver<Policy>::rhs_divergence_stats(
+    obs::DivergenceStats* stats, bool float_lattice) {
     const auto A = volume_args();
     const int np = np_;
     const auto snp = static_cast<std::size_t>(np);
@@ -896,9 +898,6 @@ void SpectralEulerSolver<Policy>::shadow_profile_rhs() {
     double* fy = fx + 5 * npts;
     double* fz = fy + 5 * npts;
     const double gm1 = A.gamma - 1.0;
-    static constexpr const char* kVarNames[kVars] = {"rho", "mx", "my",
-                                                     "mz", "en"};
-    obs::DivergenceStats stats[kVars];
     for (std::size_t e = 0; e < static_cast<std::size_t>(A.nelem);
          e += stride) {
         const std::size_t base = e * npts;
@@ -984,12 +983,49 @@ void SpectralEulerSolver<Policy>::shadow_profile_rhs() {
                             ref -= A.gravity *
                                    static_cast<double>(A.q[MZ][base + n]);
                         ref -= acc;
-                        stats[var].observe(r_[var][base + n], ref);
+                        if (float_lattice)
+                            stats[var].observe(
+                                static_cast<float>(static_cast<double>(
+                                    r_[var][base + n])),
+                                ref);
+                        else
+                            stats[var].observe(r_[var][base + n], ref);
                     }
         }
     }
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::shadow_profile_rhs() {
+    static constexpr const char* kVarNames[kVars] = {"rho", "mx", "my",
+                                                     "mz", "en"};
+    obs::DivergenceStats stats[kVars];
+    rhs_divergence_stats(stats, /*float_lattice=*/false);
     for (int var = 0; var < kVars; ++var)
         obs::shadow_merge("sem.rhs", kVarNames[var], stats[var]);
+}
+
+// Governor telemetry: the same interior-node reference, observed on the
+// float lattice so reduced and promoted sweeps are scored comparably — a
+// promoted (double-scalar) sweep reproduces the reference bit-for-bit and
+// reports zero drift, which is what the hysteresis counter counts as a
+// clean step. All five variables pool into one signal per kernel.
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::governed_monitor_rhs() {
+    obs::DivergenceStats stats[kVars];
+    rhs_divergence_stats(stats, /*float_lattice=*/true);
+    obs::DivergenceStats all;
+    for (int var = 0; var < kVars; ++var) all.merge(stats[var]);
+    governor_->observe(gov_rhs_id_, all);
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::set_governor(
+    fp::PrecisionGovernor* governor) {
+    governor_ = governor;
+    gov_rhs_id_ = -1;
+    if (governor_ != nullptr && governor_->enabled())
+        gov_rhs_id_ = governor_->register_kernel("sem.rhs");
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -1122,6 +1158,19 @@ void SpectralEulerSolver<Policy>::compute_rhs() {
     TP_OBS_SPAN("sem.rhs");
     const bool promote = cfg_.promote_each_op &&
                          std::is_same_v<compute_t, float>;
+    // Governed dispatch: the rhs kernels are templated on their kernel
+    // scalar, so switching precision mid-run is just instantiating the
+    // other scalar against the same storage arrays. Inviscid-only (the
+    // monitor's reference is the pure volume contribution) and mutually
+    // exclusive with promote_each_op, which is its own fixed ablation.
+    const bool governed = governor_ != nullptr && governor_->enabled() &&
+                          gov_rhs_id_ >= 0 && !promote &&
+                          cfg_.viscosity == 0.0;
+    using gov_alt_t =
+        std::conditional_t<std::is_same_v<compute_t, float>, double, float>;
+    const bool use_alt =
+        governed && (governor_->reduced(gov_rhs_id_) !=
+                     std::is_same_v<compute_t, float>);
     if (promote) {
         volume_kernel<fp::PromotedFloat>();
         surface_kernel<fp::PromotedFloat>();
@@ -1129,6 +1178,9 @@ void SpectralEulerSolver<Policy>::compute_rhs() {
             gradient_kernel<fp::PromotedFloat>();
             viscous_kernel<fp::PromotedFloat>();
         }
+    } else if (use_alt) {
+        volume_kernel<gov_alt_t>();
+        surface_kernel<gov_alt_t>();
     } else {
         volume_kernel<compute_t>();
         surface_kernel<compute_t>();
@@ -1142,6 +1194,7 @@ void SpectralEulerSolver<Policy>::compute_rhs() {
     // rhs shadow only runs inviscid.
     if (obs::shadow_kernel_active("sem.rhs") && cfg_.viscosity == 0.0)
         shadow_profile_rhs();
+    if (governed) governed_monitor_rhs();
 }
 
 template <fp::PrecisionPolicy Policy>

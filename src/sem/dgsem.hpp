@@ -41,6 +41,14 @@
 #include "simd/dispatch.hpp"
 #include "util/timing.hpp"
 
+namespace tp::fp {
+class PrecisionGovernor;  // fp/governor.hpp
+}  // namespace tp::fp
+
+namespace tp::obs {
+struct DivergenceStats;  // obs/numerics.hpp
+}  // namespace tp::obs
+
 namespace tp::sem {
 
 /// Conserved perturbation variable indices.
@@ -139,6 +147,20 @@ public:
         return timers_;
     }
 
+    /// Attach (or detach, with nullptr) a runtime precision governor
+    /// (fp/governor.hpp). While attached and enabled, the rhs kernels run
+    /// with a governed kernel scalar: float while the per-step divergence
+    /// monitor stays under budget, double otherwise. The governed path is
+    /// inviscid-only (the monitor's interior-node reference is the pure
+    /// volume contribution) and yields to promote_each_op, which is its
+    /// own fixed ablation. A disabled or detached governor leaves every
+    /// code path — and every bit of output — unchanged. The caller owns
+    /// the governor and calls fp::PrecisionGovernor::end_step() per step.
+    void set_governor(fp::PrecisionGovernor* governor);
+    [[nodiscard]] fp::PrecisionGovernor* governor() const {
+        return governor_;
+    }
+
 private:
     template <typename S>
     void volume_kernel();
@@ -174,6 +196,13 @@ private:
     // gate at each call site.
     void shadow_profile_cfl() const;
     void shadow_profile_rhs();
+    /// Shared body of the rhs shadow hook and the governor monitor: the
+    /// interior-node double reference, observed per variable either in
+    /// compute precision (shadow telemetry) or on the float lattice
+    /// (governor signal — promoted double sweeps score zero there).
+    void rhs_divergence_stats(obs::DivergenceStats* stats,
+                              bool float_lattice);
+    void governed_monitor_rhs();
     void shadow_profile_rk_capture(double a, double b, double dt);
     void shadow_profile_rk_observe() const;
     void shadow_profile_filter_capture();
@@ -218,6 +247,10 @@ private:
     std::vector<std::int64_t> shadow_nodes_;
     std::vector<std::int32_t> shadow_elems_;
     std::vector<double> shadow_a_, shadow_b_;
+
+    // Governed-path state (see set_governor); -1 id = not governed.
+    fp::PrecisionGovernor* governor_ = nullptr;
+    int gov_rhs_id_ = -1;
 
     double time_ = 0.0;
     std::int64_t step_count_ = 0;

@@ -22,10 +22,31 @@ void ShallowWaterSolver<Policy>::flux_sweep_scalar() {
             args, static_cast<std::size_t>(c), 1);
 }
 
+// Governed twin at the alternate compute precision, same no-autovec
+// contract: a governor-promoted (or -demoted) scalar sweep must measure
+// true one-lane issue exactly like the static scalar baseline does.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_alt_scalar() {
+    const auto args = flux_args_alt();
+    const auto n = static_cast<std::int64_t>(args.n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < n; ++c)
+        detail::flux_block<storage_t, alt_compute_t, 1>(
+            args, static_cast<std::size_t>(c), 1);
+}
+
 template void ShallowWaterSolver<fp::MinimumPrecision>::flux_sweep_scalar();
 template void ShallowWaterSolver<fp::MixedPrecision>::flux_sweep_scalar();
 template void ShallowWaterSolver<fp::FullPrecision>::flux_sweep_scalar();
 template void
 ShallowWaterSolver<fp::HalfStoragePrecision>::flux_sweep_scalar();
+
+template void
+ShallowWaterSolver<fp::MinimumPrecision>::flux_sweep_alt_scalar();
+template void
+ShallowWaterSolver<fp::MixedPrecision>::flux_sweep_alt_scalar();
+template void ShallowWaterSolver<fp::FullPrecision>::flux_sweep_alt_scalar();
+template void
+ShallowWaterSolver<fp::HalfStoragePrecision>::flux_sweep_alt_scalar();
 
 }  // namespace tp::shallow

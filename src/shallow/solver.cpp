@@ -1,5 +1,6 @@
 #include "shallow/solver.hpp"
 
+#include "fp/governor.hpp"
 #include "fp/half_policy.hpp"
 #include "obs/numerics.hpp"
 #include "obs/probe.hpp"
@@ -247,6 +248,9 @@ void ShallowWaterSolver<Policy>::rebuild_iteration_space() {
         for (std::int32_t b = run.begin; b < run.end; b += kNativeLanes)
             flux_blocks_.push_back(
                 {b, std::min<std::int32_t>(kNativeLanes, run.end - b)});
+    // The alt-precision tables mirror the ones rebuilt above; they are
+    // refreshed lazily on the next governed sweep that needs them.
+    alt_tables_stale_ = true;
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -897,6 +901,117 @@ void ShallowWaterSolver<Policy>::flux_sweep_native() {
         detail::flux_block<storage_t, compute_t, kNativeLanes>(
             args, static_cast<std::size_t>(blocks[b].begin), blocks[b].len);
 }
+
+// --- governed flux path (fp/governor.hpp) ---------------------------------
+// The same width-templated flux_block, instantiated at the *other* compute
+// precision. Increments land in the _alt buffers and are folded back into
+// dh_/dhu_/dhv_ with one cast per cell, so the boundary closure and the
+// cell update are shared with the static path. A detached or disabled
+// governor never reaches any of this code.
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::set_governor(
+    fp::PrecisionGovernor* governor) {
+    governor_ = governor;
+    gov_flux_id_ = -1;
+    alt_tables_stale_ = true;
+    if (governor_ != nullptr && governor_->enabled())
+        gov_flux_id_ = governor_->register_kernel("clamr.flux_sweep");
+}
+
+template <fp::PrecisionPolicy Policy>
+auto ShallowWaterSolver<Policy>::flux_args_alt()
+    -> detail::FluxArgs<storage_t, alt_compute_t> {
+    return {h_.data(),       hu_.data(),           hv_.data(),
+            dh_alt_.data(),  dhu_alt_.data(),      dhv_alt_.data(),
+            nbr_idx_.data(), nbr_area_alt_.data(), mesh_.num_cells(),
+            static_cast<alt_compute_t>(config_.gravity)};
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::prepare_alt_tables() {
+    if (!alt_tables_stale_) return;
+    const std::size_t n = mesh_.num_cells();
+    // flux_block stores (not accumulates) each cell's increments, so the
+    // buffers need sizing only — every entry is overwritten by the sweep.
+    dh_alt_.resize(n);
+    dhu_alt_.resize(n);
+    dhv_alt_.resize(n);
+    // Neighbor areas on the alt lattice. Promoting a float table to
+    // double is exact; demoting a double table rounds each entry to the
+    // same float a static float-compute build computes (the cache fill
+    // evaluates the area expression in double and casts once).
+    nbr_area_alt_.resize(nbr_area_.size());
+    const compute_t* src = nbr_area_.data();
+    alt_compute_t* dst = nbr_area_alt_.data();
+    const auto na = static_cast<std::int64_t>(nbr_area_.size());
+#pragma omp parallel for simd schedule(static)
+    for (std::int64_t i = 0; i < na; ++i)
+        dst[i] = static_cast<alt_compute_t>(src[i]);
+    // Pack blocks at the alt lattice's native width (float sweeps get
+    // twice the lanes of double sweeps, same as the static paths).
+    flux_blocks_alt_.clear();
+    for (const detail::LevelRun& run : level_runs_)
+        for (std::int32_t b = run.begin; b < run.end; b += kAltLanes)
+            flux_blocks_alt_.push_back(
+                {b, std::min<std::int32_t>(kAltLanes, run.end - b)});
+    alt_tables_stale_ = false;
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::fold_alt_increments() {
+    const std::size_t n = mesh_.num_cells();
+    compute_t* dh = dh_.data();
+    compute_t* dhu = dhu_.data();
+    compute_t* dhv = dhv_.data();
+    const alt_compute_t* adh = dh_alt_.data();
+    const alt_compute_t* adhu = dhu_alt_.data();
+    const alt_compute_t* adhv = dhv_alt_.data();
+#pragma omp parallel for simd schedule(static)
+    for (std::size_t c = 0; c < n; ++c) {
+        dh[c] = static_cast<compute_t>(adh[c]);
+        dhu[c] = static_cast<compute_t>(adhu[c]);
+        dhv[c] = static_cast<compute_t>(adhv[c]);
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_alt_native() {
+    const auto args = flux_args_alt();
+    const FluxBlock* blocks = flux_blocks_alt_.data();
+    const auto nb = static_cast<std::int64_t>(flux_blocks_alt_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nb; ++b)
+        detail::flux_block<storage_t, alt_compute_t, kAltLanes>(
+            args, static_cast<std::size_t>(blocks[b].begin), blocks[b].len);
+}
+
+// Governor telemetry: a strided sample of post-sweep increments, observed
+// on the float lattice against the in-order double shadow reference. The
+// float lattice makes the two regimes comparable: a reduced sweep shows
+// exactly the drift its float arithmetic introduced, while a promoted
+// sweep reproduces the reference bit-for-bit (same op order in double)
+// and scores zero — so promoted steps are "clean" iff a reduced sweep
+// would have been, which is what the hysteresis counter needs.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::governed_monitor_flux() {
+    const auto args = flux_args();
+    const auto stride =
+        static_cast<std::size_t>(obs::shadow_sample_stride());
+    const double g = config_.gravity;
+    obs::DivergenceStats s;
+    for (std::size_t c = 0; c < args.n; c += stride) {
+        double rdh;
+        double rdhu;
+        double rdhv;
+        shadow_flux_cell(args, c, g, rdh, rdhu, rdhv);
+        s.observe(static_cast<float>(static_cast<double>(dh_[c])), rdh);
+        s.observe(static_cast<float>(static_cast<double>(dhu_[c])), rdhu);
+        s.observe(static_cast<float>(static_cast<double>(dhv_[c])), rdhv);
+    }
+    governor_->observe(gov_flux_id_, s);
+}
+
 template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::boundary_fluxes() {
     // Reflective walls via a mirrored ghost state fed through the same
@@ -1135,9 +1250,25 @@ template <fp::PrecisionPolicy Policy>
 void ShallowWaterSolver<Policy>::finite_diff(double dt) {
     util::WallTimer t;
     const bool native = simd::use_native(config_.simd);
+    const bool governed =
+        governor_ != nullptr && governor_->enabled() && gov_flux_id_ >= 0;
+    // "Reduced" means the float lattice; for a float-compute policy that
+    // is the policy's own path, so the alt sweep runs exactly when the
+    // governor's regime differs from what the policy computes natively.
+    const bool use_alt =
+        governed && (governor_->reduced(gov_flux_id_) !=
+                     std::is_same_v<compute_t, float>);
     {
         TP_OBS_SPAN("clamr.flux_sweep");
-        if (native) {
+        if (use_alt) {
+            prepare_alt_tables();
+            if (native) {
+                flux_sweep_alt_native();
+            } else {
+                flux_sweep_alt_scalar();
+            }
+            fold_alt_increments();
+        } else if (native) {
             flux_sweep_native();
         } else {
             flux_sweep_scalar();
@@ -1148,6 +1279,7 @@ void ShallowWaterSolver<Policy>::finite_diff(double dt) {
         // replicates.
         if (obs::shadow_kernel_active("clamr.flux_sweep"))
             shadow_profile_flux_sweep();
+        if (governed) governed_monitor_flux();
         boundary_fluxes();
     }
     {
@@ -1157,7 +1289,8 @@ void ShallowWaterSolver<Policy>::finite_diff(double dt) {
         apply_update(dt);
         if (shadow) shadow_observe_apply_update(dt);
     }
-    account_finite_diff(t.elapsed_seconds(), native ? kNativeLanes : 1);
+    const int lanes = !native ? 1 : use_alt ? kAltLanes : kNativeLanes;
+    account_finite_diff(t.elapsed_seconds(), lanes);
 }
 
 template <fp::PrecisionPolicy Policy>

@@ -30,6 +30,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "fp/precision.hpp"
@@ -41,6 +42,10 @@
 #include "sum/expansion.hpp"
 #include "sum/reproducible.hpp"
 #include "util/timing.hpp"
+
+namespace tp::fp {
+class PrecisionGovernor;  // fp/governor.hpp
+}  // namespace tp::fp
 
 namespace tp::shallow {
 
@@ -68,6 +73,15 @@ public:
     /// type. float-compute policies get twice the lanes of double-compute
     /// ones — the Table III "minimum precision doubles SIMD width" lever.
     static constexpr int kNativeLanes = simd::native_lanes<compute_t>;
+
+    /// The *other* compute precision, for the runtime governor: a
+    /// float-compute policy can be promoted to a double flux sweep mid-run
+    /// and a double-compute policy can be demoted to float. Storage
+    /// precision never changes — only the kernel-local arithmetic does, so
+    /// switching is just dispatching the other flux_block instantiation.
+    using alt_compute_t =
+        std::conditional_t<std::is_same_v<compute_t, float>, double, float>;
+    static constexpr int kAltLanes = simd::native_lanes<alt_compute_t>;
 
     /// Throws std::invalid_argument when the geometry is unusable
     /// (non-positive coarse grid or max_level outside
@@ -155,6 +169,19 @@ public:
     /// the live caches. Test/bench hook for the incremental update.
     [[nodiscard]] bool topology_caches_consistent() const;
 
+    /// Attach (or detach, with nullptr) a runtime precision governor
+    /// (fp/governor.hpp). While attached and enabled, the flux sweep is
+    /// governed: it runs in the reduced lattice (float) while the
+    /// per-step divergence monitor stays under budget and in the promoted
+    /// lattice (double) otherwise. A disabled or detached governor leaves
+    /// every code path — and every bit of output — identical to an
+    /// ungoverned build. The caller owns the governor and must call
+    /// fp::PrecisionGovernor::end_step() once per solver step.
+    void set_governor(fp::PrecisionGovernor* governor);
+    [[nodiscard]] fp::PrecisionGovernor* governor() const {
+        return governor_;
+    }
+
 private:
     /// A W-wide (or tail) slice of one level run — the unit the native
     /// sweep parallelizes over. Blocks never straddle a run boundary.
@@ -201,6 +228,21 @@ private:
     // Defined in flux_scalar.cpp, a TU compiled with the auto-vectorizer
     // off, so the W == 1 path measures true scalar issue.
     void flux_sweep_scalar();
+    // Governed flux path: the same sweep with kernel-local arithmetic in
+    // alt_compute_t. Increments land in the _alt buffers and are folded
+    // back into dh_/dhu_/dhv_ (one cast per cell), so boundary_fluxes and
+    // apply_update stay untouched.
+    [[nodiscard]] detail::FluxArgs<storage_t, alt_compute_t> flux_args_alt();
+    void flux_sweep_alt_native();
+    void flux_sweep_alt_scalar();  // flux_scalar.cpp (no-autovec TU)
+    /// Lazily (re)build the alt-precision tables — neighbor areas cast to
+    /// alt_compute_t and kAltLanes-wide blocks — after a topology change.
+    void prepare_alt_tables();
+    void fold_alt_increments();
+    /// Governor telemetry: observe a strided sample of flux increments on
+    /// the float lattice against an in-order double reference and feed the
+    /// stats to the attached governor.
+    void governed_monitor_flux();
     void boundary_fluxes();
     void apply_update(double dt);
     void account_finite_diff(double seconds, int lanes);
@@ -243,6 +285,15 @@ private:
     // Level-bucketed iteration space (rebuilt with the neighbor tables).
     std::vector<detail::LevelRun> level_runs_;
     std::vector<FluxBlock> flux_blocks_;
+    // Governed-path state: alt-precision increment buffers, neighbor areas
+    // and pack blocks, built lazily on the first governed step after a
+    // topology change. Empty whenever no enabled governor is attached.
+    fp::PrecisionGovernor* governor_ = nullptr;
+    int gov_flux_id_ = -1;
+    std::vector<alt_compute_t> dh_alt_, dhu_alt_, dhv_alt_;
+    std::vector<alt_compute_t> nbr_area_alt_;
+    std::vector<FluxBlock> flux_blocks_alt_;
+    bool alt_tables_stale_ = true;
     std::vector<compute_t> cfl_buf_;       // per-cell dt candidates
     std::vector<std::int8_t> flags_scratch_;  // refinement flags, reused
     // Shadow-profile capture scratch (cell indices + pre-update state),

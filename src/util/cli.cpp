@@ -214,4 +214,53 @@ shallow::RezoneMode apply_rezone_option(const ArgParser& args) {
     return shallow::parse_rezone_mode(args.get_string("rezone"));
 }
 
+void add_governor_options(ArgParser& args) {
+    args.add_option("governor",
+                    "Closed-loop runtime precision governor: off|on. When "
+                    "on, governed kernels run reduced (float) while the "
+                    "shadow-divergence monitor stays under budget and are "
+                    "promoted to double when it crosses (off runs are "
+                    "bit-identical to builds without the governor)",
+                    "off");
+    args.add_int_option("drift-budget",
+                        "Governor budget: max per-step ULP drift on the "
+                        "float lattice before a kernel is promoted",
+                        "256");
+    args.add_double_option(
+        "governor-tail-frac",
+        "Governor budget: max fraction of monitored samples whose "
+        "relative error reaches the tail decade",
+        "0.01");
+    args.add_int_option(
+        "governor-tail-exp",
+        "First relative-error decade (power of ten) counted as tail",
+        "-6");
+    args.add_int_option(
+        "governor-hysteresis",
+        "Clean promoted steps required before a trial re-demotion", "8");
+    args.add_int_option(
+        "governor-warmup",
+        "Telemetry steps collected before the first governor decision",
+        "2");
+}
+
+fp::GovernorConfig apply_governor_options(const ArgParser& args) {
+    fp::GovernorConfig cfg;
+    const std::string mode = args.get_string("governor");
+    if (mode == "on") {
+        cfg.enabled = true;
+    } else if (mode != "off") {
+        throw std::invalid_argument("--governor: expected off|on, got '" +
+                                    mode + "'");
+    }
+    const int budget = args.get_int("drift-budget");
+    cfg.drift_budget_ulp =
+        budget < 0 ? 0 : static_cast<std::uint64_t>(budget);
+    cfg.tail_budget_frac = args.get_double("governor-tail-frac");
+    cfg.tail_exp = args.get_int("governor-tail-exp");
+    cfg.hysteresis = args.get_int("governor-hysteresis");
+    cfg.warmup = args.get_int("governor-warmup");
+    return cfg;
+}
+
 }  // namespace tp::util

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fp/governor.hpp"
 #include "shallow/config.hpp"
 #include "simd/dispatch.hpp"
 
@@ -97,5 +98,17 @@ void add_rezone_option(ArgParser& args);
 
 /// Parse the `--rezone` value; throws std::invalid_argument on junk.
 [[nodiscard]] shallow::RezoneMode apply_rezone_option(const ArgParser& args);
+
+/// Register the runtime precision-governor options: the master
+/// `--governor off|on` switch, the `--drift-budget` ULP ceiling, and the
+/// tail/hysteresis/warmup tuning knobs (fp/governor.hpp).
+void add_governor_options(ArgParser& args);
+
+/// Parse the governor options into a config; throws std::invalid_argument
+/// on a junk `--governor` value. `enabled` is false unless
+/// `--governor=on` was passed, in which case the caller constructs a
+/// fp::PrecisionGovernor and attaches it to the solver.
+[[nodiscard]] fp::GovernorConfig apply_governor_options(
+    const ArgParser& args);
 
 }  // namespace tp::util

@@ -161,6 +161,92 @@ TEST(FixedRateEdge, NegativeValuesRoundTrip) {
         EXPECT_NEAR(back[i], xs[i], 1e-3);
 }
 
+// The two correctness contracts the quantizer must honour exactly (no
+// fudge factor): the advertised bound holds even for values sitting at
+// the block peak (the peak must land on a representable code), and deep
+// subnormal blocks clamp to the smallest normal binade instead of
+// wrapping the 11-bit stored exponent into the all-zero sentinel or a
+// huge bogus binade.
+TEST(FixedRateEdge, BoundHoldsExactlyAtPeak) {
+    for (const int bits : {4, 8, 12, 16}) {
+        std::vector<double> xs(96);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            xs[i] = (i % 2 == 0 ? 3.7 : -3.7);  // every value at +/-peak
+        const auto back = tc::decompress(tc::compress_fixed_rate(xs, bits));
+        const double bound = tc::error_bound(3.7, bits);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            EXPECT_LE(std::fabs(back[i] - xs[i]), bound)
+                << "bits=" << bits << " i=" << i;
+    }
+}
+
+TEST(FixedRateEdge, SubnormalBlocksRoundTripWithinBound) {
+    // Peaks far below 2^-1022: the stored exponent clamps to -1022 and
+    // the bound is evaluated against the clamped binade.
+    std::vector<double> xs(130);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = std::ldexp((i % 2 == 0 ? 1.0 : -1.0) *
+                               (0.25 + 0.005 * static_cast<double>(i)),
+                           -1060);
+    for (const int bits : {4, 8, 16}) {
+        const auto back = tc::decompress(tc::compress_fixed_rate(xs, bits));
+        ASSERT_EQ(back.size(), xs.size());
+        const double bound =
+            tc::error_bound(std::ldexp(1.0, -1022), bits);
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            EXPECT_TRUE(std::isfinite(back[i])) << "i=" << i;
+            EXPECT_LE(std::fabs(back[i] - xs[i]), bound)
+                << "bits=" << bits << " i=" << i;
+        }
+    }
+}
+
+TEST(FixedRateProperty, RandomBlocksRespectAdvertisedBound) {
+    // Property sweep: ragged counts, per-block magnitudes spanning the
+    // whole exponent range (deep subnormal through ~2^900), interleaved
+    // all-zero blocks, exact +/-peak values. Every reconstruction error
+    // must respect error_bound(block peak, bits) with no slack factor.
+    tp::util::Rng rng(41);
+    for (int trial = 0; trial < 24; ++trial) {
+        const std::size_t n = 1 + rng.next_below(5 * tc::kBlockSize);
+        std::vector<double> xs(n);
+        for (std::size_t start = 0; start < n; start += tc::kBlockSize) {
+            const std::size_t len = std::min(tc::kBlockSize, n - start);
+            const std::uint64_t kind = rng.next_below(4);
+            if (kind == 0) continue;  // all-zero block (sentinel path)
+            const int e = -1070 + static_cast<int>(rng.next_below(1970));
+            const double scale = std::ldexp(1.0, e);
+            if (scale == 0.0 || !std::isfinite(scale)) continue;
+            for (std::size_t i = 0; i < len; ++i)
+                xs[start + i] = rng.uniform(-1.0, 1.0) * scale;
+            if (kind == 1) {
+                // Pin two entries to exactly +/-peak magnitude.
+                xs[start] = scale;
+                if (len > 1) xs[start + 1] = -scale;
+            }
+        }
+        const int bits = 4 * (1 + static_cast<int>(rng.next_below(4)));
+        const auto c = tc::compress_fixed_rate(xs, bits);
+        const auto back = tc::decompress(c);
+        ASSERT_EQ(back.size(), xs.size());
+        for (std::size_t start = 0; start < n; start += tc::kBlockSize) {
+            const std::size_t len = std::min(tc::kBlockSize, n - start);
+            double peak = 0.0;
+            for (std::size_t i = 0; i < len; ++i)
+                peak = std::max(peak, std::fabs(xs[start + i]));
+            // The stored exponent clamps subnormal peaks up to the
+            // smallest normal binade; the bound follows the clamp.
+            const double bound = tc::error_bound(
+                std::max(peak, std::ldexp(1.0, -1022)), bits);
+            for (std::size_t i = 0; i < len; ++i)
+                EXPECT_LE(std::fabs(back[start + i] - xs[start + i]),
+                          peak == 0.0 ? 0.0 : bound)
+                    << "trial=" << trial << " bits=" << bits
+                    << " i=" << start + i;
+        }
+    }
+}
+
 TEST(FixedRateEdge, HigherRateNeverWorse) {
     const auto xs = field_like_data(640, 11);
     double prev = 1e300;

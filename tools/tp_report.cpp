@@ -90,6 +90,28 @@ void print_summary_text(const RunSummary& run) {
         }
         table.print();
     }
+
+    if (!run.governor_events.empty()) {
+        util::TextTable table("governor precision timeline");
+        table.set_header({"step", "kernel", "action", "precision",
+                          "max ulp", "tail frac", "samples"});
+        std::size_t promotes = 0;
+        for (const auto& e : run.governor_events) {
+            if (e.action == "promote") ++promotes;
+            table.add_row({std::to_string(e.step), e.kernel, e.action,
+                           e.from + " -> " + e.to, std::to_string(e.max_ulp),
+                           util::scientific(e.tail_frac, 2),
+                           std::to_string(e.samples)});
+        }
+        table.print();
+        std::printf("governor: %zu transition%s (%zu promote%s, %zu "
+                    "demote%s)\n\n",
+                    run.governor_events.size(),
+                    run.governor_events.size() == 1 ? "" : "s", promotes,
+                    promotes == 1 ? "" : "s",
+                    run.governor_events.size() - promotes,
+                    run.governor_events.size() - promotes == 1 ? "" : "s");
+    }
 }
 
 void print_diff_text(const DiffResult& diff) {
@@ -129,6 +151,24 @@ std::string summary_json(const RunSummary& run) {
     }
     numerics.push_back(']');
 
+    std::string governor = "[";
+    first = true;
+    for (const auto& e : run.governor_events) {
+        if (!first) governor.push_back(',');
+        first = false;
+        obs::json::Object entry;
+        entry.field("step", static_cast<std::int64_t>(e.step))
+            .field("kernel", e.kernel)
+            .field("action", e.action)
+            .field("from", e.from)
+            .field("to", e.to)
+            .field("max_ulp", e.max_ulp)
+            .field("tail_frac", e.tail_frac)
+            .field("samples", e.samples);
+        governor += std::move(entry).str();
+    }
+    governor.push_back(']');
+
     std::string phases = "[";
     first = true;
     for (const auto& row : obs::report::phase_rollup(run)) {
@@ -156,7 +196,8 @@ std::string summary_json(const RunSummary& run) {
         .field("unknown_records",
                static_cast<std::int64_t>(run.unknown_records))
         .field_raw("phases", phases)
-        .field_raw("numerics", numerics);
+        .field_raw("numerics", numerics)
+        .field_raw("governor", governor);
     return std::move(out).str();
 }
 
