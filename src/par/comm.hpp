@@ -2,14 +2,24 @@
 // Simulated message passing for distributed-memory experiments.
 //
 // CLAMR is an MPI mini-app, and the paper's §III.C is about what parallel
-// decomposition does to global sums. This host has one core, so we
-// simulate ranks: a VirtualComm owns R mailboxes and the drivers run the
-// ranks' compute phases sequentially in BSP (bulk-synchronous) style —
-// all sends of a phase complete before any receive of the next. That is
-// exactly the communication structure of a halo-exchange stencil code,
-// and it makes every experiment deterministic and single-threaded while
-// still exercising real decomposition, ghost exchange, and reduction-
-// order effects.
+// decomposition does to global sums. We simulate ranks: a VirtualComm owns
+// R mailboxes and the drivers run the ranks' compute phases (possibly on
+// an OpenMP team, one rank per task) between communication calls. Two
+// schedules are supported, mirroring the two MPI idioms:
+//
+//   * BSP: send()/send_bytes() enqueue, exchange() is the phase barrier
+//     that delivers everything, recv() retrieves — the classic
+//     bulk-synchronous halo exchange (all sends of a phase complete
+//     before any receive of the next);
+//   * nonblocking: post_bytes() puts a message "in flight" immediately
+//     (MPI_Isend against a pre-posted MPI_Irecv), the rank computes
+//     whatever does not depend on the ghost data, and complete() waits
+//     on one message — there is no global barrier, so interior work
+//     overlaps the exchange exactly as it would over a real wire.
+//
+// Both schedules move identical bytes through identical matching rules,
+// which is what lets the overlapped solver pipeline be verified bitwise
+// against the BSP one.
 
 #include <cstddef>
 #include <cstdint>
@@ -88,26 +98,62 @@ public:
         pending_.clear();
     }
 
+    /// Nonblocking send: the message is in flight immediately, with no
+    /// phase barrier — the receiver claims it with complete(). The byte
+    /// payload cycles through the acquire()/release() pool like
+    /// send_bytes()'s.
+    void post_bytes(int source, int dest, int tag,
+                    std::vector<std::byte> payload) {
+        check_rank(source);
+        check_rank(dest);
+        bytes_sent_ += payload.size();
+        in_flight_.push_back(
+            {dest, Message{source, tag, {}, std::move(payload)}});
+    }
+
+    /// Wait on one posted message (MPI_Wait on the matching request);
+    /// throws if nothing matching was posted — a deadlock in the
+    /// simulated schedule.
+    [[nodiscard]] Message complete(int rank, int source, int tag) {
+        check_rank(rank);
+        for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+            auto& [dest, msg] = in_flight_[i];
+            if (dest == rank && msg.source == source && msg.tag == tag) {
+                Message m = std::move(msg);
+                in_flight_[i] = std::move(in_flight_.back());
+                in_flight_.pop_back();
+                return m;
+            }
+        }
+        throw std::runtime_error(
+            "VirtualComm::complete: no matching posted message");
+    }
+
     /// Retrieve (and remove) the message from `source` with `tag`;
     /// throws if absent — a deadlock in the simulated schedule.
+    /// Retrieval is matched by (source, tag), never by queue position, so
+    /// the erase is a swap-with-back + pop: O(1) instead of the
+    /// scan-and-middle-erase O(mailbox) memmove this used to do.
     [[nodiscard]] Message recv(int rank, int source, int tag) {
         check_rank(rank);
         auto& box = boxes_[static_cast<std::size_t>(rank)];
         for (std::size_t i = 0; i < box.size(); ++i) {
             if (box[i].source == source && box[i].tag == tag) {
                 Message m = std::move(box[i]);
-                box.erase(box.begin() + static_cast<std::ptrdiff_t>(i));
+                box[i] = std::move(box.back());
+                box.pop_back();
                 return m;
             }
         }
         throw std::runtime_error("VirtualComm::recv: no matching message");
     }
 
-    /// True when every mailbox is empty (no unconsumed traffic).
+    /// True when every mailbox is empty and nothing is pending or in
+    /// flight (no unconsumed traffic).
     [[nodiscard]] bool drained() const {
         for (const auto& box : boxes_)
             if (!box.empty()) return false;
-        return pending_.empty();
+        return pending_.empty() && in_flight_.empty();
     }
 
 private:
@@ -119,6 +165,7 @@ private:
     int size_;
     std::vector<std::vector<Message>> boxes_;
     std::vector<std::pair<int, Message>> pending_;
+    std::vector<std::pair<int, Message>> in_flight_;
     std::vector<std::vector<std::byte>> pool_;
     std::uint64_t bytes_sent_ = 0;
 };

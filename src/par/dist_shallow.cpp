@@ -2,16 +2,61 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <cstring>
 #include <stdexcept>
 
+#include "obs/probe.hpp"
 #include "obs/trace.hpp"
+#include "shallow/flux_kernel.hpp"
+#include "util/threads.hpp"
 
 namespace tp::par {
 
 namespace {
+
 constexpr int kTagUp = 1;    // row sent to the rank above (higher y)
 constexpr int kTagDown = 2;  // row sent to the rank below
+
+// Analytic per-cell operation counts. The precompute pass holds the only
+// divide and square root of the step plus the CFL fold; the fused update
+// pass evaluates four oriented Rusanov face fluxes (~22 flops each), the
+// per-direction accumulates, and the conservative apply — increments
+// never touch memory.
+constexpr std::uint64_t kPreFlopsPerCell = 14;
+constexpr std::uint64_t kUpdateFlopsPerCell = 4 * 22 + 12 + 13;
+
+/// Greedy cost-proportional row split: rank r's stripe ends where the
+/// cost prefix first crosses its share of the total, with a midpoint rule
+/// (a row joins rank r when at least half its cost fits under the
+/// target) and a >= 1-row-per-rank floor. With uniform costs this
+/// reproduces a near-even block partition, so it serves as both the
+/// constructor's static split and the balancer's re-split.
+void split_rows(std::span<const double> cost, int num_ranks,
+                std::vector<int>& rows) {
+    const int ny = static_cast<int>(cost.size());
+    double total = 0.0;
+    for (double c : cost) total += c;
+    rows.assign(static_cast<std::size_t>(num_ranks), 0);
+    int row = 0;
+    double prefix = 0.0;
+    for (int r = 0; r + 1 < num_ranks; ++r) {
+        const double target =
+            total * (static_cast<double>(r + 1) / num_ranks);
+        const int max_end = ny - (num_ranks - 1 - r);  // leave 1 row each
+        int end = row + 1;  // every rank keeps at least one row
+        prefix += cost[static_cast<std::size_t>(row)];
+        while (end < max_end &&
+               prefix + 0.5 * cost[static_cast<std::size_t>(end)] <
+                   target) {
+            prefix += cost[static_cast<std::size_t>(end)];
+            ++end;
+        }
+        rows[static_cast<std::size_t>(r)] = end - row;
+        row = end;
+    }
+    rows[static_cast<std::size_t>(num_ranks - 1)] = ny - row;
+}
+
 }  // namespace
 
 template <fp::PrecisionPolicy Policy>
@@ -21,27 +66,78 @@ DistributedShallowSolver<Policy>::DistributedShallowSolver(
     if (cfg_.nx < 2 || cfg_.ny < 2 || cfg_.ranks < 1 ||
         cfg_.ranks > cfg_.ny)
         throw std::invalid_argument("DistributedShallowSolver: bad config");
+    if (cfg_.lb_interval < 0)
+        throw std::invalid_argument(
+            "DistributedShallowSolver: lb_interval < 0");
     dx_ = cfg_.width / cfg_.nx;
     dy_ = cfg_.height / cfg_.ny;
 
-    // Contiguous row stripes, remainder rows to the low ranks (the same
-    // block rule MPI codes use).
+    // Static partition = the balancer's splitter under uniform costs, so
+    // a uniform-cost rebalance() is a no-op by construction.
+    const std::vector<double> uniform(static_cast<std::size_t>(cfg_.ny),
+                                      1.0);
+    split_rows(uniform, cfg_.ranks, split_scratch_);
     ranks_.resize(static_cast<std::size_t>(cfg_.ranks));
-    const int base = cfg_.ny / cfg_.ranks;
-    const int extra = cfg_.ny % cfg_.ranks;
     int row = 0;
     for (int r = 0; r < cfg_.ranks; ++r) {
         Rank& rk = ranks_[static_cast<std::size_t>(r)];
         rk.row0 = row;
-        rk.rows = base + (r < extra ? 1 : 0);
+        rk.rows = split_scratch_[static_cast<std::size_t>(r)];
         row += rk.rows;
-        const std::size_t n =
-            static_cast<std::size_t>(rk.rows + 2) *
-            static_cast<std::size_t>(cfg_.nx);
-        rk.h.assign(n, storage_t(0));
-        rk.hu.assign(n, storage_t(0));
-        rk.hv.assign(n, storage_t(0));
+        allocate_rank(rk);
     }
+
+    // Persistent scratch (step() and total_mass() allocate nothing).
+    ws_scratch_.resize(static_cast<std::size_t>(cfg_.ranks));
+    row_cost_scratch_.resize(static_cast<std::size_t>(cfg_.ny));
+    const std::size_t carry = static_cast<std::size_t>(cfg_.ny) *
+                              static_cast<std::size_t>(cfg_.nx + 2);
+    carry_h_.resize(carry);
+    carry_hu_.resize(carry);
+    carry_hv_.resize(carry);
+    mass_scratch_.resize(static_cast<std::size_t>(cfg_.ny) *
+                         static_cast<std::size_t>(cfg_.nx));
+    mass_slices_.resize(static_cast<std::size_t>(cfg_.ranks));
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::allocate_rank(Rank& rk) const {
+    const std::size_t n = static_cast<std::size_t>(rk.rows + 2) *
+                          static_cast<std::size_t>(cfg_.nx + 2);
+    rk.h.assign(n, storage_t(0));
+    rk.hu.assign(n, storage_t(0));
+    rk.hv.assign(n, storage_t(0));
+    // The swap buffers and the precompute arrays share the padded pitch
+    // so every kernel reuses the idx() arithmetic.
+    rk.h2.assign(n, storage_t(0));
+    rk.hu2.assign(n, storage_t(0));
+    rk.hv2.assign(n, storage_t(0));
+    rk.hf.assign(n, compute_t(0));
+    rk.u.assign(n, compute_t(0));
+    rk.v.assign(n, compute_t(0));
+    rk.sx.assign(n, compute_t(0));
+    rk.sy.assign(n, compute_t(0));
+    rk.p.assign(n, compute_t(0));
+    rk.cost_seconds = 0.0;
+    rk.wavespeed = compute_t(0);
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::mirror_ghost_columns(
+    std::vector<storage_t>& h, std::vector<storage_t>& hu,
+    std::vector<storage_t>& hv, int local_row) {
+    // Reflective x walls: h and the tangential momentum copy, the normal
+    // momentum negates. Negation is exact in every storage precision, so
+    // reading the ghost back through the storage->compute conversion
+    // yields exactly the negated compute value the historic index-clamp
+    // path produced.
+    const int nx = cfg_.nx;
+    h[idx(local_row, 0)] = h[idx(local_row, 1)];
+    hu[idx(local_row, 0)] = -hu[idx(local_row, 1)];
+    hv[idx(local_row, 0)] = hv[idx(local_row, 1)];
+    h[idx(local_row, nx + 1)] = h[idx(local_row, nx)];
+    hu[idx(local_row, nx + 1)] = -hu[idx(local_row, nx)];
+    hv[idx(local_row, nx + 1)] = hv[idx(local_row, nx)];
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -51,226 +147,414 @@ void DistributedShallowSolver<Policy>::initialize_dam_break(
     const double cy = 0.5 * cfg_.height;
     const double r0 = radius_fraction * std::min(cfg_.width, cfg_.height);
     for (Rank& rk : ranks_) {
-        for (int j = 0; j < rk.rows; ++j)
+        for (int j = 0; j < rk.rows; ++j) {
             for (int i = 0; i < cfg_.nx; ++i) {
                 const double x = (i + 0.5) * dx_ - cx;
                 const double y = (rk.row0 + j + 0.5) * dy_ - cy;
                 const double r = std::sqrt(x * x + y * y);
-                rk.h[idx(j + 1, i)] =
+                rk.h[idx(j + 1, i + 1)] =
                     static_cast<storage_t>(r < r0 ? h_inside : h_outside);
-                rk.hu[idx(j + 1, i)] = storage_t(0);
-                rk.hv[idx(j + 1, i)] = storage_t(0);
+                rk.hu[idx(j + 1, i + 1)] = storage_t(0);
+                rk.hv[idx(j + 1, i + 1)] = storage_t(0);
             }
+            mirror_ghost_columns(rk.h, rk.hu, rk.hv, j + 1);
+        }
+        rk.cost_seconds = 0.0;
     }
     time_ = 0.0;
     step_count_ = 0;
 }
 
 template <fp::PrecisionPolicy Policy>
-void DistributedShallowSolver<Policy>::exchange_halos() {
-    TP_OBS_SPAN("dist.halo_exchange");
-    // Phase 1: every rank posts its boundary rows. Rows travel in storage
-    // precision — the wire moves exactly the bytes the arrays hold (a
-    // float-storage policy ships half of what double storage does), and
-    // since the received values land in storage_t arrays unchanged, the
-    // state evolution is bitwise identical to shipping widened doubles.
-    // Buffers cycle through the comm pool, so the steady state of the
-    // exchange allocates nothing.
+void DistributedShallowSolver<Policy>::post_halos() {
+    // Boundary rows travel in storage precision — the wire moves exactly
+    // the bytes the arrays hold (a float-storage policy ships half of
+    // what double storage does), and since the received values land in
+    // storage_t arrays unchanged, the state evolution is bitwise
+    // identical to shipping widened doubles. Buffers cycle through the
+    // comm pool, so the steady state of the exchange allocates nothing.
+    // Only the interior columns [1, nx] ship: ghost columns are mirrors
+    // the receiver never reads on a ghost row.
     const auto nx = static_cast<std::size_t>(cfg_.nx);
     const std::size_t row_bytes = nx * 3 * sizeof(storage_t);
     auto pack_row = [&](const Rank& rk, int local_row) {
         std::vector<std::byte> buf = comm_.acquire(row_bytes);
         auto* p = reinterpret_cast<storage_t*>(buf.data());
-        for (std::size_t i = 0; i < nx; ++i) {
-            p[i] = rk.h[idx(local_row, static_cast<int>(i))];
-            p[nx + i] = rk.hu[idx(local_row, static_cast<int>(i))];
-            p[2 * nx + i] = rk.hv[idx(local_row, static_cast<int>(i))];
-        }
+        std::memcpy(p, rk.h.data() + idx(local_row, 1),
+                    nx * sizeof(storage_t));
+        std::memcpy(p + nx, rk.hu.data() + idx(local_row, 1),
+                    nx * sizeof(storage_t));
+        std::memcpy(p + 2 * nx, rk.hv.data() + idx(local_row, 1),
+                    nx * sizeof(storage_t));
         return buf;
     };
     for (int r = 0; r < cfg_.ranks; ++r) {
-        const Rank& rk = ranks_[static_cast<std::size_t>(r)];
-        if (r > 0) comm_.send_bytes(r, r - 1, kTagDown, pack_row(rk, 1));
-        if (r + 1 < cfg_.ranks)
-            comm_.send_bytes(r, r + 1, kTagUp, pack_row(rk, rk.rows));
-    }
-    comm_.exchange();
-
-    // Phase 2: receive into ghost rows; walls mirror the adjacent row
-    // with the normal momentum negated (reflective boundary).
-    auto unpack_row = [&](Rank& rk, int local_row, Message m) {
-        const auto* p =
-            reinterpret_cast<const storage_t*>(m.bytes.data());
-        for (std::size_t i = 0; i < nx; ++i) {
-            rk.h[idx(local_row, static_cast<int>(i))] = p[i];
-            rk.hu[idx(local_row, static_cast<int>(i))] = p[nx + i];
-            rk.hv[idx(local_row, static_cast<int>(i))] = p[2 * nx + i];
+        Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        rk.wavespeed = compute_t(0);
+        if (cfg_.overlap) {
+            if (r > 0)
+                comm_.post_bytes(r, r - 1, kTagDown, pack_row(rk, 1));
+            if (r + 1 < cfg_.ranks)
+                comm_.post_bytes(r, r + 1, kTagUp, pack_row(rk, rk.rows));
+        } else {
+            if (r > 0)
+                comm_.send_bytes(r, r - 1, kTagDown, pack_row(rk, 1));
+            if (r + 1 < cfg_.ranks)
+                comm_.send_bytes(r, r + 1, kTagUp, pack_row(rk, rk.rows));
         }
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::complete_halos() {
+    // BSP needs its phase barrier first; the overlapped schedule claims
+    // each in-flight message individually (MPI_Wait per request).
+    if (!cfg_.overlap) comm_.exchange();
+    const auto nx = static_cast<std::size_t>(cfg_.nx);
+    auto unpack_row = [&](Rank& rk, int local_row, Message m) {
+        const auto* p = reinterpret_cast<const storage_t*>(m.bytes.data());
+        std::memcpy(rk.h.data() + idx(local_row, 1), p,
+                    nx * sizeof(storage_t));
+        std::memcpy(rk.hu.data() + idx(local_row, 1), p + nx,
+                    nx * sizeof(storage_t));
+        std::memcpy(rk.hv.data() + idx(local_row, 1), p + 2 * nx,
+                    nx * sizeof(storage_t));
         comm_.release(std::move(m.bytes));
     };
     for (int r = 0; r < cfg_.ranks; ++r) {
         Rank& rk = ranks_[static_cast<std::size_t>(r)];
         if (r > 0) {
-            unpack_row(rk, 0, comm_.recv(r, r - 1, kTagUp));
+            unpack_row(rk, 0,
+                       cfg_.overlap ? comm_.complete(r, r - 1, kTagUp)
+                                    : comm_.recv(r, r - 1, kTagUp));
         } else {
-            for (int i = 0; i < cfg_.nx; ++i) {
+            // Reflective y wall: mirror the adjacent row with the normal
+            // momentum negated.
+            for (int i = 1; i <= cfg_.nx; ++i) {
                 rk.h[idx(0, i)] = rk.h[idx(1, i)];
                 rk.hu[idx(0, i)] = rk.hu[idx(1, i)];
-                rk.hv[idx(0, i)] = static_cast<storage_t>(
-                    -static_cast<compute_t>(rk.hv[idx(1, i)]));
+                rk.hv[idx(0, i)] = -rk.hv[idx(1, i)];
             }
         }
         if (r + 1 < cfg_.ranks) {
-            unpack_row(rk, rk.rows + 1, comm_.recv(r, r + 1, kTagDown));
+            unpack_row(rk, rk.rows + 1,
+                       cfg_.overlap ? comm_.complete(r, r + 1, kTagDown)
+                                    : comm_.recv(r, r + 1, kTagDown));
         } else {
-            for (int i = 0; i < cfg_.nx; ++i) {
+            for (int i = 1; i <= cfg_.nx; ++i) {
                 rk.h[idx(rk.rows + 1, i)] = rk.h[idx(rk.rows, i)];
                 rk.hu[idx(rk.rows + 1, i)] = rk.hu[idx(rk.rows, i)];
-                rk.hv[idx(rk.rows + 1, i)] = static_cast<storage_t>(
-                    -static_cast<compute_t>(rk.hv[idx(rk.rows, i)]));
+                rk.hv[idx(rk.rows + 1, i)] = -rk.hv[idx(rk.rows, i)];
             }
         }
     }
 }
 
 template <fp::PrecisionPolicy Policy>
-double DistributedShallowSolver<Policy>::global_dt() const {
-    // Local wavespeed maxima combined with an (exact) allreduce-max.
-    double rate = 0.0;
-    for (const Rank& rk : ranks_) {
-        for (int j = 1; j <= rk.rows; ++j)
-            for (int i = 0; i < cfg_.nx; ++i) {
-                const double hh = std::max(
-                    static_cast<double>(rk.h[idx(j, i)]), 1e-8);
-                const double inv = 1.0 / hh;
-                const double u =
-                    std::fabs(static_cast<double>(rk.hu[idx(j, i)])) * inv;
-                const double v =
-                    std::fabs(static_cast<double>(rk.hv[idx(j, i)])) * inv;
-                const double c = std::sqrt(cfg_.gravity * hh);
-                rate = std::max(rate,
-                                std::max(u, v) + c);
-            }
+void DistributedShallowSolver<Policy>::precompute_rows(Rank& rk, int j0,
+                                                       int j1) {
+    const bool native = simd::use_native(cfg_.simd);
+    for (int j = j0; j <= j1; ++j) {
+        shallow::detail::RowPreArgs<storage_t, compute_t> args{
+            rk.h.data() + idx(j, 0),  rk.hu.data() + idx(j, 0),
+            rk.hv.data() + idx(j, 0), rk.hf.data() + idx(j, 0),
+            rk.u.data() + idx(j, 0),  rk.v.data() + idx(j, 0),
+            rk.sx.data() + idx(j, 0), rk.sy.data() + idx(j, 0),
+            rk.p.data() + idx(j, 0),  cfg_.nx + 2,
+            static_cast<compute_t>(cfg_.gravity)};
+        const compute_t ws =
+            native ? shallow::detail::dist_pre_row<
+                         storage_t, compute_t,
+                         simd::native_lanes<compute_t>>(args)
+                   : shallow::detail::dist_pre_row_scalar(args);
+        rk.wavespeed = ws > rk.wavespeed ? ws : rk.wavespeed;
     }
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::precompute_interior() {
+    // One rank per task on the OpenMP team. Each rank touches only its
+    // own arrays and wavespeed slot, so the fork carries no shared
+    // writes; per-rank wall time feeds the balancer's cost ledger.
+    const auto n = static_cast<std::int64_t>(ranks_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < n; ++r) {
+        Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        util::WallTimer t;
+        precompute_rows(rk, 1, rk.rows);
+        rk.cost_seconds += t.elapsed_seconds();
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::update_rows(Rank& rk, int j0,
+                                                   int j1, double dt) {
+    const bool native = simd::use_native(cfg_.simd);
+    const compute_t dtdx = static_cast<compute_t>(dt / dx_);
+    const compute_t dtdy = static_cast<compute_t>(dt / dy_);
+    for (int j = j0; j <= j1; ++j) {
+        shallow::detail::RowUpdateArgs<storage_t, compute_t> args{
+            rk.h.data() + idx(j, 0),
+            rk.hu.data() + idx(j - 1, 0), rk.hv.data() + idx(j - 1, 0),
+            rk.hu.data() + idx(j, 0),     rk.hv.data() + idx(j, 0),
+            rk.hu.data() + idx(j + 1, 0), rk.hv.data() + idx(j + 1, 0),
+            rk.hf.data() + idx(j - 1, 0), rk.u.data() + idx(j - 1, 0),
+            rk.v.data() + idx(j - 1, 0),  rk.sy.data() + idx(j - 1, 0),
+            rk.p.data() + idx(j - 1, 0),  rk.hf.data() + idx(j, 0),
+            rk.u.data() + idx(j, 0),      rk.v.data() + idx(j, 0),
+            rk.sx.data() + idx(j, 0),     rk.sy.data() + idx(j, 0),
+            rk.p.data() + idx(j, 0),      rk.hf.data() + idx(j + 1, 0),
+            rk.u.data() + idx(j + 1, 0),  rk.v.data() + idx(j + 1, 0),
+            rk.sy.data() + idx(j + 1, 0), rk.p.data() + idx(j + 1, 0),
+            rk.h2.data() + idx(j, 0),     rk.hu2.data() + idx(j, 0),
+            rk.hv2.data() + idx(j, 0),    cfg_.nx, dtdx, dtdy};
+        if (native)
+            shallow::detail::dist_update_row<
+                storage_t, compute_t, simd::native_lanes<compute_t>>(args);
+        else
+            shallow::detail::dist_update_row_scalar(args);
+        // Refresh the new row's x mirror ghosts right away, so the next
+        // step's pack/precompute sees consistent walls after the swap.
+        mirror_ghost_columns(rk.h2, rk.hu2, rk.hv2, j);
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::update_interior(double dt) {
+    // Rows whose full 3-row stencil is owned; writes go to the swap
+    // buffers, so the current state a boundary row (or a neighbor's
+    // ghost) reads later is untouched. Ranks with < 3 rows have no such
+    // row.
+    const auto n = static_cast<std::int64_t>(ranks_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < n; ++r) {
+        Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        util::WallTimer t;
+        if (rk.rows >= 3) update_rows(rk, 2, rk.rows - 1, dt);
+        rk.cost_seconds += t.elapsed_seconds();
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::update_boundary(double dt) {
+    // Ghost rows are valid now (post-receipt): precompute them (their
+    // wavespeed folds land after fused_dt consumed the partials, and are
+    // value-neutral anyway — every ghost row duplicates some owned row's
+    // speeds up to a momentum sign), finish the <= 2 ghost-adjacent rows
+    // per rank, and swap the state buffers (a pointer swap — the old
+    // arrays become the next step's scratch).
+    const auto n = static_cast<std::int64_t>(ranks_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < n; ++r) {
+        Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        util::WallTimer t;
+        precompute_rows(rk, 0, 0);
+        precompute_rows(rk, rk.rows + 1, rk.rows + 1);
+        update_rows(rk, 1, 1, dt);
+        if (rk.rows > 1) update_rows(rk, rk.rows, rk.rows, dt);
+        rk.h.swap(rk.h2);
+        rk.hu.swap(rk.hu2);
+        rk.hv.swap(rk.hv2);
+        rk.cost_seconds += t.elapsed_seconds();
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+double DistributedShallowSolver<Policy>::fused_dt() {
+    // The precompute pass already folded every owned cell's max(sx, sy)
+    // into the rank partials; combine them with an exact allreduce-max.
+    // A max reduction performs no rounding, so this is bit-for-bit the
+    // historic full-grid cell scan — minus the second pass over the
+    // state — and available before any flux work, which is what lets the
+    // flux and apply passes fuse.
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+        ws_scratch_[r] = static_cast<double>(ranks_[r].wavespeed);
+    double rate = 0.0;
+    for (double w : ws_scratch_) rate = std::max(rate, w);
+    if (!std::isfinite(rate) || rate <= 0.0)
+        obs::raise_numerical_fault(
+            "dist.cfl", step_count_,
+            "non-finite or zero global wavespeed (rate=" +
+                std::to_string(rate) + ")");
     return cfg_.courant * std::min(dx_, dy_) / rate;
 }
 
 template <fp::PrecisionPolicy Policy>
-void DistributedShallowSolver<Policy>::update_rank(Rank& rk, double dt) {
-    // Cell-centric Rusanov update, the same flux expression as the serial
-    // solver's finite_diff; x walls mirror in-place via index clamping
-    // with the normal momentum negated.
-    const int nx = cfg_.nx;
-    const compute_t g = static_cast<compute_t>(cfg_.gravity);
-    const compute_t half = compute_t(0.5);
-    const compute_t half_g = half * g;
-    const compute_t hfloor = static_cast<compute_t>(1e-8);
-    const compute_t dtdx = static_cast<compute_t>(dt / dx_);
-    const compute_t dtdy = static_cast<compute_t>(dt / dy_);
+void DistributedShallowSolver<Policy>::maybe_rebalance() {
+    if (cfg_.lb_interval <= 0 || step_count_ == 0 ||
+        step_count_ % cfg_.lb_interval != 0)
+        return;
+    util::ScopedTimer t(timers_, "rebalance");
+    // Spread each rank's measured sweep seconds evenly over its rows —
+    // row granularity is all the splitter needs, and the uniform spread
+    // keeps a balanced partition a fixed point.
+    for (const Rank& rk : ranks_) {
+        const double per_row =
+            rk.cost_seconds / static_cast<double>(rk.rows);
+        for (int j = 0; j < rk.rows; ++j)
+            row_cost_scratch_[static_cast<std::size_t>(rk.row0 + j)] =
+                per_row;
+    }
+    rebalance(row_cost_scratch_);
+}
 
-    std::vector<storage_t> nh(rk.h.size()), nhu(rk.hu.size()),
-        nhv(rk.hv.size());
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::rebalance(
+    std::span<const double> row_cost) {
+    if (static_cast<int>(row_cost.size()) != cfg_.ny)
+        throw std::invalid_argument(
+            "rebalance: row_cost must have one entry per global row");
+    ++lb_stats_.evaluations;
+    // split_scratch_ is persistent, so a no-op evaluation (the common
+    // case: balanced costs) allocates nothing inside step().
+    split_rows(row_cost, cfg_.ranks, split_scratch_);
+    bool moved = false;
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+        if (split_scratch_[r] != ranks_[r].rows) moved = true;
+    if (moved) apply_partition(split_scratch_);
+    // Fresh measurement window either way: stale costs from a pre-split
+    // partition would double-count the skew.
+    for (Rank& rk : ranks_) rk.cost_seconds = 0.0;
+}
 
-    // One oriented face flux (normal along +x when x_dir, +y otherwise).
-    auto flux = [&](compute_t hL, compute_t qnL, compute_t qtL,
-                    compute_t hR, compute_t qnR, compute_t qtR,
-                    compute_t out[3]) {
-        hL = std::max(hL, hfloor);
-        hR = std::max(hR, hfloor);
-        const compute_t invL = compute_t(1) / hL;
-        const compute_t invR = compute_t(1) / hR;
-        const compute_t unL = qnL * invL;
-        const compute_t unR = qnR * invR;
-        const compute_t utL = qtL * invL;
-        const compute_t utR = qtR * invR;
-        const compute_t smax = std::max(
-            std::fabs(unL) + std::sqrt(g * hL),
-            std::fabs(unR) + std::sqrt(g * hR));
-        out[0] = half * (qnL + qnR) - half * smax * (hR - hL);
-        out[1] = half * (qnL * unL + half_g * hL * hL + qnR * unR +
-                         half_g * hR * hR) -
-                 half * smax * (qnR - qnL);
-        out[2] = half * (qnL * utL + qnR * utR) - half * smax * (qtR - qtL);
-    };
-
-    for (int j = 1; j <= rk.rows; ++j) {
-        for (int i = 0; i < nx; ++i) {
-            const auto load = [&](int jj, int ii, bool mirror_x,
-                                  compute_t& h, compute_t& hu,
-                                  compute_t& hv) {
-                h = static_cast<compute_t>(rk.h[idx(jj, ii)]);
-                hu = static_cast<compute_t>(rk.hu[idx(jj, ii)]);
-                hv = static_cast<compute_t>(rk.hv[idx(jj, ii)]);
-                if (mirror_x) hu = -hu;
-            };
-            compute_t hC, huC, hvC;
-            load(j, i, false, hC, huC, hvC);
-
-            compute_t f[3];
-            // Per-direction accumulators: x and y faces carry different
-            // metric factors (dt/dx vs dt/dy).
-            compute_t dhx = 0, dhux = 0, dhvx = 0;
-            compute_t dhy = 0, dhuy = 0, dhvy = 0;
-
-            // West face (normal +x): left neighbor or mirrored wall ghost.
-            {
-                compute_t hN, huN, hvN;
-                load(j, i > 0 ? i - 1 : 0, i == 0, hN, huN, hvN);
-                flux(hN, huN, hvN, hC, huC, hvC, f);
-                dhx += f[0];
-                dhux += f[1];
-                dhvx += f[2];
-            }
-            // East face.
-            {
-                compute_t hN, huN, hvN;
-                load(j, i + 1 < nx ? i + 1 : nx - 1, i + 1 == nx, hN, huN,
-                     hvN);
-                flux(hC, huC, hvC, hN, huN, hvN, f);
-                dhx -= f[0];
-                dhux -= f[1];
-                dhvx -= f[2];
-            }
-            // South face (normal +y; tangential/normal momenta swap).
-            {
-                compute_t hN, huN, hvN;
-                load(j - 1, i, false, hN, huN, hvN);
-                flux(hN, hvN, huN, hC, hvC, huC, f);
-                dhy += f[0];
-                dhvy += f[1];
-                dhuy += f[2];
-            }
-            // North face.
-            {
-                compute_t hN, huN, hvN;
-                load(j + 1, i, false, hN, huN, hvN);
-                flux(hC, hvC, huC, hN, hvN, huN, f);
-                dhy -= f[0];
-                dhvy -= f[1];
-                dhuy -= f[2];
-            }
-
-            nh[idx(j, i)] = static_cast<storage_t>(
-                std::max(hC + dtdx * dhx + dtdy * dhy, hfloor));
-            nhu[idx(j, i)] = static_cast<storage_t>(
-                huC + dtdx * dhux + dtdy * dhuy);
-            nhv[idx(j, i)] = static_cast<storage_t>(
-                hvC + dtdx * dhvx + dtdy * dhvy);
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::apply_partition(
+    const std::vector<int>& new_rows) {
+    ++lb_stats_.resplits;
+    // Park every owned row (with its ghost columns — they travel with the
+    // row, bit-for-bit) in the carry buffers, re-cut the stripes, and
+    // copy back. Ghost rows are dead here: the next step()'s exchange
+    // rewrites them before any sweep reads them.
+    const std::size_t pitch = static_cast<std::size_t>(cfg_.nx + 2);
+    for (const Rank& rk : ranks_) {
+        for (int j = 0; j < rk.rows; ++j) {
+            const std::size_t dst =
+                static_cast<std::size_t>(rk.row0 + j) * pitch;
+            std::memcpy(carry_h_.data() + dst, rk.h.data() + idx(j + 1, 0),
+                        pitch * sizeof(storage_t));
+            std::memcpy(carry_hu_.data() + dst,
+                        rk.hu.data() + idx(j + 1, 0),
+                        pitch * sizeof(storage_t));
+            std::memcpy(carry_hv_.data() + dst,
+                        rk.hv.data() + idx(j + 1, 0),
+                        pitch * sizeof(storage_t));
         }
     }
-    rk.h = std::move(nh);
-    rk.hu = std::move(nhu);
-    rk.hv = std::move(nhv);
+    int row = 0;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        Rank& rk = ranks_[r];
+        const int old_row0 = rk.row0;
+        const int old_rows = rk.rows;
+        rk.row0 = row;
+        rk.rows = new_rows[r];
+        row += rk.rows;
+        for (int j = 0; j < rk.rows; ++j) {
+            const int gj = rk.row0 + j;
+            if (gj < old_row0 || gj >= old_row0 + old_rows)
+                ++lb_stats_.rows_moved;
+        }
+        allocate_rank(rk);
+        for (int j = 0; j < rk.rows; ++j) {
+            const std::size_t src =
+                static_cast<std::size_t>(rk.row0 + j) * pitch;
+            std::memcpy(rk.h.data() + idx(j + 1, 0), carry_h_.data() + src,
+                        pitch * sizeof(storage_t));
+            std::memcpy(rk.hu.data() + idx(j + 1, 0),
+                        carry_hu_.data() + src,
+                        pitch * sizeof(storage_t));
+            std::memcpy(rk.hv.data() + idx(j + 1, 0),
+                        carry_hv_.data() + src,
+                        pitch * sizeof(storage_t));
+        }
+    }
 }
 
 template <fp::PrecisionPolicy Policy>
 double DistributedShallowSolver<Policy>::step() {
     TP_OBS_SPAN("dist.step");
-    exchange_halos();
-    const double dt = global_dt();
-    for (Rank& rk : ranks_) update_rank(rk, dt);
+    util::WallTimer t_step;
+    maybe_rebalance();
+
+    const std::uint64_t bytes0 = comm_.bytes_sent();
+    double s_wait = 0.0, s_pre = 0.0, s_update = 0.0;
+    {
+        TP_OBS_SPAN("dist.halo_post");
+        util::WallTimer t;
+        post_halos();
+        timers_.add("halo_pack", t.elapsed_seconds());
+    }
+    if (!cfg_.overlap) {
+        // BSP baseline: the phase barrier sits before any update work.
+        TP_OBS_SPAN("dist.halo_wait");
+        util::WallTimer t;
+        complete_halos();
+        s_wait = t.elapsed_seconds();
+        timers_.add("halo_wait", s_wait);
+    }
+    {
+        // Owned-row precompute + CFL fold reads only owned state, so in
+        // overlap mode it runs while the boundary-row exchange is in
+        // flight.
+        TP_OBS_SPAN("dist.precompute");
+        util::WallTimer t;
+        precompute_interior();
+        s_pre = t.elapsed_seconds();
+        timers_.add("precompute", s_pre);
+    }
+    const double dt = fused_dt();
+    {
+        // Interior rows read only owned rows too — still inside the
+        // overlap window.
+        TP_OBS_SPAN("dist.interior");
+        util::WallTimer t;
+        update_interior(dt);
+        const double s = t.elapsed_seconds();
+        s_update += s;
+        timers_.add("interior", s);
+    }
+    if (cfg_.overlap) {
+        TP_OBS_SPAN("dist.halo_wait");
+        util::WallTimer t;
+        complete_halos();
+        s_wait = t.elapsed_seconds();
+        timers_.add("halo_wait", s_wait);
+    }
+    {
+        TP_OBS_SPAN("dist.boundary");
+        util::WallTimer t;
+        update_boundary(dt);
+        const double s = t.elapsed_seconds();
+        s_update += s;
+        timers_.add("boundary", s);
+    }
+
+    // Work accounting: one precompute record (the CFL fold rides that
+    // pass) and one fused flux + apply record, split by the precision
+    // they ran in.
+    const auto cells = static_cast<std::uint64_t>(cfg_.nx) *
+                       static_cast<std::uint64_t>(cfg_.ny);
+    const auto threads = static_cast<std::uint32_t>(
+        std::min<int>(util::max_threads(), cfg_.ranks));
+    const auto lanes = static_cast<std::uint32_t>(
+        simd::lanes_for<compute_t>(cfg_.simd));
+    constexpr bool sp = std::is_same_v<compute_t, float>;
+    constexpr bool mixed = sizeof(storage_t) != sizeof(compute_t);
+    ledger_.record("dist_pre", s_pre, sp ? cells * kPreFlopsPerCell : 0,
+                   sp ? 0 : cells * kPreFlopsPerCell,
+                   cells * 3 * sizeof(storage_t), mixed ? cells * 3 : 0,
+                   cells * 6 * sizeof(compute_t), threads, lanes);
+    ledger_.record("dist_update", s_update,
+                   sp ? cells * kUpdateFlopsPerCell : 0,
+                   sp ? 0 : cells * kUpdateFlopsPerCell,
+                   cells * (3 * sizeof(storage_t) + 6 * sizeof(compute_t)),
+                   mixed ? cells * 10 : 0, cells * 3 * sizeof(storage_t),
+                   threads, lanes);
+    ledger_.record("dist_halo", s_wait, 0, 0,
+                   comm_.bytes_sent() - bytes0);
+
     time_ += dt;
     ++step_count_;
+    timers_.add("step", t_step.elapsed_seconds());
     return dt;
 }
 
@@ -283,21 +567,21 @@ template <fp::PrecisionPolicy Policy>
 double DistributedShallowSolver<Policy>::total_mass(
     ReduceAlgorithm algo) const {
     // Per-rank slices of h * cell_area, reduced by the chosen algorithm.
-    std::vector<std::vector<double>> local(ranks_.size());
+    // The slices live in one persistent scratch block — the historic
+    // vector-of-vectors rebuild allocated R + 1 buffers per call.
     const double area = dx_ * dy_;
+    std::size_t at = 0;
     for (std::size_t r = 0; r < ranks_.size(); ++r) {
         const Rank& rk = ranks_[r];
-        local[r].reserve(static_cast<std::size_t>(rk.rows) *
-                         static_cast<std::size_t>(cfg_.nx));
+        const std::size_t begin = at;
         for (int j = 1; j <= rk.rows; ++j)
-            for (int i = 0; i < cfg_.nx; ++i)
-                local[r].push_back(
-                    static_cast<double>(rk.h[idx(j, i)]) * area);
+            for (int i = 1; i <= cfg_.nx; ++i)
+                mass_scratch_[at++] =
+                    static_cast<double>(rk.h[idx(j, i)]) * area;
+        mass_slices_[r] = std::span<const double>(
+            mass_scratch_.data() + begin, at - begin);
     }
-    std::vector<std::span<const double>> slices;
-    slices.reserve(local.size());
-    for (const auto& l : local) slices.emplace_back(l);
-    return allreduce_sum(slices, algo);
+    return allreduce_sum(mass_slices_, algo);
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -311,7 +595,25 @@ std::vector<double> DistributedShallowSolver<Policy>::gather_height()
                 out[static_cast<std::size_t>(rk.row0 + j) *
                         static_cast<std::size_t>(cfg_.nx) +
                     static_cast<std::size_t>(i)] =
-                    static_cast<double>(rk.h[idx(j + 1, i)]);
+                    static_cast<double>(rk.h[idx(j + 1, i + 1)]);
+    return out;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<std::pair<int, int>>
+DistributedShallowSolver<Policy>::row_partition() const {
+    std::vector<std::pair<int, int>> out;
+    out.reserve(ranks_.size());
+    for (const Rank& rk : ranks_) out.emplace_back(rk.row0, rk.rows);
+    return out;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<double> DistributedShallowSolver<Policy>::rank_cost_seconds()
+    const {
+    std::vector<double> out;
+    out.reserve(ranks_.size());
+    for (const Rank& rk : ranks_) out.push_back(rk.cost_seconds);
     return out;
 }
 

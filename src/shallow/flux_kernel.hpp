@@ -24,6 +24,7 @@
 // a gather; run tails use the partial ops, which replicate the last valid
 // lane so every lane computes on real, finite data.
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -155,5 +156,245 @@ inline void flux_block(const FluxArgs<S, C>& A, std::size_t c, int m) {
         ddhv.store_partial(A.dhv + c, m);
     }
 }
+
+// --------------------------------------------------------------------------
+// Uniform-grid row sweep — the distributed solver's kernel
+// (par/dist_shallow.*). Unlike the AMR sweep above (whose gathers force
+// the explicit pack form), the distributed rows are pure unit-stride, so
+// the kernels are written as flat `#pragma omp simd` loops of scalar IEEE
+// expressions. The two instruction shapes come from the translation unit,
+// not the source: the W == 1 instantiation lives in the no-autovec TU
+// (flux_scalar.cpp) and stays genuinely scalar, the W == native_lanes<C>
+// instantiation lives in the -ffp-contract=off solver TU where the
+// vectorizer lowers the annotated loop to full-width SIMD. (The width
+// parameter exists to keep the two instantiations distinct symbols — an
+// unparameterized inline function would be merged by the linker and one
+// TU's codegen would silently win.) Every operation is an individually
+// rounded IEEE op in either shape and contraction is off in both TUs, so
+// scalar and native are bit-identical per cell — same contract as the
+// pack kernels, enforced by tests/bench gates.
+//
+// Rows carry one mirror ghost column per side (h copied, hu negated, hv
+// copied), so every access in the sweep is unit-stride: the center row
+// shifts by ±1 for the x faces and the south/north rows align at the same
+// column for the y faces. No gathers, no per-cell branching — the stride
+// regularity the ROADMAP wants for the later per-block AMR path.
+//
+// The step is split into a per-cell PRECOMPUTE pass and a fused
+// FLUX + APPLY pass. The historic per-cell lambda evaluated 1/h, u, v and
+// sqrt(g h) freshly on both sides of all four faces — eight divides and
+// eight square roots per cell per step, plus nine more in the separate dt
+// scan. Every one of those recomputations produces the same bits as the
+// cell's own values, so the precompute pass evaluates them once per cell
+// (one divide, one square root) and the update pass just reloads them:
+//
+//   hf = max(h, 1e-8)        inv = 1/hf      u = hu*inv     v = hv*inv
+//   c  = sqrt(g*hf)          sx = |u| + c    sy = |v| + c
+//   p  = (g/2 * hf) * hf     (the pressure term of the momentum flux)
+//
+// Expressions match the historic lambda token for token, so the
+// refactor is bitwise invisible — it removes redundant work, not
+// rounding steps.
+//
+// sx/sy double as the CFL quantities: the historic dt pass scanned the
+// grid for max(|u| + c, |v| + c) == max(sx, sy), so the precompute pass
+// folds that row maximum as it stores and the separate full-grid dt scan
+// is redundant — bit-for-bit, because a max reduction performs no
+// rounding and is therefore order-free. (Mirror ghost columns replicate
+// an owned cell's h and |momenta|, so folding the full padded row equals
+// folding the owned cells.) Having dt before any flux work is what lets
+// the flux and apply passes fuse: the update row consumes the precomputed
+// quantities, applies the increments in registers, and writes the NEXT
+// state buffers directly — the historic six full-field increment arrays
+// (and the separate apply sweep over them) are gone. Because the old
+// state is never written mid-step, the fusion cannot reorder any read:
+// every stencil load still sees exactly the old values, and the update
+// expressions transliterate the historic apply (a compute_t store +
+// reload of the increments was a bitwise identity anyway).
+
+/// Per-cell precomputed face quantities for one padded row (see above).
+/// Pointers are positioned at column 0; n covers the full padded width.
+template <typename S, typename C>
+struct RowPreArgs {
+    const S* h;
+    const S* hu;
+    const S* hv;
+    C* hf;
+    C* u;
+    C* v;
+    C* sx;
+    C* sy;
+    C* p;
+    int n;  // padded columns to process (nx + 2)
+    C gravity;
+};
+
+/// Precompute one padded row; returns the row's max(sx, sy) — the CFL
+/// quantity the solver folds into this step's dt before any flux work.
+template <typename S, typename C, int W>
+inline C dist_pre_row(const RowPreArgs<S, C>& A) {
+    static_assert(W >= 1, "width tag must be positive");
+    const C g = A.gravity;
+    const C half_g = C(0.5) * A.gravity;
+    const C hfloor = C(1e-8);
+    C ws = C(0);
+#pragma omp simd reduction(max : ws)
+    for (int i = 0; i < A.n; ++i) {
+        const C h = static_cast<C>(A.h[i]);
+        // Ternary forms mirror simd::max / simd::abs exactly.
+        const C hf = h > hfloor ? h : hfloor;
+        const C inv = C(1) / hf;
+        const C u = static_cast<C>(A.hu[i]) * inv;
+        const C v = static_cast<C>(A.hv[i]) * inv;
+        const C c = std::sqrt(g * hf);
+        const C sx = (u < C(0) ? -u : u) + c;
+        const C sy = (v < C(0) ? -v : v) + c;
+        A.hf[i] = hf;
+        A.u[i] = u;
+        A.v[i] = v;
+        A.sx[i] = sx;
+        A.sy[i] = sy;
+        A.p[i] = (half_g * hf) * hf;
+        const C s = sx > sy ? sx : sy;
+        ws = s > ws ? s : ws;
+    }
+    return ws;
+}
+
+/// One row of the fused distributed update. All pointers are positioned
+/// at column 0 (the west ghost column); cells i in [1, nx] are updated.
+/// S/C/N are the south (j-1), center (j) and north (j+1) OLD rows; raw
+/// momenta come from the old state, everything else from the precompute.
+/// h2/hu2/hv2 are the NEXT state buffers (never aliasing the old rows).
+template <typename S, typename C>
+struct RowUpdateArgs {
+    const S* hC;  // old center height, for the conservative update
+    const S* huS;
+    const S* hvS;
+    const S* huC;
+    const S* hvC;
+    const S* huN;
+    const S* hvN;
+    const C* hfS;
+    const C* uS;
+    const C* vS;
+    const C* syS;
+    const C* pS;
+    const C* hfC;
+    const C* uC;
+    const C* vC;
+    const C* sxC;
+    const C* syC;
+    const C* pC;
+    const C* hfN;
+    const C* uN;
+    const C* vN;
+    const C* syN;
+    const C* pN;
+    S* h2;  // next-state row, same indexing
+    S* hu2;
+    S* hv2;
+    int nx;  // interior cells in the row
+    C dtdx;  // dt / dx and dt / dy, already in compute precision
+    C dtdy;
+};
+
+/// Whole-row fused flux + apply sweep. Per oriented face,
+///   smax = max(sL, sR),   f = ½(qL + qR) − ½ smax (R − L),
+/// with the same expression order as the historic per-cell lambda (the
+/// precomputed quantities substitute bitwise); L is always the
+/// lower-coordinate side, so both cells sharing a face evaluate the
+/// identical expression and the scheme stays exactly conservative.
+/// Separate x / y increments — the two directions carry different metric
+/// factors dt/dx vs dt/dy — which feed the conservative update in
+/// registers and write the next-state row directly.
+template <typename S, typename C, int W>
+inline void dist_update_row(const RowUpdateArgs<S, C>& A) {
+    static_assert(W >= 1, "width tag must be positive");
+    const C half = C(0.5);
+    const C hfloor = C(1e-8);
+    const C dtdx = A.dtdx;
+    const C dtdy = A.dtdy;
+#pragma omp simd
+    for (int i = 1; i <= A.nx; ++i) {
+        const C huC = static_cast<C>(A.huC[i]);
+        const C hvC = static_cast<C>(A.hvC[i]);
+        const C hfC = A.hfC[i], uC = A.uC[i], vC = A.vC[i];
+        const C sxC = A.sxC[i], syC = A.syC[i], pC = A.pC[i];
+        // West face (normal +x; index i-1 picks up the mirror ghost at
+        // i == 1). qn = hu, un = u, ut = v, qt = hv.
+        const C huW = static_cast<C>(A.huC[i - 1]);
+        const C hvW = static_cast<C>(A.hvC[i - 1]);
+        const C sW = A.sxC[i - 1] > sxC ? A.sxC[i - 1] : sxC;
+        const C fW0 = half * (huW + huC) - half * sW * (hfC - A.hfC[i - 1]);
+        const C fW1 = half * (huW * A.uC[i - 1] + A.pC[i - 1] + huC * uC +
+                              pC) -
+                      half * sW * (huC - huW);
+        const C fW2 = half * (huW * A.vC[i - 1] + huC * vC) -
+                      half * sW * (hvC - hvW);
+        // East face.
+        const C huE = static_cast<C>(A.huC[i + 1]);
+        const C hvE = static_cast<C>(A.hvC[i + 1]);
+        const C sE = sxC > A.sxC[i + 1] ? sxC : A.sxC[i + 1];
+        const C fE0 = half * (huC + huE) - half * sE * (A.hfC[i + 1] - hfC);
+        const C fE1 = half * (huC * uC + pC + huE * A.uC[i + 1] +
+                              A.pC[i + 1]) -
+                      half * sE * (huE - huC);
+        const C fE2 = half * (huC * vC + huE * A.vC[i + 1]) -
+                      half * sE * (hvE - hvC);
+        // South face (normal +y; normal/tangential momenta swap roles:
+        // qn = hv, un = v, ut = u, qt = hu).
+        const C huS = static_cast<C>(A.huS[i]);
+        const C hvS = static_cast<C>(A.hvS[i]);
+        const C sS = A.syS[i] > syC ? A.syS[i] : syC;
+        const C fS0 = half * (hvS + hvC) - half * sS * (hfC - A.hfS[i]);
+        const C fS1 = half * (hvS * A.vS[i] + A.pS[i] + hvC * vC + pC) -
+                      half * sS * (hvC - hvS);
+        const C fS2 = half * (hvS * A.uS[i] + hvC * uC) -
+                      half * sS * (huC - huS);
+        // North face.
+        const C huN = static_cast<C>(A.huN[i]);
+        const C hvN = static_cast<C>(A.hvN[i]);
+        const C sN = syC > A.syN[i] ? syC : A.syN[i];
+        const C fN0 = half * (hvC + hvN) - half * sN * (A.hfN[i] - hfC);
+        const C fN1 = half * (hvC * vC + pC + hvN * A.vN[i] + A.pN[i]) -
+                      half * sN * (hvN - hvC);
+        const C fN2 = half * (hvC * uC + hvN * A.uN[i]) -
+                      half * sN * (huN - huC);
+        // Conservative update, increments in registers. Transliterates
+        // the historic apply: old + dt/dx * (x increment) + dt/dy * (y
+        // increment), left-associated, height floored before the storage
+        // round. (The y faces' f1 is the hv flux and f2 the hu flux —
+        // normal and tangential momenta swap roles.)
+        const C hOld = static_cast<C>(A.hC[i]);
+        const C hNew = hOld + dtdx * (fW0 - fE0) + dtdy * (fS0 - fN0);
+        A.h2[i] = static_cast<S>(hNew < hfloor ? hfloor : hNew);
+        A.hu2[i] = static_cast<S>(huC + dtdx * (fW1 - fE1) +
+                                  dtdy * (fS2 - fN2));
+        A.hv2[i] = static_cast<S>(hvC + dtdx * (fW2 - fE2) +
+                                  dtdy * (fS1 - fN1));
+    }
+}
+
+/// The W == 1 sweeps, defined in flux_scalar.cpp (the no-autovec TU) so
+/// `--simd=scalar` measures true one-lane issue in the distributed
+/// solver exactly as it does in the AMR one.
+template <typename S, typename C>
+C dist_pre_row_scalar(const RowPreArgs<S, C>& A);
+template <typename S, typename C>
+void dist_update_row_scalar(const RowUpdateArgs<S, C>& A);
+
+extern template float dist_pre_row_scalar<float, float>(
+    const RowPreArgs<float, float>&);
+extern template double dist_pre_row_scalar<float, double>(
+    const RowPreArgs<float, double>&);
+extern template double dist_pre_row_scalar<double, double>(
+    const RowPreArgs<double, double>&);
+extern template void dist_update_row_scalar<float, float>(
+    const RowUpdateArgs<float, float>&);
+extern template void dist_update_row_scalar<float, double>(
+    const RowUpdateArgs<float, double>&);
+extern template void dist_update_row_scalar<double, double>(
+    const RowUpdateArgs<double, double>&);
 
 }  // namespace tp::shallow::detail

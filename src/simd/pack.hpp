@@ -248,4 +248,11 @@ template <typename T, int W>
     return acc;
 }
 
+template <typename T, int W>
+[[nodiscard]] inline T reduce_max(const pack<T, W>& a) {
+    T acc = a.v[0];
+    for (int i = 1; i < W; ++i) acc = a.v[i] > acc ? a.v[i] : acc;
+    return acc;
+}
+
 }  // namespace tp::simd

@@ -1,0 +1,210 @@
+// Distributed-solver contracts that need their own binary: the
+// zero-steady-state-allocation guarantee of step() and total_mass() is
+// checked with a global operator-new counter (the same pattern as
+// test_obs.cpp's zero-cost-when-off test, and the two counters cannot
+// share one process), plus the decomposition-invariance matrix, the
+// communicator drain/deadlock contracts, and the load balancer's exact
+// state carryover.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "par/comm.hpp"
+#include "par/dist_shallow.hpp"
+
+using namespace tp;
+
+// ------------------------------------------------- allocation bookkeeping
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+template <typename P>
+par::DistributedShallowSolver<P> make_solver(int grid, int ranks,
+                                             bool overlap, simd::Mode mode,
+                                             int lb_interval = 0) {
+    par::DistConfig cfg;
+    cfg.nx = cfg.ny = grid;
+    cfg.ranks = ranks;
+    cfg.overlap = overlap;
+    cfg.simd = mode;
+    cfg.lb_interval = lb_interval;
+    return par::DistributedShallowSolver<P>(cfg);
+}
+
+template <typename P>
+std::vector<double> height_after(int grid, int steps, int ranks,
+                                 bool overlap, simd::Mode mode,
+                                 int lb_interval = 0) {
+    auto s = make_solver<P>(grid, ranks, overlap, mode, lb_interval);
+    s.initialize_dam_break();
+    s.run(steps);
+    EXPECT_TRUE(s.comm_drained());
+    return s.gather_height();
+}
+
+// The halo exchange's buffer pool, the swap buffers, and every scratch
+// vector are sized by the first steps; after that the steady state of
+// step() — and of the total_mass() diagnostic — must perform zero heap
+// allocations, in every schedule and at every rank count.
+TEST(DistAllocations, SteadyStateStepIsAllocationFree) {
+    for (const bool overlap : {false, true}) {
+        auto s = make_solver<fp::MixedPrecision>(32, 3, overlap,
+                                                 simd::Mode::Native);
+        s.initialize_dam_break();
+        s.run(3);  // warm the comm pool and every lazy scratch buffer
+        (void)s.total_mass();
+        const std::uint64_t before = g_allocs.load();
+        s.run(5);
+        (void)s.total_mass();
+        EXPECT_EQ(g_allocs.load(), before)
+            << (overlap ? "overlap" : "BSP") << " schedule allocated in "
+            << "steady state";
+        EXPECT_TRUE(s.comm_drained());
+    }
+}
+
+// The rebalance path reuses persistent carry buffers too: a re-split may
+// reallocate rank stripes (allowed — the partition changed), but a
+// uniform-cost evaluation that moves nothing must stay allocation-free.
+TEST(DistAllocations, UniformRebalanceIsAllocationFree) {
+    auto s = make_solver<fp::FullPrecision>(32, 4, true, simd::Mode::Native);
+    s.initialize_dam_break();
+    s.run(2);
+    const std::vector<double> uniform(32, 1.0);
+    s.rebalance(uniform);  // warm: the evaluation itself moves no rows
+    const std::uint64_t before = g_allocs.load();
+    s.rebalance(uniform);
+    EXPECT_EQ(g_allocs.load(), before);
+    EXPECT_EQ(s.lb_stats().resplits, 0u);
+}
+
+// Decomposition-invariance matrix: the height field must repeat to the
+// last bit across rank counts (1, R, one-row-per-rank), both schedules,
+// and both SIMD shapes, for every precision policy — the contract the
+// overlapped pipeline, the kernel dispatch, and the halo path all hang
+// off. (bench/table_dist_scaling gates the same property at larger
+// sizes; this is the fast in-suite version.)
+template <typename P>
+void invariance_matrix() {
+    const int grid = 24, steps = 12;
+    const auto ref = height_after<P>(grid, steps, 1, false,
+                                     simd::Mode::Scalar);
+    for (const int ranks : {2, 3, grid})
+        for (const bool overlap : {false, true})
+            for (const auto mode :
+                 {simd::Mode::Scalar, simd::Mode::Native})
+                EXPECT_EQ(height_after<P>(grid, steps, ranks, overlap,
+                                          mode),
+                          ref)
+                    << ranks << " ranks, overlap=" << overlap
+                    << ", native=" << (mode == simd::Mode::Native);
+}
+
+TEST(DistInvariance, MinimumPrecision) {
+    invariance_matrix<fp::MinimumPrecision>();
+}
+TEST(DistInvariance, MixedPrecision) {
+    invariance_matrix<fp::MixedPrecision>();
+}
+TEST(DistInvariance, FullPrecision) {
+    invariance_matrix<fp::FullPrecision>();
+}
+
+// Periodic measured-cost rebalancing is bitwise invisible as well — the
+// re-split carries every row over exactly.
+TEST(DistInvariance, PeriodicLoadBalancingDoesNotChangeState) {
+    const auto ref = height_after<fp::MixedPrecision>(
+        24, 12, 3, true, simd::Mode::Native, /*lb_interval=*/0);
+    EXPECT_EQ(height_after<fp::MixedPrecision>(24, 12, 3, true,
+                                               simd::Mode::Native,
+                                               /*lb_interval=*/4),
+              ref);
+}
+
+// Forced skewed re-split mid-run: rows change owners, the solution does
+// not change bits relative to an undisturbed run.
+TEST(DistLoadBalance, SkewedResplitCarriesStateExactly) {
+    const int grid = 24;
+    auto undisturbed = make_solver<fp::FullPrecision>(grid, 3, true,
+                                                      simd::Mode::Native);
+    undisturbed.initialize_dam_break();
+    undisturbed.run(10);
+
+    auto resplit = make_solver<fp::FullPrecision>(grid, 3, true,
+                                                  simd::Mode::Native);
+    resplit.initialize_dam_break();
+    resplit.run(4);
+    std::vector<double> skew(grid, 1.0);
+    for (int j = 0; j < grid / 3; ++j) skew[static_cast<std::size_t>(j)] = 9.0;
+    resplit.rebalance(skew);
+    EXPECT_GE(resplit.lb_stats().resplits, 1u);
+    EXPECT_GT(resplit.lb_stats().rows_moved, 0u);
+    resplit.run(6);
+
+    EXPECT_EQ(resplit.gather_height(), undisturbed.gather_height());
+    EXPECT_TRUE(resplit.comm_drained());
+}
+
+// A uniform-cost re-split reproduces the constructor's partition — the
+// balancer is a fixed point at balance, so a healthy run never churns.
+TEST(DistLoadBalance, UniformCostIsANoOp) {
+    auto s = make_solver<fp::FullPrecision>(30, 4, true, simd::Mode::Native);
+    s.initialize_dam_break();
+    const auto before = s.row_partition();
+    const std::vector<double> uniform(30, 1.0);
+    s.rebalance(uniform);
+    EXPECT_EQ(s.row_partition(), before);
+    EXPECT_EQ(s.lb_stats().evaluations, 1u);
+    EXPECT_EQ(s.lb_stats().resplits, 0u);
+}
+
+// ------------------------------------------------- communicator contracts
+
+// Claiming a message that was never posted is a deadlock in the simulated
+// schedule — both the nonblocking and the BSP receive must throw, not
+// hang or fabricate data.
+TEST(DistComm, MissingMessageThrows) {
+    par::VirtualComm comm(2);
+    EXPECT_THROW((void)comm.complete(1, 0, 7), std::runtime_error);
+    comm.exchange();
+    EXPECT_THROW((void)comm.recv(1, 0, 7), std::runtime_error);
+    EXPECT_TRUE(comm.drained());
+}
+
+// drained() must see through both delivery paths: a posted-but-unclaimed
+// nonblocking message and an exchanged-but-unreceived BSP message each
+// count as leaked traffic.
+TEST(DistComm, DrainedTracksBothDeliveryPaths) {
+    par::VirtualComm comm(2);
+    comm.post_bytes(0, 1, 1, comm.acquire(8));
+    EXPECT_FALSE(comm.drained());
+    comm.release(comm.complete(1, 0, 1).bytes);
+    EXPECT_TRUE(comm.drained());
+
+    comm.send_bytes(0, 1, 2, comm.acquire(8));
+    EXPECT_FALSE(comm.drained());
+    comm.exchange();
+    EXPECT_FALSE(comm.drained());
+    comm.release(comm.recv(1, 0, 2).bytes);
+    EXPECT_TRUE(comm.drained());
+}
+
+}  // namespace
