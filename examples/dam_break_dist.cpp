@@ -2,10 +2,13 @@
 // the overlapped/SIMD/load-balanced pipeline of par/dist_shallow with the
 // full flight-recorder surface (manifest, per-step metrics including halo
 // traffic, spans), so tp_report can diff runs and obs_check can validate
-// them exactly like the serial drivers.
+// them exactly like the serial drivers. `--blocks=on` swaps the row-stripe
+// decomposition for the block-structured solver (par/dist_blocks.hpp) —
+// bitwise the same solution, per-block-face halos, whole-block rebalance.
 //
 //   $ ./dam_break_dist --precision mixed --grid 256 --ranks 8
 //                      --overlap on --simd native --metrics run.jsonl
+//   $ ./dam_break_dist --blocks on --block 16 --ranks 8
 
 #include <cstdio>
 #include <map>
@@ -13,6 +16,7 @@
 
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "par/dist_blocks.hpp"
 #include "par/dist_shallow.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -23,32 +27,9 @@ using namespace tp;
 
 namespace {
 
-template <typename Policy>
-int run(const util::ArgParser& args) {
-    par::DistConfig cfg;
-    cfg.nx = cfg.ny = args.get_int("grid");
-    cfg.ranks = args.get_int("ranks");
-    cfg.courant = args.get_double("courant");
-    cfg.simd = util::apply_simd_option(args);
-    cfg.lb_interval = args.get_int("lb-interval");
-    const std::string overlap = args.get_string("overlap");
-    if (overlap != "on" && overlap != "off")
-        throw std::invalid_argument("--overlap must be on or off");
-    cfg.overlap = overlap == "on";
-
-    const int nthreads = util::apply_threads_option(args);
-
-    const obs::ObsGuard obs_guard(
-        args, "dam_break_dist",
-        {{"precision", std::string(Policy::name)},
-         {"simd", simd::use_native(cfg.simd) ? simd::isa_name() : "scalar"},
-         {"grid", std::to_string(cfg.nx)},
-         {"ranks", std::to_string(cfg.ranks)},
-         {"overlap", overlap},
-         {"lb_interval", std::to_string(cfg.lb_interval)},
-         {"courant", std::to_string(cfg.courant)}});
-
-    par::DistributedShallowSolver<Policy> solver(cfg);
+template <typename Policy, typename Solver>
+int run_solver(Solver& solver, const util::ArgParser& args,
+               const par::DistConfig& cfg, int nthreads) {
     solver.initialize_dam_break();
     const double mass0 = solver.total_mass();
     std::printf(
@@ -108,12 +89,19 @@ int run(const util::ArgParser& args) {
                 std::string(Policy::name).c_str());
     if (cfg.lb_interval > 0) {
         const auto& lb = solver.lb_stats();
+        unsigned long long moved = 0;
+        const char* unit = "rows";
+        if constexpr (requires { lb.rows_moved; }) {
+            moved = static_cast<unsigned long long>(lb.rows_moved);
+        } else {
+            moved = static_cast<unsigned long long>(lb.blocks_moved);
+            unit = "blocks";
+        }
         std::printf(
-            "load balancer: %llu evaluations, %llu re-splits, %llu rows "
+            "load balancer: %llu evaluations, %llu re-splits, %llu %s "
             "moved\n",
             static_cast<unsigned long long>(lb.evaluations),
-            static_cast<unsigned long long>(lb.resplits),
-            static_cast<unsigned long long>(lb.rows_moved));
+            static_cast<unsigned long long>(lb.resplits), moved, unit);
     }
     std::printf("mass drift: %+.3e (relative)\n",
                 (solver.total_mass() - mass0) / mass0);
@@ -123,6 +111,45 @@ int run(const util::ArgParser& args) {
         return 1;
     }
     return 0;
+}
+
+template <typename Policy>
+int run(const util::ArgParser& args) {
+    par::DistConfig cfg;
+    cfg.nx = cfg.ny = args.get_int("grid");
+    cfg.ranks = args.get_int("ranks");
+    cfg.courant = args.get_double("courant");
+    cfg.simd = util::apply_simd_option(args);
+    cfg.lb_interval = args.get_int("lb-interval");
+    cfg.block = args.get_int("block");
+    const std::string overlap = args.get_string("overlap");
+    if (overlap != "on" && overlap != "off")
+        throw std::invalid_argument("--overlap must be on or off");
+    cfg.overlap = overlap == "on";
+    const bool blocks = util::apply_blocks_option(args);
+
+    const int nthreads = util::apply_threads_option(args);
+
+    const obs::ObsGuard obs_guard(
+        args, "dam_break_dist",
+        {{"precision", std::string(Policy::name)},
+         {"simd", simd::use_native(cfg.simd) ? simd::isa_name() : "scalar"},
+         {"grid", std::to_string(cfg.nx)},
+         {"ranks", std::to_string(cfg.ranks)},
+         {"overlap", overlap},
+         {"blocks", shallow::blocks_mode_name(blocks)},
+         {"lb_interval", std::to_string(cfg.lb_interval)},
+         {"courant", std::to_string(cfg.courant)}});
+
+    if (blocks) {
+        par::BlockDistributedShallowSolver<Policy> solver(cfg);
+        std::printf("block decomposition: %zu blocks of %d x %d cells\n",
+                    solver.num_blocks(), solver.block_edge(),
+                    solver.block_edge());
+        return run_solver<Policy>(solver, args, cfg, nthreads);
+    }
+    par::DistributedShallowSolver<Policy> solver(cfg);
+    return run_solver<Policy>(solver, args, cfg, nthreads);
 }
 
 }  // namespace
@@ -140,9 +167,14 @@ int main(int argc, char** argv) {
                         "re-split rows by measured cost every N steps "
                         "(0 = static partition)",
                         "0");
+    args.add_int_option("block",
+                        "block edge for --blocks=on (0 = auto; must "
+                        "divide the grid)",
+                        "0");
     args.add_double_option("courant", "CFL number", "0.2");
     args.add_flag("verbose", "print periodic step diagnostics");
     util::add_simd_option(args);
+    util::add_blocks_option(args);
     util::add_threads_option(args);
     obs::add_obs_options(args);
     if (!args.parse(argc, argv)) return 1;

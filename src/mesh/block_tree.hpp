@@ -1,0 +1,147 @@
+#pragma once
+// Block-structured view of the Morton-sorted AMR leaf array (DESIGN.md
+// §13) — the AthenaK MeshBlockTree idea adapted to this codebase's
+// cell-based mesh.
+//
+// Leaves are aggregated into fixed-size per-level tiles: a block is the
+// set of leaves at one refinement level inside one Morton-aligned
+// kBlockSize x kBlockSize quadrant of that level's index space. Because
+// an aligned power-of-two square is exactly one contiguous Morton range,
+// every block is a contiguous slice of the sorted leaf list and the
+// member lookup is the mesh's leaves_in_range() primitive.
+//
+// Each block carries a padded (kBlockPad x kBlockPad) *source map*: for
+// every position of the tile plus its one-cell ghost ring, the index of
+// the leaf covering that quadrant (-1 outside the domain). Positions
+// covered by a same-or-coarser leaf read correct state through the map;
+// positions covered by finer leaves resolve to the first finer leaf
+// inside the quadrant and are only ever read next to cells the
+// regular_mask excludes. Gathering state through the map turns the
+// irregular Morton walk into dense unit-stride tiles — what lets the
+// flux sweep run the fused SIMD bodies block-by-block on an adaptive
+// mesh (shallow/flux_kernel.hpp's tile kernels).
+//
+// The index stays incrementally consistent across adapt(): apply_remap
+// consumes the same RemapPlan copy spans the solver's cache update uses,
+// translates the untouched blocks' leaf indices span-wise, and rebuilds
+// only blocks whose 3x3 tile neighborhood intersects a dirty Morton
+// interval. The structure is geometry/topology only — state stays in the
+// solver, which owns the per-policy gather/scatter.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mesh/amr_mesh.hpp"
+
+namespace tp::mesh {
+
+/// Leaves per block side; a block is one Morton-aligned 8x8 quadrant of
+/// one level's index space, so its member mask fits a 64-bit word.
+inline constexpr std::int32_t kBlockSize = 8;
+inline constexpr std::int32_t kBlockPad = kBlockSize + 2;  ///< + ghost ring
+inline constexpr std::int32_t kBlockCells = kBlockSize * kBlockSize;
+inline constexpr std::int32_t kBlockPadCells = kBlockPad * kBlockPad;
+
+/// Interior position (ii, jj) in [0, kBlockSize)^2 <-> mask bit.
+[[nodiscard]] constexpr int block_bit(int ii, int jj) {
+    return jj * kBlockSize + ii;
+}
+/// Interior position -> index into the padded source map.
+[[nodiscard]] constexpr int block_padded(int ii, int jj) {
+    return (jj + 1) * kBlockPad + (ii + 1);
+}
+
+struct MeshBlock {
+    std::int32_t level = 0;
+    std::int32_t bi = 0;  ///< tile coordinate, level-`level` cell i >> 3
+    std::int32_t bj = 0;
+    /// Offset of this block's padded source map in BlockIndex::src_data()
+    /// (always a multiple of kBlockPadCells; map order is row-major over
+    /// the padded tile, ghost ring included).
+    std::int32_t src_begin = 0;
+    std::int32_t members = 0;  ///< popcount(member_mask)
+    /// Bit block_bit(ii, jj) set iff the tile position holds a leaf at
+    /// exactly this block's level (partially refined tiles have holes).
+    std::uint64_t member_mask = 0;
+    /// Subset of member_mask: members whose four side neighbors are all
+    /// inside the domain and covered by same-or-coarser leaves — the
+    /// cells the dense tile sweep may compute; the rest take the
+    /// per-cell slot-table path.
+    std::uint64_t regular_mask = 0;
+    /// Finest-level Morton anchor of the tile; the block list is sorted
+    /// by (anchor_key, level).
+    std::uint64_t anchor_key = 0;
+};
+
+class BlockIndex {
+public:
+    /// Rebuild the whole index from the mesh (constructor-time path).
+    void rebuild(const AmrMesh& mesh);
+
+    /// Incremental update after mesh.adapt(plan): translate the blocks
+    /// whose 3x3 tile neighborhood is untouched by any dirty Morton
+    /// interval (their member sets, masks, and covering leaves are
+    /// provably unchanged — only leaf *indices* shifted), rebuild the
+    /// rest from the post-adapt mesh. Result is element-wise identical
+    /// to rebuild(mesh).
+    void apply_remap(const AmrMesh& mesh, const RemapPlan& plan);
+
+    [[nodiscard]] const std::vector<MeshBlock>& blocks() const {
+        return blocks_;
+    }
+    [[nodiscard]] std::span<const std::int32_t> src(
+        const MeshBlock& b) const {
+        return {src_.data() + static_cast<std::size_t>(b.src_begin),
+                static_cast<std::size_t>(kBlockPadCells)};
+    }
+
+    struct Stats {
+        std::uint64_t rebuilds = 0;           ///< full rebuild() calls
+        std::uint64_t remaps = 0;             ///< apply_remap() calls
+        std::uint64_t blocks_rebuilt = 0;     ///< blocks re-resolved
+        std::uint64_t blocks_translated = 0;  ///< blocks index-shifted
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// Compare against a from-scratch rebuild of the same mesh (blocks
+    /// and source-map contents element-wise). Test hook for apply_remap;
+    /// allocates, so never on a hot path.
+    [[nodiscard]] bool consistent_with(const AmrMesh& mesh,
+                                       std::string* why = nullptr) const;
+
+private:
+    /// Append the block (level, bi, bj) of `mesh` — if it has any member
+    /// leaves — to `out_blocks`, with its source map appended to
+    /// `out_src`. `hint` seeds the covering-leaf gallop.
+    static void build_block(const AmrMesh& mesh, std::int32_t level,
+                            std::int32_t bi, std::int32_t bj,
+                            std::int32_t hint,
+                            std::vector<MeshBlock>& out_blocks,
+                            std::vector<std::int32_t>& out_src);
+    /// Collect the deduplicated (level, bi, bj) tiles of leaves
+    /// [first, last) into cand_ (with a member-leaf hint each).
+    void collect_candidates(const AmrMesh& mesh, std::int32_t first,
+                            std::int32_t last);
+
+    struct Candidate {
+        std::int32_t level, bi, bj, hint;
+        std::uint64_t anchor_key;
+    };
+
+    std::vector<MeshBlock> blocks_;
+    std::vector<std::int32_t> src_;
+    // Double buffers + scratch, members so steady-state remaps reuse
+    // capacity instead of reallocating.
+    std::vector<MeshBlock> blocks_back_;
+    std::vector<std::int32_t> src_back_;
+    std::vector<Candidate> cand_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> dirty_;
+    std::vector<std::array<std::int32_t, 3>> spans_;  // old_b, old_e, shift
+    Stats stats_;
+};
+
+}  // namespace tp::mesh

@@ -1,0 +1,741 @@
+#include "par/dist_blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "mesh/cell.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "shallow/flux_kernel.hpp"
+#include "util/threads.hpp"
+
+namespace tp::par {
+
+namespace {
+
+// Same analytic per-cell counts as the row solver — the kernels are the
+// row kernels, only the iteration space is blocked.
+constexpr std::uint64_t kPreFlopsPerCell = 14;
+constexpr std::uint64_t kUpdateFlopsPerCell = 4 * 22 + 12 + 13;
+
+/// Greedy cost-proportional contiguous split (the row solver's splitter,
+/// over blocks instead of rows): rank r's range ends where the cost
+/// prefix crosses its share, midpoint rule, >= 1 item per rank.
+void split_range(std::span<const double> cost, int num_ranks,
+                 std::vector<int>& counts) {
+    const int n = static_cast<int>(cost.size());
+    double total = 0.0;
+    for (double c : cost) total += c;
+    counts.assign(static_cast<std::size_t>(num_ranks), 0);
+    int at = 0;
+    double prefix = 0.0;
+    for (int r = 0; r + 1 < num_ranks; ++r) {
+        const double target =
+            total * (static_cast<double>(r + 1) / num_ranks);
+        const int max_end = n - (num_ranks - 1 - r);
+        int end = at + 1;
+        prefix += cost[static_cast<std::size_t>(at)];
+        while (end < max_end &&
+               prefix + 0.5 * cost[static_cast<std::size_t>(end)] <
+                   target) {
+            prefix += cost[static_cast<std::size_t>(end)];
+            ++end;
+        }
+        counts[static_cast<std::size_t>(r)] = end - at;
+        at = end;
+    }
+    counts[static_cast<std::size_t>(num_ranks - 1)] = n - at;
+}
+
+}  // namespace
+
+int auto_block_edge(int nx, int ny, int ranks, int max_edge) {
+    if (static_cast<std::int64_t>(nx) * ny < ranks)
+        throw std::invalid_argument(
+            "auto_block_edge: more ranks than cells");
+    for (int d = std::min({nx, ny, max_edge}); d >= 2; --d)
+        if (nx % d == 0 && ny % d == 0 &&
+            static_cast<std::int64_t>(nx / d) * (ny / d) >= ranks)
+            return d;
+    return 1;
+}
+
+template <fp::PrecisionPolicy Policy>
+BlockDistributedShallowSolver<Policy>::BlockDistributedShallowSolver(
+    const DistConfig& config)
+    : cfg_(config), comm_(config.ranks) {
+    if (cfg_.nx < 2 || cfg_.ny < 2 || cfg_.ranks < 1)
+        throw std::invalid_argument(
+            "BlockDistributedShallowSolver: bad config");
+    if (cfg_.lb_interval < 0)
+        throw std::invalid_argument(
+            "BlockDistributedShallowSolver: lb_interval < 0");
+    b_ = cfg_.block > 0 ? cfg_.block
+                        : auto_block_edge(cfg_.nx, cfg_.ny, cfg_.ranks);
+    if (b_ < 2 || cfg_.nx % b_ != 0 || cfg_.ny % b_ != 0)
+        throw std::invalid_argument(
+            "BlockDistributedShallowSolver: block edge must be >= 2 and "
+            "divide nx and ny");
+    nbx_ = cfg_.nx / b_;
+    nby_ = cfg_.ny / b_;
+    const int nb = nbx_ * nby_;
+    if (nb < cfg_.ranks)
+        throw std::invalid_argument(
+            "BlockDistributedShallowSolver: fewer blocks than ranks");
+    dx_ = cfg_.width / cfg_.nx;
+    dy_ = cfg_.height / cfg_.ny;
+
+    // Global Morton order over block coordinates; block_id_ inverts it.
+    std::vector<int> order(static_cast<std::size_t>(nb));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int c) {
+        const auto ka = mesh::morton2d(
+            static_cast<std::uint32_t>(a % nbx_),
+            static_cast<std::uint32_t>(a / nbx_));
+        const auto kc = mesh::morton2d(
+            static_cast<std::uint32_t>(c % nbx_),
+            static_cast<std::uint32_t>(c / nbx_));
+        return ka < kc;
+    });
+    blocks_.resize(static_cast<std::size_t>(nb));
+    block_id_.assign(static_cast<std::size_t>(nb), -1);
+    for (int m = 0; m < nb; ++m) {
+        const int raw = order[static_cast<std::size_t>(m)];
+        Block& blk = blocks_[static_cast<std::size_t>(m)];
+        blk.bx = raw % nbx_;
+        blk.by = raw / nbx_;
+        block_id_[static_cast<std::size_t>(raw)] = m;
+        allocate_block(blk);
+    }
+
+    // Static partition = the splitter under uniform costs (so a
+    // uniform-cost rebalance() is a no-op by construction).
+    const std::vector<double> uniform(static_cast<std::size_t>(nb), 1.0);
+    split_range(uniform, cfg_.ranks, split_scratch_);
+    first_.resize(static_cast<std::size_t>(cfg_.ranks));
+    count_.resize(static_cast<std::size_t>(cfg_.ranks));
+    owner_.resize(static_cast<std::size_t>(nb));
+    int at = 0;
+    for (int r = 0; r < cfg_.ranks; ++r) {
+        first_[static_cast<std::size_t>(r)] = at;
+        count_[static_cast<std::size_t>(r)] =
+            split_scratch_[static_cast<std::size_t>(r)];
+        for (int m = 0; m < count_[static_cast<std::size_t>(r)]; ++m)
+            owner_[static_cast<std::size_t>(at + m)] = r;
+        at += count_[static_cast<std::size_t>(r)];
+    }
+
+    cost_seconds_.assign(static_cast<std::size_t>(cfg_.ranks), 0.0);
+    wavespeed_.assign(static_cast<std::size_t>(cfg_.ranks),
+                      compute_t(0));
+    ws_scratch_.resize(static_cast<std::size_t>(cfg_.ranks));
+    block_cost_scratch_.resize(static_cast<std::size_t>(nb));
+    mass_scratch_.resize(static_cast<std::size_t>(cfg_.nx) *
+                         static_cast<std::size_t>(cfg_.ny));
+    mass_slices_.resize(static_cast<std::size_t>(cfg_.ranks));
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::allocate_block(
+    Block& blk) const {
+    const std::size_t n = static_cast<std::size_t>(b_ + 2) *
+                          static_cast<std::size_t>(b_ + 2);
+    blk.h.assign(n, storage_t(0));
+    blk.hu.assign(n, storage_t(0));
+    blk.hv.assign(n, storage_t(0));
+    blk.h2.assign(n, storage_t(0));
+    blk.hu2.assign(n, storage_t(0));
+    blk.hv2.assign(n, storage_t(0));
+    blk.hf.assign(n, compute_t(0));
+    blk.u.assign(n, compute_t(0));
+    blk.v.assign(n, compute_t(0));
+    blk.sx.assign(n, compute_t(0));
+    blk.sy.assign(n, compute_t(0));
+    blk.p.assign(n, compute_t(0));
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::initialize_dam_break(
+    double h_inside, double h_outside, double radius_fraction) {
+    // Same per-cell expression as the row solver, keyed on global (i, j)
+    // — bitwise-identical initial state across the two decompositions.
+    const double cx = 0.5 * cfg_.width;
+    const double cy = 0.5 * cfg_.height;
+    const double r0 = radius_fraction * std::min(cfg_.width, cfg_.height);
+    for (Block& blk : blocks_) {
+        for (int j = 1; j <= b_; ++j) {
+            const int gy = blk.by * b_ + (j - 1);
+            for (int i = 1; i <= b_; ++i) {
+                const int gx = blk.bx * b_ + (i - 1);
+                const double x = (gx + 0.5) * dx_ - cx;
+                const double y = (gy + 0.5) * dy_ - cy;
+                const double r = std::sqrt(x * x + y * y);
+                blk.h[idx(j, i)] =
+                    static_cast<storage_t>(r < r0 ? h_inside : h_outside);
+                blk.hu[idx(j, i)] = storage_t(0);
+                blk.hv[idx(j, i)] = storage_t(0);
+            }
+        }
+    }
+    std::fill(cost_seconds_.begin(), cost_seconds_.end(), 0.0);
+    time_ = 0.0;
+    step_count_ = 0;
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::post_halos() {
+    // One message per remote-owned block face: the sender's interior
+    // strip adjacent to the face (3 fields x B cells, storage
+    // precision), tagged for the receiving block and the face it lands
+    // on. Same-rank and wall faces ship nothing — they resolve in
+    // complete_halos() from local state.
+    const auto nb = static_cast<std::size_t>(b_);
+    const std::size_t strip_bytes = nb * 3 * sizeof(storage_t);
+    const auto pack_strip = [&](const Block& blk, int face) {
+        std::vector<std::byte> buf = comm_.acquire(strip_bytes);
+        auto* p = reinterpret_cast<storage_t*>(buf.data());
+        const auto copy_line = [&](const std::vector<storage_t>& field,
+                                   storage_t* dst) {
+            switch (face) {
+                case kWest:
+                    for (int j = 1; j <= b_; ++j)
+                        dst[j - 1] = field[idx(j, 1)];
+                    break;
+                case kEast:
+                    for (int j = 1; j <= b_; ++j)
+                        dst[j - 1] = field[idx(j, b_)];
+                    break;
+                case kSouth:
+                    std::memcpy(dst, field.data() + idx(1, 1),
+                                nb * sizeof(storage_t));
+                    break;
+                default:  // kNorth
+                    std::memcpy(dst, field.data() + idx(b_, 1),
+                                nb * sizeof(storage_t));
+                    break;
+            }
+        };
+        copy_line(blk.h, p);
+        copy_line(blk.hu, p + nb);
+        copy_line(blk.hv, p + 2 * nb);
+        return buf;
+    };
+    for (int r = 0; r < cfg_.ranks; ++r) {
+        wavespeed_[static_cast<std::size_t>(r)] = compute_t(0);
+        const int f0 = first_[static_cast<std::size_t>(r)];
+        const int cnt = count_[static_cast<std::size_t>(r)];
+        for (int m = f0; m < f0 + cnt; ++m) {
+            const Block& blk = blocks_[static_cast<std::size_t>(m)];
+            const int nbrs[4] = {block_at(blk.bx - 1, blk.by),
+                                 block_at(blk.bx + 1, blk.by),
+                                 block_at(blk.bx, blk.by - 1),
+                                 block_at(blk.bx, blk.by + 1)};
+            for (int f = 0; f < 4; ++f) {
+                const int n = nbrs[f];
+                if (n < 0 || owner(n) == r) continue;
+                const int tag = face_tag(n, opposite(f));
+                if (cfg_.overlap)
+                    comm_.post_bytes(r, owner(n), tag,
+                                     pack_strip(blk, f));
+                else
+                    comm_.send_bytes(r, owner(n), tag,
+                                     pack_strip(blk, f));
+            }
+        }
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::complete_halos() {
+    // Fill every ghost strip of every owned block: remote faces from the
+    // matching message, same-rank faces by direct copy, wall faces by
+    // mirror (normal momentum negated — exact in every storage
+    // precision, same rule as the row solver's walls). The current state
+    // is never written mid-step, so the same-rank copies read identical
+    // bytes in either schedule.
+    if (!cfg_.overlap) comm_.exchange();
+    const auto nb = static_cast<std::size_t>(b_);
+    const auto ghost_at = [&](int face, int k) {
+        switch (face) {
+            case kWest:
+                return idx(k, 0);
+            case kEast:
+                return idx(k, b_ + 1);
+            case kSouth:
+                return idx(0, k);
+            default:
+                return idx(b_ + 1, k);
+        }
+    };
+    const auto interior_at = [&](int face, int k) {
+        switch (face) {
+            case kWest:
+                return idx(k, 1);
+            case kEast:
+                return idx(k, b_);
+            case kSouth:
+                return idx(1, k);
+            default:
+                return idx(b_, k);
+        }
+    };
+    for (int r = 0; r < cfg_.ranks; ++r) {
+        const int f0 = first_[static_cast<std::size_t>(r)];
+        const int cnt = count_[static_cast<std::size_t>(r)];
+        for (int m = f0; m < f0 + cnt; ++m) {
+            Block& blk = blocks_[static_cast<std::size_t>(m)];
+            const int nbrs[4] = {block_at(blk.bx - 1, blk.by),
+                                 block_at(blk.bx + 1, blk.by),
+                                 block_at(blk.bx, blk.by - 1),
+                                 block_at(blk.bx, blk.by + 1)};
+            for (int f = 0; f < 4; ++f) {
+                const int n = nbrs[f];
+                if (n < 0) {
+                    // Reflective wall: x walls negate hu, y walls hv.
+                    const bool xwall = f == kWest || f == kEast;
+                    for (int k = 1; k <= b_; ++k) {
+                        const std::size_t gdst = ghost_at(f, k);
+                        const std::size_t gsrc = interior_at(f, k);
+                        blk.h[gdst] = blk.h[gsrc];
+                        blk.hu[gdst] =
+                            xwall ? -blk.hu[gsrc] : blk.hu[gsrc];
+                        blk.hv[gdst] =
+                            xwall ? blk.hv[gsrc] : -blk.hv[gsrc];
+                    }
+                } else if (owner(n) == r) {
+                    const Block& src = blocks_[static_cast<std::size_t>(n)];
+                    for (int k = 1; k <= b_; ++k) {
+                        const std::size_t gdst = ghost_at(f, k);
+                        const std::size_t gsrc =
+                            interior_at(opposite(f), k);
+                        blk.h[gdst] = src.h[gsrc];
+                        blk.hu[gdst] = src.hu[gsrc];
+                        blk.hv[gdst] = src.hv[gsrc];
+                    }
+                } else {
+                    Message msg =
+                        cfg_.overlap
+                            ? comm_.complete(r, owner(n), face_tag(m, f))
+                            : comm_.recv(r, owner(n), face_tag(m, f));
+                    const auto* p = reinterpret_cast<const storage_t*>(
+                        msg.bytes.data());
+                    for (int k = 1; k <= b_; ++k) {
+                        const std::size_t gdst = ghost_at(f, k);
+                        blk.h[gdst] = p[k - 1];
+                        blk.hu[gdst] = p[nb + k - 1];
+                        blk.hv[gdst] = p[2 * nb + k - 1];
+                    }
+                    comm_.release(std::move(msg.bytes));
+                }
+            }
+        }
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+auto BlockDistributedShallowSolver<Policy>::precompute_block_interior(
+    Block& blk) -> compute_t {
+    // Owned columns only (pointer at column 1, n = B): the ghost columns
+    // are stale until receipt, and the owned cells of all ranks tile the
+    // global grid exactly once, so the folded max equals the row
+    // solver's (whose mirror-ghost folds only duplicate owned speeds).
+    const bool native = simd::use_native(cfg_.simd);
+    compute_t ws = compute_t(0);
+    for (int j = 1; j <= b_; ++j) {
+        shallow::detail::RowPreArgs<storage_t, compute_t> args{
+            blk.h.data() + idx(j, 1),  blk.hu.data() + idx(j, 1),
+            blk.hv.data() + idx(j, 1), blk.hf.data() + idx(j, 1),
+            blk.u.data() + idx(j, 1),  blk.v.data() + idx(j, 1),
+            blk.sx.data() + idx(j, 1), blk.sy.data() + idx(j, 1),
+            blk.p.data() + idx(j, 1),  b_,
+            static_cast<compute_t>(cfg_.gravity)};
+        const compute_t w =
+            native ? shallow::detail::dist_pre_row<
+                         storage_t, compute_t,
+                         simd::native_lanes<compute_t>>(args)
+                   : shallow::detail::dist_pre_row_scalar(args);
+        ws = w > ws ? w : ws;
+    }
+    return ws;
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::precompute_interior() {
+    const auto n = static_cast<std::int64_t>(cfg_.ranks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < n; ++r) {
+        util::WallTimer t;
+        const int f0 = first_[static_cast<std::size_t>(r)];
+        const int cnt = count_[static_cast<std::size_t>(r)];
+        compute_t ws = wavespeed_[static_cast<std::size_t>(r)];
+        for (int m = f0; m < f0 + cnt; ++m) {
+            const compute_t w = precompute_block_interior(
+                blocks_[static_cast<std::size_t>(m)]);
+            ws = w > ws ? w : ws;
+        }
+        wavespeed_[static_cast<std::size_t>(r)] = ws;
+        cost_seconds_[static_cast<std::size_t>(r)] += t.elapsed_seconds();
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::precompute_block_ghosts(
+    Block& blk) {
+    // Rows 0 and B+1 run as contiguous strips; the ghost columns go cell
+    // by cell (n = 1 — the same per-lane expressions, so bitwise the
+    // same values a contiguous pass would produce). The folded
+    // wavespeeds are discarded: fused_dt() already consumed the
+    // partials, and every ghost duplicates some owned cell's speeds up
+    // to a momentum sign anyway.
+    const bool native = simd::use_native(cfg_.simd);
+    const auto pre_at = [&](std::size_t at, int n) {
+        shallow::detail::RowPreArgs<storage_t, compute_t> args{
+            blk.h.data() + at,  blk.hu.data() + at, blk.hv.data() + at,
+            blk.hf.data() + at, blk.u.data() + at,  blk.v.data() + at,
+            blk.sx.data() + at, blk.sy.data() + at, blk.p.data() + at,
+            n,                  static_cast<compute_t>(cfg_.gravity)};
+        if (native)
+            (void)shallow::detail::dist_pre_row<
+                storage_t, compute_t, simd::native_lanes<compute_t>>(
+                args);
+        else
+            (void)shallow::detail::dist_pre_row_scalar(args);
+    };
+    pre_at(idx(0, 1), b_);
+    pre_at(idx(b_ + 1, 1), b_);
+    for (int j = 1; j <= b_; ++j) {
+        pre_at(idx(j, 0), 1);
+        pre_at(idx(j, b_ + 1), 1);
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::update_block_rows(
+    Block& blk, int j0, int j1, int i0, int i1, double dt) {
+    const bool native = simd::use_native(cfg_.simd);
+    const compute_t dtdx = static_cast<compute_t>(dt / dx_);
+    const compute_t dtdy = static_cast<compute_t>(dt / dy_);
+    const int base = i0 - 1;  // args address column base + 1 .. base + nx
+    const int nx = i1 - i0 + 1;
+    for (int j = j0; j <= j1; ++j) {
+        shallow::detail::RowUpdateArgs<storage_t, compute_t> args{
+            blk.h.data() + idx(j, base),
+            blk.hu.data() + idx(j - 1, base),
+            blk.hv.data() + idx(j - 1, base),
+            blk.hu.data() + idx(j, base),
+            blk.hv.data() + idx(j, base),
+            blk.hu.data() + idx(j + 1, base),
+            blk.hv.data() + idx(j + 1, base),
+            blk.hf.data() + idx(j - 1, base),
+            blk.u.data() + idx(j - 1, base),
+            blk.v.data() + idx(j - 1, base),
+            blk.sy.data() + idx(j - 1, base),
+            blk.p.data() + idx(j - 1, base),
+            blk.hf.data() + idx(j, base),
+            blk.u.data() + idx(j, base),
+            blk.v.data() + idx(j, base),
+            blk.sx.data() + idx(j, base),
+            blk.sy.data() + idx(j, base),
+            blk.p.data() + idx(j, base),
+            blk.hf.data() + idx(j + 1, base),
+            blk.u.data() + idx(j + 1, base),
+            blk.v.data() + idx(j + 1, base),
+            blk.sy.data() + idx(j + 1, base),
+            blk.p.data() + idx(j + 1, base),
+            blk.h2.data() + idx(j, base),
+            blk.hu2.data() + idx(j, base),
+            blk.hv2.data() + idx(j, base),
+            nx,
+            dtdx,
+            dtdy};
+        if (native)
+            shallow::detail::dist_update_row<
+                storage_t, compute_t, simd::native_lanes<compute_t>>(args);
+        else
+            shallow::detail::dist_update_row_scalar(args);
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::update_interior(double dt) {
+    // Cells whose full four-neighbor stencil is owned by the block: the
+    // [2, B-1] square. Runs inside the overlap window; the one-cell
+    // frame waits for the ghosts.
+    const auto n = static_cast<std::int64_t>(cfg_.ranks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < n; ++r) {
+        util::WallTimer t;
+        const int f0 = first_[static_cast<std::size_t>(r)];
+        const int cnt = count_[static_cast<std::size_t>(r)];
+        for (int m = f0; m < f0 + cnt; ++m) {
+            Block& blk = blocks_[static_cast<std::size_t>(m)];
+            if (b_ >= 3)
+                update_block_rows(blk, 2, b_ - 1, 2, b_ - 1, dt);
+        }
+        cost_seconds_[static_cast<std::size_t>(r)] += t.elapsed_seconds();
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::update_boundary(double dt) {
+    // Ghost strips are valid now: precompute them, finish the one-cell
+    // boundary frame (rows 1 and B full width, columns 1 and B in
+    // between), and swap the block's buffers.
+    const auto n = static_cast<std::int64_t>(cfg_.ranks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < n; ++r) {
+        util::WallTimer t;
+        const int f0 = first_[static_cast<std::size_t>(r)];
+        const int cnt = count_[static_cast<std::size_t>(r)];
+        for (int m = f0; m < f0 + cnt; ++m) {
+            Block& blk = blocks_[static_cast<std::size_t>(m)];
+            precompute_block_ghosts(blk);
+            update_block_rows(blk, 1, 1, 1, b_, dt);
+            update_block_rows(blk, b_, b_, 1, b_, dt);
+            for (int j = 2; j <= b_ - 1; ++j) {
+                update_block_rows(blk, j, j, 1, 1, dt);
+                update_block_rows(blk, j, j, b_, b_, dt);
+            }
+            blk.h.swap(blk.h2);
+            blk.hu.swap(blk.hu2);
+            blk.hv.swap(blk.hv2);
+        }
+        cost_seconds_[static_cast<std::size_t>(r)] += t.elapsed_seconds();
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+double BlockDistributedShallowSolver<Policy>::fused_dt() {
+    for (std::size_t r = 0; r < wavespeed_.size(); ++r)
+        ws_scratch_[r] = static_cast<double>(wavespeed_[r]);
+    double rate = 0.0;
+    for (double w : ws_scratch_) rate = std::max(rate, w);
+    if (!std::isfinite(rate) || rate <= 0.0)
+        obs::raise_numerical_fault(
+            "dist.cfl", step_count_,
+            "non-finite or zero global wavespeed (rate=" +
+                std::to_string(rate) + ")");
+    return cfg_.courant * std::min(dx_, dy_) / rate;
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::maybe_rebalance() {
+    if (cfg_.lb_interval <= 0 || step_count_ == 0 ||
+        step_count_ % cfg_.lb_interval != 0)
+        return;
+    util::ScopedTimer t(timers_, "rebalance");
+    // Spread each rank's measured seconds evenly over its blocks —
+    // whole-block granularity is what the splitter moves.
+    for (int r = 0; r < cfg_.ranks; ++r) {
+        const int cnt = count_[static_cast<std::size_t>(r)];
+        const double per_block =
+            cost_seconds_[static_cast<std::size_t>(r)] /
+            static_cast<double>(cnt);
+        const int f0 = first_[static_cast<std::size_t>(r)];
+        for (int m = f0; m < f0 + cnt; ++m)
+            block_cost_scratch_[static_cast<std::size_t>(m)] = per_block;
+    }
+    rebalance(block_cost_scratch_);
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::rebalance(
+    std::span<const double> block_cost) {
+    if (block_cost.size() != blocks_.size())
+        throw std::invalid_argument(
+            "rebalance: block_cost must have one entry per block");
+    ++lb_stats_.evaluations;
+    split_range(block_cost, cfg_.ranks, split_scratch_);
+    bool moved = false;
+    for (int r = 0; r < cfg_.ranks; ++r)
+        if (split_scratch_[static_cast<std::size_t>(r)] !=
+            count_[static_cast<std::size_t>(r)])
+            moved = true;
+    if (moved) apply_partition(split_scratch_);
+    std::fill(cost_seconds_.begin(), cost_seconds_.end(), 0.0);
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::apply_partition(
+    const std::vector<int>& new_counts) {
+    // Ownership is a range boundary over the global Morton vector:
+    // re-cutting it moves whole blocks between ranks without touching a
+    // byte of state — the "exact carryover" is carrying nothing.
+    ++lb_stats_.resplits;
+    int at = 0;
+    for (int r = 0; r < cfg_.ranks; ++r) {
+        const int old_first = first_[static_cast<std::size_t>(r)];
+        const int old_count = count_[static_cast<std::size_t>(r)];
+        first_[static_cast<std::size_t>(r)] = at;
+        count_[static_cast<std::size_t>(r)] =
+            new_counts[static_cast<std::size_t>(r)];
+        for (int m = at; m < at + count_[static_cast<std::size_t>(r)];
+             ++m) {
+            if (m < old_first || m >= old_first + old_count)
+                ++lb_stats_.blocks_moved;
+            owner_[static_cast<std::size_t>(m)] = r;
+        }
+        at += count_[static_cast<std::size_t>(r)];
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+double BlockDistributedShallowSolver<Policy>::step() {
+    TP_OBS_SPAN("dist.step");
+    util::WallTimer t_step;
+    maybe_rebalance();
+
+    const std::uint64_t bytes0 = comm_.bytes_sent();
+    double s_pack = 0.0, s_wait = 0.0, s_pre = 0.0, s_update = 0.0;
+    {
+        TP_OBS_SPAN("dist.halo_post");
+        util::WallTimer t;
+        post_halos();
+        s_pack = t.elapsed_seconds();
+        timers_.add("halo_pack", s_pack);
+    }
+    const std::uint64_t bytes_posted = comm_.bytes_sent();
+    if (!cfg_.overlap) {
+        TP_OBS_SPAN("dist.halo_wait");
+        util::WallTimer t;
+        complete_halos();
+        s_wait = t.elapsed_seconds();
+        timers_.add("halo_wait", s_wait);
+    }
+    {
+        TP_OBS_SPAN("dist.precompute");
+        util::WallTimer t;
+        precompute_interior();
+        s_pre = t.elapsed_seconds();
+        timers_.add("precompute", s_pre);
+    }
+    const double dt = fused_dt();
+    {
+        TP_OBS_SPAN("dist.interior");
+        util::WallTimer t;
+        update_interior(dt);
+        const double s = t.elapsed_seconds();
+        s_update += s;
+        timers_.add("interior", s);
+    }
+    if (cfg_.overlap) {
+        TP_OBS_SPAN("dist.halo_wait");
+        util::WallTimer t;
+        complete_halos();
+        s_wait = t.elapsed_seconds();
+        timers_.add("halo_wait", s_wait);
+    }
+    {
+        TP_OBS_SPAN("dist.boundary");
+        util::WallTimer t;
+        update_boundary(dt);
+        const double s = t.elapsed_seconds();
+        s_update += s;
+        timers_.add("boundary", s);
+    }
+
+    const auto cells = static_cast<std::uint64_t>(cfg_.nx) *
+                       static_cast<std::uint64_t>(cfg_.ny);
+    const auto threads = static_cast<std::uint32_t>(
+        std::min<int>(util::max_threads(), cfg_.ranks));
+    const auto lanes = static_cast<std::uint32_t>(
+        simd::lanes_for<compute_t>(cfg_.simd));
+    constexpr bool sp = std::is_same_v<compute_t, float>;
+    constexpr bool mixed = sizeof(storage_t) != sizeof(compute_t);
+    ledger_.record("dist_pre", s_pre, sp ? cells * kPreFlopsPerCell : 0,
+                   sp ? 0 : cells * kPreFlopsPerCell,
+                   cells * 3 * sizeof(storage_t), mixed ? cells * 3 : 0,
+                   cells * 6 * sizeof(compute_t), threads, lanes);
+    ledger_.record("dist_update", s_update,
+                   sp ? cells * kUpdateFlopsPerCell : 0,
+                   sp ? 0 : cells * kUpdateFlopsPerCell,
+                   cells * (3 * sizeof(storage_t) + 6 * sizeof(compute_t)),
+                   mixed ? cells * 10 : 0, cells * 3 * sizeof(storage_t),
+                   threads, lanes);
+    // Per-phase halo accounting: the post phase ships every face
+    // payload, the wait phase claims them (its byte delta is zero unless
+    // a schedule ever ships late traffic — recording it keeps the sum
+    // equal to halo_bytes_sent()'s delta by construction).
+    ledger_.record("dist_halo_post", s_pack, 0, 0, bytes_posted - bytes0);
+    ledger_.record("dist_halo_wait", s_wait, 0, 0,
+                   comm_.bytes_sent() - bytes_posted);
+
+    time_ += dt;
+    ++step_count_;
+    timers_.add("step", t_step.elapsed_seconds());
+    return dt;
+}
+
+template <fp::PrecisionPolicy Policy>
+void BlockDistributedShallowSolver<Policy>::run(int n) {
+    for (int s = 0; s < n; ++s) step();
+}
+
+template <fp::PrecisionPolicy Policy>
+double BlockDistributedShallowSolver<Policy>::total_mass(
+    ReduceAlgorithm algo) const {
+    // Per-rank slices (owned blocks in Morton order, rows within) out of
+    // one persistent scratch block. The slice boundaries differ from the
+    // row solver's stripes, so order-sensitive reductions may disagree
+    // with it — exactly the decomposition dependence §III.C studies;
+    // order-free algorithms agree bitwise.
+    const double area = dx_ * dy_;
+    std::size_t at = 0;
+    for (int r = 0; r < cfg_.ranks; ++r) {
+        const std::size_t begin = at;
+        const int f0 = first_[static_cast<std::size_t>(r)];
+        const int cnt = count_[static_cast<std::size_t>(r)];
+        for (int m = f0; m < f0 + cnt; ++m) {
+            const Block& blk = blocks_[static_cast<std::size_t>(m)];
+            for (int j = 1; j <= b_; ++j)
+                for (int i = 1; i <= b_; ++i)
+                    mass_scratch_[at++] =
+                        static_cast<double>(blk.h[idx(j, i)]) * area;
+        }
+        mass_slices_[static_cast<std::size_t>(r)] =
+            std::span<const double>(mass_scratch_.data() + begin,
+                                    at - begin);
+    }
+    return allreduce_sum(mass_slices_, algo);
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<double> BlockDistributedShallowSolver<Policy>::gather_height()
+    const {
+    std::vector<double> out(static_cast<std::size_t>(cfg_.nx) *
+                            static_cast<std::size_t>(cfg_.ny));
+    for (const Block& blk : blocks_)
+        for (int j = 1; j <= b_; ++j)
+            for (int i = 1; i <= b_; ++i)
+                out[static_cast<std::size_t>(blk.by * b_ + (j - 1)) *
+                        static_cast<std::size_t>(cfg_.nx) +
+                    static_cast<std::size_t>(blk.bx * b_ + (i - 1))] =
+                    static_cast<double>(blk.h[idx(j, i)]);
+    return out;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<std::pair<int, int>>
+BlockDistributedShallowSolver<Policy>::block_partition() const {
+    std::vector<std::pair<int, int>> out;
+    out.reserve(static_cast<std::size_t>(cfg_.ranks));
+    for (int r = 0; r < cfg_.ranks; ++r)
+        out.emplace_back(first_[static_cast<std::size_t>(r)],
+                         count_[static_cast<std::size_t>(r)]);
+    return out;
+}
+
+template <fp::PrecisionPolicy Policy>
+std::vector<double>
+BlockDistributedShallowSolver<Policy>::rank_cost_seconds() const {
+    return cost_seconds_;
+}
+
+template class BlockDistributedShallowSolver<fp::MinimumPrecision>;
+template class BlockDistributedShallowSolver<fp::MixedPrecision>;
+template class BlockDistributedShallowSolver<fp::FullPrecision>;
+
+}  // namespace tp::par

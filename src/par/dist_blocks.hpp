@@ -1,0 +1,208 @@
+#pragma once
+// Block-structured distributed shallow-water solver — the same uniform
+// grid, fused kernels, and simulated ranks as par/dist_shallow.*, but
+// decomposed into B x B mesh blocks instead of row stripes (the
+// distributed face of DESIGN.md §13).
+//
+// The global grid is cut into nx/B x ny/B blocks, each padded with a
+// one-cell ghost ring, ordered by the Morton code of their block
+// coordinates, and ranks own contiguous Morton ranges. Every block state
+// lives in one global vector regardless of owner, so a measured-cost
+// re-split is a pure range-boundary move: whole blocks change owner with
+// exact state carryover (not a byte is copied, let alone re-rounded).
+//
+// Halo traffic is per block face: each step a block posts one message per
+// remote-owned neighbor face (3 fields x B cells of storage_t, tagged by
+// receiving block and face), same-rank faces copy directly, and wall
+// faces mirror exactly like the row solver's reflective boundaries. The
+// overlapped schedule mirrors §12's pipeline: post faces, precompute the
+// owned interior (folding the CFL max, so dt is ready before any flux
+// work), update the interior cells whose stencil is fully owned, then
+// complete receipt and finish the one-cell boundary frame. BSP mode
+// moves the wait before the compute. The per-cell arithmetic is the row
+// solver's dist_pre_row / dist_update_row, pointed at block rows — so
+// the state evolution is bitwise identical across rank count, schedule,
+// SIMD width, block partition, and to the row solver itself.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fp/precision.hpp"
+#include "par/comm.hpp"
+#include "par/dist_shallow.hpp"
+#include "par/reduce.hpp"
+#include "perf/counters.hpp"
+#include "simd/dispatch.hpp"
+#include "util/timing.hpp"
+
+namespace tp::par {
+
+/// Largest block edge that divides both grid sides, is at most
+/// `max_edge`, and leaves at least one block per rank (so every rank can
+/// own work). Falls back to 1; throws only if ranks > nx * ny.
+[[nodiscard]] int auto_block_edge(int nx, int ny, int ranks,
+                                  int max_edge = 32);
+
+template <fp::PrecisionPolicy Policy>
+class BlockDistributedShallowSolver {
+public:
+    using storage_t = typename Policy::storage_t;
+    using compute_t = typename Policy::compute_t;
+
+    /// Uses DistConfig's grid/physics/schedule fields; `cfg.block` (0 =
+    /// auto_block_edge) picks the block size, which must divide nx and
+    /// ny and be >= 2.
+    explicit BlockDistributedShallowSolver(const DistConfig& config);
+
+    void initialize_dam_break(double h_inside = 80.0,
+                              double h_outside = 10.0,
+                              double radius_fraction = 0.2);
+
+    double step();
+    void run(int n);
+
+    [[nodiscard]] double time() const { return time_; }
+    [[nodiscard]] std::int64_t step_count() const { return step_count_; }
+    [[nodiscard]] int ranks() const { return cfg_.ranks; }
+    [[nodiscard]] int block_edge() const { return b_; }
+    [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+
+    [[nodiscard]] std::uint64_t halo_bytes_sent() const {
+        return comm_.bytes_sent();
+    }
+    [[nodiscard]] bool comm_drained() const { return comm_.drained(); }
+
+    [[nodiscard]] double total_mass() const {
+        return total_mass(cfg_.mass_algorithm);
+    }
+    [[nodiscard]] double total_mass(ReduceAlgorithm algo) const;
+
+    /// Full height field in row-major global order — EXPECT_EQ-comparable
+    /// against DistributedShallowSolver::gather_height().
+    [[nodiscard]] std::vector<double> gather_height() const;
+
+    // --- Load balancing ----------------------------------------------------
+    /// Re-split the Morton ranges so each rank's predicted cost (one
+    /// entry per block, global Morton order) is as even as whole-block
+    /// granularity allows; every rank keeps >= 1 block. Ownership is a
+    /// range boundary, so no state moves at all.
+    void rebalance(std::span<const double> block_cost);
+
+    struct LoadBalanceStats {
+        std::uint64_t evaluations = 0;
+        std::uint64_t resplits = 0;
+        std::uint64_t blocks_moved = 0;  ///< blocks that changed owner
+    };
+    [[nodiscard]] const LoadBalanceStats& lb_stats() const {
+        return lb_stats_;
+    }
+
+    /// Current (first block, count) Morton range per rank.
+    [[nodiscard]] std::vector<std::pair<int, int>> block_partition()
+        const;
+    [[nodiscard]] std::vector<double> rank_cost_seconds() const;
+
+    // --- Instrumentation ---------------------------------------------------
+    /// Phase wall times: "halo_pack", "precompute", "halo_wait",
+    /// "interior", "boundary", "rebalance", "step" — same registry keys
+    /// as the row solver so tp_report diffs align.
+    [[nodiscard]] const util::StopwatchRegistry& timers() const {
+        return timers_;
+    }
+    /// Ledger records halo bytes per phase ("dist_halo_post" carries the
+    /// posted face payloads, "dist_halo_wait" any stragglers — their sum
+    /// is halo_bytes_sent()'s per-step delta in every schedule).
+    [[nodiscard]] const perf::WorkLedger& ledger() const { return ledger_; }
+
+private:
+    /// One B x B mesh block: (B+2)^2 padded double-buffered state plus
+    /// the per-cell precompute arrays, same layout contract as the row
+    /// solver's Rank (swap is a pointer swap; steady state allocates
+    /// nothing).
+    struct Block {
+        int bx = 0;
+        int by = 0;
+        std::vector<storage_t> h, hu, hv;
+        std::vector<storage_t> h2, hu2, hv2;
+        std::vector<compute_t> hf, u, v, sx, sy, p;
+    };
+
+    enum Face : int { kWest = 0, kEast = 1, kSouth = 2, kNorth = 3 };
+    static constexpr int opposite(int f) { return f ^ 1; }
+    /// Message tag for the halo strip arriving at block `b`'s face `f`
+    /// (unique per (source, dest) rank pair because a block face has one
+    /// sender).
+    [[nodiscard]] static int face_tag(int b, int f) {
+        return b * 4 + f + 1;
+    }
+
+    [[nodiscard]] std::size_t idx(int local_row, int i) const {
+        return static_cast<std::size_t>(local_row) *
+                   static_cast<std::size_t>(b_ + 2) +
+               static_cast<std::size_t>(i);
+    }
+    [[nodiscard]] int block_at(int bx, int by) const {
+        if (bx < 0 || bx >= nbx_ || by < 0 || by >= nby_) return -1;
+        return block_id_[static_cast<std::size_t>(by) *
+                             static_cast<std::size_t>(nbx_) +
+                         static_cast<std::size_t>(bx)];
+    }
+    [[nodiscard]] int owner(int block) const {
+        return owner_[static_cast<std::size_t>(block)];
+    }
+
+    void allocate_block(Block& blk) const;
+    void post_halos();
+    void complete_halos();
+    /// Owned-cell precompute of one block (columns [1, B] of rows
+    /// [1, B] — ghost strips are stale during the overlap window), max
+    /// face wavespeed returned for the rank's CFL partial.
+    [[nodiscard]] compute_t precompute_block_interior(Block& blk);
+    void precompute_interior();
+    /// Ghost-strip precompute after receipt: rows 0 and B+1 over the
+    /// interior columns, columns 0 and B+1 cell by cell.
+    void precompute_block_ghosts(Block& blk);
+    /// Fused flux + apply over rows [j0, j1], columns [i0, i1] of one
+    /// block (pre and state stencils must be valid one cell around).
+    void update_block_rows(Block& blk, int j0, int j1, int i0, int i1,
+                           double dt);
+    /// Cells whose full stencil is owned: rows and columns [2, B-1].
+    void update_interior(double dt);
+    /// Ghost precompute + the one-cell boundary frame, then the swap.
+    void update_boundary(double dt);
+    [[nodiscard]] double fused_dt();
+    void maybe_rebalance();
+    void apply_partition(const std::vector<int>& new_counts);
+
+    DistConfig cfg_;
+    int b_ = 0;    ///< block edge B
+    int nbx_ = 0;  ///< blocks in x
+    int nby_ = 0;  ///< blocks in y
+    double dx_, dy_;
+    VirtualComm comm_;
+    std::vector<Block> blocks_;      ///< global Morton order
+    std::vector<int> block_id_;      ///< (by, bx) -> Morton position
+    std::vector<int> owner_;         ///< block -> owning rank
+    std::vector<int> first_, count_; ///< per-rank Morton range
+    std::vector<double> cost_seconds_;    ///< per-rank measured sweep cost
+    std::vector<compute_t> wavespeed_;    ///< per-rank CFL partial
+    double time_ = 0.0;
+    std::int64_t step_count_ = 0;
+    LoadBalanceStats lb_stats_;
+    util::StopwatchRegistry timers_;
+    perf::WorkLedger ledger_;
+    // Persistent scratch (step() and total_mass() allocate nothing).
+    std::vector<double> ws_scratch_;
+    std::vector<double> block_cost_scratch_;
+    std::vector<int> split_scratch_;
+    mutable std::vector<double> mass_scratch_;
+    mutable std::vector<std::span<const double>> mass_slices_;
+};
+
+extern template class BlockDistributedShallowSolver<fp::MinimumPrecision>;
+extern template class BlockDistributedShallowSolver<fp::MixedPrecision>;
+extern template class BlockDistributedShallowSolver<fp::FullPrecision>;
+
+}  // namespace tp::par

@@ -30,6 +30,19 @@ inline RezoneMode parse_rezone_mode(const std::string& s) {
     return m == RezoneMode::Incremental ? "incremental" : "full";
 }
 
+/// Parse the --blocks CLI spelling ("on" | "off"); throws
+/// std::invalid_argument on anything else.
+inline bool parse_blocks_mode(const std::string& s) {
+    if (s == "on") return true;
+    if (s == "off") return false;
+    throw std::invalid_argument("blocks mode must be 'on' or 'off', got '" +
+                                s + "'");
+}
+
+[[nodiscard]] inline const char* blocks_mode_name(bool on) {
+    return on ? "on" : "off";
+}
+
 /// Solver configuration. Defaults reproduce the paper's cylindrical
 /// dam-break setup at laptop scale; the benches override sizes per table.
 struct Config {
@@ -46,6 +59,10 @@ struct Config {
                                          ///< both paths are bit-identical
     RezoneMode rezone_mode = RezoneMode::Incremental;  ///< runtime
                                          ///< --rezone=incremental|full
+    bool blocks = false;  ///< --blocks=on|off: run the flux sweep over
+                          ///< dense SoA mesh-block tiles (bit-identical
+                          ///< to the cell path; off preserves the cell
+                          ///< path untouched)
 };
 
 /// Cylindrical dam break initial condition: a column of water of height

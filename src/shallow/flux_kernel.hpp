@@ -24,6 +24,7 @@
 // a gather; run tails use the partial ops, which replicate the last valid
 // lane so every lane computes on real, finite data.
 
+#include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -154,6 +155,311 @@ inline void flux_block(const FluxArgs<S, C>& A, std::size_t c, int m) {
         ddh.store_partial(A.dh + c, m);
         ddhu.store_partial(A.dhu + c, m);
         ddhv.store_partial(A.dhv + c, m);
+    }
+}
+
+/// flux_block over an arbitrary cell list: lane l computes cell cells[l].
+/// The kernel's arithmetic is purely per-lane, so which cells share a pack
+/// is irrelevant to the bits — this exists so the blocked sweep's
+/// fallback cells (scattered singletons at tile seams and level
+/// interfaces) can ride full-width packs instead of paying a whole
+/// masked pack per two-cell run. Same expressions as flux_block, token
+/// for token; only the addressing differs (center loads and increment
+/// stores go through the list, neighbor indices through one extra
+/// per-lane table hop).
+template <typename S, typename C, int W>
+inline void flux_block_gather(const FluxArgs<S, C>& A,
+                              const std::int32_t* cells, int m) {
+    using cpk = simd::pack<C, W>;
+    using spk = simd::pack<S, W>;
+    const bool full = m == W;
+
+    const cpk g = cpk::broadcast(A.gravity);
+    const cpk half = cpk::broadcast(C(0.5));
+    const cpk half_g = cpk::broadcast(C(0.5) * A.gravity);
+    const cpk one = cpk::broadcast(C(1));
+    const cpk hfloor = cpk::broadcast(C(1e-8));
+
+    const auto load_state = [&](const S* p) {
+        const spk s = full ? spk::gather(p, cells)
+                           : spk::gather_partial(p, cells, m);
+        return s.template convert<C>();
+    };
+    const cpk hC = simd::max(load_state(A.h), hfloor);
+    const cpk huC = load_state(A.hu);
+    const cpk hvC = load_state(A.hv);
+    const cpk invC = one / hC;
+    cpk ddh = cpk::broadcast(C(0));
+    cpk ddhu = cpk::broadcast(C(0));
+    cpk ddhv = cpk::broadcast(C(0));
+
+    const auto side = [&]<int SLOT>() {
+        constexpr bool xd = SLOT < 4;
+        constexpr bool pos = (SLOT & 2) != 0;
+        const std::size_t off = static_cast<std::size_t>(SLOT) * A.n;
+        // Per-lane slot index and area via the cell list (dead lanes
+        // replicate the last valid cell, exactly like gather_partial).
+        std::int32_t idx[W];
+        for (int l = 0; l < W; ++l)
+            idx[l] = A.nbr[off + static_cast<std::size_t>(
+                                     cells[l < m ? l : m - 1])];
+        const cpk a = full ? cpk::gather(A.areas + off, cells)
+                           : cpk::gather_partial(A.areas + off, cells, m);
+        const auto gather_state = [&](const S* p) {
+            const spk s = spk::gather(p, idx);
+            return s.template convert<C>();
+        };
+        const cpk hN = simd::max(gather_state(A.h), hfloor);
+        const cpk huN = gather_state(A.hu);
+        const cpk hvN = gather_state(A.hv);
+        const cpk invN = one / hN;
+        const cpk qnC = xd ? huC : hvC;
+        const cpk qtC = xd ? hvC : huC;
+        const cpk qnN = xd ? huN : hvN;
+        const cpk qtN = xd ? hvN : huN;
+        const cpk hL = pos ? hC : hN;
+        const cpk hR = pos ? hN : hC;
+        const cpk qnL = pos ? qnC : qnN;
+        const cpk qnR = pos ? qnN : qnC;
+        const cpk qtL = pos ? qtC : qtN;
+        const cpk qtR = pos ? qtN : qtC;
+        const cpk invL = pos ? invC : invN;
+        const cpk invR = pos ? invN : invC;
+        const cpk unL = qnL * invL;
+        const cpk unR = qnR * invR;
+        const cpk utL = qtL * invL;
+        const cpk utR = qtR * invR;
+        const cpk cL = simd::sqrt(g * hL);
+        const cpk cR = simd::sqrt(g * hR);
+        const cpk smax =
+            simd::max(simd::abs(unL) + cL, simd::abs(unR) + cR);
+        const cpk f1 = half * (qnL + qnR) - half * smax * (hR - hL);
+        const cpk pL = simd::fma(half_g * hL, hL, qnL * unL);
+        const cpk pR = simd::fma(half_g * hR, hR, qnR * unR);
+        const cpk f2 = half * (pL + pR) - half * smax * (qnR - qnL);
+        const cpk f3 = half * (qnL * utL + qnR * utR) -
+                       half * smax * (qtR - qtL);
+        const cpk sa = pos ? a : -a;
+        ddh = ddh - sa * f1;
+        ddhu = ddhu - sa * (xd ? f2 : f3);
+        ddhv = ddhv - sa * (xd ? f3 : f2);
+    };
+    side.template operator()<0>();
+    side.template operator()<1>();
+    side.template operator()<2>();
+    side.template operator()<3>();
+    side.template operator()<4>();
+    side.template operator()<5>();
+    side.template operator()<6>();
+    side.template operator()<7>();
+    for (int l = 0; l < m; ++l) {
+        const auto cell = static_cast<std::size_t>(cells[l]);
+        A.dh[cell] = ddh[l];
+        A.dhu[cell] = ddhu[l];
+        A.dhv[cell] = ddhv[l];
+    }
+}
+
+// --------------------------------------------------------------------------
+// Blocked AMR tile sweep — the unit-stride re-expression of the cell sweep
+// above (DESIGN.md §13). mesh::BlockIndex aggregates same-level leaves
+// into Morton-aligned 8x8 tiles with a one-cell ghost ring and a padded
+// per-position source map; the sweep gathers storage state through the
+// map into dense tiles, runs a per-position PRECOMPUTE pass (one divide +
+// one sqrt per position, the same trade as the distributed row kernels
+// below), then a fused four-face update whose every expression
+// transliterates flux_block's slot arithmetic token for token, faces
+// accumulated in slot order W, E, S, N.
+//
+// Bitwise contract with the cell path, per regular cell (all four
+// neighbors in-domain and same-or-coarser level): the cell path evaluates
+// exactly one slot per side with the full face width as area, L/R resolve
+// to the tile's west/east/south/north positions, and skipping the
+// zero-area slots is exact — the accumulators start at +0, a zero area
+// times any finite flux is ±0, and +0 - (±0) is +0, so the empty slots
+// never change a bit. The precomputed quantities reproduce the same bits
+// the cell path computes freshly on each side of each face (max -> if
+// identical per lane; |u| via ternary differs from simd::abs only at -0,
+// which + c > 0 erases; the pressure fma is std::fma, the same correctly
+// rounded operation as simd::fma). Irregular cells are computed by
+// flux_block over fallback runs. W is again only a symbol tag: W == 1
+// lives in the no-autovec TU (flux_scalar.cpp), W == native in the
+// -ffp-contract=off solver TU where the annotated loops vectorize.
+
+inline constexpr int kTileSize = 8;  // == mesh::kBlockSize; solver.cpp
+inline constexpr int kTilePad = kTileSize + 2;  // static_asserts the match
+inline constexpr int kTileCells = kTileSize * kTileSize;
+inline constexpr int kTilePadCells = kTilePad * kTilePad;
+
+/// One sweepable tile: a mesh block's source map plus its level's full
+/// face widths (regular cells never see a fine sub-face, so the area is a
+/// per-tile broadcast instead of a per-slot table).
+template <typename C>
+struct TileBlock {
+    const std::int32_t* src;  ///< kTilePadCells gather map; -1 off-domain
+    std::uint64_t regular;    ///< members the dense sweep computes
+    C wx;                     ///< x-face area = cell_dy(level)
+    C wy;                     ///< y-face area = cell_dx(level)
+};
+
+template <typename S, typename C>
+struct TileSweepArgs {
+    const S* h;
+    const S* hu;
+    const S* hv;
+    C* dh;
+    C* dhu;
+    C* dhv;
+    const TileBlock<C>* blocks;
+    std::size_t nblocks;
+    C gravity;
+};
+
+/// Gather, precompute, and sweep one tile; scatter increments for the
+/// regular members only (irregular members are someone else's fallback
+/// run). ~11 KB of stack scratch per call — no heap, no sharing.
+template <typename S, typename C, int W>
+inline void tile_block(const TileSweepArgs<S, C>& A, const TileBlock<C>& B) {
+    const C g = A.gravity;
+    const C half = C(0.5);
+    const C half_g = C(0.5) * A.gravity;
+    const C one = C(1);
+    const C hfloor = C(1e-8);
+
+    // Gather storage state through the source map. Off-domain ring
+    // positions get a benign finite fill no regular cell ever reads.
+    S th[kTilePadCells];
+    S thu[kTilePadCells];
+    S thv[kTilePadCells];
+    for (int p = 0; p < kTilePadCells; ++p) {
+        const std::int32_t s = B.src[p];
+        if (s >= 0) {
+            th[p] = A.h[s];
+            thu[p] = A.hu[s];
+            thv[p] = A.hv[s];
+        } else {
+            th[p] = static_cast<S>(1.0);
+            thu[p] = static_cast<S>(0.0);
+            thv[p] = static_cast<S>(0.0);
+        }
+    }
+
+    // Per-position face quantities, evaluated once instead of freshly on
+    // both sides of every face (each recomputation reproduces the same
+    // bits, so this removes work, not rounding steps).
+    C hf[kTilePadCells];  // floored height
+    C qx[kTilePadCells];  // hu at compute precision
+    C qy[kTilePadCells];  // hv at compute precision
+    C sx[kTilePadCells];  // |u| + c
+    C sy[kTilePadCells];  // |v| + c
+    C px[kTilePadCells];  // x pressure flux  fma(g/2 h, h, hu u)
+    C py[kTilePadCells];  // y pressure flux  fma(g/2 h, h, hv v)
+    C mx[kTilePadCells];  // hu v (x-face transverse momentum)
+    C my[kTilePadCells];  // hv u (y-face transverse momentum)
+#pragma omp simd
+    for (int p = 0; p < kTilePadCells; ++p) {
+        const C h = static_cast<C>(th[p]);
+        const C hc = h > hfloor ? h : hfloor;
+        const C inv = one / hc;
+        const C hu = static_cast<C>(thu[p]);
+        const C hv = static_cast<C>(thv[p]);
+        const C u = hu * inv;
+        const C v = hv * inv;
+        const C c = std::sqrt(g * hc);
+        const C au = u < C(0) ? -u : u;
+        const C av = v < C(0) ? -v : v;
+        hf[p] = hc;
+        qx[p] = hu;
+        qy[p] = hv;
+        sx[p] = au + c;
+        sy[p] = av + c;
+        px[p] = std::fma(half_g * hc, hc, hu * u);
+        py[p] = std::fma(half_g * hc, hc, hv * v);
+        mx[p] = hu * v;
+        my[p] = hv * u;
+    }
+
+    C odh[kTileCells];
+    C odhu[kTileCells];
+    C odhv[kTileCells];
+    for (int jj = 0; jj < kTileSize; ++jj) {
+        const int r = (jj + 1) * kTilePad + 1;
+        const int o = jj * kTileSize;
+#pragma omp simd
+        for (int ii = 0; ii < kTileSize; ++ii) {
+            const int p = r + ii;
+            C ddh = C(0);
+            C ddhu = C(0);
+            C ddhv = C(0);
+            {  // west face (slot 0): L = p-1, R = p, outward area -wx
+                const C s = sx[p - 1] > sx[p] ? sx[p - 1] : sx[p];
+                const C f1 = half * (qx[p - 1] + qx[p]) -
+                             half * s * (hf[p] - hf[p - 1]);
+                const C f2 = half * (px[p - 1] + px[p]) -
+                             half * s * (qx[p] - qx[p - 1]);
+                const C f3 = half * (mx[p - 1] + mx[p]) -
+                             half * s * (qy[p] - qy[p - 1]);
+                const C sa = -B.wx;
+                ddh = ddh - sa * f1;
+                ddhu = ddhu - sa * f2;
+                ddhv = ddhv - sa * f3;
+            }
+            {  // east face (slot 2): L = p, R = p+1, outward area +wx
+                const C s = sx[p] > sx[p + 1] ? sx[p] : sx[p + 1];
+                const C f1 = half * (qx[p] + qx[p + 1]) -
+                             half * s * (hf[p + 1] - hf[p]);
+                const C f2 = half * (px[p] + px[p + 1]) -
+                             half * s * (qx[p + 1] - qx[p]);
+                const C f3 = half * (mx[p] + mx[p + 1]) -
+                             half * s * (qy[p + 1] - qy[p]);
+                const C sa = B.wx;
+                ddh = ddh - sa * f1;
+                ddhu = ddhu - sa * f2;
+                ddhv = ddhv - sa * f3;
+            }
+            {  // south face (slot 4): L = p-pad, R = p, outward area -wy
+                const int q = p - kTilePad;
+                const C s = sy[q] > sy[p] ? sy[q] : sy[p];
+                const C f1 =
+                    half * (qy[q] + qy[p]) - half * s * (hf[p] - hf[q]);
+                const C f2 =
+                    half * (py[q] + py[p]) - half * s * (qy[p] - qy[q]);
+                const C f3 =
+                    half * (my[q] + my[p]) - half * s * (qx[p] - qx[q]);
+                const C sa = -B.wy;
+                ddh = ddh - sa * f1;
+                ddhu = ddhu - sa * f3;  // y faces swap the momentum rows
+                ddhv = ddhv - sa * f2;
+            }
+            {  // north face (slot 6): L = p, R = p+pad, outward area +wy
+                const int q = p + kTilePad;
+                const C s = sy[p] > sy[q] ? sy[p] : sy[q];
+                const C f1 =
+                    half * (qy[p] + qy[q]) - half * s * (hf[q] - hf[p]);
+                const C f2 =
+                    half * (py[p] + py[q]) - half * s * (qy[q] - qy[p]);
+                const C f3 =
+                    half * (my[p] + my[q]) - half * s * (qx[q] - qx[p]);
+                const C sa = B.wy;
+                ddh = ddh - sa * f1;
+                ddhu = ddhu - sa * f3;
+                ddhv = ddhv - sa * f2;
+            }
+            odh[o + ii] = ddh;
+            odhu[o + ii] = ddhu;
+            odhv[o + ii] = ddhv;
+        }
+    }
+
+    std::uint64_t m = B.regular;
+    while (m != 0) {
+        const int k = std::countr_zero(m);
+        m &= m - 1;
+        const int p = (k / kTileSize + 1) * kTilePad + (k % kTileSize) + 1;
+        const std::int32_t cell = B.src[p];
+        A.dh[cell] = odh[k];
+        A.dhu[cell] = odhu[k];
+        A.dhv[cell] = odhv[k];
     }
 }
 

@@ -35,6 +35,45 @@ void ShallowWaterSolver<Policy>::flux_sweep_alt_scalar() {
             args, static_cast<std::size_t>(c), 1);
 }
 
+// Blocked (--blocks=on) scalar sweeps: the same tile_block<> and
+// flux_block_gather<> templates the native blocked path drives,
+// instantiated at W == 1 in this no-autovec TU so a blocked scalar run
+// still measures one-lane issue. Iteration space (tiles + fallback cell
+// list) is shared with the native path — only the instruction shape
+// differs.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_blocked_scalar() {
+    const auto targs = tile_args();
+    const auto nt = static_cast<std::int64_t>(targs.nblocks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nt; ++b)
+        detail::tile_block<storage_t, compute_t, 1>(targs, targs.blocks[b]);
+    const auto fargs = flux_args();
+    const std::int32_t* fb = fallback_cells_.data();
+    const auto nf = static_cast<std::int64_t>(fallback_cells_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < nf; ++c)
+        detail::flux_block_gather<storage_t, compute_t, 1>(fargs, fb + c,
+                                                           1);
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_blocked_alt_scalar() {
+    const auto targs = tile_args_alt();
+    const auto nt = static_cast<std::int64_t>(targs.nblocks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nt; ++b)
+        detail::tile_block<storage_t, alt_compute_t, 1>(targs,
+                                                        targs.blocks[b]);
+    const auto fargs = flux_args_alt();
+    const std::int32_t* fb = fallback_cells_.data();
+    const auto nf = static_cast<std::int64_t>(fallback_cells_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < nf; ++c)
+        detail::flux_block_gather<storage_t, alt_compute_t, 1>(fargs,
+                                                               fb + c, 1);
+}
+
 template void ShallowWaterSolver<fp::MinimumPrecision>::flux_sweep_scalar();
 template void ShallowWaterSolver<fp::MixedPrecision>::flux_sweep_scalar();
 template void ShallowWaterSolver<fp::FullPrecision>::flux_sweep_scalar();
@@ -48,6 +87,24 @@ ShallowWaterSolver<fp::MixedPrecision>::flux_sweep_alt_scalar();
 template void ShallowWaterSolver<fp::FullPrecision>::flux_sweep_alt_scalar();
 template void
 ShallowWaterSolver<fp::HalfStoragePrecision>::flux_sweep_alt_scalar();
+
+template void
+ShallowWaterSolver<fp::MinimumPrecision>::flux_sweep_blocked_scalar();
+template void
+ShallowWaterSolver<fp::MixedPrecision>::flux_sweep_blocked_scalar();
+template void
+ShallowWaterSolver<fp::FullPrecision>::flux_sweep_blocked_scalar();
+template void
+ShallowWaterSolver<fp::HalfStoragePrecision>::flux_sweep_blocked_scalar();
+
+template void
+ShallowWaterSolver<fp::MinimumPrecision>::flux_sweep_blocked_alt_scalar();
+template void
+ShallowWaterSolver<fp::MixedPrecision>::flux_sweep_blocked_alt_scalar();
+template void
+ShallowWaterSolver<fp::FullPrecision>::flux_sweep_blocked_alt_scalar();
+template void
+ShallowWaterSolver<fp::HalfStoragePrecision>::flux_sweep_blocked_alt_scalar();
 
 // The distributed solver's uniform-grid row sweep at W == 1, under the
 // same contract: this TU is the only place the scalar instantiation

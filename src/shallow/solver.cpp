@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -248,9 +249,55 @@ void ShallowWaterSolver<Policy>::rebuild_iteration_space() {
         for (std::int32_t b = run.begin; b < run.end; b += kNativeLanes)
             flux_blocks_.push_back(
                 {b, std::min<std::int32_t>(kNativeLanes, run.end - b)});
+    // Tile lists derive from the block index the caller just refreshed.
+    if (config_.blocks) rebuild_tile_lists();
     // The alt-precision tables mirror the ones rebuilt above; they are
     // refreshed lazily on the next governed sweep that needs them.
     alt_tables_stale_ = true;
+}
+
+// Rebuild the dense-tile and fallback-cell lists from block_index_. Dense
+// tiles carry the regular members of blocks worth gathering; every other
+// cell — irregular members plus all members of skipped sparse blocks —
+// lands in the sorted fallback list that flux_block_gather walks W cells
+// per pack. Which cells go where is decided purely by topology, so
+// scalar, native, and governed-alt sweeps share one iteration space.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::rebuild_tile_lists() {
+    static_assert(detail::kTileSize == mesh::kBlockSize &&
+                  detail::kTilePad == mesh::kBlockPad);
+    const std::size_t n = mesh_.num_cells();
+    tile_blocks_.clear();
+    tile_blocks_alt_.clear();
+    fallback_flag_.assign(n, std::uint8_t(0));
+    for (const mesh::MeshBlock& b : block_index_.blocks()) {
+        const bool dense = std::popcount(b.regular_mask) >= kMinTileRegular;
+        const std::int32_t* src = block_index_.src(b).data();
+        if (dense) {
+            // The full same-level face widths, cast exactly as the slot
+            // tables cast them (alt areas double-cast through compute_t,
+            // matching prepare_alt_tables).
+            const auto wx = static_cast<compute_t>(mesh_.cell_dy(b.level));
+            const auto wy = static_cast<compute_t>(mesh_.cell_dx(b.level));
+            tile_blocks_.push_back({src, b.regular_mask, wx, wy});
+            tile_blocks_alt_.push_back({src, b.regular_mask,
+                                        static_cast<alt_compute_t>(wx),
+                                        static_cast<alt_compute_t>(wy)});
+        }
+        std::uint64_t rest =
+            dense ? (b.member_mask & ~b.regular_mask) : b.member_mask;
+        while (rest != 0) {
+            const int k = std::countr_zero(rest);
+            rest &= rest - 1;
+            const int p = mesh::block_padded(k % mesh::kBlockSize,
+                                             k / mesh::kBlockSize);
+            fallback_flag_[static_cast<std::size_t>(src[p])] = 1;
+        }
+    }
+    fallback_cells_.clear();
+    for (std::size_t c = 0; c < n; ++c)
+        if (fallback_flag_[c] != 0)
+            fallback_cells_.push_back(static_cast<std::int32_t>(c));
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -275,6 +322,7 @@ void ShallowWaterSolver<Policy>::rebuild_topology_caches() {
                   static_cast<std::size_t>(c)] = area[s];
         }
     }
+    if (config_.blocks) block_index_.rebuild(mesh_);
     rebuild_iteration_space();
 }
 
@@ -320,6 +368,7 @@ void ShallowWaterSolver<Policy>::rebuild_topology_caches_facescan() {
         assign_slot(f.lo, 6, f.hi, f.area);  // north side of lo
         assign_slot(f.hi, 4, f.lo, f.area);  // south side of hi
     }
+    if (config_.blocks) block_index_.rebuild(mesh_);
     rebuild_iteration_space();
 }
 
@@ -439,6 +488,7 @@ std::size_t ShallowWaterSolver<Policy>::update_topology_caches(
     }
     nbr_idx_.swap(nbr_idx_back_);
     nbr_area_.swap(nbr_area_back_);
+    if (config_.blocks) block_index_.apply_remap(mesh_, plan);
     rebuild_iteration_space();
     return static_cast<std::size_t>(resolved);
 }
@@ -902,6 +952,39 @@ void ShallowWaterSolver<Policy>::flux_sweep_native() {
             args, static_cast<std::size_t>(blocks[b].begin), blocks[b].len);
 }
 
+template <fp::PrecisionPolicy Policy>
+auto ShallowWaterSolver<Policy>::tile_args()
+    -> detail::TileSweepArgs<storage_t, compute_t> {
+    return {h_.data(),           hu_.data(),          hv_.data(),
+            dh_.data(),          dhu_.data(),         dhv_.data(),
+            tile_blocks_.data(), tile_blocks_.size(),
+            static_cast<compute_t>(config_.gravity)};
+}
+
+// Blocked sweep (--blocks=on): dense unit-stride tiles for the regular
+// cells, flux_block over the fallback runs for the rest — together they
+// cover every cell exactly once, with the same store-only increment
+// writes as the cell sweeps, so the boundary closure, cell update, shadow
+// hooks, and governor monitor are shared untouched. The scalar twin
+// (flux_sweep_blocked_scalar) lives in flux_scalar.cpp.
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_blocked_native() {
+    const auto targs = tile_args();
+    const auto nt = static_cast<std::int64_t>(targs.nblocks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nt; ++b)
+        detail::tile_block<storage_t, compute_t, kNativeLanes>(
+            targs, targs.blocks[b]);
+    const auto fargs = flux_args();
+    const std::int32_t* fb = fallback_cells_.data();
+    const auto nf = static_cast<std::int64_t>(fallback_cells_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < nf; c += kNativeLanes)
+        detail::flux_block_gather<storage_t, compute_t, kNativeLanes>(
+            fargs, fb + c,
+            static_cast<int>(std::min<std::int64_t>(kNativeLanes, nf - c)));
+}
+
 // --- governed flux path (fp/governor.hpp) ---------------------------------
 // The same width-templated flux_block, instantiated at the *other* compute
 // precision. Increments land in the _alt buffers and are folded back into
@@ -984,6 +1067,33 @@ void ShallowWaterSolver<Policy>::flux_sweep_alt_native() {
     for (std::int64_t b = 0; b < nb; ++b)
         detail::flux_block<storage_t, alt_compute_t, kAltLanes>(
             args, static_cast<std::size_t>(blocks[b].begin), blocks[b].len);
+}
+
+template <fp::PrecisionPolicy Policy>
+auto ShallowWaterSolver<Policy>::tile_args_alt()
+    -> detail::TileSweepArgs<storage_t, alt_compute_t> {
+    return {h_.data(),      hu_.data(),      hv_.data(),
+            dh_alt_.data(), dhu_alt_.data(), dhv_alt_.data(),
+            tile_blocks_alt_.data(), tile_blocks_alt_.size(),
+            static_cast<alt_compute_t>(config_.gravity)};
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::flux_sweep_blocked_alt_native() {
+    const auto targs = tile_args_alt();
+    const auto nt = static_cast<std::int64_t>(targs.nblocks);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nt; ++b)
+        detail::tile_block<storage_t, alt_compute_t, kAltLanes>(
+            targs, targs.blocks[b]);
+    const auto fargs = flux_args_alt();
+    const std::int32_t* fb = fallback_cells_.data();
+    const auto nf = static_cast<std::int64_t>(fallback_cells_.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t c = 0; c < nf; c += kAltLanes)
+        detail::flux_block_gather<storage_t, alt_compute_t, kAltLanes>(
+            fargs, fb + c,
+            static_cast<int>(std::min<std::int64_t>(kAltLanes, nf - c)));
 }
 
 // Governor telemetry: a strided sample of post-sweep increments, observed
@@ -1260,19 +1370,37 @@ void ShallowWaterSolver<Policy>::finite_diff(double dt) {
                      std::is_same_v<compute_t, float>);
     {
         TP_OBS_SPAN("clamr.flux_sweep");
+        // The sweep alone gets its own timer ("flux_sweep") so the
+        // blocked-vs-cell speedup is measurable without the boundary
+        // closure, shadow hooks, and update diluting it.
+        util::WallTimer t_sweep;
+        const bool blocked = config_.blocks;
         if (use_alt) {
             prepare_alt_tables();
-            if (native) {
+            if (blocked) {
+                if (native) {
+                    flux_sweep_blocked_alt_native();
+                } else {
+                    flux_sweep_blocked_alt_scalar();
+                }
+            } else if (native) {
                 flux_sweep_alt_native();
             } else {
                 flux_sweep_alt_scalar();
             }
             fold_alt_increments();
+        } else if (blocked) {
+            if (native) {
+                flux_sweep_blocked_native();
+            } else {
+                flux_sweep_blocked_scalar();
+            }
         } else if (native) {
             flux_sweep_native();
         } else {
             flux_sweep_scalar();
         }
+        timers_.add("flux_sweep", t_sweep.elapsed_seconds());
         // Shadow the pure sweep increments before the boundary closure
         // touches them — every sampled cell's dh/dhu/dhv is then exactly
         // one flux_block evaluation, which is what the double reference

@@ -35,6 +35,7 @@
 
 #include "fp/precision.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "mesh/block_tree.hpp"
 #include "perf/counters.hpp"
 #include "shallow/config.hpp"
 #include "shallow/flux_kernel.hpp"
@@ -140,6 +141,27 @@ public:
         return level_runs_;
     }
 
+    /// Block index driving the --blocks=on tile sweep (empty while blocks
+    /// are off). Exposed for the block-lifecycle tests.
+    [[nodiscard]] const mesh::BlockIndex& block_index() const {
+        return block_index_;
+    }
+    /// Dense tiles the blocked sweep computes, plus the fallback cell
+    /// list covering every cell the tiles leave irregular. Exposed for
+    /// tests.
+    [[nodiscard]] const std::vector<detail::TileBlock<compute_t>>&
+    tile_blocks() const {
+        return tile_blocks_;
+    }
+    [[nodiscard]] const std::vector<std::int32_t>& fallback_cells() const {
+        return fallback_cells_;
+    }
+    /// A tile with fewer than this many regular cells is not worth
+    /// gathering; its members join the fallback list instead (a
+    /// topology-only threshold, so every simd/alt variant sees the same
+    /// iteration space). Public so tests can mirror the partition.
+    static constexpr int kMinTileRegular = 16;
+
     /// Rezone bookkeeping accumulated across the run. Phase wall times
     /// live under timers() ("rezone_flags" / "rezone_adapt" /
     /// "rezone_remap" / "rezone_cache" plus the "rezone" aggregate) and in
@@ -228,6 +250,19 @@ private:
     // Defined in flux_scalar.cpp, a TU compiled with the auto-vectorizer
     // off, so the W == 1 path measures true scalar issue.
     void flux_sweep_scalar();
+    /// Rebuild tile_blocks_/fallback_cells_ from block_index_ — part of
+    /// every topology-cache refresh while blocks are on.
+    void rebuild_tile_lists();
+    [[nodiscard]] detail::TileSweepArgs<storage_t, compute_t> tile_args();
+    [[nodiscard]] detail::TileSweepArgs<storage_t, alt_compute_t>
+    tile_args_alt();
+    // Blocked (--blocks=on) sweeps: dense tiles + flux_block_gather over
+    // the fallback cells; bit-identical to the cell sweeps per policy.
+    // Scalar variants live in flux_scalar.cpp (no-autovec TU).
+    void flux_sweep_blocked_native();
+    void flux_sweep_blocked_scalar();
+    void flux_sweep_blocked_alt_native();
+    void flux_sweep_blocked_alt_scalar();
     // Governed flux path: the same sweep with kernel-local arithmetic in
     // alt_compute_t. Increments land in the _alt buffers and are folded
     // back into dh_/dhu_/dhv_ (one cast per cell), so boundary_fluxes and
@@ -285,6 +320,21 @@ private:
     // Level-bucketed iteration space (rebuilt with the neighbor tables).
     std::vector<detail::LevelRun> level_runs_;
     std::vector<FluxBlock> flux_blocks_;
+    // Blocked-sweep state (--blocks=on; all empty otherwise): the mesh
+    // block index, the dense tiles the sweep computes (compute_t and
+    // governed-alt area variants), and the sorted list of cells the
+    // tiles leave to the flux_block_gather fallback (packed W to a
+    // gather, so scattered singletons cost ~1/W of a pack each instead
+    // of a whole masked pack per run). A tile with fewer than
+    // kMinTileRegular dense cells is not worth gathering, so all its
+    // members join the fallback instead — a topology-only decision, so
+    // every simd/alt variant sees the same iteration space
+    // (kMinTileRegular, declared with the accessors above).
+    mesh::BlockIndex block_index_;
+    std::vector<detail::TileBlock<compute_t>> tile_blocks_;
+    std::vector<detail::TileBlock<alt_compute_t>> tile_blocks_alt_;
+    std::vector<std::int32_t> fallback_cells_;
+    std::vector<std::uint8_t> fallback_flag_;
     // Governed-path state: alt-precision increment buffers, neighbor areas
     // and pack blocks, built lazily on the first governed step after a
     // topology change. Empty whenever no enabled governor is attached.

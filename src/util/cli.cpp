@@ -214,6 +214,19 @@ shallow::RezoneMode apply_rezone_option(const ArgParser& args) {
     return shallow::parse_rezone_mode(args.get_string("rezone"));
 }
 
+void add_blocks_option(ArgParser& args) {
+    args.add_option("blocks",
+                    "Flux sweep iteration space: off|on. When on, the "
+                    "sweep runs over dense SoA mesh-block tiles "
+                    "(bit-identical to the per-cell path; off leaves the "
+                    "cell path untouched)",
+                    "off");
+}
+
+bool apply_blocks_option(const ArgParser& args) {
+    return shallow::parse_blocks_mode(args.get_string("blocks"));
+}
+
 void add_governor_options(ArgParser& args) {
     args.add_option("governor",
                     "Closed-loop runtime precision governor: off|on. When "

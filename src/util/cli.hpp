@@ -99,6 +99,14 @@ void add_rezone_option(ArgParser& args);
 /// Parse the `--rezone` value; throws std::invalid_argument on junk.
 [[nodiscard]] shallow::RezoneMode apply_rezone_option(const ArgParser& args);
 
+/// Register the standard `--blocks on|off` option selecting whether the
+/// flux sweep runs over dense SoA mesh-block tiles (bit-identical
+/// solutions; `off` preserves the per-cell path untouched).
+void add_blocks_option(ArgParser& args);
+
+/// Parse the `--blocks` value; throws std::invalid_argument on junk.
+[[nodiscard]] bool apply_blocks_option(const ArgParser& args);
+
 /// Register the runtime precision-governor options: the master
 /// `--governor off|on` switch, the `--drift-budget` ULP ceiling, and the
 /// tail/hysteresis/warmup tuning knobs (fp/governor.hpp).
