@@ -12,6 +12,7 @@
 
 #include "fp/precision.hpp"
 #include "hw/archspec.hpp"
+#include "io/checkpoint.hpp"
 #include "hw/roofline.hpp"
 #include "perf/counters.hpp"
 #include "sem/dgsem.hpp"
@@ -27,8 +28,19 @@ struct RunArtifacts {
     perf::WorkLedger ledger;
     std::uint64_t state_bytes = 0;
     std::uint64_t checkpoint_bytes = 0;
+    /// Exact v2 checkpoint size with drift-derived per-array rates (the
+    /// 256-ULP default budget) — feeds the compression-aware cost rows.
+    std::uint64_t checkpoint_bytes_drift = 0;
     double host_seconds = 0.0;
     double finite_diff_seconds = 0.0;
+
+    /// Measured compression ratio of the drift-rate v2 checkpoint.
+    [[nodiscard]] double drift_compression_ratio() const {
+        return checkpoint_bytes_drift == 0
+                   ? 1.0
+                   : static_cast<double>(checkpoint_bytes) /
+                         static_cast<double>(checkpoint_bytes_drift);
+    }
 };
 
 /// Dam-break runs at all three precision modes (native SIMD by default).
@@ -50,6 +62,9 @@ inline std::map<std::string, RunArtifacts> run_clamr_suite(
         r.ledger = s.ledger();
         r.state_bytes = s.state_bytes();
         r.checkpoint_bytes = s.checkpoint_bytes();
+        io::CheckpointOptions drift;
+        drift.mode = io::CheckpointCompress::Drift;
+        r.checkpoint_bytes_drift = s.checkpoint_bytes(drift);
         r.finite_diff_seconds = s.timers().total("finite_diff");
         out.emplace(std::string(P::name), std::move(r));
     });
@@ -73,7 +88,10 @@ inline std::map<std::string, RunArtifacts> run_self_suite(int elems,
         r.host_seconds = t.elapsed_seconds();
         r.ledger = s.ledger();
         r.state_bytes = s.state_bytes();
-        r.checkpoint_bytes = s.snapshot_bytes();
+        r.checkpoint_bytes = s.checkpoint_bytes();
+        io::CheckpointOptions drift;
+        drift.mode = io::CheckpointCompress::Drift;
+        r.checkpoint_bytes_drift = s.checkpoint_bytes(drift);
         out.emplace(std::string(P::name), std::move(r));
     };
     one.template operator()<fp::MinimumPrecision>();

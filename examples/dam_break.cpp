@@ -10,10 +10,12 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/linecut.hpp"
 #include "fp/governor.hpp"
+#include "io/async_checkpoint.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "shallow/solver.hpp"
@@ -42,6 +44,11 @@ int run(const util::ArgParser& args) {
 
     const int nthreads = util::apply_threads_option(args);
     const fp::GovernorConfig gov_cfg = util::apply_governor_options(args);
+    // The compressor's Drift mode keys off the same ULP budget as the
+    // governor, so compression error stays under the noise floor the
+    // precision policy already tolerates.
+    const io::CheckpointOptions ckpt_opt =
+        util::apply_checkpoint_options(args, gov_cfg.drift_budget_ulp);
 
     const obs::ObsGuard obs_guard(
         args, "dam_break",
@@ -53,7 +60,10 @@ int run(const util::ArgParser& args) {
          {"levels", std::to_string(cfg.geom.max_level)},
          {"courant", std::to_string(cfg.courant)},
          {"governor", gov_cfg.enabled ? "on" : "off"},
-         {"drift_budget", std::to_string(gov_cfg.drift_budget_ulp)}});
+         {"drift_budget", std::to_string(gov_cfg.drift_budget_ulp)},
+         {"checkpoint_compress", args.get_string("checkpoint-compress")},
+         {"checkpoint_async",
+          args.get_flag("checkpoint-async") ? "on" : "off"}});
 
     // The governor outlives the solver's use of it; the record sink routes
     // each transition into the metrics stream as a {"type":"governor"} line.
@@ -64,8 +74,49 @@ int run(const util::ArgParser& args) {
 
     shallow::ShallowWaterSolver<Policy> solver(cfg);
     solver.set_governor(&governor);
-    solver.initialize_dam_break(ic);
+    if (const std::string rpath = args.get_string("restart");
+        !rpath.empty()) {
+        std::ifstream is(rpath, std::ios::binary);
+        if (!is)
+            throw std::runtime_error("restart: cannot open " + rpath);
+        solver.restore_checkpoint(
+            shallow::ShallowWaterSolver<Policy>::read_checkpoint(is));
+        std::printf("restarted from %s at step %lld (t=%.5f)\n",
+                    rpath.c_str(),
+                    static_cast<long long>(solver.step_count()),
+                    solver.time());
+    } else {
+        solver.initialize_dam_break(ic);
+    }
     const double mass0 = solver.total_mass();
+
+    // One checkpoint sink for both cadences (periodic and final): the
+    // synchronous path writes inline and emits the metrics record itself;
+    // the asynchronous path snapshots and hands off to the writer thread,
+    // which emits the record (byte-identical output either way).
+    io::AsyncCheckpointer<shallow::ShallowWaterSolver<Policy>> async_ckpt(
+        ckpt_opt);
+    const bool ckpt_async = args.get_flag("checkpoint-async");
+    const std::string ckpt_path = args.get_string("checkpoint");
+    const int ckpt_interval = args.get_int("checkpoint-interval");
+    auto write_ckpt = [&](const std::string& path) {
+        if (ckpt_async) {
+            async_ckpt.checkpoint(solver, path);
+            return;
+        }
+        util::WallTimer write_timer;
+        std::ofstream os(path, std::ios::binary);
+        if (!os)
+            throw std::runtime_error("checkpoint: cannot open " + path);
+        const io::CheckpointWriteInfo info =
+            solver.write_checkpoint(os, ckpt_opt);
+        os.flush();
+        io::require_write(os);
+        if (obs::metrics().is_open())
+            obs::metrics().write_line(io::checkpoint_record(
+                path, solver.step_count(), info, 0.0,
+                write_timer.elapsed_seconds(), 0.0, false));
+    };
     std::printf(
         "initialized: %zu cells (%d levels), initial mass %.6e, "
         "%d thread%s (OpenMP %s)\n",
@@ -105,6 +156,10 @@ int run(const util::ArgParser& args) {
                                                      phase_baseline))
                     .str());
         }
+        if (!ckpt_path.empty() && ckpt_interval > 0 &&
+            solver.step_count() % ckpt_interval == 0)
+            write_ckpt(ckpt_path + "." +
+                       std::to_string(solver.step_count()));
         if (args.get_flag("verbose") && (s + 1) % report == 0)
             std::printf("  step %6d  t=%.5f  dt=%.3e  cells=%zu\n", s + 1,
                         solver.time(), dt, solver.mesh().num_cells());
@@ -161,9 +216,10 @@ int run(const util::ArgParser& args) {
             static_cast<unsigned long long>(governor.reduced_steps(0)),
             static_cast<unsigned long long>(governor.observed_steps(0)));
     }
-    std::printf("state: %s resident, checkpoint %s\n",
+    std::printf("state: %s resident, checkpoint %s%s\n",
                 util::human_bytes(solver.state_bytes()).c_str(),
-                util::human_bytes(solver.checkpoint_bytes()).c_str());
+                util::human_bytes(solver.checkpoint_bytes(ckpt_opt)).c_str(),
+                ckpt_opt.compressed() ? " (compressed)" : "");
 
     if (const std::string path = args.get_string("cut"); !path.empty()) {
         const auto ys = analysis::face_free_positions(
@@ -180,11 +236,14 @@ int run(const util::ArgParser& args) {
         analysis::write_csv(path, cuts);
         std::printf("wrote line-cut to %s\n", path.c_str());
     }
-    if (const std::string path = args.get_string("checkpoint");
-        !path.empty()) {
-        std::ofstream os(path, std::ios::binary);
-        solver.write_checkpoint(os);
-        std::printf("wrote checkpoint to %s\n", path.c_str());
+    if (!ckpt_path.empty()) {
+        write_ckpt(ckpt_path);
+        async_ckpt.finish();  // rethrows the first writer-thread error
+        std::printf("wrote checkpoint to %s%s\n", ckpt_path.c_str(),
+                    ckpt_async ? " (async)" : "");
+        if (ckpt_async)
+            std::printf("async checkpoint stall: %.3f s solver-side\n",
+                        async_ckpt.stall_seconds());
     }
     return 0;
 }
@@ -203,9 +262,8 @@ int main(int argc, char** argv) {
                            "80.0");
     args.add_double_option("h-outside", "background water height", "10.0");
     args.add_option("cut", "write center line-cut CSV to this path", "");
-    args.add_option("checkpoint", "write binary checkpoint to this path",
-                    "");
     args.add_flag("verbose", "print periodic step diagnostics");
+    util::add_checkpoint_options(args);
     util::add_simd_option(args);
     util::add_rezone_option(args);
     util::add_blocks_option(args);
@@ -232,5 +290,11 @@ int main(int argc, char** argv) {
                      fault.kernel().c_str(),
                      static_cast<long long>(fault.step()), fault.what());
         return 2;
+    } catch (const std::exception& e) {
+        // Bad option values and checkpoint/restart I/O failures land
+        // here; a nonzero exit instead of std::terminate so scripted
+        // runs (and the CI corruption fuzz) see a clean failure.
+        std::fprintf(stderr, "dam_break: %s\n", e.what());
+        return 1;
     }
 }

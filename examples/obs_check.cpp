@@ -169,10 +169,61 @@ void check_governor_record(const std::string& line, std::size_t lineno) {
                  " is missing numeric '" + std::string(key) + "'");
 }
 
+// Schema check for one {"type":"checkpoint"} record (io/checkpoint.hpp):
+// a checkpoint write, synchronous or async. The cost benches consume the
+// byte counts and the overlap analysis consumes the timings, so every
+// field must be present with the right type; version must be one of the
+// two formats and every per-array rate must sit in the compressor's
+// legal range.
+void check_checkpoint_record(const std::string& line, std::size_t lineno) {
+    const auto rec = obs::json::parse(line);
+    if (!rec || !rec->is_object()) {
+        fail("checkpoint record on line " + std::to_string(lineno) +
+             " does not parse");
+        return;
+    }
+    if (const obs::json::Value* v = rec->find("path");
+        v == nullptr || !v->is_string() || v->as_string().empty())
+        fail("checkpoint record on line " + std::to_string(lineno) +
+             " is missing string 'path'");
+    for (const char* key : {"step", "version", "raw_bytes",
+                            "written_bytes", "ratio", "snapshot_s",
+                            "write_s", "stall_s"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || !v->is_number())
+            fail("checkpoint record on line " + std::to_string(lineno) +
+                 " is missing numeric '" + std::string(key) + "'");
+    const double version = rec->number_or("version", 0.0);
+    if (version != 1.0 && version != 2.0)
+        fail("checkpoint record on line " + std::to_string(lineno) +
+             " version is not 1|2");
+    const obs::json::Value* bits = rec->find("bits");
+    if (bits == nullptr || !bits->is_array()) {
+        fail("checkpoint record on line " + std::to_string(lineno) +
+             " has no bits array");
+    } else {
+        // v1 carries an empty array; v2 one in-range rate per array.
+        if (version == 2.0 && bits->items().empty())
+            fail("checkpoint record on line " + std::to_string(lineno) +
+                 " is v2 but carries no per-array rates");
+        for (const obs::json::Value& b : bits->items())
+            if (!b.is_number() || b.as_number() < 2.0 ||
+                b.as_number() > 32.0)
+                fail("checkpoint record on line " +
+                     std::to_string(lineno) +
+                     " bits entry outside [2,32]");
+    }
+    if (const obs::json::Value* v = rec->find("async");
+        v == nullptr || !v->is_bool())
+        fail("checkpoint record on line " + std::to_string(lineno) +
+             " field 'async' is not a bool");
+}
+
 void check_metrics(const std::string& path,
                    const std::vector<std::string>& required_phases,
                    const std::vector<std::string>& required_numerics,
-                   const std::vector<std::string>& required_governor) {
+                   const std::vector<std::string>& required_governor,
+                   bool require_checkpoint) {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         fail("metrics file '" + path + "' cannot be opened");
@@ -184,10 +235,11 @@ void check_metrics(const std::string& path,
     // human, not a silent pass.
     static constexpr const char* kKnownTypes[] = {
         "manifest", "step",     "diagnostic", "probe",
-        "numerics", "governor", "table"};
+        "numerics", "governor", "table",      "checkpoint"};
     std::string line;
     std::size_t lineno = 0;
     std::size_t steps = 0;
+    std::size_t checkpoints = 0;
     bool saw_manifest = false;
     std::string all_steps;
     std::string numerics_kernels;
@@ -229,7 +281,8 @@ void check_metrics(const std::string& path,
             fail("metrics file '" + path + "' line " +
                  std::to_string(lineno) +
                  " has an unknown record type (known: manifest, step, "
-                 "diagnostic, probe, numerics, governor, table)");
+                 "diagnostic, probe, numerics, governor, table, "
+                 "checkpoint)");
             continue;
         }
         if (has_pair(line, "type", "step")) {
@@ -250,6 +303,10 @@ void check_metrics(const std::string& path,
             check_governor_record(line, lineno);
             governor_kernels += line;
         }
+        if (has_pair(line, "type", "checkpoint")) {
+            check_checkpoint_record(line, lineno);
+            ++checkpoints;
+        }
     }
     if (!saw_manifest) fail("metrics file '" + path + "' has no manifest");
     if (steps == 0)
@@ -267,6 +324,9 @@ void check_metrics(const std::string& path,
             std::string::npos)
             fail("no governor transition record for kernel '" + kernel +
                  "'");
+    if (require_checkpoint && checkpoints == 0)
+        fail("metrics file '" + path +
+             "' has no {\"type\":\"checkpoint\"} record");
 }
 
 }  // namespace
@@ -291,6 +351,9 @@ int main(int argc, char** argv) {
                     "comma-separated kernels that must have a "
                     "{\"type\":\"governor\"} transition record",
                     "");
+    args.add_flag("require-checkpoint",
+                  "fail unless the metrics carry at least one "
+                  "{\"type\":\"checkpoint\"} record");
     if (!args.parse(argc, argv)) return 1;
 
     const std::string trace = args.get_string("trace");
@@ -306,7 +369,8 @@ int main(int argc, char** argv) {
     if (!metrics.empty())
         check_metrics(metrics, split_csv(args.get_string("require-phases")),
                       split_csv(args.get_string("require-numerics")),
-                      split_csv(args.get_string("require-governor")));
+                      split_csv(args.get_string("require-governor")),
+                      args.get_flag("require-checkpoint"));
 
     if (failures == 0) {
         std::printf("obs_check: OK (%s%s%s)\n", trace.c_str(),

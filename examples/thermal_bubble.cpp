@@ -6,11 +6,14 @@
 //                      --steps 50 --lineout rho.csv
 
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/linecut.hpp"
 #include "fp/governor.hpp"
+#include "io/async_checkpoint.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "sem/dgsem.hpp"
@@ -37,6 +40,8 @@ int run(const util::ArgParser& args) {
 
     const int nthreads = util::apply_threads_option(args);
     const fp::GovernorConfig gov_cfg = util::apply_governor_options(args);
+    const io::CheckpointOptions ckpt_opt =
+        util::apply_checkpoint_options(args, gov_cfg.drift_budget_ulp);
 
     const obs::ObsGuard obs_guard(
         args, "thermal_bubble",
@@ -45,7 +50,10 @@ int run(const util::ArgParser& args) {
          {"order", std::to_string(cfg.order)},
          {"courant", std::to_string(cfg.courant)},
          {"governor", gov_cfg.enabled ? "on" : "off"},
-         {"drift_budget", std::to_string(gov_cfg.drift_budget_ulp)}});
+         {"drift_budget", std::to_string(gov_cfg.drift_budget_ulp)},
+         {"checkpoint_compress", args.get_string("checkpoint-compress")},
+         {"checkpoint_async",
+          args.get_flag("checkpoint-async") ? "on" : "off"}});
 
     // The governor outlives the solver's use of it; the record sink routes
     // each transition into the metrics stream as a {"type":"governor"} line.
@@ -57,7 +65,46 @@ int run(const util::ArgParser& args) {
     sem::SpectralEulerSolver<Policy> solver(cfg);
     solver.set_governor(&governor);
     solver.initialize_thermal_bubble(bubble);
+    if (const std::string rpath = args.get_string("restart");
+        !rpath.empty()) {
+        std::ifstream is(rpath, std::ios::binary);
+        if (!is)
+            throw std::runtime_error("restart: cannot open " + rpath);
+        solver.restore_checkpoint(
+            sem::SpectralEulerSolver<Policy>::read_checkpoint(is));
+        std::printf("restarted from %s at step %lld (t=%.4f)\n",
+                    rpath.c_str(),
+                    static_cast<long long>(solver.step_count()),
+                    solver.time());
+    }
     const double mass0 = solver.total_mass_perturbation();
+
+    // Shared checkpoint sink (see dam_break.cpp): synchronous writes
+    // emit the metrics record inline; asynchronous writes snapshot here
+    // and report from the writer thread. Bytes are identical either way.
+    io::AsyncCheckpointer<sem::SpectralEulerSolver<Policy>> async_ckpt(
+        ckpt_opt);
+    const bool ckpt_async = args.get_flag("checkpoint-async");
+    const std::string ckpt_path = args.get_string("checkpoint");
+    const int ckpt_interval = args.get_int("checkpoint-interval");
+    auto write_ckpt = [&](const std::string& path) {
+        if (ckpt_async) {
+            async_ckpt.checkpoint(solver, path);
+            return;
+        }
+        util::WallTimer write_timer;
+        std::ofstream os(path, std::ios::binary);
+        if (!os)
+            throw std::runtime_error("checkpoint: cannot open " + path);
+        const io::CheckpointWriteInfo info =
+            solver.write_checkpoint(os, ckpt_opt);
+        os.flush();
+        io::require_write(os);
+        if (obs::metrics().is_open())
+            obs::metrics().write_line(io::checkpoint_record(
+                path, solver.step_count(), info, 0.0,
+                write_timer.elapsed_seconds(), 0.0, false));
+    };
     std::printf(
         "initialized: %d^3 elements, order %d, %zu nodes (%zu DOF), "
         "%d thread%s\n",
@@ -95,6 +142,10 @@ int run(const util::ArgParser& args) {
                                obs::timer_delta_json(solver.timers(),
                                                      phase_baseline))
                     .str());
+        if (!ckpt_path.empty() && ckpt_interval > 0 &&
+            solver.step_count() % ckpt_interval == 0)
+            write_ckpt(ckpt_path + "." +
+                       std::to_string(solver.step_count()));
         if (args.get_flag("verbose") && (s + 1) % report == 0)
             std::printf("  step %5d  t=%.4f  dt=%.3e  max w-momentum "
                         "%.3e\n",
@@ -129,9 +180,16 @@ int run(const util::ArgParser& args) {
             static_cast<unsigned long long>(governor.reduced_steps(0)),
             static_cast<unsigned long long>(governor.observed_steps(0)));
     }
-    std::printf("state: %s resident, snapshot %s\n",
+    std::printf("state: %s resident, checkpoint %s%s\n",
                 util::human_bytes(solver.state_bytes()).c_str(),
-                util::human_bytes(solver.snapshot_bytes()).c_str());
+                util::human_bytes(solver.checkpoint_bytes(ckpt_opt)).c_str(),
+                ckpt_opt.compressed() ? " (compressed)" : "");
+    if (!ckpt_path.empty()) {
+        write_ckpt(ckpt_path);
+        async_ckpt.finish();  // rethrows the first writer-thread error
+        std::printf("wrote checkpoint to %s%s\n", ckpt_path.c_str(),
+                    ckpt_async ? " (async)" : "");
+    }
 
     if (const std::string path = args.get_string("lineout");
         !path.empty()) {
@@ -168,6 +226,7 @@ int main(int argc, char** argv) {
                   "promote every single-precision op through double "
                   "(Table IV GNU-compiler model)");
     args.add_flag("verbose", "print periodic step diagnostics");
+    util::add_checkpoint_options(args);
     util::add_threads_option(args);
     util::add_governor_options(args);
     obs::add_obs_options(args);
@@ -190,5 +249,8 @@ int main(int argc, char** argv) {
                      fault.kernel().c_str(),
                      static_cast<long long>(fault.step()), fault.what());
         return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "thermal_bubble: %s\n", e.what());
+        return 1;
     }
 }

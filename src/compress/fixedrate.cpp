@@ -27,6 +27,14 @@ constexpr std::int64_t quant_max(int bits) {
     return (std::int64_t{1} << (bits - 1)) - 1;
 }
 
+// Largest encodable block exponent. frexp of a top-binade double (peak >=
+// 2^1023) yields e == 1024, whose peak code would reconstruct as
+// ldexp(1.0, 1024) == inf; compress_fixed_rate rejects such magnitudes, so
+// every emitted nonzero stored exponent lies in
+// [kMinExp + kExpBias, kMaxExp + kExpBias] == [1, 2046] and decompress can
+// reject anything outside it as corruption.
+constexpr int kMaxExp = 1023;
+
 int block_exponent(double peak) {
     int e = 0;
     (void)std::frexp(peak, &e);  // peak = m * 2^e, m in [0.5, 1)
@@ -66,6 +74,9 @@ CompressedArray compress_fixed_rate(std::span<const double> xs, int bits) {
             if (!std::isfinite(v))
                 throw std::invalid_argument(
                     "compress_fixed_rate: non-finite value");
+            if (std::fabs(v) >= 0x1p1023)
+                throw std::invalid_argument(
+                    "compress_fixed_rate: magnitude >= 2^1023 unsupported");
             peak = std::max(peak, std::fabs(v));
         }
         // All-zero blocks store the sentinel exponent 0 and an all-zero
@@ -97,6 +108,19 @@ CompressedArray compress_fixed_rate(std::span<const double> xs, int bits) {
 }
 
 std::vector<double> decompress(const CompressedArray& c) {
+    // Validate the whole header before touching the payload or allocating:
+    // an out-of-range `bits` shifts by a negative/overlong amount below,
+    // and a corrupt huge `count` would otherwise drive the `out`
+    // allocation to gigabytes before BitReader ever notices. The count cap
+    // keeps the bit arithmetic in compressed_payload_bytes far from
+    // uint64 overflow; any in-cap mismatch is caught exactly.
+    if (c.bits < 2 || c.bits > 32)
+        throw std::invalid_argument("decompress: bits outside [2,32]");
+    if (c.count > (std::uint64_t{1} << 57))
+        throw std::invalid_argument("decompress: count too large");
+    if (c.data.size() != compressed_payload_bytes(c.count, c.bits))
+        throw std::invalid_argument(
+            "decompress: payload size inconsistent with count/bits");
     std::vector<double> out(c.count);
     BitReader r(c.data);
     const int bits = c.bits;
@@ -104,6 +128,9 @@ std::vector<double> decompress(const CompressedArray& c) {
     for (std::size_t start = 0; start < c.count; start += kBlockSize) {
         const std::size_t n = std::min(kBlockSize, c.count - start);
         const auto stored_e = static_cast<int>(r.read(kExpBits));
+        if (stored_e > kMaxExp + kExpBias)
+            throw std::invalid_argument(
+                "decompress: corrupt block exponent");
         const int e = stored_e - kExpBias;
         for (std::size_t i = 0; i < n; ++i) {
             auto raw = static_cast<std::int64_t>(r.read(bits));
@@ -117,6 +144,13 @@ std::vector<double> decompress(const CompressedArray& c) {
         }
     }
     return out;
+}
+
+int bits_for_tolerance(double peak, double tol) {
+    if (!(peak > 0.0)) return 2;
+    for (int b = 2; b < 32; ++b)
+        if (error_bound(peak, b) <= tol) return b;
+    return 32;
 }
 
 }  // namespace tp::compress

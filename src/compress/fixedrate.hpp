@@ -34,15 +34,40 @@ struct CompressedArray {
     [[nodiscard]] std::size_t byte_size() const { return data.size() + 16; }
 };
 
-/// Compress at `bits` per value (2..32). Values must be finite.
+/// Compress at `bits` per value (2..32). Values must be finite and below
+/// 2^1023 in magnitude (the top binade would need a block exponent of
+/// 1024, whose peak code reconstructs to infinity; rejecting it keeps the
+/// stored exponent range exactly [1, 2046] and decompress can treat
+/// anything outside that as corruption).
 [[nodiscard]] CompressedArray compress_fixed_rate(std::span<const double> xs,
                                                   int bits);
 
-/// Reconstruct the (lossy) array.
+/// Reconstruct the (lossy) array. The header is validated before any
+/// allocation: `bits` must be in [2,32], `data.size()` must equal
+/// compressed_payload_bytes(count, bits), and every block exponent must be
+/// inside the encoder's emittable range — a corrupt stream throws
+/// std::invalid_argument instead of driving a huge allocation, shifting by
+/// an out-of-range amount, or reconstructing ±inf.
 [[nodiscard]] std::vector<double> decompress(const CompressedArray& c);
 
 /// Worst-case absolute error for a block whose peak magnitude is `peak`.
 [[nodiscard]] double error_bound(double peak, int bits);
+
+/// Exact serialized payload size (CompressedArray::data.size()) for
+/// `count` values at `bits` per value: 11 bits per 64-value block plus
+/// `bits` per value, rounded up to whole bytes.
+[[nodiscard]] constexpr std::uint64_t compressed_payload_bytes(
+    std::uint64_t count, int bits) {
+    const std::uint64_t nblocks = (count + kBlockSize - 1) / kBlockSize;
+    const std::uint64_t total_bits =
+        nblocks * 11 + count * static_cast<std::uint64_t>(bits);
+    return (total_bits + 7) / 8;
+}
+
+/// Smallest rate in [2,32] whose error_bound(peak, bits) does not exceed
+/// `tol`; 32 (the maximum rate) when no rate meets it. A zero peak means
+/// an all-zero array, which every rate reproduces exactly.
+[[nodiscard]] int bits_for_tolerance(double peak, double tol);
 
 /// Achieved ratio versus uncompressed doubles.
 [[nodiscard]] inline double compression_ratio(const CompressedArray& c) {

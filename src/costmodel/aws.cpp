@@ -7,7 +7,8 @@ namespace tp::costmodel {
 CostBreakdown estimate_monthly_cost(const AwsRates& rates,
                                     const CostInputs& in) {
     if (in.runtime_seconds < 0.0 || in.snapshot_gigabytes < 0.0 ||
-        in.checkpoint_period_s <= 0.0 || in.storage_reduction <= 0.0)
+        in.checkpoint_period_s <= 0.0 || in.storage_reduction <= 0.0 ||
+        in.compression_ratio <= 0.0)
         throw std::invalid_argument("estimate_monthly_cost: bad inputs");
 
     // Seconds of measured runtime -> hours/week of utilization -> hours/mo.
@@ -23,8 +24,9 @@ CostBreakdown estimate_monthly_cost(const AwsRates& rates,
     // application factor.
     const double snapshots = hours_per_month * 3600.0 /
                              in.checkpoint_period_s / in.storage_reduction;
-    out.storage_dollars =
-        snapshots * in.snapshot_gigabytes * rates.s3_standard_gb_month;
+    out.storage_dollars = snapshots * in.snapshot_gigabytes /
+                          in.compression_ratio *
+                          rates.s3_standard_gb_month;
     return out;
 }
 

@@ -33,6 +33,12 @@ struct CostInputs {
     double checkpoint_period_s = 2.0;   ///< simulated seconds between outputs
     double storage_reduction = 5.0;  ///< paper: 5 for CLAMR, 10 for SELF
     double calculator_uplift = 1.24; ///< see file comment
+    /// Checkpoint compression ratio (raw bytes / written bytes, >= 1 in
+    /// practice): the storage volume is divided by this. 1.0 reproduces
+    /// the paper's model, which excluded compression "to keep the cost
+    /// model simple"; the v2 checkpoint writer reports the measured
+    /// ratio in its {"type":"checkpoint"} records.
+    double compression_ratio = 1.0;
 };
 
 struct CostBreakdown {

@@ -1,0 +1,64 @@
+#pragma once
+// Background checkpoint writer: a single worker thread draining a FIFO of
+// emission jobs, so the solver thread pays only for the state snapshot
+// while compression and file I/O overlap subsequent steps. Jobs complete
+// strictly in submission order, which is what makes the two-slot double
+// buffer in AsyncCheckpointer sound: waiting on a slot's ticket is
+// waiting for every byte of that slot's file.
+//
+// Error contract: the first job exception is captured and rethrown from
+// the next wait()/wait_all() call (then cleared, so a caller may handle
+// it and keep submitting). The destructor drains the queue but never
+// throws; call wait_all() before destruction to observe failures.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include <condition_variable>
+
+namespace tp::io {
+
+class AsyncWriter {
+public:
+    AsyncWriter();
+    ~AsyncWriter();
+    AsyncWriter(const AsyncWriter&) = delete;
+    AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+    /// Enqueue a job and return its ticket (1-based submission index).
+    std::uint64_t submit(std::function<void()> job);
+
+    /// Block until the job with `ticket` has completed.
+    void wait(std::uint64_t ticket);
+
+    /// Block until every submitted job has completed.
+    void wait_all();
+
+    [[nodiscard]] std::uint64_t submitted() const;
+    [[nodiscard]] std::uint64_t completed() const;
+
+    /// Worker wall-clock seconds spent inside jobs — the compression/IO
+    /// time that overlapped solver steps instead of stalling them.
+    [[nodiscard]] double busy_seconds() const;
+
+private:
+    void worker_loop();
+    /// Rethrow (and clear) a stored job error. Caller holds `mu_`.
+    void rethrow_pending(std::unique_lock<std::mutex>& lock);
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    double busy_seconds_ = 0.0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+    std::thread worker_;
+};
+
+}  // namespace tp::io

@@ -38,6 +38,28 @@ AmrMesh::AmrMesh(const MeshGeometry& geom) : geom_(geom) {
     build_boundary_faces();
 }
 
+AmrMesh::AmrMesh(const MeshGeometry& geom, std::vector<Cell> cells)
+    : geom_(geom) {
+    if (geom_.coarse_nx <= 0 || geom_.coarse_ny <= 0 || geom_.max_level < 0 ||
+        geom_.max_level > 15 || geom_.width <= 0.0 || geom_.height <= 0.0)
+        throw std::invalid_argument("AmrMesh: invalid geometry");
+    dx0_ = geom_.width / geom_.coarse_nx;
+    dy0_ = geom_.height / geom_.coarse_ny;
+
+    cells_ = std::move(cells);
+    std::sort(cells_.begin(), cells_.end(),
+              [this](const Cell& a, const Cell& b) {
+                  return morton_anchor(a, geom_.max_level) <
+                         morton_anchor(b, geom_.max_level);
+              });
+    rebuild_keys();
+    build_boundary_faces();
+    std::string why;
+    if (!check_invariants(&why))
+        throw std::invalid_argument("AmrMesh: restored cell list invalid: " +
+                                    why);
+}
+
 void AmrMesh::rebuild_keys() {
     keys_.resize(cells_.size());
     for (std::size_t idx = 0; idx < cells_.size(); ++idx)

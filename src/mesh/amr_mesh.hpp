@@ -109,6 +109,14 @@ class AmrMesh {
 public:
     explicit AmrMesh(const MeshGeometry& geom);
 
+    /// Reconstruct a mesh from a checkpointed leaf list. The cells may be
+    /// in any order (they are re-sorted into Morton order); the full
+    /// structural invariant set — exact tiling, 2:1 balance, key
+    /// consistency — is verified and std::invalid_argument is thrown on
+    /// violation, so a corrupt or truncated cell list cannot produce a
+    /// structurally broken mesh.
+    AmrMesh(const MeshGeometry& geom, std::vector<Cell> cells);
+
     // --- Geometry queries -------------------------------------------------
     [[nodiscard]] const MeshGeometry& geometry() const { return geom_; }
     [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }

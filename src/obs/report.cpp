@@ -96,6 +96,19 @@ void digest_governor(const json::Value& rec, RunSummary& out) {
     out.governor_events.push_back(std::move(e));
 }
 
+void digest_checkpoint(const json::Value& rec, RunSummary& out) {
+    ++out.checkpoints;
+    out.checkpoint_raw_bytes +=
+        static_cast<std::uint64_t>(rec.number_or("raw_bytes", 0.0));
+    out.checkpoint_written_bytes +=
+        static_cast<std::uint64_t>(rec.number_or("written_bytes", 0.0));
+    out.checkpoint_write_s += rec.number_or("write_s", 0.0);
+    // stall_s is the writer's cumulative solver-side stall at record
+    // time, so the last record carries the run total.
+    out.checkpoint_stall_s =
+        rec.number_or("stall_s", out.checkpoint_stall_s);
+}
+
 }  // namespace
 
 double RunSummary::rezone_share() const {
@@ -132,6 +145,8 @@ RunSummary summarize(const std::vector<std::string>& lines) {
             digest_numerics(*rec, out);
         else if (t == "governor")
             digest_governor(*rec, out);
+        else if (t == "checkpoint")
+            digest_checkpoint(*rec, out);
         else if (t == "diagnostic")
             ++out.diagnostics;
         else if (t == "probe")

@@ -74,6 +74,13 @@ struct RunSummary {
     /// Precision-governor transitions, in stream (= step) order.
     std::vector<GovernorEvent> governor_events;
 
+    std::int64_t checkpoints = 0;  ///< {"type":"checkpoint"} count
+    std::uint64_t checkpoint_raw_bytes = 0;      ///< sum over writes
+    std::uint64_t checkpoint_written_bytes = 0;  ///< sum over writes
+    double checkpoint_write_s = 0.0;  ///< writer-side seconds, summed
+    double checkpoint_stall_s = 0.0;  ///< solver-side stall (cumulative
+                                      ///< in each record; last wins)
+
     std::int64_t diagnostics = 0;  ///< {"type":"diagnostic"} count
     std::int64_t probes = 0;       ///< {"type":"probe"} count
     std::int64_t invalid_lines = 0;    ///< unparseable lines (crash tail)

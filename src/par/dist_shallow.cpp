@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 
 #include "obs/probe.hpp"
@@ -55,6 +56,22 @@ void split_rows(std::span<const double> cost, int num_ranks,
         row = end;
     }
     rows[static_cast<std::size_t>(num_ranks - 1)] = ny - row;
+}
+
+// Sharded restart set (DESIGN.md §14.4). The manifest ("TPDM") records
+// the global problem identity plus the writer's row partition; each
+// shard ("TPDS") carries one writer rank's interior rows of h/hu/hv —
+// raw storage precision at version 1, fixed-rate compressed records at
+// version 2. Readers validate the whole set against their own config
+// before touching any solver state, and may run at a different rank
+// count than the writer.
+constexpr std::uint32_t kManifestMagic = 0x5450444D;  // "TPDM"
+constexpr std::uint32_t kShardMagic = 0x54504453;     // "TPDS"
+constexpr std::uint32_t kRestartV1 = 1;
+constexpr std::uint32_t kRestartV2 = 2;
+
+[[nodiscard]] std::string shard_path(const std::string& basepath, int k) {
+    return basepath + ".shard" + std::to_string(k);
 }
 
 }  // namespace
@@ -623,6 +640,216 @@ std::vector<double> DistributedShallowSolver<Policy>::rank_cost_seconds()
     out.reserve(ranks_.size());
     for (const Rank& rk : ranks_) out.push_back(rk.cost_seconds);
     return out;
+}
+
+template <fp::PrecisionPolicy Policy>
+io::CheckpointWriteInfo DistributedShallowSolver<Policy>::write_restart(
+    const std::string& basepath, const io::CheckpointOptions& opt) const {
+    TP_OBS_SPAN("dist.restart_write");
+    const std::uint32_t version =
+        opt.compressed() ? kRestartV2 : kRestartV1;
+    constexpr std::uint32_t elem = sizeof(storage_t);
+    const auto nx = static_cast<std::size_t>(cfg_.nx);
+
+    io::CheckpointWriteInfo info;
+    info.version = version;
+    // What an uncompressed set of this partition totals: the manifest,
+    // the shard headers, and three raw interior arrays per shard.
+    const std::size_t manifest_bytes =
+        4 * sizeof(std::uint32_t) + 2 * sizeof(std::int32_t) +
+        6 * sizeof(double) + sizeof(std::int64_t) +
+        ranks_.size() * 2 * sizeof(std::int32_t);
+    info.raw_bytes = manifest_bytes;
+    for (const Rank& rk : ranks_)
+        info.raw_bytes += 2 * sizeof(std::uint32_t) +
+                          2 * sizeof(std::int32_t) +
+                          3 * static_cast<std::uint64_t>(rk.rows) * nx *
+                              elem;
+
+    const std::string manifest_path = basepath + ".manifest";
+    std::ofstream mf(manifest_path, std::ios::binary);
+    if (!mf)
+        throw std::runtime_error("restart: cannot open " + manifest_path);
+    io::detail::write_pod(mf, kManifestMagic);
+    io::detail::write_pod(mf, version);
+    io::detail::write_pod(mf, elem);
+    io::detail::write_pod(mf,
+                          static_cast<std::uint32_t>(ranks_.size()));
+    io::detail::write_pod(mf, static_cast<std::int32_t>(cfg_.nx));
+    io::detail::write_pod(mf, static_cast<std::int32_t>(cfg_.ny));
+    io::detail::write_pod(mf, cfg_.width);
+    io::detail::write_pod(mf, cfg_.height);
+    io::detail::write_pod(mf, cfg_.gravity);
+    io::detail::write_pod(mf, cfg_.courant);
+    io::detail::write_pod(mf, time_);
+    io::detail::write_pod(mf, step_count_);
+    for (const Rank& rk : ranks_) {
+        io::detail::write_pod(mf, static_cast<std::int32_t>(rk.row0));
+        io::detail::write_pod(mf, static_cast<std::int32_t>(rk.rows));
+    }
+    mf.flush();
+    io::require_write(mf);
+    info.written_bytes = manifest_bytes;
+
+    // Scratch reused across shards: the stripped interior (ghost rows
+    // and columns dropped) in storage precision, plus its widening when
+    // the set is compressed.
+    std::vector<storage_t> interior;
+    std::vector<double> wide;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        const Rank& rk = ranks_[r];
+        const std::string path = shard_path(basepath, static_cast<int>(r));
+        std::ofstream sf(path, std::ios::binary);
+        if (!sf) throw std::runtime_error("restart: cannot open " + path);
+        io::detail::write_pod(sf, kShardMagic);
+        io::detail::write_pod(sf, version);
+        io::detail::write_pod(sf, static_cast<std::int32_t>(rk.row0));
+        io::detail::write_pod(sf, static_cast<std::int32_t>(rk.rows));
+        info.written_bytes +=
+            2 * sizeof(std::uint32_t) + 2 * sizeof(std::int32_t);
+        const std::size_t count = static_cast<std::size_t>(rk.rows) * nx;
+        interior.resize(count);
+        for (const auto* field : {&rk.h, &rk.hu, &rk.hv}) {
+            for (int j = 0; j < rk.rows; ++j)
+                std::memcpy(interior.data() +
+                                static_cast<std::size_t>(j) * nx,
+                            field->data() + idx(j + 1, 1),
+                            nx * sizeof(storage_t));
+            if (version == kRestartV1) {
+                sf.write(reinterpret_cast<const char*>(interior.data()),
+                         static_cast<std::streamsize>(count *
+                                                      sizeof(storage_t)));
+                io::require_write(sf);
+                info.written_bytes += count * sizeof(storage_t);
+            } else {
+                wide.resize(count);
+                for (std::size_t k = 0; k < count; ++k)
+                    wide[k] = static_cast<double>(interior[k]);
+                const int bits =
+                    io::resolve_bits(opt, io::peak_abs(wide),
+                                     io::storage_digits_v<storage_t>);
+                info.bits.push_back(bits);
+                info.written_bytes +=
+                    io::write_compressed_array(sf, wide, bits);
+            }
+        }
+        sf.flush();
+        io::require_write(sf);
+    }
+    return info;
+}
+
+template <fp::PrecisionPolicy Policy>
+void DistributedShallowSolver<Policy>::restore_restart(
+    const std::string& basepath) {
+    TP_OBS_SPAN("dist.restart_restore");
+    const std::string manifest_path = basepath + ".manifest";
+    std::ifstream mf(manifest_path, std::ios::binary);
+    if (!mf)
+        throw std::runtime_error("restart: cannot open " + manifest_path);
+    if (io::detail::read_pod<std::uint32_t>(mf) != kManifestMagic)
+        throw std::runtime_error("restart: bad manifest magic");
+    const auto version = io::detail::read_pod<std::uint32_t>(mf);
+    if (version != kRestartV1 && version != kRestartV2)
+        throw std::runtime_error("restart: unsupported format version");
+    if (io::detail::read_pod<std::uint32_t>(mf) != sizeof(storage_t))
+        throw std::runtime_error(
+            "restart: storage precision differs from the solver config");
+    const auto shards = io::detail::read_pod<std::uint32_t>(mf);
+    const auto m_nx = io::detail::read_pod<std::int32_t>(mf);
+    const auto m_ny = io::detail::read_pod<std::int32_t>(mf);
+    if (m_nx != cfg_.nx || m_ny != cfg_.ny)
+        throw std::runtime_error(
+            "restart: global grid differs from the solver config");
+    const double m_width = io::detail::read_pod<double>(mf);
+    const double m_height = io::detail::read_pod<double>(mf);
+    const double m_gravity = io::detail::read_pod<double>(mf);
+    const double m_courant = io::detail::read_pod<double>(mf);
+    if (m_width != cfg_.width || m_height != cfg_.height ||
+        m_gravity != cfg_.gravity || m_courant != cfg_.courant)
+        throw std::runtime_error(
+            "restart: physics config differs from the solver config");
+    const double m_time = io::detail::read_pod<double>(mf);
+    const auto m_step = io::detail::read_pod<std::int64_t>(mf);
+    if (m_step < 0)
+        throw std::runtime_error("restart: negative step count");
+    // Every shard owns >= 1 row, so the count is bounded by the row
+    // count — reject before sizing anything by it.
+    if (shards < 1 || shards > static_cast<std::uint32_t>(cfg_.ny))
+        throw std::runtime_error("restart: bad shard count");
+    std::vector<std::pair<int, int>> stripes(shards);
+    int next_row = 0;
+    for (auto& [row0, rows] : stripes) {
+        row0 = io::detail::read_pod<std::int32_t>(mf);
+        rows = io::detail::read_pod<std::int32_t>(mf);
+        // The writer's stripes tile [0, ny) in order; anything else is
+        // a corrupt or truncated manifest.
+        if (row0 != next_row || rows < 1 || row0 + rows > cfg_.ny)
+            throw std::runtime_error(
+                "restart: shard rows do not tile the grid");
+        next_row = row0 + rows;
+    }
+    if (next_row != cfg_.ny)
+        throw std::runtime_error(
+            "restart: shard rows do not tile the grid");
+
+    // Assemble the full interior in global row-major order first — no
+    // solver state changes until every shard has validated and read.
+    const auto nx = static_cast<std::size_t>(cfg_.nx);
+    const std::size_t total = nx * static_cast<std::size_t>(cfg_.ny);
+    std::vector<storage_t> gh(total), ghu(total), ghv(total);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        const std::string path = shard_path(basepath, static_cast<int>(s));
+        std::ifstream sf(path, std::ios::binary);
+        if (!sf) throw std::runtime_error("restart: cannot open " + path);
+        if (io::detail::read_pod<std::uint32_t>(sf) != kShardMagic)
+            throw std::runtime_error("restart: bad shard magic");
+        if (io::detail::read_pod<std::uint32_t>(sf) != version)
+            throw std::runtime_error(
+                "restart: shard version differs from the manifest");
+        const auto [row0, rows] = stripes[s];
+        if (io::detail::read_pod<std::int32_t>(sf) != row0 ||
+            io::detail::read_pod<std::int32_t>(sf) != rows)
+            throw std::runtime_error(
+                "restart: shard rows differ from the manifest");
+        const std::size_t count = static_cast<std::size_t>(rows) * nx;
+        const std::size_t at = static_cast<std::size_t>(row0) * nx;
+        for (auto* field : {&gh, &ghu, &ghv}) {
+            if (version == kRestartV1) {
+                sf.read(reinterpret_cast<char*>(field->data() + at),
+                        static_cast<std::streamsize>(count *
+                                                     sizeof(storage_t)));
+                if (!sf)
+                    throw std::runtime_error("restart: truncated shard");
+            } else {
+                const std::vector<double> wide =
+                    io::read_compressed_array(sf, count);
+                for (std::size_t k = 0; k < count; ++k)
+                    (*field)[at + k] = static_cast<storage_t>(wide[k]);
+            }
+        }
+    }
+
+    // Scatter the global rows into this solver's stripes — which need
+    // not match the writer's. Ghost columns are mirrored now (the sweep
+    // reads them before any exchange); ghost rows refresh through the
+    // first step's halo exchange, exactly as after initialize_dam_break.
+    for (Rank& rk : ranks_) {
+        for (int j = 0; j < rk.rows; ++j) {
+            const std::size_t at =
+                static_cast<std::size_t>(rk.row0 + j) * nx;
+            std::memcpy(rk.h.data() + idx(j + 1, 1), gh.data() + at,
+                        nx * sizeof(storage_t));
+            std::memcpy(rk.hu.data() + idx(j + 1, 1), ghu.data() + at,
+                        nx * sizeof(storage_t));
+            std::memcpy(rk.hv.data() + idx(j + 1, 1), ghv.data() + at,
+                        nx * sizeof(storage_t));
+            mirror_ghost_columns(rk.h, rk.hu, rk.hv, j + 1);
+        }
+        rk.cost_seconds = 0.0;
+    }
+    time_ = m_time;
+    step_count_ = m_step;
 }
 
 template class DistributedShallowSolver<fp::MinimumPrecision>;

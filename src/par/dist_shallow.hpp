@@ -29,10 +29,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "fp/precision.hpp"
+#include "io/checkpoint.hpp"
 #include "par/comm.hpp"
 #include "par/reduce.hpp"
 #include "perf/counters.hpp"
@@ -109,6 +111,30 @@ public:
     /// Gather the full height field in row-major global order (for
     /// rank-count-invariance checks against another decomposition).
     [[nodiscard]] std::vector<double> gather_height() const;
+
+    // --- Sharded restart ---------------------------------------------------
+    /// Write a sharded restart set: `basepath.manifest` plus one
+    /// `basepath.shardK` per rank, each covering that rank's current row
+    /// stripe — the layout a real MPI job gets from every rank writing
+    /// its own file. Arrays are raw storage precision (restart format v1,
+    /// the default) or fixed-rate compressed (v2) per `opt`, using the
+    /// same per-array drift-derived rates as the single-node checkpoints.
+    /// Returns aggregate bytes and per-array rates for the
+    /// {"type":"checkpoint"} metrics record. Throws std::runtime_error
+    /// when any stream cannot be opened or written.
+    io::CheckpointWriteInfo write_restart(
+        const std::string& basepath,
+        const io::CheckpointOptions& opt = {}) const;
+
+    /// Adopt the state of a write_restart set. The global grid and
+    /// physics config must match the writer's exactly, but the rank
+    /// count may differ: shard row ranges are re-scattered across this
+    /// solver's stripes, so a 4-rank run restarts on 3 or 7 ranks with
+    /// bitwise the same state (and hence the same continuation — the
+    /// solver's rank-count invariance). Corrupt or inconsistent manifest
+    /// and shard files are rejected with std::runtime_error before any
+    /// solver state is modified.
+    void restore_restart(const std::string& basepath);
 
     // --- Load balancing ----------------------------------------------------
     /// Re-split the row stripes so each rank's predicted cost (the prefix

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <stdexcept>
 #include <utility>
@@ -1473,6 +1474,247 @@ std::uint64_t SpectralEulerSolver<Policy>::state_bytes() const {
     return num_nodes() *
            (kVars * (sizeof(storage_t) + 2 * sizeof(compute_t)) +
             3 * sizeof(storage_t));
+}
+
+namespace {
+constexpr std::uint32_t kSemCheckpointMagic = 0x54505345;  // "TPSE"
+constexpr std::uint32_t kSemCheckpointV1 = 1;
+constexpr std::uint32_t kSemCheckpointV2 = 2;  // compressed arrays
+// Fixed header: magic, version, elem, pad (16) + nodes (8) + time, step
+// (16) + nx, ny, nz, order (16) + lx, ly, lz (24).
+constexpr std::uint64_t kSemHeaderBytes = 80;
+
+// Discretization bounds a header must satisfy before `nodes` is trusted
+// for allocation: generous for any real run, tight enough that the node
+// count product below cannot overflow (4096^3 * 64^3 = 2^54).
+constexpr int kMaxElemsPerDir = 4096;
+constexpr int kMaxOrder = 63;
+
+void write_sem_header(const SemCheckpointSnapshot& s, std::uint32_t version,
+                      std::uint64_t nodes, std::ostream& os) {
+    using io::detail::write_pod;
+    write_pod(os, kSemCheckpointMagic);
+    write_pod(os, version);
+    write_pod(os, s.elem);
+    write_pod(os, static_cast<std::uint32_t>(0));  // pad
+    write_pod(os, nodes);
+    write_pod(os, s.time);
+    write_pod(os, s.step);
+    write_pod(os, s.nx);
+    write_pod(os, s.ny);
+    write_pod(os, s.nz);
+    write_pod(os, s.order);
+    write_pod(os, s.lx);
+    write_pod(os, s.ly);
+    write_pod(os, s.lz);
+    io::require_write(os);
+}
+}  // namespace
+
+template <fp::PrecisionPolicy Policy>
+std::uint64_t SpectralEulerSolver<Policy>::checkpoint_bytes() const {
+    return kSemHeaderBytes + num_nodes() * kVars * sizeof(storage_t);
+}
+
+template <fp::PrecisionPolicy Policy>
+std::uint64_t SpectralEulerSolver<Policy>::checkpoint_bytes(
+    const io::CheckpointOptions& opt) const {
+    if (!opt.compressed()) return checkpoint_bytes();
+    const std::uint64_t n = num_nodes();
+    std::uint64_t total = kSemHeaderBytes;
+    for (const auto& field : q_) {
+        double peak = 0.0;
+        for (const storage_t& v : field)
+            peak = std::max(peak, std::fabs(static_cast<double>(v)));
+        const int bits =
+            io::resolve_bits(opt, peak, io::storage_digits_v<storage_t>);
+        total += 12 + compress::compressed_payload_bytes(n, bits);
+    }
+    return total;
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::snapshot_checkpoint(Snapshot& s) const {
+    s.elem = static_cast<std::uint32_t>(sizeof(storage_t));
+    s.storage_digits = io::storage_digits_v<storage_t>;
+    s.time = time_;
+    s.step = step_count_;
+    s.nx = cfg_.nx;
+    s.ny = cfg_.ny;
+    s.nz = cfg_.nz;
+    s.order = cfg_.order;
+    s.lx = cfg_.lx;
+    s.ly = cfg_.ly;
+    s.lz = cfg_.lz;
+    for (int v = 0; v < kVars; ++v) {
+        s.q[v].resize(q_[v].size() * sizeof(storage_t));
+        std::memcpy(s.q[v].data(), q_[v].data(), s.q[v].size());
+    }
+}
+
+template <fp::PrecisionPolicy Policy>
+io::CheckpointWriteInfo SpectralEulerSolver<Policy>::write_snapshot(
+    const Snapshot& s, std::ostream& os, const io::CheckpointOptions& opt) {
+    TP_OBS_SPAN("sem.checkpoint_write");
+    const std::uint64_t n = s.q[0].size() / s.elem;
+    io::CheckpointWriteInfo info;
+    info.raw_bytes = kSemHeaderBytes + kVars * n * s.elem;
+    if (!opt.compressed()) {
+        info.version = kSemCheckpointV1;
+        write_sem_header(s, kSemCheckpointV1, n, os);
+        for (const auto& field : s.q)
+            os.write(reinterpret_cast<const char*>(field.data()),
+                     static_cast<std::streamsize>(field.size()));
+        io::require_write(os);
+        info.written_bytes = info.raw_bytes;
+        return info;
+    }
+    info.version = kSemCheckpointV2;
+    write_sem_header(s, kSemCheckpointV2, n, os);
+    std::uint64_t written = kSemHeaderBytes;
+    std::vector<double> wide;
+    for (const auto& field : s.q) {
+        io::widen_storage(field, s.elem, wide);
+        const int bits =
+            io::resolve_bits(opt, io::peak_abs(wide), s.storage_digits);
+        written += io::write_compressed_array(os, wide, bits);
+        info.bits.push_back(bits);
+    }
+    info.written_bytes = written;
+    return info;
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::write_checkpoint(std::ostream& os) const {
+    write_checkpoint(os, io::CheckpointOptions{});
+}
+
+template <fp::PrecisionPolicy Policy>
+io::CheckpointWriteInfo SpectralEulerSolver<Policy>::write_checkpoint(
+    std::ostream& os, const io::CheckpointOptions& opt) const {
+    Snapshot s;
+    snapshot_checkpoint(s);
+    return write_snapshot(s, os, opt);
+}
+
+template <fp::PrecisionPolicy Policy>
+SemCheckpointData SpectralEulerSolver<Policy>::read_checkpoint(
+    std::istream& is) {
+    TP_OBS_SPAN("sem.checkpoint_read");
+    using io::detail::read_pod;
+    if (read_pod<std::uint32_t>(is) != kSemCheckpointMagic)
+        throw std::runtime_error("checkpoint: bad magic");
+    const auto version = read_pod<std::uint32_t>(is);
+    if (version != kSemCheckpointV1 && version != kSemCheckpointV2)
+        throw std::runtime_error("checkpoint: bad version");
+    const auto elem = read_pod<std::uint32_t>(is);
+    if (elem != 2 && elem != 4 && elem != 8)
+        throw std::runtime_error("checkpoint: bad element size");
+    (void)read_pod<std::uint32_t>(is);
+    const auto n = read_pod<std::uint64_t>(is);
+
+    SemCheckpointData d;
+    d.time = read_pod<double>(is);
+    d.step = read_pod<std::int64_t>(is);
+    d.nx = read_pod<std::int32_t>(is);
+    d.ny = read_pod<std::int32_t>(is);
+    d.nz = read_pod<std::int32_t>(is);
+    d.order = read_pod<std::int32_t>(is);
+    d.lx = read_pod<double>(is);
+    d.ly = read_pod<double>(is);
+    d.lz = read_pod<double>(is);
+
+    // Validate the header before trusting `n` for allocation (the same
+    // hardening as the shallow reader): the node count must equal what
+    // the stored discretization implies, inside bounds that keep the
+    // product overflow-free.
+    if (d.step < 0)
+        throw std::runtime_error("checkpoint: negative step count");
+    if (d.nx < 1 || d.ny < 1 || d.nz < 1 || d.nx > kMaxElemsPerDir ||
+        d.ny > kMaxElemsPerDir || d.nz > kMaxElemsPerDir)
+        throw std::runtime_error("checkpoint: bad element grid");
+    if (d.order < 1 || d.order > kMaxOrder)
+        throw std::runtime_error("checkpoint: bad order");
+    if (!(d.lx > 0.0) || !(d.ly > 0.0) || !(d.lz > 0.0))
+        throw std::runtime_error("checkpoint: bad domain extents");
+    const std::uint64_t np = static_cast<std::uint64_t>(d.order) + 1;
+    const std::uint64_t expect_nodes = static_cast<std::uint64_t>(d.nx) *
+                                       d.ny * d.nz * np * np * np;
+    if (n != expect_nodes)
+        throw std::runtime_error(
+            "checkpoint: node count " + std::to_string(n) +
+            " does not match the stored discretization (" +
+            std::to_string(expect_nodes) + ")");
+    // Seekable streams: the v1 payload the header promises must fit in
+    // the remaining bytes before anything is allocated.
+    if (version == kSemCheckpointV1) {
+        if (const auto here = is.tellg();
+            here != std::istream::pos_type(-1)) {
+            is.seekg(0, std::ios::end);
+            const auto end = is.tellg();
+            is.seekg(here);
+            if (end != std::istream::pos_type(-1)) {
+                const auto remaining = static_cast<std::uint64_t>(end - here);
+                if (n > remaining / (kVars * elem))
+                    throw std::runtime_error(
+                        "checkpoint: header promises " + std::to_string(n) +
+                        " nodes but only " + std::to_string(remaining) +
+                        " payload bytes remain");
+            }
+        }
+    }
+    for (auto& out : d.q) {
+        if (version == kSemCheckpointV1) {
+            out.resize(n);
+            if (elem == 2) {
+                std::vector<std::uint16_t> tmp(n);
+                is.read(reinterpret_cast<char*>(tmp.data()),
+                        static_cast<std::streamsize>(n * 2));
+                for (std::size_t k = 0; k < n; ++k)
+                    out[k] =
+                        static_cast<double>(fp::Half::from_bits(tmp[k]));
+            } else if (elem == 4) {
+                std::vector<float> tmp(n);
+                is.read(reinterpret_cast<char*>(tmp.data()),
+                        static_cast<std::streamsize>(n * 4));
+                for (std::size_t k = 0; k < n; ++k)
+                    out[k] = static_cast<double>(tmp[k]);
+            } else {
+                is.read(reinterpret_cast<char*>(out.data()),
+                        static_cast<std::streamsize>(n * 8));
+            }
+            if (!is)
+                throw std::runtime_error("checkpoint: truncated arrays");
+        } else {
+            out = io::read_compressed_array(is, n);
+        }
+    }
+    return d;
+}
+
+template <fp::PrecisionPolicy Policy>
+void SpectralEulerSolver<Policy>::restore_checkpoint(
+    const SemCheckpointData& d) {
+    TP_OBS_SPAN("sem.checkpoint_restore");
+    if (d.nx != cfg_.nx || d.ny != cfg_.ny || d.nz != cfg_.nz ||
+        d.order != cfg_.order || d.lx != cfg_.lx || d.ly != cfg_.ly ||
+        d.lz != cfg_.lz)
+        throw std::invalid_argument(
+            "restore_checkpoint: discretization differs from the solver "
+            "config");
+    const std::size_t n = num_nodes();
+    for (const auto& field : d.q)
+        if (field.size() != n)
+            throw std::invalid_argument(
+                "restore_checkpoint: state arrays do not match the node "
+                "count");
+    for (int v = 0; v < kVars; ++v) {
+        q_[v].resize(n);
+        for (std::size_t k = 0; k < n; ++k)
+            q_[v][k] = static_cast<storage_t>(d.q[v][k]);
+    }
+    time_ = d.time;
+    step_count_ = d.step;
 }
 
 template class SpectralEulerSolver<fp::MinimumPrecision>;

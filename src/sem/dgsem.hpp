@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "fp/precision.hpp"
+#include "io/checkpoint.hpp"
 #include "perf/counters.hpp"
 #include "sem/config.hpp"
 #include "sem/operators.hpp"
@@ -54,6 +55,29 @@ namespace tp::sem {
 /// Conserved perturbation variable indices.
 enum Var : int { RHO = 0, MX = 1, MY = 2, MZ = 3, EN = 4 };
 inline constexpr int kVars = 5;
+
+/// Raw contents of a SEM checkpoint file, for inspection and round-trip
+/// tests. Discretization geometry travels with the state so a restore
+/// into a mismatched solver fails loudly.
+struct SemCheckpointData {
+    int nx = 0, ny = 0, nz = 0, order = 0;
+    double lx = 0.0, ly = 0.0, lz = 0.0;
+    double time = 0.0;
+    std::int64_t step = 0;
+    std::vector<double> q[kVars];  // widened to double on read
+};
+
+/// Reusable state snapshot for the asynchronous checkpoint writer — the
+/// SEM counterpart of shallow::CheckpointSnapshot.
+struct SemCheckpointSnapshot {
+    std::uint32_t elem = 0;  ///< sizeof(storage_t)
+    int storage_digits = 0;  ///< significand bits of storage_t
+    double time = 0.0;
+    std::int64_t step = 0;
+    int nx = 0, ny = 0, nz = 0, order = 0;
+    double lx = 0.0, ly = 0.0, lz = 0.0;
+    std::vector<std::uint8_t> q[kVars];
+};
 
 namespace detail {
 // Pointer views handed to the fused tensor-product micro-kernels; defined
@@ -127,6 +151,35 @@ public:
     [[nodiscard]] std::uint64_t snapshot_bytes() const {
         return 64 + num_nodes() * kVars * sizeof(storage_t);
     }
+
+    /// Exact on-disk checkpoint size: v1 (80-byte header + 5 raw arrays),
+    /// or the v2 compressed layout under `opt` including per-array rate
+    /// resolution. Matches the written stream byte for byte.
+    [[nodiscard]] std::uint64_t checkpoint_bytes() const;
+    [[nodiscard]] std::uint64_t checkpoint_bytes(
+        const io::CheckpointOptions& opt) const;
+
+    /// Write/read a binary checkpoint; same format contract as the
+    /// shallow solver (v1 raw storage arrays, v2 fixed-rate compressed
+    /// records under a compressed `opt`). Throws std::runtime_error when
+    /// the stream fails at any point.
+    void write_checkpoint(std::ostream& os) const;
+    io::CheckpointWriteInfo write_checkpoint(std::ostream& os,
+                          const io::CheckpointOptions& opt) const;
+    static SemCheckpointData read_checkpoint(std::istream& is);
+
+    /// Async-writer hooks (io::AsyncCheckpointer); write_checkpoint is
+    /// exactly snapshot_checkpoint + write_snapshot.
+    using Snapshot = SemCheckpointSnapshot;
+    void snapshot_checkpoint(Snapshot& snap) const;
+    static io::CheckpointWriteInfo write_snapshot(
+        const Snapshot& snap, std::ostream& os,
+        const io::CheckpointOptions& opt = {});
+
+    /// Adopt a checkpoint's state. The solver must have been constructed
+    /// with the identical discretization (nx/ny/nz/order/extents);
+    /// anything else throws std::invalid_argument.
+    void restore_checkpoint(const SemCheckpointData& d);
 
     /// Exact bit pattern of the five state fields, as raw bytes. Two runs
     /// whose fingerprints compare equal produced bitwise-identical

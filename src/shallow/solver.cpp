@@ -1529,6 +1529,7 @@ std::uint64_t ShallowWaterSolver<Policy>::checkpoint_bytes() const {
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x54505357;  // "TPSW"
 constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion2 = 2;  // compressed arrays
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -1541,37 +1542,111 @@ T read_pod(std::istream& is) {
     if (!is) throw std::runtime_error("checkpoint: truncated stream");
     return v;
 }
-}  // namespace
 
-template <fp::PrecisionPolicy Policy>
-void ShallowWaterSolver<Policy>::write_checkpoint(std::ostream& os) const {
-    TP_OBS_SPAN("clamr.checkpoint_write");
+void write_snapshot_header(const CheckpointSnapshot& s,
+                           std::uint32_t version, std::ostream& os) {
     write_pod(os, kCheckpointMagic);
-    write_pod(os, kCheckpointVersion);
-    write_pod(os, static_cast<std::uint32_t>(sizeof(storage_t)));
+    write_pod(os, version);
+    write_pod(os, s.elem);
     write_pod(os, static_cast<std::uint32_t>(0));  // pad
-    write_pod(os, static_cast<std::uint64_t>(mesh_.num_cells()));
-    write_pod(os, time_);
-    write_pod(os, step_count_);
-    write_pod(os, config_.geom.xmin);
-    write_pod(os, config_.geom.ymin);
-    write_pod(os, config_.geom.width);
-    write_pod(os, config_.geom.height);
-    write_pod(os, config_.geom.coarse_nx);
-    write_pod(os, config_.geom.coarse_ny);
-    write_pod(os, config_.geom.max_level);
-    for (const mesh::Cell& c : mesh_.cells()) {
+    write_pod(os, static_cast<std::uint64_t>(s.cells.size()));
+    write_pod(os, s.time);
+    write_pod(os, s.step);
+    write_pod(os, s.geom.xmin);
+    write_pod(os, s.geom.ymin);
+    write_pod(os, s.geom.width);
+    write_pod(os, s.geom.height);
+    write_pod(os, s.geom.coarse_nx);
+    write_pod(os, s.geom.coarse_ny);
+    write_pod(os, s.geom.max_level);
+    for (const mesh::Cell& c : s.cells) {
         write_pod(os, c.level);
         write_pod(os, c.i);
         write_pod(os, c.j);
     }
-    auto write_array = [&](const std::vector<storage_t>& a) {
-        os.write(reinterpret_cast<const char*>(a.data()),
-                 static_cast<std::streamsize>(a.size() * sizeof(storage_t)));
+    io::require_write(os);
+}
+}  // namespace
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::snapshot_checkpoint(Snapshot& s) const {
+    s.elem = static_cast<std::uint32_t>(sizeof(storage_t));
+    s.storage_digits = io::storage_digits_v<storage_t>;
+    s.time = time_;
+    s.step = step_count_;
+    s.geom = config_.geom;
+    s.cells = mesh_.cells();
+    auto copy_raw = [](const std::vector<storage_t>& a,
+                       std::vector<std::uint8_t>& out) {
+        out.resize(a.size() * sizeof(storage_t));
+        std::memcpy(out.data(), a.data(), out.size());
     };
-    write_array(h_);
-    write_array(hu_);
-    write_array(hv_);
+    copy_raw(h_, s.h);
+    copy_raw(hu_, s.hu);
+    copy_raw(hv_, s.hv);
+}
+
+template <fp::PrecisionPolicy Policy>
+io::CheckpointWriteInfo ShallowWaterSolver<Policy>::write_snapshot(
+    const Snapshot& s, std::ostream& os, const io::CheckpointOptions& opt) {
+    TP_OBS_SPAN("clamr.checkpoint_write");
+    const std::uint64_t n = s.cells.size();
+    io::CheckpointWriteInfo info;
+    info.raw_bytes = 84 + 12 * n + 3 * n * s.elem;
+    if (!opt.compressed()) {
+        info.version = kCheckpointVersion;
+        write_snapshot_header(s, kCheckpointVersion, os);
+        for (const auto* a : {&s.h, &s.hu, &s.hv}) {
+            os.write(reinterpret_cast<const char*>(a->data()),
+                     static_cast<std::streamsize>(a->size()));
+        }
+        io::require_write(os);
+        info.written_bytes = info.raw_bytes;
+        return info;
+    }
+    info.version = kCheckpointVersion2;
+    write_snapshot_header(s, kCheckpointVersion2, os);
+    std::uint64_t written = 84 + 12 * n;
+    std::vector<double> wide;
+    for (const auto* a : {&s.h, &s.hu, &s.hv}) {
+        io::widen_storage(*a, s.elem, wide);
+        const int bits =
+            io::resolve_bits(opt, io::peak_abs(wide), s.storage_digits);
+        written += io::write_compressed_array(os, wide, bits);
+        info.bits.push_back(bits);
+    }
+    info.written_bytes = written;
+    return info;
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::write_checkpoint(std::ostream& os) const {
+    write_checkpoint(os, io::CheckpointOptions{});
+}
+
+template <fp::PrecisionPolicy Policy>
+io::CheckpointWriteInfo ShallowWaterSolver<Policy>::write_checkpoint(
+    std::ostream& os, const io::CheckpointOptions& opt) const {
+    Snapshot s;
+    snapshot_checkpoint(s);
+    return write_snapshot(s, os, opt);
+}
+
+template <fp::PrecisionPolicy Policy>
+std::uint64_t ShallowWaterSolver<Policy>::checkpoint_bytes(
+    const io::CheckpointOptions& opt) const {
+    if (!opt.compressed()) return checkpoint_bytes();
+    const std::uint64_t n = mesh_.num_cells();
+    std::uint64_t total = 84 + mesh_.metadata_bytes();
+    for (const auto* a : {&h_, &hu_, &hv_}) {
+        double peak = 0.0;
+        for (const storage_t& v : *a)
+            peak = std::max(peak, std::fabs(static_cast<double>(v)));
+        const int bits =
+            io::resolve_bits(opt, peak, io::storage_digits_v<storage_t>);
+        total += 12 + compress::compressed_payload_bytes(n, bits);
+    }
+    return total;
 }
 
 template <fp::PrecisionPolicy Policy>
@@ -1580,7 +1655,8 @@ CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
     TP_OBS_SPAN("clamr.checkpoint_read");
     if (read_pod<std::uint32_t>(is) != kCheckpointMagic)
         throw std::runtime_error("checkpoint: bad magic");
-    if (read_pod<std::uint32_t>(is) != kCheckpointVersion)
+    const auto version = read_pod<std::uint32_t>(is);
+    if (version != kCheckpointVersion && version != kCheckpointVersion2)
         throw std::runtime_error("checkpoint: bad version");
     const auto elem = read_pod<std::uint32_t>(is);
     if (elem != 2 && elem != 4 && elem != 8)
@@ -1636,7 +1712,10 @@ CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
         if (end != std::istream::pos_type(-1)) {
             const auto remaining =
                 static_cast<std::uint64_t>(end - here);
-            const std::uint64_t per_cell = 12 + 3 * elem;
+            // v2 array payloads are variable-size (validated per array
+            // below); the cell metadata bound still applies.
+            const std::uint64_t per_cell =
+                version == kCheckpointVersion ? 12 + 3 * elem : 12;
             if (n > remaining / per_cell)  // division: no overflow
                 throw std::runtime_error(
                     "checkpoint: header promises " + std::to_string(n) +
@@ -1691,10 +1770,54 @@ CheckpointData ShallowWaterSolver<Policy>::read_checkpoint(
         }
         if (!is) throw std::runtime_error("checkpoint: truncated arrays");
     };
-    read_array(d.h);
-    read_array(d.hu);
-    read_array(d.hv);
+    for (auto* a : {&d.h, &d.hu, &d.hv}) {
+        if (version == kCheckpointVersion)
+            read_array(*a);
+        else
+            *a = io::read_compressed_array(is, n);
+    }
     return d;
+}
+
+template <fp::PrecisionPolicy Policy>
+void ShallowWaterSolver<Policy>::restore_checkpoint(const CheckpointData& d) {
+    TP_OBS_SPAN("clamr.checkpoint_restore");
+    const auto& g = config_.geom;
+    if (d.geom.xmin != g.xmin || d.geom.ymin != g.ymin ||
+        d.geom.width != g.width || d.geom.height != g.height ||
+        d.geom.coarse_nx != g.coarse_nx || d.geom.coarse_ny != g.coarse_ny ||
+        d.geom.max_level != g.max_level)
+        throw std::invalid_argument(
+            "restore_checkpoint: geometry differs from the solver config");
+    const std::size_t n = d.cells.size();
+    if (d.h.size() != n || d.hu.size() != n || d.hv.size() != n)
+        throw std::invalid_argument(
+            "restore_checkpoint: state arrays do not match the cell count");
+    // Validates tiling / 2:1 balance / Morton-sortability before anything
+    // is adopted.
+    mesh::AmrMesh restored(g, d.cells);
+    // The state arrays are indexed by checkpoint cell order, which the
+    // writer emits in Morton order; a reordered cell list would silently
+    // bind state to the wrong cells.
+    if (!std::equal(restored.cells().begin(), restored.cells().end(),
+                    d.cells.begin(),
+                    [](const mesh::Cell& a, const mesh::Cell& b) {
+                        return a.level == b.level && a.i == b.i && a.j == b.j;
+                    }))
+        throw std::invalid_argument(
+            "restore_checkpoint: cells are not in Morton order");
+    mesh_ = std::move(restored);
+    h_.resize(n);
+    hu_.resize(n);
+    hv_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        h_[k] = static_cast<storage_t>(d.h[k]);
+        hu_[k] = static_cast<storage_t>(d.hu[k]);
+        hv_[k] = static_cast<storage_t>(d.hv[k]);
+    }
+    rebuild_topology_caches();
+    time_ = d.time;
+    step_count_ = d.step;
 }
 
 template class ShallowWaterSolver<fp::MinimumPrecision>;

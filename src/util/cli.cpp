@@ -227,6 +227,37 @@ bool apply_blocks_option(const ArgParser& args) {
     return shallow::parse_blocks_mode(args.get_string("blocks"));
 }
 
+void add_checkpoint_options(ArgParser& args) {
+    args.add_option("checkpoint",
+                    "Checkpoint path prefix; empty disables checkpoint "
+                    "writes",
+                    "");
+    args.add_int_option("checkpoint-interval",
+                        "Steps between checkpoints (0 = final state only)",
+                        "0");
+    args.add_option("checkpoint-compress",
+                    "Checkpoint payload encoding: off|drift|<bits in "
+                    "[2,32]>. off writes raw storage arrays (format v1); "
+                    "drift derives each array's fixed rate from the "
+                    "--drift-budget ULP ceiling; an explicit rate applies "
+                    "to every array (both v2, error-bounded)",
+                    "off");
+    args.add_flag("checkpoint-async",
+                  "Write checkpoints on a background thread (the solver "
+                  "stalls only for the in-memory snapshot copy; bytes are "
+                  "identical to the synchronous path)");
+    args.add_option("restart",
+                    "Resume from this checkpoint path before stepping; "
+                    "empty starts from the initial condition",
+                    "");
+}
+
+io::CheckpointOptions apply_checkpoint_options(
+    const ArgParser& args, std::uint64_t drift_budget_ulp) {
+    return io::parse_checkpoint_compress(
+        args.get_string("checkpoint-compress"), drift_budget_ulp);
+}
+
 void add_governor_options(ArgParser& args) {
     args.add_option("governor",
                     "Closed-loop runtime precision governor: off|on. When "

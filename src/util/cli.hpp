@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "fp/governor.hpp"
+#include "io/checkpoint.hpp"
 #include "shallow/config.hpp"
 #include "simd/dispatch.hpp"
 
@@ -106,6 +107,20 @@ void add_blocks_option(ArgParser& args);
 
 /// Parse the `--blocks` value; throws std::invalid_argument on junk.
 [[nodiscard]] bool apply_blocks_option(const ArgParser& args);
+
+/// Register the standard checkpoint options: `--checkpoint <path>` (empty
+/// disables), `--checkpoint-interval <steps>` (0 = final state only),
+/// `--checkpoint-compress off|drift|<bits>` (format v1 vs error-bounded
+/// v2, DESIGN.md §14), `--checkpoint-async` (background writer thread),
+/// and `--restart <path>` to resume from a previous checkpoint.
+void add_checkpoint_options(ArgParser& args);
+
+/// Parse `--checkpoint-compress` into io::CheckpointOptions; throws
+/// std::invalid_argument on a junk spec. `drift_budget_ulp` seeds Drift
+/// mode — callers pass the governor config's budget so the compressor
+/// and the governor share one ULP noise floor.
+[[nodiscard]] io::CheckpointOptions apply_checkpoint_options(
+    const ArgParser& args, std::uint64_t drift_budget_ulp = 256);
 
 /// Register the runtime precision-governor options: the master
 /// `--governor off|on` switch, the `--drift-budget` ULP ceiling, and the

@@ -260,3 +260,97 @@ TEST(FixedRateEdge, HigherRateNeverWorse) {
     }
     EXPECT_LT(prev, 1e-4);  // 24-bit rate is tight for this field
 }
+
+// ------------------------------------------------- stream validation
+// decompress() is fed bytes that may come from a corrupt or truncated
+// checkpoint; every header field must be validated before it sizes an
+// allocation or drives a shift width.
+
+TEST(DecompressValidation, RejectsBitsOutsideRange) {
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    for (const int bad : {0, 1, 33, -5, 64}) {
+        auto c = tc::compress_fixed_rate(xs, 8);
+        c.bits = bad;
+        EXPECT_THROW((void)tc::decompress(c), std::invalid_argument)
+            << "bits=" << bad;
+    }
+}
+
+TEST(DecompressValidation, RejectsHugeCount) {
+    // A corrupt count would otherwise size a multi-gigabyte allocation
+    // before any payload consistency check could catch it.
+    tc::CompressedArray c;
+    c.bits = 8;
+    c.count = std::uint64_t{1} << 62;
+    c.data.assign(16, 0);
+    EXPECT_THROW((void)tc::decompress(c), std::invalid_argument);
+}
+
+TEST(DecompressValidation, RejectsPayloadSizeMismatch) {
+    const auto xs = field_like_data(100, 13);
+    for (const int delta : {-1, +1, +64}) {
+        auto c = tc::compress_fixed_rate(xs, 12);
+        c.data.resize(c.data.size() + delta);
+        EXPECT_THROW((void)tc::decompress(c), std::invalid_argument)
+            << "delta=" << delta;
+    }
+    // Count inconsistent with an intact payload is equally rejected.
+    auto c = tc::compress_fixed_rate(xs, 12);
+    c.count += 1;
+    EXPECT_THROW((void)tc::decompress(c), std::invalid_argument);
+}
+
+TEST(DecompressValidation, PayloadSizeFormulaMatchesEncoder) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{63},
+                                std::size_t{64}, std::size_t{65},
+                                std::size_t{1000}}) {
+        const auto xs = field_like_data(n, 17);
+        for (const int bits : {2, 7, 16, 32}) {
+            const auto c = tc::compress_fixed_rate(xs, bits);
+            EXPECT_EQ(c.data.size(),
+                      tc::compressed_payload_bytes(c.count, bits))
+                << "n=" << n << " bits=" << bits;
+        }
+    }
+}
+
+TEST(DecompressValidation, RejectsCorruptBlockExponent) {
+    // stored_e = 2047 is outside the emittable range [1, 2046]: the
+    // encoder rejects magnitudes at or above 2^1023, so the peak legal
+    // stored exponent is kMaxExp + bias = 2046. 2047 would reconstruct
+    // the peak code as +/-inf. The exponent is the first 11 bits of the
+    // block; the bitstream packs LSB-first.
+    const auto xs = field_like_data(64, 19);
+    auto c = tc::compress_fixed_rate(xs, 8);
+    c.data[0] = 0xFF;
+    c.data[1] |= 0x07;  // force the leading 11 bits to all ones
+    EXPECT_THROW((void)tc::decompress(c), std::invalid_argument);
+}
+
+TEST(FixedRateEdge, RejectsTopBinadeMagnitudes) {
+    // |v| >= 2^1023 would give the block a stored exponent of 2047 and
+    // reconstruct peak codes as infinity; the encoder refuses up front.
+    const std::vector<double> xs{0x1p1023};
+    EXPECT_THROW((void)tc::compress_fixed_rate(xs, 8),
+                 std::invalid_argument);
+    const std::vector<double> ok{0x1.fffffffffffffp1022};
+    EXPECT_NO_THROW((void)tc::compress_fixed_rate(ok, 8));
+}
+
+// --------------------------------------------------- rate-for-tolerance
+TEST(BitsForTolerance, SmallestRateMeetingTheBound) {
+    const double peak = 3.7e2;
+    for (const double tol : {1e-1, 1e-3, 1e-6, 1e-9}) {
+        const int bits = tc::bits_for_tolerance(peak, tol);
+        ASSERT_GE(bits, 2);
+        ASSERT_LE(bits, 32);
+        if (bits < 32) EXPECT_LE(tc::error_bound(peak, bits), tol);
+        if (bits > 2) EXPECT_GT(tc::error_bound(peak, bits - 1), tol);
+    }
+}
+
+TEST(BitsForTolerance, SaturatesAndHandlesZeroPeak) {
+    EXPECT_EQ(tc::bits_for_tolerance(1.0, 0.0), 32);  // unmeetable
+    EXPECT_EQ(tc::bits_for_tolerance(0.0, 1e-6), 2);  // all-zero array
+    EXPECT_EQ(tc::bits_for_tolerance(1.0, 10.0), 2);  // loose budget
+}

@@ -53,6 +53,20 @@ void print_summary_text(const RunSummary& run) {
         std::printf("DIAGNOSTICS: %lld numerical-fault record%s\n",
                     static_cast<long long>(run.diagnostics),
                     run.diagnostics == 1 ? "" : "s");
+    if (run.checkpoints > 0)
+        std::printf("checkpoints: %lld write%s, %s -> %s on disk "
+                    "(%.2fx), write %.3f s, solver stall %.3f s\n",
+                    static_cast<long long>(run.checkpoints),
+                    run.checkpoints == 1 ? "" : "s",
+                    util::human_bytes(run.checkpoint_raw_bytes).c_str(),
+                    util::human_bytes(run.checkpoint_written_bytes)
+                        .c_str(),
+                    run.checkpoint_written_bytes == 0
+                        ? 1.0
+                        : static_cast<double>(run.checkpoint_raw_bytes) /
+                              static_cast<double>(
+                                  run.checkpoint_written_bytes),
+                    run.checkpoint_write_s, run.checkpoint_stall_s);
     if (run.invalid_lines > 0 || run.unknown_records > 0)
         std::printf("stream: %lld invalid line%s, %lld unknown record "
                     "type%s\n",
@@ -191,6 +205,10 @@ std::string summary_json(const RunSummary& run) {
         .field("rezone_share", run.rezone_share())
         .field("rezones", static_cast<std::int64_t>(run.rezones))
         .field("diagnostics", static_cast<std::int64_t>(run.diagnostics))
+        .field("checkpoints", static_cast<std::int64_t>(run.checkpoints))
+        .field("checkpoint_raw_bytes", run.checkpoint_raw_bytes)
+        .field("checkpoint_written_bytes", run.checkpoint_written_bytes)
+        .field("checkpoint_stall_s", run.checkpoint_stall_s)
         .field("invalid_lines",
                static_cast<std::int64_t>(run.invalid_lines))
         .field("unknown_records",
