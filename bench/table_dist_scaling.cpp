@@ -19,10 +19,12 @@
 // `--quick` shrinks the grids for CI; the bitwise gate runs in both modes.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "par/dist_shallow.hpp"
 #include "util/cli.hpp"
 #include "util/threads.hpp"
@@ -398,6 +400,36 @@ int main(int argc, char** argv) {
     gate.template operator()<fp::MixedPrecision>("mixed");
     gate.template operator()<fp::FullPrecision>("full");
     t3.print();
+
+    // --- 4. Tracing-invisibility gate -----------------------------------
+    // The flight recorder observes, never steers: running the same
+    // pipeline with the cross-rank trace session active (rank spans +
+    // message edges recording) must reproduce the untraced height field
+    // bit for bit, in both schedules.
+    {
+        const std::string trace_path =
+            (std::filesystem::temp_directory_path() /
+             "table_dist_scaling.trace.json")
+                .string();
+        int traced_bad = 0;
+        for (const bool overlap : {false, true}) {
+            const std::vector<double> ref = run_state<fp::MixedPrecision>(
+                ggrid, gsteps, 4, overlap, simd::Mode::Native);
+            obs::trace_start(trace_path);
+            const std::vector<double> traced =
+                run_state<fp::MixedPrecision>(ggrid, gsteps, 4, overlap,
+                                              simd::Mode::Native);
+            const std::size_t events = obs::trace_stop();
+            if (traced != ref) ++traced_bad;
+            if (events == 0) ++traced_bad;  // the recorder saw nothing
+        }
+        std::remove(trace_path.c_str());
+        std::printf("\ntracing gate: %s\n",
+                    traced_bad == 0
+                        ? "traced runs bit-identical to untraced"
+                        : "TRACED RUN DIVERGED from untraced!");
+        failures += traced_bad;
+    }
 
     std::printf(
         "\noverlap/native speedup over the seed BSP scalar step: %.2fx "

@@ -10,9 +10,11 @@
 //                      --overlap on --simd native --metrics run.jsonl
 //   $ ./dam_break_dist --blocks on --block 16 --ranks 8
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
@@ -26,6 +28,26 @@
 using namespace tp;
 
 namespace {
+
+std::string number_array(const std::vector<double>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        obs::json::append_number(out, v[i]);
+    }
+    out.push_back(']');
+    return out;
+}
+
+std::string byte_array(const std::vector<std::uint64_t>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += std::to_string(v[i]);
+    }
+    out.push_back(']');
+    return out;
+}
 
 template <typename Policy, typename Solver>
 int run_solver(Solver& solver, const util::ArgParser& args,
@@ -43,6 +65,14 @@ int run_solver(Solver& solver, const util::ArgParser& args,
     util::WallTimer timer;
     const int report = std::max(1, steps / 10);
     std::map<std::string, double> phase_baseline;
+    // Per-rank deltas for the {"type":"dist"} record: halo bytes are
+    // cumulative in the comm layer, resplits in the balancer's stats.
+    const auto nranks = static_cast<std::size_t>(cfg.ranks);
+    std::vector<std::uint64_t> rank_bytes_prev(nranks, 0);
+    std::vector<std::uint64_t> rank_bytes_delta(nranks, 0);
+    std::vector<double> post_s(nranks), precompute_s(nranks),
+        interior_s(nranks), wait_s(nranks), boundary_s(nranks);
+    std::uint64_t resplits_prev = 0;
     for (int s = 0; s < steps; ++s) {
         util::WallTimer step_timer;
         const double dt = solver.step();
@@ -63,6 +93,36 @@ int run_solver(Solver& solver, const util::ArgParser& args,
                                obs::timer_delta_json(solver.timers(),
                                                      phase_baseline))
                     .str());
+            // One {"type":"dist"} record per step: the per-rank phase
+            // split the critical-path analyzer consumes (DESIGN.md §15).
+            const auto& rp = solver.rank_phase_seconds();
+            for (std::size_t r = 0; r < nranks; ++r) {
+                post_s[r] = rp[r].post;
+                precompute_s[r] = rp[r].precompute;
+                interior_s[r] = rp[r].interior;
+                wait_s[r] = rp[r].wait;
+                boundary_s[r] = rp[r].boundary;
+                const std::uint64_t sent =
+                    solver.halo_bytes_sent(static_cast<int>(r));
+                rank_bytes_delta[r] = sent - rank_bytes_prev[r];
+                rank_bytes_prev[r] = sent;
+            }
+            const std::uint64_t resplits = solver.lb_stats().resplits;
+            obs::metrics().write_line(
+                obs::json::Object()
+                    .field("type", "dist")
+                    .field("step", solver.step_count())
+                    .field("ranks", cfg.ranks)
+                    .field("wall_s", wall_s)
+                    .field_raw("post_s", number_array(post_s))
+                    .field_raw("precompute_s", number_array(precompute_s))
+                    .field_raw("interior_s", number_array(interior_s))
+                    .field_raw("wait_s", number_array(wait_s))
+                    .field_raw("boundary_s", number_array(boundary_s))
+                    .field_raw("halo_bytes", byte_array(rank_bytes_delta))
+                    .field("resplits", resplits - resplits_prev)
+                    .str());
+            resplits_prev = resplits;
         }
         if (args.get_flag("verbose") && (s + 1) % report == 0)
             std::printf("  step %6d  t=%.5f  dt=%.3e\n", s + 1,

@@ -13,6 +13,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,6 +55,86 @@ bool has_pair(const std::string& doc, const std::string& key,
            std::string::npos;
 }
 
+// Flow-event (halo arrow) validation: every ph:"s" start must carry a
+// unique id and be closed by exactly one ph:"f" finish with the same id
+// at a timestamp no earlier than the start, and every rank-track event
+// (pid 2, including the flow endpoints' src/dst args) must reference a
+// rank the metadata thread_name records declared. A trace that fails any
+// of these renders as dangling or misrouted arrows in Perfetto.
+void check_trace_flows(const std::string& path,
+                       const obs::json::Value& root) {
+    const obs::json::Value* events = root.find("traceEvents");
+    if (events == nullptr || !events->is_array()) return;  // reported above
+    std::set<double> rank_tracks;  // tids named by thread_name metadata
+    for (const obs::json::Value& e : events->items()) {
+        if (e.string_or("ph", "") == "M" &&
+            e.string_or("name", "") == "thread_name" &&
+            e.number_or("pid", -1.0) == 2.0) {
+            const double tid = e.number_or("tid", -1.0);
+            if (tid < 0.0)
+                fail("trace file '" + path +
+                     "' declares a negative rank track id");
+            else
+                rank_tracks.insert(tid);
+        }
+    }
+    std::map<double, double> open_starts;  // flow id -> start ts
+    std::size_t starts = 0;
+    std::size_t finishes = 0;
+    for (const obs::json::Value& e : events->items()) {
+        const std::string ph = e.string_or("ph", "");
+        const bool rank_event =
+            e.number_or("pid", -1.0) == 2.0 && ph != "M";
+        if (rank_event && rank_tracks.count(e.number_or("tid", -1.0)) == 0)
+            fail("trace file '" + path + "' event '" +
+                 e.string_or("name", "?") +
+                 "' sits on an undeclared rank track");
+        if (ph != "s" && ph != "f") continue;
+        const obs::json::Value* id = e.find("id");
+        if (id == nullptr || !id->is_number()) {
+            fail("trace file '" + path + "' flow event has no numeric id");
+            continue;
+        }
+        for (const char* endpoint : {"src", "dst"}) {
+            const obs::json::Value* args = e.find("args");
+            if (args == nullptr ||
+                rank_tracks.count(args->number_or(endpoint, -1.0)) == 0)
+                fail("trace file '" + path + "' flow id " +
+                     std::to_string(id->as_number()) + " names an " +
+                     "out-of-range rank in args." + endpoint);
+        }
+        if (ph == "s") {
+            ++starts;
+            if (!open_starts
+                     .emplace(id->as_number(), e.number_or("ts", 0.0))
+                     .second)
+                fail("trace file '" + path + "' reuses flow id " +
+                     std::to_string(id->as_number()));
+        } else {
+            ++finishes;
+            const auto it = open_starts.find(id->as_number());
+            if (it == open_starts.end()) {
+                fail("trace file '" + path + "' flow finish id " +
+                     std::to_string(id->as_number()) +
+                     " has no matching start");
+            } else {
+                if (e.number_or("ts", 0.0) < it->second)
+                    fail("trace file '" + path + "' flow id " +
+                         std::to_string(id->as_number()) +
+                         " finishes before it starts");
+                open_starts.erase(it);
+            }
+        }
+    }
+    if (!open_starts.empty())
+        fail("trace file '" + path + "' has " +
+             std::to_string(open_starts.size()) +
+             " flow start(s) with no finish");
+    if ((starts != 0 || finishes != 0) && rank_tracks.empty())
+        fail("trace file '" + path +
+             "' carries flow events but no rank-track metadata");
+}
+
 void check_trace(const std::string& path,
                  const std::vector<std::string>& required_spans) {
     std::ifstream is(path, std::ios::binary);
@@ -78,6 +160,8 @@ void check_trace(const std::string& path,
     for (const std::string& span : required_spans)
         if (!has_pair(doc, "name", span))
             fail("trace file '" + path + "' has no '" + span + "' span");
+    if (const auto root = obs::json::parse(doc); root && root->is_object())
+        check_trace_flows(path, *root);
 }
 
 // Schema check for one {"type":"numerics"} record (obs/numerics.hpp):
@@ -219,11 +303,73 @@ void check_checkpoint_record(const std::string& line, std::size_t lineno) {
              " field 'async' is not a bool");
 }
 
+// Schema check for one {"type":"dist"} record (examples/dam_break_dist):
+// the per-rank phase split of one distributed step. The critical-path
+// analyzer (obs/report.hpp) indexes every array by rank, so each must be
+// exactly `ranks` long and hold non-negative numbers.
+void check_dist_record(const std::string& line, std::size_t lineno) {
+    const auto rec = obs::json::parse(line);
+    if (!rec || !rec->is_object()) {
+        fail("dist record on line " + std::to_string(lineno) +
+             " does not parse");
+        return;
+    }
+    for (const char* key : {"step", "ranks", "wall_s", "resplits"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || !v->is_number())
+            fail("dist record on line " + std::to_string(lineno) +
+                 " is missing numeric '" + std::string(key) + "'");
+    const double ranks = rec->number_or("ranks", 0.0);
+    if (ranks < 1.0)
+        fail("dist record on line " + std::to_string(lineno) +
+             " has ranks < 1");
+    for (const char* key : {"post_s", "precompute_s", "interior_s",
+                            "wait_s", "boundary_s", "halo_bytes"}) {
+        const obs::json::Value* arr = rec->find(key);
+        if (arr == nullptr || !arr->is_array()) {
+            fail("dist record on line " + std::to_string(lineno) +
+                 " has no '" + std::string(key) + "' array");
+            continue;
+        }
+        if (static_cast<double>(arr->items().size()) != ranks)
+            fail("dist record on line " + std::to_string(lineno) + " '" +
+                 std::string(key) + "' length does not match ranks");
+        for (const obs::json::Value& v : arr->items())
+            if (!v.is_number() || v.as_number() < 0.0) {
+                fail("dist record on line " + std::to_string(lineno) +
+                     " '" + std::string(key) +
+                     "' holds a negative or non-numeric entry");
+                break;
+            }
+    }
+    if (rec->number_or("resplits", 0.0) < 0.0)
+        fail("dist record on line " + std::to_string(lineno) +
+             " has negative resplits");
+}
+
+// Schema check for the {"type":"trace"} record finish_observability()
+// writes when a trace session was active: the event count the trace file
+// holds and how many instrumentation points the buffer cap dropped.
+void check_trace_record(const std::string& line, std::size_t lineno) {
+    const auto rec = obs::json::parse(line);
+    if (!rec || !rec->is_object()) {
+        fail("trace record on line " + std::to_string(lineno) +
+             " does not parse");
+        return;
+    }
+    for (const char* key : {"events", "dropped"})
+        if (const obs::json::Value* v = rec->find(key);
+            v == nullptr || !v->is_number() || v->as_number() < 0.0)
+            fail("trace record on line " + std::to_string(lineno) +
+                 " is missing non-negative numeric '" + std::string(key) +
+                 "'");
+}
+
 void check_metrics(const std::string& path,
                    const std::vector<std::string>& required_phases,
                    const std::vector<std::string>& required_numerics,
                    const std::vector<std::string>& required_governor,
-                   bool require_checkpoint) {
+                   bool require_checkpoint, bool require_dist) {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         fail("metrics file '" + path + "' cannot be opened");
@@ -234,12 +380,13 @@ void check_metrics(const std::string& path,
     // checker (update CI together) or the stream is corrupt — both need a
     // human, not a silent pass.
     static constexpr const char* kKnownTypes[] = {
-        "manifest", "step",     "diagnostic", "probe",
-        "numerics", "governor", "table",      "checkpoint"};
+        "manifest", "step",  "diagnostic", "probe", "numerics",
+        "governor", "table", "checkpoint", "dist",  "trace"};
     std::string line;
     std::size_t lineno = 0;
     std::size_t steps = 0;
     std::size_t checkpoints = 0;
+    std::size_t dist_records = 0;
     bool saw_manifest = false;
     std::string all_steps;
     std::string numerics_kernels;
@@ -282,7 +429,7 @@ void check_metrics(const std::string& path,
                  std::to_string(lineno) +
                  " has an unknown record type (known: manifest, step, "
                  "diagnostic, probe, numerics, governor, table, "
-                 "checkpoint)");
+                 "checkpoint, dist, trace)");
             continue;
         }
         if (has_pair(line, "type", "step")) {
@@ -307,6 +454,12 @@ void check_metrics(const std::string& path,
             check_checkpoint_record(line, lineno);
             ++checkpoints;
         }
+        if (has_pair(line, "type", "dist")) {
+            check_dist_record(line, lineno);
+            ++dist_records;
+        }
+        if (has_pair(line, "type", "trace"))
+            check_trace_record(line, lineno);
     }
     if (!saw_manifest) fail("metrics file '" + path + "' has no manifest");
     if (steps == 0)
@@ -327,6 +480,9 @@ void check_metrics(const std::string& path,
     if (require_checkpoint && checkpoints == 0)
         fail("metrics file '" + path +
              "' has no {\"type\":\"checkpoint\"} record");
+    if (require_dist && dist_records == 0)
+        fail("metrics file '" + path +
+             "' has no {\"type\":\"dist\"} record");
 }
 
 }  // namespace
@@ -354,6 +510,9 @@ int main(int argc, char** argv) {
     args.add_flag("require-checkpoint",
                   "fail unless the metrics carry at least one "
                   "{\"type\":\"checkpoint\"} record");
+    args.add_flag("require-dist",
+                  "fail unless the metrics carry at least one "
+                  "{\"type\":\"dist\"} per-rank phase record");
     if (!args.parse(argc, argv)) return 1;
 
     const std::string trace = args.get_string("trace");
@@ -370,7 +529,8 @@ int main(int argc, char** argv) {
         check_metrics(metrics, split_csv(args.get_string("require-phases")),
                       split_csv(args.get_string("require-numerics")),
                       split_csv(args.get_string("require-governor")),
-                      args.get_flag("require-checkpoint"));
+                      args.get_flag("require-checkpoint"),
+                      args.get_flag("require-dist"));
 
     if (failures == 0) {
         std::printf("obs_check: OK (%s%s%s)\n", trace.c_str(),

@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "obs/json.hpp"
+
 namespace tp::obs {
 
 namespace {
@@ -98,7 +100,18 @@ void finish_observability() {
         shadow_flush_to_metrics();
         set_shadow_profile(false);
     }
-    trace_stop();
+    // Close the trace before the metrics stream so the stream's final
+    // {"type":"trace"} record can report what the file actually holds —
+    // including how many events the bounded buffers had to drop.
+    const bool traced = trace_enabled();
+    const std::size_t trace_events = trace_stop();
+    if (traced && metrics().is_open()) {
+        json::Object rec;
+        rec.field("type", "trace")
+            .field("events", static_cast<std::uint64_t>(trace_events))
+            .field("dropped", trace_dropped_events());
+        metrics().write_line(std::move(rec).str());
+    }
     metrics().close();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <utility>
 
 #include "obs/json.hpp"
 
@@ -96,6 +97,40 @@ void digest_governor(const json::Value& rec, RunSummary& out) {
     out.governor_events.push_back(std::move(e));
 }
 
+void read_number_array(const json::Value& rec, const char* key,
+                       std::vector<double>& out) {
+    if (const json::Value* arr = rec.find(key);
+        arr != nullptr && arr->is_array())
+        for (const json::Value& v : arr->items())
+            out.push_back(v.is_number() ? v.as_number() : 0.0);
+}
+
+void digest_dist(const json::Value& rec, RunSummary& out) {
+    DistStep d;
+    d.step = static_cast<std::int64_t>(rec.number_or("step", 0.0));
+    d.wall_s = rec.number_or("wall_s", 0.0);
+    read_number_array(rec, "post_s", d.post_s);
+    read_number_array(rec, "precompute_s", d.precompute_s);
+    read_number_array(rec, "interior_s", d.interior_s);
+    read_number_array(rec, "wait_s", d.wait_s);
+    read_number_array(rec, "boundary_s", d.boundary_s);
+    if (const json::Value* arr = rec.find("halo_bytes");
+        arr != nullptr && arr->is_array())
+        for (const json::Value& v : arr->items())
+            d.halo_bytes.push_back(static_cast<std::uint64_t>(
+                v.is_number() ? v.as_number() : 0.0));
+    d.resplits = static_cast<std::int64_t>(rec.number_or("resplits", 0.0));
+    out.dist_steps.push_back(std::move(d));
+}
+
+void digest_trace(const json::Value& rec, RunSummary& out) {
+    out.has_trace_record = true;
+    out.trace_events +=
+        static_cast<std::uint64_t>(rec.number_or("events", 0.0));
+    out.trace_dropped_events +=
+        static_cast<std::uint64_t>(rec.number_or("dropped", 0.0));
+}
+
 void digest_checkpoint(const json::Value& rec, RunSummary& out) {
     ++out.checkpoints;
     out.checkpoint_raw_bytes +=
@@ -147,6 +182,10 @@ RunSummary summarize(const std::vector<std::string>& lines) {
             digest_governor(*rec, out);
         else if (t == "checkpoint")
             digest_checkpoint(*rec, out);
+        else if (t == "dist")
+            digest_dist(*rec, out);
+        else if (t == "trace")
+            digest_trace(*rec, out);
         else if (t == "diagnostic")
             ++out.diagnostics;
         else if (t == "probe")
@@ -229,8 +268,72 @@ DiffResult diff_runs(const RunSummary& baseline, const RunSummary& candidate,
             std::to_string(baseline.governor_events.size()) +
             ", candidate " +
             std::to_string(candidate.governor_events.size()));
+
+    // Critical-path imbalance gate — only when both runs carry dist
+    // records (a serial run diffed against a distributed one is an
+    // asymmetry, not a regression).
+    if (!baseline.dist_steps.empty() && !candidate.dist_steps.empty()) {
+        const CriticalPathReport base_cp = critical_path(baseline);
+        const CriticalPathReport cand_cp = critical_path(candidate);
+        const double limit =
+            base_cp.imbalance_share + t.imbalance_share_pts;
+        if (cand_cp.imbalance_share > limit)
+            out.regressions.push_back({"dist_imbalance_share",
+                                       base_cp.imbalance_share,
+                                       cand_cp.imbalance_share, limit});
+        // Halo traffic is a deterministic function of the decomposition:
+        // when the runs took the same number of steps and the balancer
+        // re-split the same number of times, the byte totals must match
+        // exactly — a drift means the wire protocol changed.
+        const auto totals = [](const RunSummary& r) {
+            std::uint64_t bytes = 0;
+            std::int64_t resplits = 0;
+            for (const DistStep& d : r.dist_steps) {
+                for (std::uint64_t b : d.halo_bytes) bytes += b;
+                resplits += d.resplits;
+            }
+            return std::pair<std::uint64_t, std::int64_t>{bytes, resplits};
+        };
+        const auto [base_bytes, base_resplits] = totals(baseline);
+        const auto [cand_bytes, cand_resplits] = totals(candidate);
+        if (baseline.dist_steps.size() == candidate.dist_steps.size() &&
+            base_resplits == cand_resplits) {
+            if (base_bytes != cand_bytes)
+                out.regressions.push_back(
+                    {"dist_halo_bytes",
+                     static_cast<double>(base_bytes),
+                     static_cast<double>(cand_bytes),
+                     static_cast<double>(base_bytes)});
+        } else {
+            out.notes.push_back(
+                "halo-byte comparison skipped: step or re-split counts "
+                "differ");
+        }
+    } else if (baseline.dist_steps.empty() !=
+               candidate.dist_steps.empty()) {
+        out.notes.push_back("dist records present in only one run");
+    }
     return out;
 }
+
+namespace {
+
+/// The longest phase that `name` nests inside (parent + '_' + detail
+/// convention) — its direct parent. Empty for top-level phases.
+std::string direct_parent(const std::string& name,
+                          const std::map<std::string, double>& phases) {
+    std::string best;
+    for (const auto& [other, seconds] : phases) {
+        (void)seconds;
+        if (other.size() < name.size() && other.size() > best.size() &&
+            name.compare(0, other.size(), other) == 0 &&
+            name[other.size()] == '_')
+            best = other;
+    }
+    return best;
+}
+
+}  // namespace
 
 std::vector<PhaseRow> phase_rollup(const RunSummary& run) {
     const auto& phases = run.phase_seconds;
@@ -238,10 +341,25 @@ std::vector<PhaseRow> phase_rollup(const RunSummary& run) {
     for (const auto& [name, seconds] : phases)
         if (!is_sub_phase(name, phases)) top_total += seconds;
 
+    // Exclusive (self) time: a phase's seconds minus its direct
+    // children's. Nested timers make a parent read 100% inclusive,
+    // which hides where the time actually goes.
+    std::map<std::string, double> child_seconds;
+    for (const auto& [name, seconds] : phases) {
+        const std::string parent = direct_parent(name, phases);
+        if (!parent.empty()) child_seconds[parent] += seconds;
+    }
+    const auto self_of = [&](const std::string& name, double seconds) {
+        const auto it = child_seconds.find(name);
+        const double self =
+            it == child_seconds.end() ? seconds : seconds - it->second;
+        return self < 0.0 ? 0.0 : self;  // clamp timer jitter
+    };
+
     std::vector<PhaseRow> top;
     for (const auto& [name, seconds] : phases)
         if (!is_sub_phase(name, phases))
-            top.push_back({name, seconds,
+            top.push_back({name, seconds, self_of(name, seconds),
                            top_total > 0.0 ? seconds / top_total : 0.0,
                            false});
     std::sort(top.begin(), top.end(), [](const PhaseRow& a, const PhaseRow& b) {
@@ -256,7 +374,7 @@ std::vector<PhaseRow> phase_rollup(const RunSummary& run) {
             if (name.size() > parent.phase.size() + 1 &&
                 name.compare(0, parent.phase.size(), parent.phase) == 0 &&
                 name[parent.phase.size()] == '_')
-                subs.push_back({name, seconds,
+                subs.push_back({name, seconds, self_of(name, seconds),
                                 top_total > 0.0 ? seconds / top_total : 0.0,
                                 true});
         std::sort(subs.begin(), subs.end(),
@@ -265,6 +383,82 @@ std::vector<PhaseRow> phase_rollup(const RunSummary& run) {
                   });
         out.insert(out.end(), subs.begin(), subs.end());
     }
+    return out;
+}
+
+CriticalPathReport critical_path(const RunSummary& run) {
+    CriticalPathReport out;
+    double sum_t = 0.0, sum_compute = 0.0, sum_wait = 0.0, sum_imb = 0.0;
+    double before_t = 0.0, before_imb = 0.0;
+    double after_t = 0.0, after_imb = 0.0;
+    bool resplit_seen = false;
+    for (const DistStep& d : run.dist_steps) {
+        const std::size_t nr = d.post_s.size();
+        if (nr == 0 || d.precompute_s.size() != nr ||
+            d.interior_s.size() != nr || d.wait_s.size() != nr ||
+            d.boundary_s.size() != nr)
+            continue;  // malformed record — skip, don't fail
+        if (out.ranks == 0) {
+            out.ranks = static_cast<int>(nr);
+            out.per_rank.assign(nr, {});
+        }
+        if (static_cast<int>(nr) != out.ranks) continue;
+        // A re-split runs at the head of its step, so that step's time
+        // already reflects the new partition: it counts as "after".
+        if (d.resplits > 0) {
+            ++out.resplit_steps;
+            resplit_seen = true;
+        }
+
+        double compute_sum = 0.0, wait_sum = 0.0;
+        double t_step = 0.0;
+        std::size_t straggler = 0;
+        for (std::size_t r = 0; r < nr; ++r) {
+            const double compute = d.compute(r);
+            const double wait = d.wait_s[r];
+            compute_sum += compute;
+            wait_sum += wait;
+            const double total = compute + wait;
+            if (total > t_step) {
+                t_step = total;
+                straggler = r;
+            }
+            out.per_rank[r].compute_s += compute;
+            out.per_rank[r].wait_s += wait;
+            if (r < d.halo_bytes.size())
+                out.per_rank[r].halo_bytes += d.halo_bytes[r];
+        }
+        const double denom = static_cast<double>(nr);
+        const double imb = t_step - (compute_sum + wait_sum) / denom;
+        sum_t += t_step;
+        sum_compute += compute_sum / denom;
+        sum_wait += wait_sum / denom;
+        sum_imb += imb;
+        ++out.per_rank[straggler].straggler_steps;
+        ++out.steps;
+        if (resplit_seen) {
+            after_t += t_step;
+            after_imb += imb;
+        } else {
+            before_t += t_step;
+            before_imb += imb;
+        }
+    }
+    out.attributed_s = sum_t;
+    if (sum_t > 0.0) {
+        out.compute_share = sum_compute / sum_t;
+        out.wait_share = sum_wait / sum_t;
+        out.imbalance_share = sum_imb / sum_t;
+    }
+    std::int64_t best = -1;
+    for (std::size_t r = 0; r < out.per_rank.size(); ++r)
+        if (out.per_rank[r].straggler_steps > best) {
+            best = out.per_rank[r].straggler_steps;
+            out.straggler_rank = static_cast<int>(r);
+        }
+    out.imbalance_share_before =
+        before_t > 0.0 ? before_imb / before_t : 0.0;
+    out.imbalance_share_after = after_t > 0.0 ? after_imb / after_t : 0.0;
     return out;
 }
 

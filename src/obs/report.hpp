@@ -53,6 +53,29 @@ struct GovernorEvent {
     std::uint64_t samples = 0;
 };
 
+/// One {"type":"dist"} record: the per-rank phase split of one
+/// distributed step (examples/dam_break_dist). Vectors are indexed by
+/// rank and share one length; `wait_s` is the rank's halo stall,
+/// everything else is compute.
+struct DistStep {
+    std::int64_t step = 0;
+    double wall_s = 0.0;
+    std::vector<double> post_s, precompute_s, interior_s, wait_s,
+        boundary_s;
+    std::vector<std::uint64_t> halo_bytes;  ///< sent by rank, this step
+    std::int64_t resplits = 0;  ///< balancer re-splits during this step
+
+    [[nodiscard]] int ranks() const {
+        return static_cast<int>(post_s.size());
+    }
+    [[nodiscard]] double compute(std::size_t r) const {
+        return post_s[r] + precompute_s[r] + interior_s[r] + boundary_s[r];
+    }
+    [[nodiscard]] double total(std::size_t r) const {
+        return compute(r) + wait_s[r];
+    }
+};
+
 /// Everything tp_report needs from one metrics stream.
 struct RunSummary {
     std::string program;
@@ -80,6 +103,13 @@ struct RunSummary {
     double checkpoint_write_s = 0.0;  ///< writer-side seconds, summed
     double checkpoint_stall_s = 0.0;  ///< solver-side stall (cumulative
                                       ///< in each record; last wins)
+
+    /// Per-step distributed phase records, in stream (= step) order.
+    std::vector<DistStep> dist_steps;
+
+    bool has_trace_record = false;  ///< a {"type":"trace"} record appeared
+    std::uint64_t trace_events = 0;  ///< events the trace file holds
+    std::uint64_t trace_dropped_events = 0;  ///< lost to the buffer cap
 
     std::int64_t diagnostics = 0;  ///< {"type":"diagnostic"} count
     std::int64_t probes = 0;       ///< {"type":"probe"} count
@@ -114,6 +144,9 @@ struct Thresholds {
     double step_time_frac = 0.20;   ///< mean step wall time: +20%
     double rezone_share_pts = 0.10; ///< rezone time share: +10 points
     double ulp_factor = 2.0;        ///< per-kernel max ULP drift: 2x
+    /// Critical-path imbalance share growth: +15 points. Only applies
+    /// when both runs carry {"type":"dist"} records.
+    double imbalance_share_pts = 0.15;
 };
 
 /// One threshold violation. `metric` names what regressed
@@ -142,7 +175,11 @@ struct DiffResult {
 /// Row of the per-phase rollup table.
 struct PhaseRow {
     std::string phase;
-    double seconds = 0.0;
+    double seconds = 0.0;  ///< inclusive (children counted)
+    /// Exclusive time: seconds minus the direct children's seconds —
+    /// what the phase itself spent, with nested sub-phase timers
+    /// removed. Equals `seconds` for leaves.
+    double self_seconds = 0.0;
     double share = 0.0;  ///< of the top-level (non-sub-phase) total
     bool sub_phase = false;
 };
@@ -150,5 +187,55 @@ struct PhaseRow {
 /// Phase table data, descending by seconds, sub-phases after their
 /// parents. Shares are relative to the top-level phase total.
 [[nodiscard]] std::vector<PhaseRow> phase_rollup(const RunSummary& run);
+
+// ---------------------------------------------------------------------------
+// Critical-path / imbalance analysis of the distributed pipeline
+// (DESIGN.md §15). Consumes the per-step {"type":"dist"} records.
+//
+// Attribution model: ranks run concurrently between step barriers, so a
+// step's attributed wall time is T = max_r(compute_r + wait_r) — the
+// rank that bounds the step. That wall decomposes exactly:
+//
+//   T = mean_r(compute_r)            (compute everyone must do)
+//     + mean_r(wait_r)               (halo stall everyone pays)
+//     + [T - mean_r(total_r)]        (imbalance: the straggler's excess)
+//
+// Summed over steps and divided by the summed T, the three shares add to
+// 1 by construction — tp_report gates on the imbalance share growing.
+
+/// Per-rank accumulation across every dist step.
+struct CriticalPathRank {
+    double compute_s = 0.0;
+    double wait_s = 0.0;
+    std::uint64_t halo_bytes = 0;
+    std::int64_t straggler_steps = 0;  ///< steps this rank bounded
+};
+
+struct CriticalPathReport {
+    std::int64_t steps = 0;  ///< dist records consumed
+    int ranks = 0;
+    double attributed_s = 0.0;  ///< sum over steps of max-rank total
+    double compute_share = 0.0;
+    double wait_share = 0.0;
+    double imbalance_share = 0.0;  ///< the three sum to 1 exactly
+    int straggler_rank = -1;  ///< rank bounding the most steps
+    std::vector<CriticalPathRank> per_rank;
+    /// Load-balancer effectiveness: imbalance share over the steps
+    /// before the first re-split vs. from it onward. Meaningful only
+    /// when `resplit_steps > 0` and both windows are non-empty.
+    std::int64_t resplit_steps = 0;  ///< steps that re-split the domain
+    double imbalance_share_before = 0.0;
+    double imbalance_share_after = 0.0;
+
+    [[nodiscard]] bool empty() const { return steps == 0; }
+    [[nodiscard]] double mean_attributed_step_s() const {
+        return steps == 0 ? 0.0
+                          : attributed_s / static_cast<double>(steps);
+    }
+};
+
+/// Walk run.dist_steps and attribute wall time to compute vs. halo wait
+/// vs. imbalance. Records with mismatched array lengths are skipped.
+[[nodiscard]] CriticalPathReport critical_path(const RunSummary& run);
 
 }  // namespace tp::obs::report

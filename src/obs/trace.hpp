@@ -3,19 +3,34 @@
 // lock-free per-thread buffers and flushed as Chrome-trace JSON
 // (chrome://tracing / https://ui.perfetto.dev).
 //
-// Design constraints (DESIGN.md §10):
+// Design constraints (DESIGN.md §10, §15):
 //   * zero cost when off — an instrumentation point is one relaxed atomic
 //     load; no clock read, no allocation, no branch into cold code;
 //   * no synchronization on the hot path when on — each thread appends to
 //     its own buffer, registered once under a mutex at first use;
 //   * span names are static strings (string literals at the call sites),
-//     so events store a pointer, never copy.
+//     so events store a pointer, never copy;
+//   * buffers are bounded — past the per-thread cap events are counted as
+//     dropped, never buffered, so a long traced run cannot grow without
+//     limit (trace_dropped_events() reports the loss).
+//
+// Two kinds of record:
+//   * spans — [begin, begin+dur) scopes. A span may carry a rank id
+//     (TP_OBS_SPAN_RANK); rank-tagged spans render on a per-rank track
+//     (pid 2, tid = rank) so Perfetto shows one merged timeline per
+//     virtual rank next to the host-thread tracks (pid 1).
+//   * message edges — one halo message each (src/dst rank, tag, bytes,
+//     post/deliver timestamps), flushed as a Chrome-trace flow-event pair
+//     (ph "s" on the source rank track at post time, ph "f" on the
+//     destination track at deliver time) so the viewer draws an arrow
+//     from the posting span to the completing span.
 //
 // Usage at an instrumentation point:
 //
 //   void Solver::step() {
-//       TP_OBS_SPAN("clamr.step");
+//       TP_OBS_SPAN("clamr.step");            // host-thread track
 //       ...
+//       TP_OBS_SPAN_RANK("dist.rank.interior", r);  // rank track
 //   }
 //
 // Lifecycle (driven by the CLI layer, obs/obs.hpp):
@@ -42,11 +57,26 @@ struct TraceEvent {
     const char* name;       // static string
     std::int64_t begin_ns;  // since trace_start
     std::int64_t dur_ns;
+    std::int32_t rank;  // >= 0: virtual-rank track; -1: host thread
+};
+
+/// One delivered halo message: recorded by the comm layer at delivery
+/// time (both endpoints known), flushed as an s/f flow-event pair.
+struct EdgeEvent {
+    std::int32_t src;
+    std::int32_t dst;
+    std::int32_t tag;
+    std::uint64_t bytes;
+    std::int64_t post_ns;     // when the message was posted/sent
+    std::int64_t deliver_ns;  // when the receiver completed it
 };
 
 /// Append one completed span to the calling thread's buffer.
 void trace_append(const char* name, std::int64_t begin_ns,
-                  std::int64_t dur_ns);
+                  std::int64_t dur_ns, std::int32_t rank = -1);
+
+/// Append one delivered message edge to the calling thread's buffer.
+void trace_append_edge(const EdgeEvent& edge);
 
 [[nodiscard]] std::int64_t trace_now_ns();
 }  // namespace detail
@@ -63,25 +93,56 @@ void trace_start(const std::string& path);
 
 /// Flush every thread's buffer to the trace file as Chrome-trace JSON and
 /// stop collecting. No-op when no session is active. Returns the number
-/// of events written.
+/// of trace events written: one per span plus two per message edge
+/// (metadata records are not counted).
 std::size_t trace_stop();
 
 /// Number of events currently buffered across all threads (diagnostics).
+/// Counts spans and edges, mirroring trace_stop()'s span+2*edge total.
 [[nodiscard]] std::size_t trace_event_count();
+
+/// Events rejected because a thread's buffer hit the cap. Accumulates
+/// during a session and stays readable after trace_stop() (sticky until
+/// the next trace_start), so drivers can surface the loss in the metrics
+/// stream after the trace file is written.
+[[nodiscard]] std::uint64_t trace_dropped_events();
+
+/// Per-thread buffer bound (spans + edges per thread). Takes effect at
+/// the next instrumentation point; already-buffered events are kept. The
+/// default (1<<20 per thread) bounds a runaway traced run at
+/// ~32 MiB/thread.
+[[nodiscard]] std::size_t trace_buffer_cap();
+void trace_set_buffer_cap(std::size_t cap);
+
+/// Record one delivered message edge (src -> dst rank, `tag`, `bytes`,
+/// posted at `post_ns`, delivered at `deliver_ns`; timestamps from
+/// detail::trace_now_ns()). No-op when tracing is off.
+inline void trace_edge(std::int32_t src, std::int32_t dst, std::int32_t tag,
+                       std::uint64_t bytes, std::int64_t post_ns,
+                       std::int64_t deliver_ns) {
+    if (!trace_enabled()) return;
+    detail::trace_append_edge({src, dst, tag, bytes, post_ns, deliver_ns});
+}
 
 /// RAII span: records [construction, destruction) of the enclosing scope
 /// under `name` (a string literal). When tracing is off the constructor
-/// is a single relaxed load and the destructor a null check.
+/// is a single relaxed load and the destructor a null check. The
+/// two-argument form files the span on the virtual-rank track `rank`.
 class ScopedSpan {
 public:
     explicit ScopedSpan(const char* name)
         : name_(trace_enabled() ? name : nullptr) {
         if (name_) begin_ns_ = detail::trace_now_ns();
     }
+    ScopedSpan(const char* name, int rank)
+        : name_(trace_enabled() ? name : nullptr),
+          rank_(static_cast<std::int32_t>(rank)) {
+        if (name_) begin_ns_ = detail::trace_now_ns();
+    }
     ~ScopedSpan() {
         if (name_)
             detail::trace_append(name_, begin_ns_,
-                                 detail::trace_now_ns() - begin_ns_);
+                                 detail::trace_now_ns() - begin_ns_, rank_);
     }
     ScopedSpan(const ScopedSpan&) = delete;
     ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -89,6 +150,7 @@ public:
 private:
     const char* name_;
     std::int64_t begin_ns_ = 0;
+    std::int32_t rank_ = -1;
 };
 
 }  // namespace tp::obs
@@ -99,3 +161,7 @@ private:
 /// (the recorder stores the pointer). Zero-cost when tracing is off.
 #define TP_OBS_SPAN(name) \
     ::tp::obs::ScopedSpan TP_OBS_CONCAT(tp_obs_span_, __LINE__)(name)
+/// Same, but files the span on virtual-rank track `rank` so per-rank
+/// timelines merge side by side in the trace viewer.
+#define TP_OBS_SPAN_RANK(name, rank) \
+    ::tp::obs::ScopedSpan TP_OBS_CONCAT(tp_obs_span_, __LINE__)(name, rank)

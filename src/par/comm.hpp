@@ -20,6 +20,13 @@
 // Both schedules move identical bytes through identical matching rules,
 // which is what lets the overlapped solver pipeline be verified bitwise
 // against the BSP one.
+//
+// Because ranks are virtual and in-process, the communicator is also the
+// natural tap for the cross-rank flight recorder (DESIGN.md §15): every
+// delivery emits one message-edge record (src, dst, tag, bytes, post and
+// deliver timestamps) when tracing is on, and per-source-rank byte
+// counters accumulate unconditionally — they are deterministic counts of
+// the decomposition, not timings.
 
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +34,8 @@
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace tp::par {
 
@@ -39,12 +48,18 @@ struct Message {
     int tag = 0;
     std::vector<double> payload;
     std::vector<std::byte> bytes;
+    /// Trace timestamp of the send/post (obs::detail::trace_now_ns()),
+    /// stamped only while tracing — 0 otherwise.
+    std::int64_t post_ns = 0;
 };
 
 /// Mailbox-based communicator for R virtual ranks.
 class VirtualComm {
 public:
-    explicit VirtualComm(int size) : size_(size), boxes_(static_cast<std::size_t>(size)) {
+    explicit VirtualComm(int size)
+        : size_(size),
+          boxes_(static_cast<std::size_t>(size)),
+          rank_bytes_sent_(static_cast<std::size_t>(size), 0) {
         if (size < 1) throw std::invalid_argument("VirtualComm: size < 1");
     }
 
@@ -54,9 +69,9 @@ public:
     void send(int source, int dest, int tag, std::vector<double> payload) {
         check_rank(source);
         check_rank(dest);
-        bytes_sent_ += payload.size() * sizeof(double);
+        account_send(source, payload.size() * sizeof(double));
         pending_.push_back(
-            {dest, Message{source, tag, std::move(payload), {}}});
+            {dest, Message{source, tag, std::move(payload), {}, stamp()}});
     }
 
     /// Enqueue a raw-byte message (typed halo traffic). Pair with
@@ -66,9 +81,9 @@ public:
                     std::vector<std::byte> payload) {
         check_rank(source);
         check_rank(dest);
-        bytes_sent_ += payload.size();
+        account_send(source, payload.size());
         pending_.push_back(
-            {dest, Message{source, tag, {}, std::move(payload)}});
+            {dest, Message{source, tag, {}, std::move(payload), stamp()}});
     }
 
     /// A buffer of `n` bytes, reusing a previously release()d one when
@@ -87,8 +102,16 @@ public:
         pool_.push_back(std::move(buf));
     }
 
-    /// Total payload bytes pushed through send()/send_bytes().
+    /// Total payload bytes pushed through send()/send_bytes()/
+    /// post_bytes().
     [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+    /// Payload bytes sent BY `rank` (as the source). Deterministic for a
+    /// fixed decomposition, so tests pin per-edge trace bytes to it.
+    [[nodiscard]] std::uint64_t bytes_sent(int rank) const {
+        check_rank(rank);
+        return rank_bytes_sent_[static_cast<std::size_t>(rank)];
+    }
 
     /// Deliver all pending sends — the BSP phase boundary.
     void exchange() {
@@ -106,9 +129,9 @@ public:
                     std::vector<std::byte> payload) {
         check_rank(source);
         check_rank(dest);
-        bytes_sent_ += payload.size();
+        account_send(source, payload.size());
         in_flight_.push_back(
-            {dest, Message{source, tag, {}, std::move(payload)}});
+            {dest, Message{source, tag, {}, std::move(payload), stamp()}});
     }
 
     /// Wait on one posted message (MPI_Wait on the matching request);
@@ -122,6 +145,7 @@ public:
                 Message m = std::move(msg);
                 in_flight_[i] = std::move(in_flight_.back());
                 in_flight_.pop_back();
+                record_edge(rank, m);
                 return m;
             }
         }
@@ -142,6 +166,7 @@ public:
                 Message m = std::move(box[i]);
                 box[i] = std::move(box.back());
                 box.pop_back();
+                record_edge(rank, m);
                 return m;
             }
         }
@@ -162,12 +187,33 @@ private:
             throw std::out_of_range("VirtualComm: bad rank");
     }
 
+    void account_send(int source, std::size_t n) {
+        bytes_sent_ += n;
+        rank_bytes_sent_[static_cast<std::size_t>(source)] += n;
+    }
+
+    /// Trace timestamp for a send, or 0 when tracing is off (one relaxed
+    /// load, no clock read — the zero-cost-off contract).
+    [[nodiscard]] static std::int64_t stamp() {
+        return obs::trace_enabled() ? obs::detail::trace_now_ns() : 0;
+    }
+
+    /// Emit the message-edge trace record at delivery, when both
+    /// endpoints and both timestamps are known.
+    static void record_edge(int rank, const Message& m) {
+        if (!obs::trace_enabled()) return;
+        obs::trace_edge(m.source, rank, m.tag,
+                        m.payload.size() * sizeof(double) + m.bytes.size(),
+                        m.post_ns, obs::detail::trace_now_ns());
+    }
+
     int size_;
     std::vector<std::vector<Message>> boxes_;
     std::vector<std::pair<int, Message>> pending_;
     std::vector<std::pair<int, Message>> in_flight_;
     std::vector<std::vector<std::byte>> pool_;
     std::uint64_t bytes_sent_ = 0;
+    std::vector<std::uint64_t> rank_bytes_sent_;  ///< indexed by source
 };
 
 }  // namespace tp::par

@@ -129,6 +129,7 @@ BlockDistributedShallowSolver<Policy>::BlockDistributedShallowSolver(
     }
 
     cost_seconds_.assign(static_cast<std::size_t>(cfg_.ranks), 0.0);
+    rank_phase_.resize(static_cast<std::size_t>(cfg_.ranks));
     wavespeed_.assign(static_cast<std::size_t>(cfg_.ranks),
                       compute_t(0));
     ws_scratch_.resize(static_cast<std::size_t>(cfg_.ranks));
@@ -225,6 +226,8 @@ void BlockDistributedShallowSolver<Policy>::post_halos() {
     };
     for (int r = 0; r < cfg_.ranks; ++r) {
         wavespeed_[static_cast<std::size_t>(r)] = compute_t(0);
+        TP_OBS_SPAN_RANK("dist.rank.post", r);
+        util::WallTimer t;
         const int f0 = first_[static_cast<std::size_t>(r)];
         const int cnt = count_[static_cast<std::size_t>(r)];
         for (int m = f0; m < f0 + cnt; ++m) {
@@ -245,6 +248,8 @@ void BlockDistributedShallowSolver<Policy>::post_halos() {
                                      pack_strip(blk, f));
             }
         }
+        rank_phase_[static_cast<std::size_t>(r)].post +=
+            t.elapsed_seconds();
     }
 }
 
@@ -283,6 +288,8 @@ void BlockDistributedShallowSolver<Policy>::complete_halos() {
         }
     };
     for (int r = 0; r < cfg_.ranks; ++r) {
+        TP_OBS_SPAN_RANK("dist.rank.wait", r);
+        util::WallTimer t;
         const int f0 = first_[static_cast<std::size_t>(r)];
         const int cnt = count_[static_cast<std::size_t>(r)];
         for (int m = f0; m < f0 + cnt; ++m) {
@@ -332,6 +339,8 @@ void BlockDistributedShallowSolver<Policy>::complete_halos() {
                 }
             }
         }
+        rank_phase_[static_cast<std::size_t>(r)].wait +=
+            t.elapsed_seconds();
     }
 }
 
@@ -367,6 +376,7 @@ void BlockDistributedShallowSolver<Policy>::precompute_interior() {
     const auto n = static_cast<std::int64_t>(cfg_.ranks);
 #pragma omp parallel for schedule(static)
     for (std::int64_t r = 0; r < n; ++r) {
+        TP_OBS_SPAN_RANK("dist.rank.precompute", static_cast<int>(r));
         util::WallTimer t;
         const int f0 = first_[static_cast<std::size_t>(r)];
         const int cnt = count_[static_cast<std::size_t>(r)];
@@ -377,7 +387,9 @@ void BlockDistributedShallowSolver<Policy>::precompute_interior() {
             ws = w > ws ? w : ws;
         }
         wavespeed_[static_cast<std::size_t>(r)] = ws;
-        cost_seconds_[static_cast<std::size_t>(r)] += t.elapsed_seconds();
+        const double s = t.elapsed_seconds();
+        cost_seconds_[static_cast<std::size_t>(r)] += s;
+        rank_phase_[static_cast<std::size_t>(r)].precompute += s;
     }
 }
 
@@ -467,6 +479,7 @@ void BlockDistributedShallowSolver<Policy>::update_interior(double dt) {
     const auto n = static_cast<std::int64_t>(cfg_.ranks);
 #pragma omp parallel for schedule(static)
     for (std::int64_t r = 0; r < n; ++r) {
+        TP_OBS_SPAN_RANK("dist.rank.interior", static_cast<int>(r));
         util::WallTimer t;
         const int f0 = first_[static_cast<std::size_t>(r)];
         const int cnt = count_[static_cast<std::size_t>(r)];
@@ -475,7 +488,9 @@ void BlockDistributedShallowSolver<Policy>::update_interior(double dt) {
             if (b_ >= 3)
                 update_block_rows(blk, 2, b_ - 1, 2, b_ - 1, dt);
         }
-        cost_seconds_[static_cast<std::size_t>(r)] += t.elapsed_seconds();
+        const double s = t.elapsed_seconds();
+        cost_seconds_[static_cast<std::size_t>(r)] += s;
+        rank_phase_[static_cast<std::size_t>(r)].interior += s;
     }
 }
 
@@ -487,6 +502,7 @@ void BlockDistributedShallowSolver<Policy>::update_boundary(double dt) {
     const auto n = static_cast<std::int64_t>(cfg_.ranks);
 #pragma omp parallel for schedule(static)
     for (std::int64_t r = 0; r < n; ++r) {
+        TP_OBS_SPAN_RANK("dist.rank.boundary", static_cast<int>(r));
         util::WallTimer t;
         const int f0 = first_[static_cast<std::size_t>(r)];
         const int cnt = count_[static_cast<std::size_t>(r)];
@@ -503,7 +519,9 @@ void BlockDistributedShallowSolver<Policy>::update_boundary(double dt) {
             blk.hu.swap(blk.hu2);
             blk.hv.swap(blk.hv2);
         }
-        cost_seconds_[static_cast<std::size_t>(r)] += t.elapsed_seconds();
+        const double s = t.elapsed_seconds();
+        cost_seconds_[static_cast<std::size_t>(r)] += s;
+        rank_phase_[static_cast<std::size_t>(r)].boundary += s;
     }
 }
 
@@ -588,6 +606,7 @@ double BlockDistributedShallowSolver<Policy>::step() {
     util::WallTimer t_step;
     maybe_rebalance();
 
+    for (RankPhaseSeconds& rp : rank_phase_) rp = {};
     const std::uint64_t bytes0 = comm_.bytes_sent();
     double s_pack = 0.0, s_wait = 0.0, s_pre = 0.0, s_update = 0.0;
     {

@@ -72,7 +72,19 @@ public:
     [[nodiscard]] std::uint64_t halo_bytes_sent() const {
         return comm_.bytes_sent();
     }
+    /// Face payload bytes sent by one rank (per-edge trace bytes sum to
+    /// this — same contract as the row solver's).
+    [[nodiscard]] std::uint64_t halo_bytes_sent(int rank) const {
+        return comm_.bytes_sent(rank);
+    }
     [[nodiscard]] bool comm_drained() const { return comm_.drained(); }
+
+    /// Last step()'s per-rank phase seconds (see
+    /// dist_shallow.hpp::RankPhaseSeconds).
+    [[nodiscard]] const std::vector<RankPhaseSeconds>& rank_phase_seconds()
+        const {
+        return rank_phase_;
+    }
 
     [[nodiscard]] double total_mass() const {
         return total_mass(cfg_.mass_algorithm);
@@ -187,6 +199,7 @@ private:
     std::vector<int> owner_;         ///< block -> owning rank
     std::vector<int> first_, count_; ///< per-rank Morton range
     std::vector<double> cost_seconds_;    ///< per-rank measured sweep cost
+    std::vector<RankPhaseSeconds> rank_phase_;  ///< last step, per rank
     std::vector<compute_t> wavespeed_;    ///< per-rank CFL partial
     double time_ = 0.0;
     std::int64_t step_count_ = 0;

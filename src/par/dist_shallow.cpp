@@ -105,6 +105,7 @@ DistributedShallowSolver<Policy>::DistributedShallowSolver(
     }
 
     // Persistent scratch (step() and total_mass() allocate nothing).
+    rank_phase_.resize(static_cast<std::size_t>(cfg_.ranks));
     ws_scratch_.resize(static_cast<std::size_t>(cfg_.ranks));
     row_cost_scratch_.resize(static_cast<std::size_t>(cfg_.ny));
     const std::size_t carry = static_cast<std::size_t>(cfg_.ny) *
@@ -208,6 +209,8 @@ void DistributedShallowSolver<Policy>::post_halos() {
     for (int r = 0; r < cfg_.ranks; ++r) {
         Rank& rk = ranks_[static_cast<std::size_t>(r)];
         rk.wavespeed = compute_t(0);
+        TP_OBS_SPAN_RANK("dist.rank.post", r);
+        util::WallTimer t;
         if (cfg_.overlap) {
             if (r > 0)
                 comm_.post_bytes(r, r - 1, kTagDown, pack_row(rk, 1));
@@ -219,6 +222,8 @@ void DistributedShallowSolver<Policy>::post_halos() {
             if (r + 1 < cfg_.ranks)
                 comm_.send_bytes(r, r + 1, kTagUp, pack_row(rk, rk.rows));
         }
+        rank_phase_[static_cast<std::size_t>(r)].post +=
+            t.elapsed_seconds();
     }
 }
 
@@ -240,6 +245,8 @@ void DistributedShallowSolver<Policy>::complete_halos() {
     };
     for (int r = 0; r < cfg_.ranks; ++r) {
         Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        TP_OBS_SPAN_RANK("dist.rank.wait", r);
+        util::WallTimer t;
         if (r > 0) {
             unpack_row(rk, 0,
                        cfg_.overlap ? comm_.complete(r, r - 1, kTagUp)
@@ -264,6 +271,8 @@ void DistributedShallowSolver<Policy>::complete_halos() {
                 rk.hv[idx(rk.rows + 1, i)] = -rk.hv[idx(rk.rows, i)];
             }
         }
+        rank_phase_[static_cast<std::size_t>(r)].wait +=
+            t.elapsed_seconds();
     }
 }
 
@@ -297,9 +306,12 @@ void DistributedShallowSolver<Policy>::precompute_interior() {
 #pragma omp parallel for schedule(static)
     for (std::int64_t r = 0; r < n; ++r) {
         Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        TP_OBS_SPAN_RANK("dist.rank.precompute", static_cast<int>(r));
         util::WallTimer t;
         precompute_rows(rk, 1, rk.rows);
-        rk.cost_seconds += t.elapsed_seconds();
+        const double s = t.elapsed_seconds();
+        rk.cost_seconds += s;
+        rank_phase_[static_cast<std::size_t>(r)].precompute += s;
     }
 }
 
@@ -346,9 +358,12 @@ void DistributedShallowSolver<Policy>::update_interior(double dt) {
 #pragma omp parallel for schedule(static)
     for (std::int64_t r = 0; r < n; ++r) {
         Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        TP_OBS_SPAN_RANK("dist.rank.interior", static_cast<int>(r));
         util::WallTimer t;
         if (rk.rows >= 3) update_rows(rk, 2, rk.rows - 1, dt);
-        rk.cost_seconds += t.elapsed_seconds();
+        const double s = t.elapsed_seconds();
+        rk.cost_seconds += s;
+        rank_phase_[static_cast<std::size_t>(r)].interior += s;
     }
 }
 
@@ -364,6 +379,7 @@ void DistributedShallowSolver<Policy>::update_boundary(double dt) {
 #pragma omp parallel for schedule(static)
     for (std::int64_t r = 0; r < n; ++r) {
         Rank& rk = ranks_[static_cast<std::size_t>(r)];
+        TP_OBS_SPAN_RANK("dist.rank.boundary", static_cast<int>(r));
         util::WallTimer t;
         precompute_rows(rk, 0, 0);
         precompute_rows(rk, rk.rows + 1, rk.rows + 1);
@@ -372,7 +388,9 @@ void DistributedShallowSolver<Policy>::update_boundary(double dt) {
         rk.h.swap(rk.h2);
         rk.hu.swap(rk.hu2);
         rk.hv.swap(rk.hv2);
-        rk.cost_seconds += t.elapsed_seconds();
+        const double s = t.elapsed_seconds();
+        rk.cost_seconds += s;
+        rank_phase_[static_cast<std::size_t>(r)].boundary += s;
     }
 }
 
@@ -492,6 +510,7 @@ double DistributedShallowSolver<Policy>::step() {
     util::WallTimer t_step;
     maybe_rebalance();
 
+    for (RankPhaseSeconds& rp : rank_phase_) rp = {};
     const std::uint64_t bytes0 = comm_.bytes_sent();
     double s_pack = 0.0, s_wait = 0.0, s_pre = 0.0, s_update = 0.0;
     {

@@ -66,6 +66,22 @@ struct DistConfig {
     int block = 0;
 };
 
+/// Per-rank wall seconds of one step's pipeline phases (cross-rank
+/// flight recorder, DESIGN.md §15). `post` and `wait` accrue on the
+/// serial communication loop, the other three on the rank's OpenMP
+/// task; `wait` is the rank's halo stall, everything else is compute.
+struct RankPhaseSeconds {
+    double post = 0.0;
+    double precompute = 0.0;
+    double interior = 0.0;
+    double wait = 0.0;
+    double boundary = 0.0;
+    [[nodiscard]] double compute() const {
+        return post + precompute + interior + boundary;
+    }
+    [[nodiscard]] double total() const { return compute() + wait; }
+};
+
 template <fp::PrecisionPolicy Policy>
 class DistributedShallowSolver {
 public:
@@ -94,6 +110,19 @@ public:
     /// traffic of a double one.
     [[nodiscard]] std::uint64_t halo_bytes_sent() const {
         return comm_.bytes_sent();
+    }
+
+    /// Halo payload bytes sent by one rank (deterministic for a fixed
+    /// partition — the flight recorder's per-edge bytes sum to this).
+    [[nodiscard]] std::uint64_t halo_bytes_sent(int rank) const {
+        return comm_.bytes_sent(rank);
+    }
+
+    /// Last step()'s per-rank phase seconds — the raw material of the
+    /// {"type":"dist"} metrics record and the critical-path analysis.
+    [[nodiscard]] const std::vector<RankPhaseSeconds>& rank_phase_seconds()
+        const {
+        return rank_phase_;
     }
 
     /// True when no posted or pending message is left unconsumed — every
@@ -247,6 +276,7 @@ private:
     // balancer's per-row cost vector, the re-split state carry buffers,
     // and the mass diagnostic's per-rank slices. Members so the steady
     // state of step() — and of total_mass() — allocates nothing.
+    std::vector<RankPhaseSeconds> rank_phase_;  ///< last step, per rank
     std::vector<double> ws_scratch_;
     std::vector<double> row_cost_scratch_;
     std::vector<int> split_scratch_;

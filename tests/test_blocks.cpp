@@ -21,6 +21,7 @@
 
 #include "fp/half_policy.hpp"
 #include "mesh/block_tree.hpp"
+#include "obs/trace.hpp"
 #include "par/dist_blocks.hpp"
 #include "par/dist_shallow.hpp"
 #include "shallow/solver.hpp"
@@ -353,6 +354,29 @@ TEST(HaloLedger, OverlapPostsAllBytesBeforeTheWait) {
     ASSERT_NE(wait, nullptr);
     EXPECT_EQ(post->bytes, s.halo_bytes_sent());
     EXPECT_EQ(wait->bytes, 0u);
+}
+
+// The per-source-rank byte counters (the {"type":"dist"} record's
+// halo_bytes array) partition the total exactly, and tracing the block
+// solver perturbs nothing: the traced height field matches the untraced
+// one bit for bit.
+TEST(HaloLedger, PerRankBytesPartitionTotalAndTracingIsInvisible) {
+    ASSERT_FALSE(obs::trace_enabled());
+    const auto ref = block_height_after<fp::MixedPrecision>(
+        24, 12, 3, true, simd::Mode::Native, 4, /*lb_interval=*/4);
+    obs::trace_start(::testing::TempDir() + "blocks.trace.json");
+    par::BlockDistributedShallowSolver<fp::MixedPrecision> s(
+        dist_config<fp::MixedPrecision>(24, 3, true, simd::Mode::Native, 4,
+                                        /*lb_interval=*/4));
+    s.initialize_dam_break();
+    s.run(12);
+    EXPECT_GT(obs::trace_stop(), 0u);
+    EXPECT_TRUE(s.comm_drained());
+    EXPECT_EQ(s.gather_height(), ref);
+    std::uint64_t per_rank_total = 0;
+    for (int r = 0; r < 3; ++r) per_rank_total += s.halo_bytes_sent(r);
+    EXPECT_GT(per_rank_total, 0u);
+    EXPECT_EQ(per_rank_total, s.halo_bytes_sent());
 }
 
 // --------------------------------------------------- block load balance

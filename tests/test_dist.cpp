@@ -10,10 +10,16 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <new>
 #include <span>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "par/comm.hpp"
 #include "par/dist_shallow.hpp"
 
@@ -174,6 +180,94 @@ TEST(DistLoadBalance, UniformCostIsANoOp) {
     EXPECT_EQ(s.row_partition(), before);
     EXPECT_EQ(s.lb_stats().evaluations, 1u);
     EXPECT_EQ(s.lb_stats().resplits, 0u);
+}
+
+// ---------------------------------------------- cross-rank message edges
+
+// Sum the per-edge byte counts of a flushed Chrome trace by source rank.
+// Each message edge is an s/f flow pair sharing one args block; counting
+// only the "s" start events counts every edge exactly once.
+std::map<int, std::uint64_t> edge_bytes_by_src(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const auto doc = obs::json::parse(buf.str());
+    std::map<int, std::uint64_t> by_src;
+    if (!doc || !doc->is_object()) return by_src;
+    const obs::json::Value* events = doc->find("traceEvents");
+    if (events == nullptr || !events->is_array()) return by_src;
+    for (const obs::json::Value& e : events->items()) {
+        if (e.string_or("ph", "") != "s") continue;
+        const obs::json::Value* args = e.find("args");
+        if (args == nullptr) {
+            ADD_FAILURE() << "flow start without args in " << path;
+            continue;
+        }
+        by_src[static_cast<int>(args->number_or("src", -1.0))] +=
+            static_cast<std::uint64_t>(args->number_or("bytes", 0.0));
+    }
+    return by_src;
+}
+
+// Message-edge conservation: summed over the trace, the per-edge byte
+// counts must reproduce the comm layer's sent-byte counters — per source
+// rank and in total — and that total must equal the work ledger's
+// dist_halo_post + dist_halo_wait split. Checked across rank counts,
+// both schedules, and both SIMD shapes; comm_drained() guarantees every
+// posted byte was delivered, so posting-side and delivery-side
+// accounting must agree exactly.
+TEST(DistTracing, EdgeBytesMatchCommAndWorkLedgers) {
+    for (const int ranks : {2, 4}) {
+        for (const bool overlap : {false, true}) {
+            for (const auto mode :
+                 {simd::Mode::Scalar, simd::Mode::Native}) {
+                const std::string path =
+                    ::testing::TempDir() + "dist_edges.trace.json";
+                obs::trace_start(path);
+                auto s = make_solver<fp::MixedPrecision>(24, ranks,
+                                                         overlap, mode);
+                s.initialize_dam_break();
+                s.run(6);
+                EXPECT_TRUE(s.comm_drained());
+                const std::uint64_t total = s.halo_bytes_sent();
+                std::vector<std::uint64_t> per_rank;
+                for (int r = 0; r < ranks; ++r)
+                    per_rank.push_back(s.halo_bytes_sent(r));
+                EXPECT_GT(obs::trace_stop(), 0u);
+
+                std::map<int, std::uint64_t> by_src;
+                by_src = edge_bytes_by_src(path);
+                std::uint64_t edge_total = 0;
+                for (const auto& [src, bytes] : by_src) edge_total += bytes;
+                EXPECT_EQ(edge_total, total)
+                    << ranks << " ranks, overlap=" << overlap;
+                for (int r = 0; r < ranks; ++r)
+                    EXPECT_EQ(by_src[r], per_rank[static_cast<std::size_t>(
+                                             r)])
+                        << "rank " << r << " of " << ranks
+                        << ", overlap=" << overlap;
+
+                const auto* post = s.ledger().find("dist_halo_post");
+                const auto* wait = s.ledger().find("dist_halo_wait");
+                ASSERT_NE(post, nullptr);
+                ASSERT_NE(wait, nullptr);
+                EXPECT_EQ(post->bytes + wait->bytes, total);
+            }
+        }
+    }
+}
+
+// Tracing must observe, never perturb: a traced run's height field is
+// bitwise identical to an untraced one, load balancing included.
+TEST(DistTracing, TracedRunIsBitwiseIdenticalToUntraced) {
+    ASSERT_FALSE(obs::trace_enabled());
+    const auto ref = height_after<fp::MixedPrecision>(
+        24, 12, 3, true, simd::Mode::Native, /*lb_interval=*/4);
+    obs::trace_start(::testing::TempDir() + "dist_invisible.trace.json");
+    const auto traced = height_after<fp::MixedPrecision>(
+        24, 12, 3, true, simd::Mode::Native, /*lb_interval=*/4);
+    EXPECT_GT(obs::trace_stop(), 0u);
+    EXPECT_EQ(traced, ref);
 }
 
 // ------------------------------------------------- communicator contracts

@@ -263,6 +263,82 @@ TEST(Trace, StartRejectsUnwritablePath) {
     EXPECT_FALSE(obs::trace_enabled());
 }
 
+TEST(Trace, RankSpansLandOnVirtualRankTracks) {
+    const std::string path = temp_path("rank.trace.json");
+    obs::trace_start(path);
+    { TP_OBS_SPAN_RANK("dist.rank.interior", 3); }
+    { TP_OBS_SPAN("host.phase"); }
+    EXPECT_EQ(obs::trace_stop(), 2u);
+
+    const std::string doc = slurp(path);
+    ASSERT_TRUE(json::valid(doc)) << doc;
+    // The rank span sits on pid 2 / tid 3 under named track metadata;
+    // the plain span stays on the host-thread process (pid 1).
+    std::string rank_line, host_line;
+    bool named_track = false;
+    for (const auto& line : lines_of(path)) {
+        if (line.find("\"dist.rank.interior\"") != std::string::npos)
+            rank_line = line;
+        if (line.find("\"host.phase\"") != std::string::npos)
+            host_line = line;
+        if (line.find("\"rank 3\"") != std::string::npos) named_track = true;
+    }
+    ASSERT_FALSE(rank_line.empty());
+    ASSERT_FALSE(host_line.empty());
+    EXPECT_TRUE(named_track) << doc;
+    EXPECT_EQ(field_of(rank_line, "pid"), 2.0);
+    EXPECT_EQ(field_of(rank_line, "tid"), 3.0);
+    EXPECT_EQ(field_of(host_line, "pid"), 1.0);
+}
+
+TEST(Trace, EdgesFlushAsPairedFlowEvents) {
+    const std::string path = temp_path("edge.trace.json");
+    obs::trace_start(path);
+    obs::trace_edge(/*src=*/0, /*dst=*/2, /*tag=*/7, /*bytes=*/4096,
+                    /*post_ns=*/1000, /*deliver_ns=*/5000);
+    EXPECT_EQ(obs::trace_event_count(), 2u);  // one edge = s + f
+    EXPECT_EQ(obs::trace_stop(), 2u);
+
+    const std::string doc = slurp(path);
+    ASSERT_TRUE(json::valid(doc)) << doc;
+    std::string s_line, f_line;
+    for (const auto& line : lines_of(path)) {
+        if (line.find("\"ph\":\"s\"") != std::string::npos) s_line = line;
+        if (line.find("\"ph\":\"f\"") != std::string::npos) f_line = line;
+    }
+    ASSERT_FALSE(s_line.empty()) << doc;
+    ASSERT_FALSE(f_line.empty()) << doc;
+    // Start on the source rank track at post time, finish on the
+    // destination track at deliver time, bound by one shared flow id.
+    EXPECT_EQ(field_of(s_line, "tid"), 0.0);
+    EXPECT_EQ(field_of(f_line, "tid"), 2.0);
+    EXPECT_EQ(field_of(s_line, "id"), field_of(f_line, "id"));
+    EXPECT_LT(field_of(s_line, "ts"), field_of(f_line, "ts"));
+    EXPECT_NE(f_line.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(s_line.find("\"bytes\":4096"), std::string::npos);
+    // Both endpoint ranks got named tracks even without any rank span.
+    EXPECT_NE(doc.find("\"rank 0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"rank 2\""), std::string::npos);
+}
+
+TEST(Trace, BufferCapDropsAndCountsExcessEvents) {
+    const std::size_t saved = obs::trace_buffer_cap();
+    obs::trace_set_buffer_cap(4);
+    const std::string path = temp_path("cap.trace.json");
+    obs::trace_start(path);
+    EXPECT_EQ(obs::trace_dropped_events(), 0u);  // reset by trace_start
+    for (int i = 0; i < 10; ++i) {
+        TP_OBS_SPAN("cap.span");
+    }
+    EXPECT_EQ(obs::trace_event_count(), 4u);
+    EXPECT_EQ(obs::trace_stop(), 4u);
+    obs::trace_set_buffer_cap(saved);
+    // The loss is sticky after stop so drivers can report it, and the
+    // trace header carries it for the viewer.
+    EXPECT_EQ(obs::trace_dropped_events(), 6u);
+    EXPECT_NE(slurp(path).find("\"droppedEvents\":6"), std::string::npos);
+}
+
 // --------------------------------------------------------------- metrics
 
 TEST(Metrics, ManifestIsFirstAndCarriesBuildFields) {

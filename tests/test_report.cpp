@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -225,6 +227,197 @@ TEST(Diff, MissingWallSecondsSkipsStepTimeWithNote) {
     bool noted = false;
     for (const auto& note : diff.notes)
         if (note.find("wall_s") != std::string::npos) noted = true;
+    EXPECT_TRUE(noted);
+}
+
+// ---------------------------------------------- dist digestion + critical path
+
+// One {"type":"dist"} record. Per-rank compute seconds come from
+// `compute`, per-rank wait from `wait`; post/interior/boundary are folded
+// into compute via the post_s array to keep the arithmetic transparent.
+std::string dist_line(const std::vector<double>& compute,
+                      const std::vector<double>& wait,
+                      std::int64_t resplits = 0, int step = 1) {
+    auto arr = [](const std::vector<double>& v) {
+        std::string out = "[";
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i != 0) out.push_back(',');
+            json::append_number(out, v[i]);
+        }
+        out.push_back(']');
+        return out;
+    };
+    const std::vector<double> zero(compute.size(), 0.0);
+    std::string bytes = "[";
+    for (std::size_t i = 0; i < compute.size(); ++i) {
+        if (i != 0) bytes.push_back(',');
+        bytes += "1000";
+    }
+    bytes.push_back(']');
+    double wall = 0.0;
+    for (std::size_t r = 0; r < compute.size(); ++r)
+        wall = std::max(wall, compute[r] + wait[r]);
+    return json::Object()
+        .field("type", "dist")
+        .field("step", step)
+        .field("ranks", static_cast<std::int64_t>(compute.size()))
+        .field("wall_s", wall)
+        .field_raw("post_s", arr(compute))
+        .field_raw("precompute_s", arr(zero))
+        .field_raw("interior_s", arr(zero))
+        .field_raw("wait_s", arr(wait))
+        .field_raw("boundary_s", arr(zero))
+        .field_raw("halo_bytes", bytes)
+        .field("resplits", resplits)
+        .str();
+}
+
+TEST(Summarize, DigestsDistAndTraceRecords) {
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         dist_line({0.004, 0.002}, {0.0, 0.001}),
+         json::Object()
+             .field("type", "trace")
+             .field("events", std::uint64_t{42})
+             .field("dropped", std::uint64_t{7})
+             .str()});
+    ASSERT_EQ(run.dist_steps.size(), 1u);
+    EXPECT_EQ(run.dist_steps[0].ranks(), 2);
+    EXPECT_DOUBLE_EQ(run.dist_steps[0].compute(0), 0.004);
+    EXPECT_DOUBLE_EQ(run.dist_steps[0].total(1), 0.003);
+    EXPECT_EQ(run.dist_steps[0].halo_bytes[0], 1000u);
+    EXPECT_TRUE(run.has_trace_record);
+    EXPECT_EQ(run.trace_events, 42u);
+    EXPECT_EQ(run.trace_dropped_events, 7u);
+    EXPECT_EQ(run.unknown_records, 0);
+}
+
+TEST(CriticalPath, SharesSumToOneAndNameTheStraggler) {
+    // Rank 0 bounds every step: compute {4,2} ms, wait {0,1} ms.
+    // Per step: T = 4 ms, mean compute = 3 ms, mean wait = 0.5 ms,
+    // imbalance = 4 - 3.5 = 0.5 ms.
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), dist_line({0.004, 0.002}, {0.0, 0.001}, 0, 1),
+         dist_line({0.004, 0.002}, {0.0, 0.001}, 0, 2)});
+    const auto cp = report::critical_path(run);
+    ASSERT_FALSE(cp.empty());
+    EXPECT_EQ(cp.steps, 2);
+    EXPECT_EQ(cp.ranks, 2);
+    EXPECT_NEAR(cp.attributed_s, 0.008, 1e-12);
+    EXPECT_NEAR(cp.compute_share, 0.003 / 0.004, 1e-12);
+    EXPECT_NEAR(cp.wait_share, 0.0005 / 0.004, 1e-12);
+    EXPECT_NEAR(cp.imbalance_share, 0.0005 / 0.004, 1e-12);
+    EXPECT_NEAR(
+        cp.compute_share + cp.wait_share + cp.imbalance_share, 1.0, 1e-12);
+    EXPECT_EQ(cp.straggler_rank, 0);
+    ASSERT_EQ(cp.per_rank.size(), 2u);
+    EXPECT_EQ(cp.per_rank[0].straggler_steps, 2);
+    EXPECT_EQ(cp.per_rank[1].straggler_steps, 0);
+    EXPECT_EQ(cp.per_rank[0].halo_bytes, 2000u);
+}
+
+TEST(CriticalPath, ResplitSplitsTheImbalanceWindows) {
+    // Imbalanced before the re-split, perfectly balanced from it onward
+    // (the re-split runs at the head of its step, so that step counts as
+    // "after").
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), dist_line({0.004, 0.002}, {0.0, 0.0}, 0, 1),
+         dist_line({0.003, 0.003}, {0.0, 0.0}, 1, 2),
+         dist_line({0.003, 0.003}, {0.0, 0.0}, 0, 3)});
+    const auto cp = report::critical_path(run);
+    EXPECT_EQ(cp.resplit_steps, 1);
+    EXPECT_NEAR(cp.imbalance_share_before, 0.001 / 0.004, 1e-12);
+    EXPECT_NEAR(cp.imbalance_share_after, 0.0, 1e-12);
+}
+
+TEST(CriticalPath, SkipsMalformedRecordsAndEmptyRuns) {
+    EXPECT_TRUE(report::critical_path(report::summarize({})).empty());
+    // A record whose arrays disagree with the run's rank count is skipped
+    // by the analyzer; the valid one still contributes.
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), dist_line({0.004, 0.002}, {0.0, 0.0}),
+         "{\"type\":\"dist\",\"step\":2,\"ranks\":2,\"wall_s\":0.1,"
+         "\"post_s\":[0.1],\"precompute_s\":[0.1],\"interior_s\":[0.1],"
+         "\"wait_s\":[0.1],\"boundary_s\":[0.1],\"halo_bytes\":[1],"
+         "\"resplits\":0}"});
+    const auto cp = report::critical_path(run);
+    EXPECT_EQ(cp.steps, 1);
+}
+
+TEST(PhaseRollup, SelfTimeExcludesDirectChildren) {
+    const report::RunSummary run = report::summarize(
+        {manifest_line(), step_line(0.01, 0.002, 0.006)});
+    const auto rows = report::phase_rollup(run);
+    ASSERT_EQ(rows.size(), 3u);
+    // rezone: 0.002 inclusive, child rezone_remap 0.001 -> self 0.001.
+    EXPECT_EQ(rows[1].phase, "rezone");
+    EXPECT_NEAR(rows[1].self_seconds, 0.001, 1e-12);
+    // Leaves keep self == inclusive.
+    EXPECT_NEAR(rows[0].self_seconds, rows[0].seconds, 1e-12);
+    EXPECT_NEAR(rows[2].self_seconds, rows[2].seconds, 1e-12);
+}
+
+TEST(Diff, ImbalanceShareGrowthPastPointsFails) {
+    const auto base = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         dist_line({0.003, 0.003}, {0.0, 0.0})});  // balanced
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         dist_line({0.006, 0.002}, {0.0, 0.0})});  // imbalance 1/3
+    report::Thresholds t;
+    t.imbalance_share_pts = 0.15;
+    const auto diff = report::diff_runs(base, cand, t);
+    bool found = false;
+    for (const auto& r : diff.regressions)
+        if (r.metric == "dist_imbalance_share") found = true;
+    EXPECT_TRUE(found);
+    // Inside the allowance it passes.
+    report::Thresholds loose;
+    loose.imbalance_share_pts = 0.50;
+    EXPECT_TRUE(report::diff_runs(base, cand, loose).ok());
+}
+
+TEST(Diff, HaloByteDriftIsARegressionWhenComparable) {
+    const auto base = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         dist_line({0.003, 0.003}, {0.0, 0.0})});
+    // Same shape, same (zero) resplits, different bytes: deterministic
+    // traffic changed -> regression.
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         "{\"type\":\"dist\",\"step\":1,\"ranks\":2,\"wall_s\":0.003,"
+         "\"post_s\":[0.003,0.003],\"precompute_s\":[0,0],"
+         "\"interior_s\":[0,0],\"wait_s\":[0,0],\"boundary_s\":[0,0],"
+         "\"halo_bytes\":[1000,999],\"resplits\":0}"});
+    const auto diff = report::diff_runs(base, cand, {});
+    bool found = false;
+    for (const auto& r : diff.regressions)
+        if (r.metric == "dist_halo_bytes") found = true;
+    EXPECT_TRUE(found);
+
+    // A resplit-count mismatch makes byte totals legitimately diverge
+    // (block-solver traffic depends on the partition) -> note, not gate.
+    const auto resplit_cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         "{\"type\":\"dist\",\"step\":1,\"ranks\":2,\"wall_s\":0.003,"
+         "\"post_s\":[0.003,0.003],\"precompute_s\":[0,0],"
+         "\"interior_s\":[0,0],\"wait_s\":[0,0],\"boundary_s\":[0,0],"
+         "\"halo_bytes\":[1000,999],\"resplits\":1}"});
+    const auto skipped = report::diff_runs(base, resplit_cand, {});
+    for (const auto& r : skipped.regressions)
+        EXPECT_NE(r.metric, "dist_halo_bytes");
+}
+
+TEST(Diff, DistPresentInOnlyOneRunIsANote) {
+    const auto base = baseline_run();
+    const auto cand = report::summarize(
+        {manifest_line(), step_line(0.010, 0.001, 0.008),
+         dist_line({0.003, 0.003}, {0.0, 0.0})});
+    const auto diff = report::diff_runs(base, cand, {});
+    EXPECT_TRUE(diff.ok());
+    bool noted = false;
+    for (const auto& note : diff.notes)
+        if (note.find("dist") != std::string::npos) noted = true;
     EXPECT_TRUE(noted);
 }
 

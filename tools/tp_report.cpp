@@ -67,6 +67,13 @@ void print_summary_text(const RunSummary& run) {
                               static_cast<double>(
                                   run.checkpoint_written_bytes),
                     run.checkpoint_write_s, run.checkpoint_stall_s);
+    if (run.has_trace_record)
+        std::printf("trace: %llu event%s written, %llu dropped at the "
+                    "buffer cap\n",
+                    static_cast<unsigned long long>(run.trace_events),
+                    run.trace_events == 1 ? "" : "s",
+                    static_cast<unsigned long long>(
+                        run.trace_dropped_events));
     if (run.invalid_lines > 0 || run.unknown_records > 0)
         std::printf("stream: %lld invalid line%s, %lld unknown record "
                     "type%s\n",
@@ -79,10 +86,11 @@ void print_summary_text(const RunSummary& run) {
     const auto rows = obs::report::phase_rollup(run);
     if (!rows.empty()) {
         util::TextTable table("per-phase time rollup");
-        table.set_header({"phase", "seconds", "share"});
+        table.set_header({"phase", "seconds", "self", "share"});
         for (const auto& row : rows)
             table.add_row({(row.sub_phase ? "  " : "") + row.phase,
                            util::fixed(row.seconds, 4),
+                           util::fixed(row.self_seconds, 4),
                            row.sub_phase ? "" : percent(row.share)});
         table.print();
     }
@@ -128,6 +136,82 @@ void print_summary_text(const RunSummary& run) {
     }
 }
 
+void print_critical_path_text(const obs::report::CriticalPathReport& cp) {
+    if (cp.empty()) {
+        std::printf("critical path: no {\"type\":\"dist\"} records in "
+                    "this stream\n");
+        return;
+    }
+    std::printf("critical path: %lld dist step%s on %d ranks, mean "
+                "attributed step %s ms\n",
+                static_cast<long long>(cp.steps),
+                cp.steps == 1 ? "" : "s", cp.ranks,
+                util::fixed(cp.mean_attributed_step_s() * 1e3, 3).c_str());
+    std::printf("  compute %s | halo wait %s | imbalance %s "
+                "(sums to 100%%)\n",
+                percent(cp.compute_share).c_str(),
+                percent(cp.wait_share).c_str(),
+                percent(cp.imbalance_share).c_str());
+    if (cp.straggler_rank >= 0) {
+        const auto& s =
+            cp.per_rank[static_cast<std::size_t>(cp.straggler_rank)];
+        std::printf("  straggler: rank %d bounded %lld of %lld steps\n",
+                    cp.straggler_rank,
+                    static_cast<long long>(s.straggler_steps),
+                    static_cast<long long>(cp.steps));
+    }
+    if (cp.resplit_steps > 0)
+        std::printf("  load balancer: imbalance %s before the first "
+                    "re-split -> %s after (%lld re-split step%s)\n",
+                    percent(cp.imbalance_share_before).c_str(),
+                    percent(cp.imbalance_share_after).c_str(),
+                    static_cast<long long>(cp.resplit_steps),
+                    cp.resplit_steps == 1 ? "" : "s");
+
+    util::TextTable table("per-rank critical-path accounting");
+    table.set_header(
+        {"rank", "compute s", "wait s", "halo sent", "straggler steps"});
+    for (std::size_t r = 0; r < cp.per_rank.size(); ++r) {
+        const auto& e = cp.per_rank[r];
+        table.add_row({std::to_string(r), util::fixed(e.compute_s, 4),
+                       util::fixed(e.wait_s, 4),
+                       util::human_bytes(e.halo_bytes),
+                       std::to_string(e.straggler_steps)});
+    }
+    table.print();
+}
+
+std::string critical_path_json(const obs::report::CriticalPathReport& cp) {
+    std::string per_rank = "[";
+    bool first = true;
+    for (const auto& e : cp.per_rank) {
+        if (!first) per_rank.push_back(',');
+        first = false;
+        obs::json::Object entry;
+        entry.field("compute_s", e.compute_s)
+            .field("wait_s", e.wait_s)
+            .field("halo_bytes", e.halo_bytes)
+            .field("straggler_steps",
+                   static_cast<std::int64_t>(e.straggler_steps));
+        per_rank += std::move(entry).str();
+    }
+    per_rank.push_back(']');
+
+    obs::json::Object out;
+    out.field("steps", static_cast<std::int64_t>(cp.steps))
+        .field("ranks", cp.ranks)
+        .field("mean_attributed_step_s", cp.mean_attributed_step_s())
+        .field("compute_share", cp.compute_share)
+        .field("wait_share", cp.wait_share)
+        .field("imbalance_share", cp.imbalance_share)
+        .field("straggler_rank", cp.straggler_rank)
+        .field("resplit_steps", static_cast<std::int64_t>(cp.resplit_steps))
+        .field("imbalance_share_before", cp.imbalance_share_before)
+        .field("imbalance_share_after", cp.imbalance_share_after)
+        .field_raw("per_rank", per_rank);
+    return std::move(out).str();
+}
+
 void print_diff_text(const DiffResult& diff) {
     for (const std::string& note : diff.notes)
         std::printf("note: %s\n", note.c_str());
@@ -144,7 +228,8 @@ void print_diff_text(const DiffResult& diff) {
     table.print();
 }
 
-std::string summary_json(const RunSummary& run) {
+std::string summary_json(const RunSummary& run,
+                         bool with_critical_path = false) {
     std::string numerics = "[";
     bool first = true;
     for (const auto& [key, e] : run.numerics) {
@@ -191,6 +276,7 @@ std::string summary_json(const RunSummary& run) {
         obs::json::Object entry;
         entry.field("phase", row.phase)
             .field("seconds", row.seconds)
+            .field("self_seconds", row.self_seconds)
             .field("share", row.share)
             .field("sub_phase", row.sub_phase);
         phases += std::move(entry).str();
@@ -213,9 +299,14 @@ std::string summary_json(const RunSummary& run) {
                static_cast<std::int64_t>(run.invalid_lines))
         .field("unknown_records",
                static_cast<std::int64_t>(run.unknown_records))
+        .field("trace_events", run.trace_events)
+        .field("trace_dropped_events", run.trace_dropped_events)
         .field_raw("phases", phases)
         .field_raw("numerics", numerics)
         .field_raw("governor", governor);
+    if (with_critical_path)
+        out.field_raw("critical_path",
+                      critical_path_json(obs::report::critical_path(run)));
     return std::move(out).str();
 }
 
@@ -271,6 +362,15 @@ int main(int argc, char** argv) {
     args.add_double_option(
         "max-ulp-factor", "allowed per-kernel max-ULP growth vs baseline",
         "2.0");
+    args.add_double_option(
+        "max-imbalance-pts",
+        "allowed critical-path imbalance-share growth vs baseline "
+        "(fraction)",
+        "0.15");
+    args.add_flag("critical-path",
+                  "decompose the distributed steps' wall time into "
+                  "compute / halo-wait / imbalance shares (needs "
+                  "{\"type\":\"dist\"} records)");
     if (!args.parse(argc, argv)) return 2;
 
     const std::string metrics_path = args.get_string("metrics");
@@ -294,12 +394,17 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    const bool critical = args.get_flag("critical-path");
     const std::string baseline_path = args.get_string("baseline");
     if (baseline_path.empty()) {
-        if (format == "json")
-            std::printf("%s\n", summary_json(*candidate).c_str());
-        else
+        if (format == "json") {
+            std::printf("%s\n", summary_json(*candidate, critical).c_str());
+        } else {
             print_summary_text(*candidate);
+            if (critical)
+                print_critical_path_text(
+                    obs::report::critical_path(*candidate));
+        }
         return 0;
     }
 
@@ -313,17 +418,21 @@ int main(int argc, char** argv) {
     thresholds.step_time_frac = args.get_double("max-step-time-frac");
     thresholds.rezone_share_pts = args.get_double("max-rezone-share-pts");
     thresholds.ulp_factor = args.get_double("max-ulp-factor");
+    thresholds.imbalance_share_pts = args.get_double("max-imbalance-pts");
     const DiffResult diff =
         obs::report::diff_runs(*baseline, *candidate, thresholds);
 
     if (format == "json") {
         obs::json::Object out;
-        out.field_raw("candidate", summary_json(*candidate))
-            .field_raw("baseline", summary_json(*baseline))
+        out.field_raw("candidate", summary_json(*candidate, critical))
+            .field_raw("baseline", summary_json(*baseline, critical))
             .field_raw("diff", diff_json(diff));
         std::printf("%s\n", std::move(out).str().c_str());
     } else {
         print_summary_text(*candidate);
+        if (critical)
+            print_critical_path_text(
+                obs::report::critical_path(*candidate));
         print_diff_text(diff);
     }
     return diff.ok() ? 0 : 1;
